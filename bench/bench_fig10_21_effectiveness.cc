@@ -1,0 +1,96 @@
+// Regenerates Figures 10-21: precision (Figs 10-13), recall (Figs 14-17)
+// and F1-score (Figs 18-21) versus the similarity threshold tau_hat on the
+// four real-profile data sets, for GBDA at gamma in {0.70, 0.80, 0.90} and
+// the three competitors.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+
+using namespace gbda;
+using namespace gbda::bench;
+
+namespace {
+
+struct Series {
+  std::string label;
+  std::vector<MethodMetrics> metrics;  // one per tau
+};
+
+Status Run(const BenchFlags& flags) {
+  const std::vector<int64_t> taus = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<DatasetProfile> profiles = RealProfiles(flags);
+  // Figure numbering: precision 10-13, recall 14-17, F1 18-21, dataset order
+  // AIDS, Fingerprint, GREC, AASD.
+  for (size_t d = 0; d < profiles.size(); ++d) {
+    const DatasetProfile& profile = profiles[d];
+    Result<Bundle> bundle = MakeBundle(profile, /*tau_max=*/10, flags);
+    if (!bundle.ok()) {
+      return Status(bundle.status().code(),
+                    profile.name + ": " + bundle.status().message());
+    }
+    ExperimentRunner& runner = *bundle->runner;
+
+    std::vector<Series> series;
+    for (Method m :
+         {Method::kLsap, Method::kGreedySort, Method::kSeriation}) {
+      ExperimentConfig config;
+      config.method = m;
+      Result<std::vector<MethodMetrics>> sweep = runner.RunTauSweep(config, taus);
+      if (!sweep.ok()) return sweep.status();
+      series.push_back({MethodName(m), std::move(*sweep)});
+    }
+    for (double gamma : {0.70, 0.80, 0.90}) {
+      ExperimentConfig config;
+      config.method = Method::kGbda;
+      config.gamma = gamma;
+      Result<std::vector<MethodMetrics>> sweep = runner.RunTauSweep(config, taus);
+      if (!sweep.ok()) return sweep.status();
+      series.push_back({StrFormat("GBDA(g=%.2f)", gamma), std::move(*sweep)});
+    }
+
+    struct MetricView {
+      const char* name;
+      int figure;
+      double (*get)(const MethodMetrics&);
+    };
+    const MetricView views[] = {
+        {"precision", static_cast<int>(10 + d),
+         [](const MethodMetrics& m) { return m.precision; }},
+        {"recall", static_cast<int>(14 + d),
+         [](const MethodMetrics& m) { return m.recall; }},
+        {"F1-score", static_cast<int>(18 + d),
+         [](const MethodMetrics& m) { return m.f1; }},
+    };
+    for (const MetricView& view : views) {
+      std::vector<std::string> headers = {"method \\ tau"};
+      for (int64_t tau : taus) headers.push_back(std::to_string(tau));
+      TableWriter table(headers);
+      for (const Series& s : series) {
+        std::vector<std::string> row = {s.label};
+        for (const MethodMetrics& m : s.metrics) {
+          row.push_back(Cell(view.get(m), 3));
+        }
+        table.AddRow(row);
+      }
+      table.Print(StrFormat("Figure %d: %s vs tau_hat on %s", view.figure,
+                            view.name, profile.name.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = ParseFlags(argc, argv);
+  PrintHeader("Figures 10-21: effectiveness on real data sets", flags);
+  Status st = Run(flags);
+  if (!st.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Regenerates Figures 22-29: F1-score of GBDA against its two variants on
+// the four real-profile data sets (gamma = 0.9):
+//  - Figures 22-25: GBDA vs GBDA-V1 with alpha in {10, 50, 100} (database
+//    average |V'1| instead of the pair's extended size);
+//  - Figures 26-29: GBDA vs GBDA-V2 with w in {0.1, 0.5} (weighted VGBD of
+//    Eq. 26 instead of GBD).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+
+using namespace gbda;
+using namespace gbda::bench;
+
+namespace {
+
+Status Run(const BenchFlags& flags) {
+  const std::vector<int64_t> taus = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<DatasetProfile> profiles = RealProfiles(flags);
+
+  for (size_t d = 0; d < profiles.size(); ++d) {
+    const DatasetProfile& profile = profiles[d];
+    Result<Bundle> bundle = MakeBundle(profile, /*tau_max=*/10, flags);
+    if (!bundle.ok()) {
+      return Status(bundle.status().code(),
+                    profile.name + ": " + bundle.status().message());
+    }
+    ExperimentRunner& runner = *bundle->runner;
+
+    struct Config {
+      std::string label;
+      ExperimentConfig config;
+    };
+    std::vector<Config> configs;
+    {
+      ExperimentConfig base;
+      base.method = Method::kGbda;
+      base.gamma = 0.9;
+      configs.push_back({"GBDA", base});
+      for (size_t alpha : {10u, 50u, 100u}) {
+        ExperimentConfig v1 = base;
+        v1.method = Method::kGbdaV1;
+        v1.v1_alpha = alpha;
+        configs.push_back({StrFormat("V1(a=%zu)", static_cast<size_t>(alpha)),
+                           v1});
+      }
+      for (double w : {0.1, 0.5}) {
+        ExperimentConfig v2 = base;
+        v2.method = Method::kGbdaV2;
+        v2.vgbd_w = w;
+        configs.push_back({StrFormat("V2(w=%.1f)", w), v2});
+      }
+    }
+
+    std::vector<std::string> headers = {"method \\ tau"};
+    for (int64_t tau : taus) headers.push_back(std::to_string(tau));
+    TableWriter v1_table(headers);
+    TableWriter v2_table(headers);
+    for (const Config& c : configs) {
+      Result<std::vector<MethodMetrics>> sweep =
+          runner.RunTauSweep(c.config, taus);
+      if (!sweep.ok()) return sweep.status();
+      std::vector<std::string> row = {c.label};
+      for (const MethodMetrics& m : *sweep) row.push_back(Cell(m.f1, 3));
+      const bool is_v2 = c.label.rfind("V2", 0) == 0;
+      const bool is_v1 = c.label.rfind("V1", 0) == 0;
+      if (!is_v2) v1_table.AddRow(row);
+      if (!is_v1) v2_table.AddRow(row);
+    }
+    v1_table.Print(StrFormat("Figure %d: F1 vs tau_hat on %s (GBDA vs V1)",
+                             static_cast<int>(22 + d), profile.name.c_str()));
+    v2_table.Print(StrFormat("Figure %d: F1 vs tau_hat on %s (GBDA vs V2)",
+                             static_cast<int>(26 + d), profile.name.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = ParseFlags(argc, argv);
+  PrintHeader("Figures 22-29: GBDA variant ablations", flags);
+  Status st = Run(flags);
+  if (!st.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

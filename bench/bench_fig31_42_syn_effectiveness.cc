@@ -1,0 +1,150 @@
+// Regenerates Figures 31-42 (Appendix J): precision (31-34), recall (35-38)
+// and F1-score (39-42) versus graph size on the Syn-1 data set, at
+// tau_hat in {15, 20, 25, 30} with GBDA gamma in {0.60, 0.70, 0.80}.
+//
+// Each subset size is evaluated as its own database, as in the paper. LSAP
+// sizes whose first measured pair exceeds the per-pair budget are skipped
+// (its Hungarian solver is O(n^3) per pair).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "common/timer.h"
+
+using namespace gbda;
+using namespace gbda::bench;
+
+namespace {
+
+struct SizePoint {
+  size_t graph_size = 0;
+  // label -> metrics, aligned with the labels vector below.
+  std::vector<MethodMetrics> per_label;
+};
+
+Status Run(const BenchFlags& flags) {
+  const std::vector<int64_t> taus = {15, 20, 25, 30};
+  const double lsap_pair_budget = flags.full ? 60.0 : 1.0;
+
+  const DatasetProfile base = SynBenchProfile(/*scale_free=*/true, flags);
+  std::vector<size_t> sizes = base.rung_sizes;
+  std::sort(sizes.begin(), sizes.end());
+
+  std::vector<std::string> labels = {"LSAP", "greedysort", "seriation",
+                                     "GBDA(g=0.60)", "GBDA(g=0.70)",
+                                     "GBDA(g=0.80)"};
+
+  // metrics[tau_index][size_index][label_index]
+  std::vector<std::vector<SizePoint>> metrics(taus.size());
+  bool lsap_dropped = false;
+
+  for (size_t n : sizes) {
+    DatasetProfile profile = base;
+    profile.rung_sizes = {n};
+    profile.graphs_per_rung = {base.graphs_per_rung.front()};
+    profile.queries_per_rung = {base.queries_per_rung.front()};
+    profile.seed = base.seed + 31 * n;
+    Result<Bundle> bundle = MakeBundle(profile, /*tau_max=*/30, flags);
+    if (!bundle.ok()) {
+      return Status(bundle.status().code(),
+                    profile.name + ": " + bundle.status().message());
+    }
+    ExperimentRunner& runner = *bundle->runner;
+    const GeneratedDataset& ds = *bundle->dataset;
+
+    // Probe LSAP cost on one pair before committing to full scans.
+    if (!lsap_dropped) {
+      WallTimer probe;
+      (void)runner.baselines().Estimate(ds.queries[0], 0,
+                                        BaselineMethod::kLsap);
+      if (probe.Seconds() > lsap_pair_budget) lsap_dropped = true;
+    }
+
+    std::vector<std::vector<MethodMetrics>> per_label_sweeps;
+    for (const std::string& label : labels) {
+      if (label == "LSAP" && lsap_dropped) {
+        per_label_sweeps.emplace_back();  // empty = skipped
+        continue;
+      }
+      ExperimentConfig config;
+      if (label == "LSAP") {
+        config.method = Method::kLsap;
+      } else if (label == "greedysort") {
+        config.method = Method::kGreedySort;
+      } else if (label == "seriation") {
+        config.method = Method::kSeriation;
+      } else {
+        config.method = Method::kGbda;
+        config.gamma = label == "GBDA(g=0.60)"
+                           ? 0.60
+                           : (label == "GBDA(g=0.70)" ? 0.70 : 0.80);
+      }
+      Result<std::vector<MethodMetrics>> sweep = runner.RunTauSweep(config, taus);
+      if (!sweep.ok()) return sweep.status();
+      per_label_sweeps.push_back(std::move(*sweep));
+    }
+
+    for (size_t t = 0; t < taus.size(); ++t) {
+      SizePoint point;
+      point.graph_size = n;
+      for (const auto& sweep : per_label_sweeps) {
+        point.per_label.push_back(sweep.empty() ? MethodMetrics{} : sweep[t]);
+      }
+      for (size_t i = 0; i < per_label_sweeps.size(); ++i) {
+        if (per_label_sweeps[i].empty()) {
+          point.per_label[i].num_queries = 0;  // marks "skipped"
+        }
+      }
+      metrics[t].push_back(std::move(point));
+    }
+  }
+
+  struct MetricView {
+    const char* name;
+    int first_figure;
+    double (*get)(const MethodMetrics&);
+  };
+  const MetricView views[] = {
+      {"precision", 31, [](const MethodMetrics& m) { return m.precision; }},
+      {"recall", 35, [](const MethodMetrics& m) { return m.recall; }},
+      {"F1-score", 39, [](const MethodMetrics& m) { return m.f1; }},
+  };
+  for (const MetricView& view : views) {
+    for (size_t t = 0; t < taus.size(); ++t) {
+      std::vector<std::string> headers = {"method \\ size"};
+      for (const SizePoint& p : metrics[t]) {
+        headers.push_back(std::to_string(p.graph_size));
+      }
+      TableWriter table(headers);
+      for (size_t i = 0; i < labels.size(); ++i) {
+        std::vector<std::string> row = {labels[i]};
+        for (const SizePoint& p : metrics[t]) {
+          row.push_back(p.per_label[i].num_queries == 0
+                            ? "skip"
+                            : Cell(view.get(p.per_label[i]), 3));
+        }
+        table.AddRow(row);
+      }
+      table.Print(StrFormat("Figure %d: %s vs graph size on Syn-1 (tau=%lld)",
+                            view.first_figure + static_cast<int>(t), view.name,
+                            static_cast<long long>(taus[t])));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = ParseFlags(argc, argv);
+  PrintHeader("Figures 31-42: effectiveness vs size on Syn-1", flags);
+  Status st = Run(flags);
+  if (!st.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Regenerates Figure 8: query response time vs graph size on the Syn-1
+// (scale-free) synthetic data, for GBDA at tau_hat in {10, 20, 30} and the
+// three competitors. See bench_syn_common.h for methodology.
+
+#include <cstdio>
+
+#include "bench_syn_common.h"
+
+int main(int argc, char** argv) {
+  const gbda::bench::BenchFlags flags = gbda::bench::ParseFlags(argc, argv);
+  gbda::bench::PrintHeader("Figure 8: time vs n on Syn-1", flags);
+  gbda::Status st = gbda::bench::RunSynTimingBench(/*scale_free=*/true, flags);
+  if (!st.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Ablation microbenchmarks for the design choices called out in DESIGN.md:
+//  - the O(tau^3) shared-table Lambda1 evaluation vs naive per-tau
+//    recomputation (Section VI-B);
+//  - the Omega2 coverage recurrence vs the paper's inclusion-exclusion form;
+//  - sorted-merge branch intersection vs a hash-multiset intersection;
+//  - GMM component count K sensitivity in fit time.
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "core/branch.h"
+#include "core/lambda1.h"
+#include "graph/generators.h"
+#include "math/gmm.h"
+
+namespace gbda {
+namespace {
+
+// --- Lambda1: shared tables vs per-tau rebuild ------------------------------
+
+void BM_Lambda1SharedTables(benchmark::State& state) {
+  const int64_t tau_max = state.range(0);
+  const ModelParams params = MakeModelParams(500, 10, 5);
+  for (auto _ : state) {
+    // One calculator serves every tau <= tau_max (the Section VI-B scheme).
+    const Lambda1Calculator calc(params, tau_max);
+    benchmark::DoNotOptimize(calc.Column(tau_max));
+  }
+}
+BENCHMARK(BM_Lambda1SharedTables)->DenseRange(10, 30, 10);
+
+void BM_Lambda1NaivePerTau(benchmark::State& state) {
+  const int64_t tau_max = state.range(0);
+  const ModelParams params = MakeModelParams(500, 10, 5);
+  for (auto _ : state) {
+    // Naive: rebuild the tables for every tau separately.
+    double acc = 0.0;
+    for (int64_t tau = 0; tau <= tau_max; ++tau) {
+      const Lambda1Calculator calc(params, tau);
+      acc += calc.Column(tau_max).back();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_Lambda1NaivePerTau)->DenseRange(10, 30, 10);
+
+// --- Omega2: recurrence vs inclusion-exclusion ------------------------------
+
+void BM_Omega2Recurrence(benchmark::State& state) {
+  const int64_t v = state.range(0);
+  for (auto _ : state) {
+    const Omega2Table table(v, 12);
+    benchmark::DoNotOptimize(table.At(12, 10));
+  }
+}
+BENCHMARK(BM_Omega2Recurrence)->Arg(16)->Arg(32);
+
+void BM_Omega2InclusionExclusion(benchmark::State& state) {
+  const int64_t v = state.range(0);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int64_t y = 0; y <= 12; ++y) {
+      for (int64_t m = 0; m <= std::min<int64_t>(2 * y, v); ++m) {
+        acc += Omega2InclusionExclusion(m, y, v);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_Omega2InclusionExclusion)->Arg(16)->Arg(32);
+
+// --- Branch intersection: sorted merge vs hashing ---------------------------
+
+BranchMultiset MakeBranches(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  GeneratorOptions opts;
+  opts.num_vertices = n;
+  opts.scale_free = true;
+  opts.edges_per_vertex = 2;
+  opts.num_vertex_labels = 10;
+  opts.num_edge_labels = 5;
+  return ExtractBranches(*GenerateConnectedGraph(opts, &rng));
+}
+
+void BM_IntersectionSortedMerge(benchmark::State& state) {
+  const BranchMultiset a = MakeBranches(static_cast<size_t>(state.range(0)), 1);
+  const BranchMultiset b = MakeBranches(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BranchIntersectionSize(a, b));
+  }
+}
+BENCHMARK(BM_IntersectionSortedMerge)->Range(256, 16384);
+
+size_t HashIntersection(const BranchMultiset& a, const BranchMultiset& b) {
+  // Strawman alternative: count via a hash multimap keyed by a cheap hash.
+  std::unordered_map<size_t, std::vector<const Branch*>> buckets;
+  auto hash = [](const Branch& br) {
+    size_t h = br.root * 1000003u;
+    for (LabelId l : br.edge_labels) h = h * 31 + l;
+    return h;
+  };
+  for (const Branch& br : a) buckets[hash(br)].push_back(&br);
+  size_t common = 0;
+  for (const Branch& br : b) {
+    auto it = buckets.find(hash(br));
+    if (it == buckets.end()) continue;
+    for (auto pit = it->second.begin(); pit != it->second.end(); ++pit) {
+      if (**pit == br) {
+        it->second.erase(pit);
+        ++common;
+        break;
+      }
+    }
+  }
+  return common;
+}
+
+void BM_IntersectionHashed(benchmark::State& state) {
+  const BranchMultiset a = MakeBranches(static_cast<size_t>(state.range(0)), 1);
+  const BranchMultiset b = MakeBranches(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashIntersection(a, b));
+  }
+}
+BENCHMARK(BM_IntersectionHashed)->Range(256, 16384);
+
+// --- GMM fit: component count K ---------------------------------------------
+
+void BM_GmmFit(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) {
+    data.push_back(rng.Bernoulli(0.5) ? rng.Gaussian(5.0, 2.0)
+                                      : rng.Gaussian(20.0, 3.0));
+  }
+  GmmFitOptions opts;
+  opts.num_components = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GaussianMixture::Fit(data, opts));
+  }
+}
+BENCHMARK(BM_GmmFit)->DenseRange(1, 5, 1);
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,63 @@
+// Fingerprint triage: compare every search method on a Fingerprint-profile
+// workload against exact ground truth — the decision a practitioner faces
+// when picking an estimator for an identification pipeline where both missed
+// matches (recall) and false alarms (precision) carry costs.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "datagen/dataset_profiles.h"
+#include "eval/experiment.h"
+
+using namespace gbda;
+
+int main() {
+  DatasetProfile profile = FingerprintProfile(0.08);
+  Result<GeneratedDataset> dataset = GenerateDataset(profile);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Fingerprint workload: %zu database graphs, %zu queries, "
+              "%zu families with certified ground truth\n\n",
+              dataset->db.size(), dataset->queries.size(),
+              dataset->num_families);
+
+  Result<std::unique_ptr<ExperimentRunner>> runner =
+      ExperimentRunner::Create(&*dataset, /*index_tau_max=*/10);
+  if (!runner.ok()) {
+    std::fprintf(stderr, "runner: %s\n", runner.status().ToString().c_str());
+    return 1;
+  }
+
+  TableWriter table({"method", "tau", "precision", "recall", "F1",
+                     "avg query time"});
+  for (Method m : {Method::kGbda, Method::kLsap, Method::kGreedySort,
+                   Method::kSeriation}) {
+    for (int64_t tau : {3, 6, 9}) {
+      ExperimentConfig config;
+      config.method = m;
+      config.tau_hat = tau;
+      config.gamma = 0.8;
+      Result<MethodMetrics> metrics = (*runner)->Run(config);
+      if (!metrics.ok()) {
+        std::fprintf(stderr, "%s: %s\n", MethodName(m),
+                     metrics.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({MethodName(m), std::to_string(tau),
+                    StrFormat("%.3f", metrics->precision),
+                    StrFormat("%.3f", metrics->recall),
+                    StrFormat("%.3f", metrics->f1),
+                    HumanSeconds(metrics->avg_query_seconds)});
+    }
+  }
+  table.Print("Estimator triage (gamma = 0.8 for GBDA):");
+  std::printf(
+      "\nReading guide: LSAP never misses a match (lower bound, recall 1) "
+      "but pays O(n^3) per pair; Greedy-Sort trades recall for precision; "
+      "GBDA keeps recall with competitive precision at a fraction of the "
+      "cost.\n");
+  return 0;
+}

@@ -1,0 +1,252 @@
+#include "baselines/astar_ged.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+namespace gbda {
+namespace {
+
+constexpr int32_t kEpsilon = -1;
+
+struct Node {
+  int64_t g = 0;        // accumulated cost
+  int64_t h = 0;        // admissible remainder bound
+  uint32_t depth = 0;   // number of g1 vertices assigned
+  std::vector<int32_t> assignment;  // g1 order position -> g2 vertex or kEpsilon
+
+  int64_t f() const { return g + h; }
+};
+
+struct NodeCompare {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.f() != b.f()) return a.f() > b.f();
+    return a.depth < b.depth;  // prefer deeper nodes on ties
+  }
+};
+
+/// Multiset edit distance on sorted vectors: max sizes minus intersection.
+int64_t SortedDiff(const std::vector<LabelId>& a, const std::vector<LabelId>& b) {
+  size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return static_cast<int64_t>(std::max(a.size(), b.size()) - common);
+}
+
+class AStarContext {
+ public:
+  AStarContext(const Graph& g1, const Graph& g2) : g1_(g1), g2_(g2) {
+    // Assign high-degree vertices first: their edge terms prune earlier.
+    order_.resize(g1.num_vertices());
+    std::iota(order_.begin(), order_.end(), 0u);
+    std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
+      if (g1.Degree(a) != g1.Degree(b)) return g1.Degree(a) > g1.Degree(b);
+      return a < b;
+    });
+  }
+
+  uint32_t g1_vertex(uint32_t depth) const { return order_[depth]; }
+
+  /// Incremental cost of assigning g1 vertex u (at `depth`) to image v
+  /// (kEpsilon = delete): vertex op plus edge ops against already-assigned
+  /// vertices.
+  int64_t StepCost(const Node& node, uint32_t depth, int32_t v) const {
+    const uint32_t u = order_[depth];
+    int64_t cost = 0;
+    if (v == kEpsilon) {
+      cost += 1;  // DV (the incident edge deletions are charged below)
+    } else {
+      cost += g1_.VertexLabel(u) ==
+                      g2_.VertexLabel(static_cast<uint32_t>(v))
+                  ? 0
+                  : 1;  // RV
+    }
+    for (uint32_t p = 0; p < depth; ++p) {
+      const uint32_t u_prev = order_[p];
+      const int32_t v_prev = node.assignment[p];
+      const Result<LabelId> e1 = g1_.EdgeLabel(u, u_prev);
+      const bool has1 = e1.ok();
+      bool has2 = false;
+      LabelId l2 = kVirtualLabel;
+      if (v != kEpsilon && v_prev != kEpsilon) {
+        const Result<LabelId> e2 = g2_.EdgeLabel(static_cast<uint32_t>(v),
+                                                 static_cast<uint32_t>(v_prev));
+        if (e2.ok()) {
+          has2 = true;
+          l2 = *e2;
+        }
+      }
+      if (has1 && has2) {
+        cost += (*e1 == l2) ? 0 : 1;  // RE
+      } else if (has1 || has2) {
+        cost += 1;  // DE or AE
+      }
+    }
+    return cost;
+  }
+
+  /// Cost of finishing a complete assignment: insert unused g2 vertices and
+  /// every g2 edge with at least one endpoint not used as an image.
+  int64_t CompletionCost(const Node& node) const {
+    std::vector<char> used(g2_.num_vertices(), 0);
+    for (int32_t v : node.assignment) {
+      if (v != kEpsilon) used[static_cast<size_t>(v)] = 1;
+    }
+    int64_t cost = 0;
+    for (uint32_t v = 0; v < g2_.num_vertices(); ++v) {
+      if (!used[v]) cost += 1;  // AV
+    }
+    for (const Graph::EdgeTriple& e : g2_.SortedEdges()) {
+      if (!used[e.u] || !used[e.v]) cost += 1;  // AE
+    }
+    return cost;
+  }
+
+  /// Admissible heuristic: label-multiset lower bounds over the unmatched
+  /// remainder (vertices and edges are charged by disjoint operations).
+  int64_t Heuristic(const Node& node, uint32_t depth) const {
+    // Remaining g1 vertex labels.
+    std::vector<LabelId> r1;
+    for (uint32_t p = depth; p < g1_.num_vertices(); ++p) {
+      r1.push_back(g1_.VertexLabel(order_[p]));
+    }
+    std::sort(r1.begin(), r1.end());
+    // Unused g2 vertex labels.
+    std::vector<char> used(g2_.num_vertices(), 0);
+    for (uint32_t p = 0; p < depth; ++p) {
+      if (node.assignment[p] != kEpsilon) {
+        used[static_cast<size_t>(node.assignment[p])] = 1;
+      }
+    }
+    std::vector<LabelId> r2;
+    for (uint32_t v = 0; v < g2_.num_vertices(); ++v) {
+      if (!used[v]) r2.push_back(g2_.VertexLabel(v));
+    }
+    std::sort(r2.begin(), r2.end());
+    const int64_t vertex_bound = SortedDiff(r1, r2);
+
+    // g1 edges not yet accounted: at least one endpoint unassigned.
+    std::vector<char> assigned1(g1_.num_vertices(), 0);
+    for (uint32_t p = 0; p < depth; ++p) assigned1[order_[p]] = 1;
+    std::vector<LabelId> e1;
+    for (const Graph::EdgeTriple& e : g1_.SortedEdges()) {
+      if (!assigned1[e.u] || !assigned1[e.v]) e1.push_back(e.label);
+    }
+    std::sort(e1.begin(), e1.end());
+    // g2 edges not yet accounted: at least one endpoint unused.
+    std::vector<LabelId> e2;
+    for (const Graph::EdgeTriple& e : g2_.SortedEdges()) {
+      if (!used[e.u] || !used[e.v]) e2.push_back(e.label);
+    }
+    std::sort(e2.begin(), e2.end());
+    const int64_t edge_bound = SortedDiff(e1, e2);
+    return vertex_bound + edge_bound;
+  }
+
+ private:
+  const Graph& g1_;
+  const Graph& g2_;
+  std::vector<uint32_t> order_;
+};
+
+}  // namespace
+
+Result<ExactGedResult> ExactGed(const Graph& g1, const Graph& g2,
+                                const AStarOptions& options) {
+  const uint32_t n1 = static_cast<uint32_t>(g1.num_vertices());
+  const uint32_t n2 = static_cast<uint32_t>(g2.num_vertices());
+  if (n1 == 0) {
+    // Everything in g2 is inserted; the loop below would otherwise return
+    // the root before folding in the completion cost.
+    ExactGedResult trivial;
+    const int64_t d =
+        static_cast<int64_t>(n2) + static_cast<int64_t>(g2.num_edges());
+    if (options.limit != INT64_MAX && d > options.limit) {
+      trivial.distance = options.limit + 1;
+      trivial.exact = false;
+    } else {
+      trivial.distance = d;
+    }
+    return trivial;
+  }
+  AStarContext ctx(g1, g2);
+
+  std::priority_queue<Node, std::vector<Node>, NodeCompare> open;
+  Node root;
+  root.h = ctx.Heuristic(root, 0);
+  open.push(root);
+
+  ExactGedResult result;
+  while (!open.empty()) {
+    Node node = open.top();
+    open.pop();
+
+    if (options.limit != INT64_MAX && node.f() > options.limit) {
+      // Best remaining path already exceeds the limit: GED > limit.
+      result.distance = options.limit + 1;
+      result.exact = false;
+      return result;
+    }
+    if (node.depth == n1) {
+      result.distance = node.g;  // completion cost folded in at expansion
+      result.exact = true;
+      return result;
+    }
+    if (++result.nodes_expanded > options.max_expansions) {
+      return Status::ResourceExhausted(
+          "A* GED exceeded its node-expansion budget");
+    }
+
+    const uint32_t depth = node.depth;
+    std::vector<char> used(n2, 0);
+    for (uint32_t p = 0; p < depth; ++p) {
+      if (node.assignment[p] != kEpsilon) {
+        used[static_cast<size_t>(node.assignment[p])] = 1;
+      }
+    }
+    auto push_child = [&](int32_t image) {
+      Node child;
+      child.depth = depth + 1;
+      child.assignment = node.assignment;
+      child.assignment.push_back(image);
+      child.g = node.g + ctx.StepCost(node, depth, image);
+      if (child.depth == n1) {
+        child.g += ctx.CompletionCost(child);
+        child.h = 0;
+      } else {
+        child.h = ctx.Heuristic(child, child.depth);
+      }
+      if (options.limit == INT64_MAX || child.f() <= options.limit) {
+        open.push(std::move(child));
+      }
+    };
+    for (uint32_t v = 0; v < n2; ++v) {
+      if (!used[v]) push_child(static_cast<int32_t>(v));
+    }
+    push_child(kEpsilon);
+  }
+
+  // Queue exhausted under a limit: every completion exceeds it.
+  result.distance = options.limit == INT64_MAX ? 0 : options.limit + 1;
+  result.exact = options.limit == INT64_MAX;
+  return result;
+}
+
+Result<int64_t> ExactGedValue(const Graph& g1, const Graph& g2,
+                              const AStarOptions& options) {
+  Result<ExactGedResult> r = ExactGed(g1, g2, options);
+  if (!r.ok()) return r.status();
+  return r->distance;
+}
+
+}  // namespace gbda

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace gbda {
+
+/// Options for the exact A* GED search.
+struct AStarOptions {
+  /// Node-expansion budget; the search fails with ResourceExhausted beyond
+  /// it. A* GED is exponential (Section I: infeasible past ~12 vertices), so
+  /// the budget keeps callers honest.
+  size_t max_expansions = 5'000'000;
+  /// Early-exit threshold: paths with f-cost above it are pruned and the
+  /// result saturates at limit + 1 (meaning "GED > limit"). Leave at the
+  /// default for the unbounded exact distance.
+  int64_t limit = INT64_MAX;
+};
+
+/// Outcome of an exact computation.
+struct ExactGedResult {
+  /// min(GED, limit + 1).
+  int64_t distance = 0;
+  /// True when `distance` is the exact GED (i.e. distance <= limit).
+  bool exact = true;
+  size_t nodes_expanded = 0;
+};
+
+/// Exact graph edit distance under the unit-cost model of Definition 1 via
+/// A* over vertex mappings (the classical algorithm of [5]).
+///
+/// Vertices of g1 are assigned in descending-degree order to a distinct
+/// vertex of g2 or to epsilon (deletion); remaining g2 vertices and their
+/// pending edges are inserted at the end. The admissible heuristic is the
+/// label-multiset lower bound on the unmatched remainder (vertex labels plus
+/// edge labels, both chargeable by disjoint operations). Used for ground
+/// truth on small graphs and to validate every estimator in the test suite.
+Result<ExactGedResult> ExactGed(const Graph& g1, const Graph& g2,
+                                const AStarOptions& options = {});
+
+/// Convenience: exact GED as a bare integer, propagating failures.
+Result<int64_t> ExactGedValue(const Graph& g1, const Graph& g2,
+                              const AStarOptions& options = {});
+
+}  // namespace gbda

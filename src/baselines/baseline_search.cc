@@ -1,0 +1,99 @@
+#include "baselines/baseline_search.h"
+
+#include "baselines/greedy_sort_ged.h"
+#include "baselines/lsap_ged.h"
+#include "common/timer.h"
+
+namespace gbda {
+
+const char* BaselineMethodName(BaselineMethod method) {
+  switch (method) {
+    case BaselineMethod::kLsap:
+      return "LSAP";
+    case BaselineMethod::kGreedySort:
+      return "greedysort";
+    case BaselineMethod::kSeriation:
+      return "seriation";
+  }
+  return "?";
+}
+
+BaselineSearch::BaselineSearch(const GraphDatabase* db) : db_(db) {
+  vertex_profiles_.reserve(db->size());
+  seriation_profiles_.reserve(db->size());
+  for (size_t i = 0; i < db->size(); ++i) {
+    vertex_profiles_.push_back(BuildVertexProfiles(db->graph(i)));
+    seriation_profiles_.push_back(BuildSeriationProfile(db->graph(i)));
+  }
+}
+
+Result<BaselineResult> BaselineSearch::Query(const Graph& query,
+                                             BaselineMethod method,
+                                             int64_t tau_hat) const {
+  if (tau_hat < 0) {
+    return Status::InvalidArgument("tau_hat must be non-negative");
+  }
+  WallTimer timer;
+  BaselineResult result;
+
+  // Query-side auxiliary structures are built once per query.
+  std::vector<VertexProfile> query_profile;
+  SeriationProfile query_seriation;
+  if (method == BaselineMethod::kSeriation) {
+    query_seriation = BuildSeriationProfile(query);
+  } else {
+    query_profile = BuildVertexProfiles(query);
+  }
+
+  const double threshold = static_cast<double>(tau_hat);
+  for (size_t id = 0; id < db_->size(); ++id) {
+    double estimate = 0.0;
+    switch (method) {
+      case BaselineMethod::kLsap:
+        estimate = LsapGedLowerBound(query_profile, vertex_profiles_[id]);
+        break;
+      case BaselineMethod::kGreedySort:
+        estimate = GreedySortGed(query_profile, vertex_profiles_[id]);
+        break;
+      case BaselineMethod::kSeriation:
+        estimate = SeriationDistance(query_seriation, seriation_profiles_[id]);
+        break;
+    }
+    if (estimate <= threshold) {
+      result.matches.push_back(BaselineMatch{id, estimate});
+    }
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+double BaselineSearch::Estimate(const Graph& query, size_t graph_id,
+                                BaselineMethod method) const {
+  switch (method) {
+    case BaselineMethod::kLsap:
+      return LsapGedLowerBound(BuildVertexProfiles(query),
+                               vertex_profiles_[graph_id]);
+    case BaselineMethod::kGreedySort:
+      return GreedySortGed(BuildVertexProfiles(query), vertex_profiles_[graph_id]);
+    case BaselineMethod::kSeriation:
+      return SeriationDistance(BuildSeriationProfile(query),
+                               seriation_profiles_[graph_id]);
+  }
+  return 0.0;
+}
+
+size_t BaselineSearch::MemoryBytes() const {
+  size_t bytes = sizeof(BaselineSearch);
+  for (const auto& profiles : vertex_profiles_) {
+    for (const VertexProfile& p : profiles) {
+      bytes += sizeof(VertexProfile) + p.incident.capacity() * sizeof(LabelId);
+    }
+  }
+  for (const SeriationProfile& p : seriation_profiles_) {
+    bytes += sizeof(SeriationProfile) + p.labels.capacity() * sizeof(LabelId) +
+             p.degrees.capacity() * sizeof(int32_t);
+  }
+  return bytes;
+}
+
+}  // namespace gbda

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/cost_matrix.h"
+#include "baselines/graph_seriation.h"
+#include "common/result.h"
+#include "graph/graph_database.h"
+
+namespace gbda {
+
+/// The three competitors of Section VII.
+enum class BaselineMethod {
+  kLsap,        // exact Hungarian on the bipartite cost matrix (lower bound)
+  kGreedySort,  // greedy-sorted assignment estimate
+  kSeriation,   // spectral seriation estimate
+};
+
+const char* BaselineMethodName(BaselineMethod method);
+
+/// One accepted graph with its estimated distance.
+struct BaselineMatch {
+  size_t graph_id = 0;
+  double estimate = 0.0;
+};
+
+struct BaselineResult {
+  std::vector<BaselineMatch> matches;
+  double seconds = 0.0;
+};
+
+/// Similarity search driven by a GED estimator: accept G iff
+/// estimate(Q, G) <= tau_hat. Per the fairness assumption of Section III the
+/// per-graph auxiliary structures (vertex profiles for the assignment
+/// methods, seriation strings for the spectral method) are precomputed at
+/// construction and stored with the database.
+class BaselineSearch {
+ public:
+  /// Precomputes profiles for every database graph. `db` must outlive the
+  /// object.
+  explicit BaselineSearch(const GraphDatabase* db);
+
+  /// Runs one query with the chosen estimator.
+  Result<BaselineResult> Query(const Graph& query, BaselineMethod method,
+                               int64_t tau_hat) const;
+
+  /// Distance estimate for one pair (query profiles built on the fly).
+  double Estimate(const Graph& query, size_t graph_id,
+                  BaselineMethod method) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  const GraphDatabase* db_;
+  std::vector<std::vector<VertexProfile>> vertex_profiles_;
+  std::vector<SeriationProfile> seriation_profiles_;
+};
+
+}  // namespace gbda

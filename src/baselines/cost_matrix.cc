@@ -1,0 +1,79 @@
+#include "baselines/cost_matrix.h"
+
+#include <algorithm>
+
+namespace gbda {
+namespace {
+// Large finite penalty for forbidden cells; finite to keep the Hungarian
+// potentials well-behaved.
+constexpr double kForbidden = 1e9;
+}  // namespace
+
+std::vector<VertexProfile> BuildVertexProfiles(const Graph& g) {
+  std::vector<VertexProfile> profiles(g.num_vertices());
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    VertexProfile& p = profiles[v];
+    p.label = g.VertexLabel(v);
+    p.incident.reserve(g.Degree(v));
+    for (const AdjEdge& e : g.Neighbors(v)) {
+      if (e.label != kVirtualLabel) p.incident.push_back(e.label);
+    }
+    std::sort(p.incident.begin(), p.incident.end());
+  }
+  return profiles;
+}
+
+size_t MultisetEditDistance(const std::vector<LabelId>& a,
+                            const std::vector<LabelId>& b) {
+  size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return std::max(a.size(), b.size()) - common;
+}
+
+DenseMatrix BuildAssignmentCostMatrix(const std::vector<VertexProfile>& p1,
+                                      const std::vector<VertexProfile>& p2,
+                                      double edge_factor) {
+  const size_t n1 = p1.size();
+  const size_t n2 = p2.size();
+  const size_t n = n1 + n2;
+  DenseMatrix cost(n, n, 0.0);
+
+  for (size_t i = 0; i < n1; ++i) {
+    // Substitutions.
+    for (size_t j = 0; j < n2; ++j) {
+      const double label_cost = p1[i].label == p2[j].label ? 0.0 : 1.0;
+      const double edge_cost =
+          edge_factor *
+          static_cast<double>(MultisetEditDistance(p1[i].incident, p2[j].incident));
+      cost.At(i, j) = label_cost + edge_cost;
+    }
+    // Deletion of vertex i: only its own dummy column is usable.
+    for (size_t j = 0; j < n1; ++j) {
+      cost.At(i, n2 + j) =
+          i == j ? 1.0 + edge_factor * static_cast<double>(p1[i].incident.size())
+                 : kForbidden;
+    }
+  }
+  for (size_t i = 0; i < n2; ++i) {
+    // Insertion of vertex i of g2: only its own dummy row is usable.
+    for (size_t j = 0; j < n2; ++j) {
+      cost.At(n1 + i, j) =
+          i == j ? 1.0 + edge_factor * static_cast<double>(p2[i].incident.size())
+                 : kForbidden;
+    }
+    // Dummy-to-dummy block stays zero.
+  }
+  return cost;
+}
+
+}  // namespace gbda

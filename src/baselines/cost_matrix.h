@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "math/dense_matrix.h"
+
+namespace gbda {
+
+/// Per-vertex profile used by the assignment-based baselines: the vertex
+/// label plus the sorted multiset of incident edge labels. Precomputed and
+/// stored with each graph, per the fairness assumption of Section III.
+struct VertexProfile {
+  LabelId label = kVirtualLabel;
+  std::vector<LabelId> incident;  // ascending
+};
+
+std::vector<VertexProfile> BuildVertexProfiles(const Graph& g);
+
+/// max(|A|,|B|) - |A ∩ B| for sorted label multisets: the unit-cost edit
+/// distance between two edge-label multisets.
+size_t MultisetEditDistance(const std::vector<LabelId>& a,
+                            const std::vector<LabelId>& b);
+
+/// Builds the (n1+n2) x (n1+n2) assignment cost matrix of Riesen & Bunke:
+///   - substitution block: [label mismatch] + edge_factor * multiset edit
+///     distance of incident edge labels;
+///   - deletion/insertion diagonals: 1 + edge_factor * degree;
+///   - forbidden off-diagonal cells carry a large finite penalty;
+///   - the dummy-to-dummy block is zero.
+///
+/// edge_factor = 0.5 yields the provable GED lower bound (each real edge
+/// operation is charged to two incident vertices); edge_factor = 1.0 is the
+/// plain estimation variant.
+DenseMatrix BuildAssignmentCostMatrix(const std::vector<VertexProfile>& p1,
+                                      const std::vector<VertexProfile>& p2,
+                                      double edge_factor);
+
+}  // namespace gbda

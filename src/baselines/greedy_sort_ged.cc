@@ -1,0 +1,20 @@
+#include "baselines/greedy_sort_ged.h"
+
+#include "math/hungarian.h"
+
+namespace gbda {
+
+double GreedySortGed(const std::vector<VertexProfile>& p1,
+                     const std::vector<VertexProfile>& p2) {
+  if (p1.empty() && p2.empty()) return 0.0;
+  const DenseMatrix cost = BuildAssignmentCostMatrix(p1, p2, 1.0);
+  Result<AssignmentResult> solved = SolveAssignmentGreedySort(cost);
+  if (!solved.ok()) return 0.0;
+  return solved->cost;
+}
+
+double GreedySortGed(const Graph& g1, const Graph& g2) {
+  return GreedySortGed(BuildVertexProfiles(g1), BuildVertexProfiles(g2));
+}
+
+}  // namespace gbda

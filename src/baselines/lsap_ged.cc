@@ -1,0 +1,37 @@
+#include "baselines/lsap_ged.h"
+
+#include "math/hungarian.h"
+
+namespace gbda {
+namespace {
+
+double SolveWithFactor(const std::vector<VertexProfile>& p1,
+                       const std::vector<VertexProfile>& p2, double factor) {
+  if (p1.empty() && p2.empty()) return 0.0;
+  const DenseMatrix cost = BuildAssignmentCostMatrix(p1, p2, factor);
+  Result<AssignmentResult> solved = SolveAssignment(cost);
+  if (!solved.ok()) return 0.0;  // non-empty square matrix: cannot happen
+  return solved->cost;
+}
+
+}  // namespace
+
+double LsapGedLowerBound(const std::vector<VertexProfile>& p1,
+                         const std::vector<VertexProfile>& p2) {
+  return SolveWithFactor(p1, p2, 0.5);
+}
+
+double LsapGedLowerBound(const Graph& g1, const Graph& g2) {
+  return LsapGedLowerBound(BuildVertexProfiles(g1), BuildVertexProfiles(g2));
+}
+
+double LsapGedEstimate(const std::vector<VertexProfile>& p1,
+                       const std::vector<VertexProfile>& p2) {
+  return SolveWithFactor(p1, p2, 1.0);
+}
+
+double LsapGedEstimate(const Graph& g1, const Graph& g2) {
+  return LsapGedEstimate(BuildVertexProfiles(g1), BuildVertexProfiles(g2));
+}
+
+}  // namespace gbda

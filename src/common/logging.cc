@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace gbda {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void Log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::fprintf(stderr, "[gbda %s] %s\n", LevelName(level), msg.c_str());
+}
+
+void LogDebug(const std::string& msg) { Log(LogLevel::kDebug, msg); }
+void LogInfo(const std::string& msg) { Log(LogLevel::kInfo, msg); }
+void LogWarning(const std::string& msg) { Log(LogLevel::kWarning, msg); }
+void LogError(const std::string& msg) { Log(LogLevel::kError, msg); }
+
+}  // namespace gbda

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+namespace gbda {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. The default threshold is kInfo;
+/// benchmarks lower it to kWarning to keep table output clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits `msg` when `level` passes the threshold. Prefer the convenience
+/// functions below.
+void Log(LogLevel level, const std::string& msg);
+
+void LogDebug(const std::string& msg);
+void LogInfo(const std::string& msg);
+void LogWarning(const std::string& msg);
+void LogError(const std::string& msg);
+
+}  // namespace gbda

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gbda {
+
+/// Value-or-error return type (the StatusOr idiom). A Result is either OK and
+/// holds a T, or holds a non-OK Status and no value. Accessing the value of a
+/// failed Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from a non-OK status: failure. Constructing from an OK status
+  /// without a value is invalid and converted to an Internal error.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when this Result failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating failure; on success assigns the
+/// value to `lhs`. Usable in functions returning Status or Result<U>.
+#define GBDA_ASSIGN_OR_RETURN(lhs, expr)               \
+  do {                                                 \
+    auto _res = (expr);                                \
+    if (!_res.ok()) return _res.status();              \
+    lhs = std::move(_res).value();                     \
+  } while (0)
+
+}  // namespace gbda

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gbda {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via splitmix64).
+///
+/// Every stochastic component in the library (samplers, generators, GMM init)
+/// takes an explicit Rng so experiments are reproducible from a single seed.
+/// Not thread-safe; use one Rng per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal variate (Marsaglia polar method).
+  double Gaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n). Requires k <= n.
+  /// O(n) reservoir-free selection (partial Fisher-Yates over an index array
+  /// when k is large, Floyd's algorithm when k is small).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Index in [0, weights.size()) drawn proportionally to non-negative weights.
+  /// Returns weights.size() when all weights are zero or the vector is empty.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Derives an independent child generator; convenient for spawning one Rng
+  /// per worker from a master seed.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace gbda

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gbda {
+
+/// Tiny append-only binary encoder used for index persistence. Fixed-width
+/// little-endian integers and IEEE doubles; strings and vectors are
+/// length-prefixed. Matching decoder below returns Status on truncation.
+class BinaryWriter {
+ public:
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutString(const std::string& s) {
+    PutU64(s.size());
+    buffer_.append(s);
+  }
+  template <typename T>
+  void PutPodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PutU64(v.size());
+    if (!v.empty()) PutRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string&& TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    buffer_.append(static_cast<const char*>(p), n);
+  }
+  std::string buffer_;
+};
+
+/// Sequential decoder over a byte buffer; every getter checks bounds.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Result<uint32_t> GetU32() { return GetPod<uint32_t>(); }
+  Result<uint64_t> GetU64() { return GetPod<uint64_t>(); }
+  Result<int64_t> GetI64() { return GetPod<int64_t>(); }
+  Result<double> GetDouble() { return GetPod<double>(); }
+
+  Result<std::string> GetString() {
+    Result<uint64_t> len = GetU64();
+    if (!len.ok()) return len.status();
+    if (pos_ + *len > data_.size()) {
+      return Status::OutOfRange("binary decode: truncated string");
+    }
+    std::string out(data_.substr(pos_, *len));
+    pos_ += *len;
+    return out;
+  }
+
+  template <typename T>
+  Result<std::vector<T>> GetPodVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Result<uint64_t> len = GetU64();
+    if (!len.ok()) return len.status();
+    const size_t bytes = *len * sizeof(T);
+    if (pos_ + bytes > data_.size()) {
+      return Status::OutOfRange("binary decode: truncated vector");
+    }
+    std::vector<T> out(*len);
+    if (bytes > 0) std::memcpy(out.data(), data_.data() + pos_, bytes);
+    pos_ += bytes;
+    return out;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  Result<T> GetPod() {
+    if (pos_ + sizeof(T) > data_.size()) {
+      return Status::OutOfRange("binary decode: truncated value");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace gbda

@@ -1,0 +1,78 @@
+#include "common/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gbda {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::ToAscii() const {
+  std::vector<size_t> width(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      line += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(width[c] + 2, '-') + "+";
+  }
+  sep += "\n";
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string TableWriter::ToCsv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find(',') == std::string::npos &&
+        cell.find('"') == std::string::npos) {
+      return cell;
+    }
+    std::string q = "\"";
+    for (char ch : cell) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    return q + "\"";
+  };
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += ',';
+    out += quote(headers_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c) out += ',';
+      if (c < row.size()) out += quote(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void TableWriter::Print(const std::string& caption) const {
+  if (!caption.empty()) std::printf("%s\n", caption.c_str());
+  std::printf("%s", ToAscii().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace gbda

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gbda {
+
+/// Fixed-width ASCII table emitter used by the benchmark harness to print
+/// paper-style tables and figure series. Also exports CSV for plotting.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count (extra cells
+  /// are dropped, missing cells are blank).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns.
+  std::string ToAscii() const;
+
+  /// Renders as comma-separated values (quotes cells containing commas).
+  std::string ToCsv() const;
+
+  /// Prints the ASCII rendering to stdout with an optional caption line.
+  void Print(const std::string& caption = "") const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gbda

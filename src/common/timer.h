@@ -1,0 +1,28 @@
+#pragma once
+
+#include <chrono>
+
+namespace gbda {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness and the
+/// offline-stage cost reporting (Tables IV and V).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gbda

@@ -1,0 +1,55 @@
+#include "core/extended_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gbda {
+
+Graph ExtendGraph(const Graph& g, size_t k) {
+  Graph ext = g;
+  for (size_t i = 0; i < k; ++i) ext.AddVertex(kVirtualLabel);
+  const uint32_t n = static_cast<uint32_t>(ext.num_vertices());
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) {
+      if (!ext.HasEdge(u, v)) {
+        // Cannot fail: endpoints valid, u != v, edge absent.
+        (void)ext.AddEdge(u, v, kVirtualLabel);
+      }
+    }
+  }
+  return ext;
+}
+
+Result<size_t> RelabelOnlyGedExtended(const Graph& ext1, const Graph& ext2) {
+  const size_t n = ext1.num_vertices();
+  if (n != ext2.num_vertices()) {
+    return Status::InvalidArgument("extended graphs must have equal size");
+  }
+  if (n > 10) {
+    return Status::ResourceExhausted(
+        "exhaustive relabel-GED is limited to 10 vertices");
+  }
+  if (n == 0) return size_t{0};
+
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  size_t best = SIZE_MAX;
+  do {
+    size_t mismatches = 0;
+    for (uint32_t u = 0; u < n && mismatches < best; ++u) {
+      if (ext1.VertexLabel(u) != ext2.VertexLabel(perm[u])) ++mismatches;
+    }
+    for (uint32_t u = 0; u < n && mismatches < best; ++u) {
+      for (uint32_t v = u + 1; v < n; ++v) {
+        // Both graphs are complete, so both labels exist.
+        const LabelId l1 = ext1.EdgeLabel(u, v).value();
+        const LabelId l2 = ext2.EdgeLabel(perm[u], perm[v]).value();
+        if (l1 != l2) ++mismatches;
+      }
+    }
+    best = std::min(best, mismatches);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace gbda

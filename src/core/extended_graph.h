@@ -1,0 +1,26 @@
+#pragma once
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace gbda {
+
+/// Materialises the extended graph G{k} of Definition 5: k isolated virtual
+/// vertices are appended, then a virtual (epsilon-labelled) edge is inserted
+/// between every pair of non-adjacent vertices, making the graph complete.
+///
+/// The paper stresses that extension is purely conceptual — the search engine
+/// never materialises it (Theorems 1 and 2 let all computation happen on the
+/// originals). This function exists so the tests can verify those theorems on
+/// concrete graphs.
+Graph ExtendGraph(const Graph& g, size_t k);
+
+/// GED restricted to relabel operations (RV/RE over vertex labels, edge
+/// labels including epsilon) between two complete extended graphs of equal
+/// size: the minimum over all vertex bijections of the number of label
+/// mismatches. This is the quantity Section IV argues equals the original
+/// GED (via [21][22]). Exhaustive over permutations — only for n <= 10;
+/// fails with ResourceExhausted beyond that.
+Result<size_t> RelabelOnlyGedExtended(const Graph& ext1, const Graph& ext2);
+
+}  // namespace gbda

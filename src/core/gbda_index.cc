@@ -1,0 +1,181 @@
+#include "core/gbda_index.h"
+
+#include <fstream>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "common/serialize.h"
+#include "common/timer.h"
+
+namespace gbda {
+namespace {
+
+constexpr uint32_t kIndexMagic = 0x47424441;  // "GBDA"
+constexpr uint32_t kIndexVersion = 1;
+
+}  // namespace
+
+Result<GbdaIndex> GbdaIndex::Build(const GraphDatabase& db,
+                                   const GbdaIndexOptions& options) {
+  if (db.empty()) return Status::InvalidArgument("index build: empty database");
+  if (options.tau_max < 0) {
+    return Status::InvalidArgument("index build: tau_max must be >= 0");
+  }
+  GbdaIndex index;
+  index.options_ = options;
+  index.num_vertex_labels_ =
+      options.model_vertex_labels > 0
+          ? options.model_vertex_labels
+          : static_cast<int64_t>(db.vertex_labels().num_real_labels());
+  index.num_edge_labels_ =
+      options.model_edge_labels > 0
+          ? options.model_edge_labels
+          : static_cast<int64_t>(db.edge_labels().num_real_labels());
+
+  // Branch multisets (the auxiliary structure of Section III).
+  WallTimer timer;
+  index.branches_.reserve(db.size());
+  double vertex_sum = 0.0;
+  for (size_t i = 0; i < db.size(); ++i) {
+    index.branches_.push_back(ExtractBranches(db.graph(i)));
+    vertex_sum += static_cast<double>(db.graph(i).num_vertices());
+  }
+  index.avg_vertices_ = vertex_sum / static_cast<double>(db.size());
+  index.costs_.branch_seconds = timer.Seconds();
+  for (const auto& b : index.branches_) {
+    index.costs_.branch_bytes += sizeof(BranchMultiset);
+    for (const auto& br : b) {
+      index.costs_.branch_bytes +=
+          sizeof(Branch) + br.edge_labels.capacity() * sizeof(LabelId);
+    }
+  }
+
+  // Lambda2: GMM prior over GBDs.
+  timer.Restart();
+  Rng rng(options.seed);
+  Result<GbdPrior> prior = GbdPrior::Fit(index.branches_, options.gbd_prior, &rng);
+  if (!prior.ok()) return prior.status();
+  index.gbd_prior_ = std::move(*prior);
+  index.costs_.gbd_prior_seconds = timer.Seconds();
+  index.costs_.gbd_prior_bytes = index.gbd_prior_.MemoryBytes();
+  index.costs_.pairs_sampled = index.gbd_prior_.pairs_sampled();
+
+  // Lambda3: Jeffreys prior rows.
+  timer.Restart();
+  index.ged_prior_ = std::make_unique<GedPriorTable>(
+      index.num_vertex_labels_, index.num_edge_labels_, options.tau_max);
+  std::vector<int64_t> sizes;
+  if (options.eager_all_sizes) {
+    const int64_t n = static_cast<int64_t>(db.MaxVertices());
+    sizes.resize(static_cast<size_t>(n));
+    std::iota(sizes.begin(), sizes.end(), int64_t{1});
+  } else {
+    std::set<int64_t> distinct;
+    for (size_t i = 0; i < db.size(); ++i) {
+      distinct.insert(static_cast<int64_t>(db.graph(i).num_vertices()));
+    }
+    sizes.assign(distinct.begin(), distinct.end());
+  }
+  index.ged_prior_->EagerBuild(sizes);
+  index.costs_.ged_prior_seconds = timer.Seconds();
+  index.costs_.ged_prior_bytes = index.ged_prior_->MemoryBytes();
+  return index;
+}
+
+Status GbdaIndex::SaveToFile(const std::string& path) const {
+  BinaryWriter writer;
+  writer.PutU32(kIndexMagic);
+  writer.PutU32(kIndexVersion);
+  writer.PutI64(options_.tau_max);
+  writer.PutU64(options_.gbd_prior.num_sample_pairs);
+  writer.PutU64(options_.seed);
+  writer.PutI64(num_vertex_labels_);
+  writer.PutI64(num_edge_labels_);
+  writer.PutDouble(avg_vertices_);
+  writer.PutU64(branches_.size());
+  for (const BranchMultiset& ms : branches_) {
+    writer.PutU64(ms.size());
+    for (const Branch& b : ms) {
+      writer.PutU32(b.root);
+      writer.PutPodVector(b.edge_labels);
+    }
+  }
+  gbd_prior_.Serialize(&writer);
+  ged_prior_->Serialize(&writer);
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(writer.buffer().data(),
+            static_cast<std::streamsize>(writer.buffer().size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<GbdaIndex> GbdaIndex::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+  BinaryReader reader(data);
+
+  Result<uint32_t> magic = reader.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kIndexMagic) {
+    return Status::InvalidArgument("not a GBDA index file: " + path);
+  }
+  Result<uint32_t> version = reader.GetU32();
+  if (!version.ok()) return version.status();
+  if (*version != kIndexVersion) {
+    return Status::NotSupported("unsupported index version");
+  }
+
+  GbdaIndex index;
+  Result<int64_t> tau_max = reader.GetI64();
+  if (!tau_max.ok()) return tau_max.status();
+  index.options_.tau_max = *tau_max;
+  Result<uint64_t> pairs = reader.GetU64();
+  if (!pairs.ok()) return pairs.status();
+  index.options_.gbd_prior.num_sample_pairs = *pairs;
+  Result<uint64_t> seed = reader.GetU64();
+  if (!seed.ok()) return seed.status();
+  index.options_.seed = *seed;
+  Result<int64_t> lv = reader.GetI64();
+  if (!lv.ok()) return lv.status();
+  index.num_vertex_labels_ = *lv;
+  Result<int64_t> le = reader.GetI64();
+  if (!le.ok()) return le.status();
+  index.num_edge_labels_ = *le;
+  Result<double> avg_v = reader.GetDouble();
+  if (!avg_v.ok()) return avg_v.status();
+  index.avg_vertices_ = *avg_v;
+
+  Result<uint64_t> num_graphs = reader.GetU64();
+  if (!num_graphs.ok()) return num_graphs.status();
+  index.branches_.resize(*num_graphs);
+  for (uint64_t i = 0; i < *num_graphs; ++i) {
+    Result<uint64_t> count = reader.GetU64();
+    if (!count.ok()) return count.status();
+    BranchMultiset& ms = index.branches_[i];
+    ms.resize(*count);
+    for (uint64_t j = 0; j < *count; ++j) {
+      Result<uint32_t> root = reader.GetU32();
+      if (!root.ok()) return root.status();
+      Result<std::vector<LabelId>> labels = reader.GetPodVector<LabelId>();
+      if (!labels.ok()) return labels.status();
+      ms[j].root = *root;
+      ms[j].edge_labels = std::move(*labels);
+    }
+  }
+
+  Result<GbdPrior> prior = GbdPrior::Deserialize(&reader);
+  if (!prior.ok()) return prior.status();
+  index.gbd_prior_ = std::move(*prior);
+  Result<GedPriorTable> ged = GedPriorTable::Deserialize(&reader);
+  if (!ged.ok()) return ged.status();
+  index.ged_prior_ = std::make_unique<GedPriorTable>(std::move(*ged));
+  return index;
+}
+
+}  // namespace gbda

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/branch.h"
+#include "core/gbd_prior.h"
+#include "core/ged_prior.h"
+#include "graph/graph_database.h"
+
+namespace gbda {
+
+/// Options for the offline stage (Step 1* of Algorithm 1).
+struct GbdaIndexOptions {
+  /// Largest similarity threshold the online stage will be asked for. The
+  /// GED prior covers tau in [0, tau_max].
+  int64_t tau_max = 10;
+  GbdPriorOptions gbd_prior;
+  /// Optional overrides for the label-universe sizes |L_V| / |L_E| used by
+  /// the model (Eq. 33). 0 derives them from the database dictionaries.
+  /// Useful when a database file only records the labels that occur but the
+  /// universe is known to be larger.
+  int64_t model_vertex_labels = 0;
+  int64_t model_edge_labels = 0;
+  /// When true the GED prior is precomputed for every v in [1, MaxVertices]
+  /// as the paper describes; otherwise only sizes present in the database are
+  /// warmed and unseen sizes are built lazily at query time.
+  bool eager_all_sizes = false;
+  uint64_t seed = 1234;
+};
+
+/// Wall-clock and memory cost of the offline stage, the measurements reported
+/// in Tables IV and V.
+struct OfflineCosts {
+  double branch_seconds = 0.0;
+  double gbd_prior_seconds = 0.0;
+  double ged_prior_seconds = 0.0;
+  size_t branch_bytes = 0;
+  size_t gbd_prior_bytes = 0;
+  size_t ged_prior_bytes = 0;
+  size_t pairs_sampled = 0;
+};
+
+/// The offline artifact of GBDA: precomputed branch multisets for every
+/// database graph (Section III requires them stored with the graphs), the
+/// GMM prior of GBDs (Lambda2) and the Jeffreys prior of GEDs (Lambda3).
+/// Built once per database, then shared by any number of online searches.
+class GbdaIndex {
+ public:
+  /// Runs the offline stage over `db`. The database must stay alive and
+  /// unmodified while the index is in use.
+  static Result<GbdaIndex> Build(const GraphDatabase& db,
+                                 const GbdaIndexOptions& options);
+
+  const BranchMultiset& branches(size_t graph_id) const {
+    return branches_[graph_id];
+  }
+  size_t num_graphs() const { return branches_.size(); }
+
+  const GbdPrior& gbd_prior() const { return gbd_prior_; }
+  GedPriorTable& ged_prior() { return *ged_prior_; }
+  const GedPriorTable& ged_prior() const { return *ged_prior_; }
+
+  int64_t tau_max() const { return options_.tau_max; }
+  int64_t num_vertex_labels() const { return num_vertex_labels_; }
+  int64_t num_edge_labels() const { return num_edge_labels_; }
+
+  /// Mean vertex count over database graphs (used by the GBDA-V1 variant).
+  double avg_vertices() const { return avg_vertices_; }
+
+  const OfflineCosts& costs() const { return costs_; }
+  const GbdaIndexOptions& options() const { return options_; }
+
+  /// Binary persistence of the full offline artifact.
+  Status SaveToFile(const std::string& path) const;
+  static Result<GbdaIndex> LoadFromFile(const std::string& path);
+
+ private:
+  GbdaIndex() = default;
+
+  GbdaIndexOptions options_;
+  int64_t num_vertex_labels_ = 1;
+  int64_t num_edge_labels_ = 1;
+  double avg_vertices_ = 0.0;
+  std::vector<BranchMultiset> branches_;
+  GbdPrior gbd_prior_;
+  std::unique_ptr<GedPriorTable> ged_prior_;
+  OfflineCosts costs_;
+};
+
+}  // namespace gbda

@@ -1,0 +1,100 @@
+#include "core/gbda_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+
+namespace gbda {
+
+GbdaSearch::GbdaSearch(const GraphDatabase* db, GbdaIndex* index)
+    : db_(db),
+      index_(index),
+      posterior_(index->num_vertex_labels(), index->num_edge_labels(),
+                 index->tau_max(), &index->ged_prior(), &index->gbd_prior()),
+      prefilter_(db) {}
+
+Result<SearchResult> GbdaSearch::Scan(const Graph& query,
+                                      const SearchOptions& options,
+                                      bool apply_gamma) {
+  if (options.tau_hat < 0 || options.tau_hat > index_->tau_max()) {
+    return Status::InvalidArgument(
+        "tau_hat outside the range supported by this index");
+  }
+  WallTimer timer;
+  SearchResult result;
+  const BranchMultiset query_branches = ExtractBranches(query);
+  const FilterProfile query_profile =
+      options.use_prefilter ? BuildFilterProfile(query) : FilterProfile{};
+
+  // GBDA-V1 replaces the pair-specific |V'1| by a database average estimated
+  // from alpha sampled graphs.
+  int64_t v1_size = 0;
+  if (options.variant == GbdaVariant::kAverageSize) {
+    Rng rng(options.seed);
+    const size_t alpha = std::max<size_t>(
+        1, std::min(options.v1_sample_alpha, db_->size()));
+    const std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(db_->size(), alpha);
+    double sum = 0.0;
+    for (size_t id : picks) {
+      sum += static_cast<double>(db_->graph(id).num_vertices());
+    }
+    v1_size = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(sum / static_cast<double>(alpha))));
+  }
+
+  for (size_t id = 0; id < db_->size(); ++id) {
+    if (options.use_prefilter &&
+        !prefilter_.Passes(query_profile, id, options.tau_hat)) {
+      ++result.prefiltered_out;
+      continue;
+    }
+    const BranchMultiset& g_branches = index_->branches(id);
+    ++result.candidates_evaluated;
+
+    int64_t phi;
+    if (options.variant == GbdaVariant::kWeightedGbd) {
+      const double vgbd = Vgbd(query_branches, g_branches, options.vgbd_w);
+      phi = std::max<int64_t>(0, static_cast<int64_t>(std::llround(vgbd)));
+    } else {
+      phi = static_cast<int64_t>(GbdFromBranches(query_branches, g_branches));
+    }
+
+    const int64_t v =
+        options.variant == GbdaVariant::kAverageSize
+            ? v1_size
+            : static_cast<int64_t>(
+                  std::max(query_branches.size(), g_branches.size()));
+
+    Result<double> phi_score = posterior_.Phi(v, phi, options.tau_hat);
+    if (!phi_score.ok()) return phi_score.status();
+    if (!apply_gamma || *phi_score >= options.gamma) {
+      result.matches.push_back(SearchMatch{id, *phi_score, phi});
+    }
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+Result<SearchResult> GbdaSearch::Query(const Graph& query,
+                                       const SearchOptions& options) {
+  return Scan(query, options, /*apply_gamma=*/true);
+}
+
+Result<SearchResult> GbdaSearch::QueryTopK(const Graph& query, size_t k,
+                                           const SearchOptions& options) {
+  Result<SearchResult> scan = Scan(query, options, /*apply_gamma=*/false);
+  if (!scan.ok()) return scan.status();
+  SearchResult result = std::move(*scan);
+  std::sort(result.matches.begin(), result.matches.end(),
+            [](const SearchMatch& a, const SearchMatch& b) {
+              if (a.phi_score != b.phi_score) return a.phi_score > b.phi_score;
+              if (a.gbd != b.gbd) return a.gbd < b.gbd;
+              return a.graph_id < b.graph_id;
+            });
+  if (result.matches.size() > k) result.matches.resize(k);
+  return result;
+}
+
+}  // namespace gbda

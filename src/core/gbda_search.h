@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/gbda_index.h"
+#include "core/posterior.h"
+#include "core/prefilter.h"
+#include "graph/graph_database.h"
+
+namespace gbda {
+
+/// Which estimator drives the accept test (Section VII-D).
+enum class GbdaVariant {
+  /// Algorithm 1 as published: v = |V'1| of the actual pair, phi = GBD.
+  kStandard,
+  /// GBDA-V1: v is the average vertex count of `v1_sample_alpha` database
+  /// graphs instead of the pair's extended size.
+  kAverageSize,
+  /// GBDA-V2: phi = round(VGBD) with the user weight w (Eq. 26).
+  kWeightedGbd,
+};
+
+/// Online-stage parameters of Algorithm 1.
+struct SearchOptions {
+  int64_t tau_hat = 5;   // similarity threshold
+  double gamma = 0.9;    // probability threshold
+  GbdaVariant variant = GbdaVariant::kStandard;
+  double vgbd_w = 0.5;          // V2 weight
+  size_t v1_sample_alpha = 100;  // V1 sample size
+  uint64_t seed = 99;            // V1 sampling seed
+  /// Run the layered prefilter (size + label lower bounds) before the
+  /// probabilistic test. Sound at threshold tau_hat: only graphs with
+  /// provable GED > tau_hat are skipped, so no true match is lost while
+  /// spurious accepts of provably-far graphs disappear.
+  bool use_prefilter = false;
+};
+
+/// One accepted graph.
+struct SearchMatch {
+  size_t graph_id = 0;
+  double phi_score = 0.0;  // Pr[GED <= tau_hat | GBD]
+  int64_t gbd = 0;
+};
+
+/// Outcome of one query.
+struct SearchResult {
+  std::vector<SearchMatch> matches;
+  double seconds = 0.0;
+  size_t candidates_evaluated = 0;
+  /// Candidates removed by the prefilter (0 when it is disabled).
+  size_t prefiltered_out = 0;
+};
+
+/// The online stage of GBDA (Algorithm 1, Steps 2-4): per database graph,
+/// compute GBD from precomputed branches, evaluate the posterior
+/// Pr[GED <= tau_hat | GBD] and keep graphs passing the probability
+/// threshold. O(nd + tau_hat^3) per graph as analysed in Theorem 3.
+class GbdaSearch {
+ public:
+  /// `db` and `index` must outlive the search object. The index must have
+  /// been built over exactly this database.
+  GbdaSearch(const GraphDatabase* db, GbdaIndex* index);
+
+  /// Runs one similarity query. Fails when options.tau_hat exceeds the
+  /// index's tau_max.
+  Result<SearchResult> Query(const Graph& query, const SearchOptions& options);
+
+  /// Top-k variant: the k database graphs with the highest posterior
+  /// Pr[GED <= tau_hat | GBD], ignoring the gamma threshold (ties broken by
+  /// smaller GBD, then id). Useful when the caller wants a ranking rather
+  /// than a yes/no set.
+  Result<SearchResult> QueryTopK(const Graph& query, size_t k,
+                                 const SearchOptions& options);
+
+  /// Posterior engine statistics (memoisation effectiveness), for benches.
+  const PosteriorEngine& posterior() const { return posterior_; }
+
+ private:
+  /// Shared scan: evaluates Phi for every (or every surviving) candidate.
+  Result<SearchResult> Scan(const Graph& query, const SearchOptions& options,
+                            bool apply_gamma);
+
+  const GraphDatabase* db_;
+  GbdaIndex* index_;
+  PosteriorEngine posterior_;
+  Prefilter prefilter_;
+};
+
+}  // namespace gbda

@@ -1,0 +1,142 @@
+#include "core/ged_prior.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/lambda1.h"
+#include "math/log_combinatorics.h"
+
+namespace gbda {
+
+GedPriorTable::GedPriorTable(int64_t num_vertex_labels, int64_t num_edge_labels,
+                             int64_t tau_max)
+    : num_vertex_labels_(num_vertex_labels),
+      num_edge_labels_(num_edge_labels),
+      tau_max_(tau_max) {}
+
+std::vector<double> GedPriorTable::BuildRow(int64_t v) const {
+  // One extra tau level so the centred difference has a right neighbour at
+  // tau = tau_max.
+  const int64_t tau_hi = tau_max_ + 1;
+  const ModelParams params =
+      MakeModelParams(std::max<int64_t>(v, 1), num_vertex_labels_, num_edge_labels_);
+  const Lambda1Calculator calc(params, tau_hi);
+  const std::vector<std::vector<double>> lambda1 = calc.Matrix();
+
+  auto log_at = [&](int64_t tau, int64_t phi) {
+    const double p = lambda1[static_cast<size_t>(tau)][static_cast<size_t>(phi)];
+    return p > 0.0 ? std::log(p) : NegInf();
+  };
+
+  std::vector<double> weights(static_cast<size_t>(tau_max_ + 1), 0.0);
+  for (int64_t tau = 0; tau <= tau_max_; ++tau) {
+    double fisher = 0.0;
+    for (int64_t phi = 0; phi <= 2 * tau_hi; ++phi) {
+      const double p = lambda1[static_cast<size_t>(tau)][static_cast<size_t>(phi)];
+      if (p <= 0.0) continue;
+      // Z = d/dtau ln Lambda1 by centred difference, one-sided when a
+      // neighbour has zero mass at this phi.
+      const double here = std::log(p);
+      const double left = tau > 0 ? log_at(tau - 1, phi) : NegInf();
+      const double right = log_at(tau + 1, phi);
+      double z;
+      const bool has_left = !std::isinf(left);
+      const bool has_right = !std::isinf(right);
+      if (has_left && has_right) {
+        z = 0.5 * (right - left);
+      } else if (has_right) {
+        z = right - here;
+      } else if (has_left) {
+        z = here - left;
+      } else {
+        continue;  // isolated support point: no informative derivative
+      }
+      fisher += p * z * z;
+    }
+    weights[static_cast<size_t>(tau)] = std::sqrt(std::max(fisher, 0.0));
+  }
+
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    // Degenerate (e.g. v = 1 with tau beyond the slot count): fall back to a
+    // uniform prior over the support of Lambda1.
+    std::fill(weights.begin(), weights.end(),
+              1.0 / static_cast<double>(tau_max_ + 1));
+    return weights;
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+double GedPriorTable::Probability(int64_t tau, int64_t v) {
+  if (tau < 0 || tau > tau_max_) return 0.0;
+  return Row(v)[static_cast<size_t>(tau)];
+}
+
+const std::vector<double>& GedPriorTable::Row(int64_t v) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = rows_.find(v);
+    if (it != rows_.end()) return it->second;
+  }
+  std::vector<double> row = BuildRow(v);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.emplace(v, std::move(row)).first->second;
+}
+
+void GedPriorTable::EagerBuild(const std::vector<int64_t>& sizes) {
+  for (int64_t v : sizes) Row(v);
+}
+
+size_t GedPriorTable::num_cached_rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.size();
+}
+
+size_t GedPriorTable::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t bytes = sizeof(GedPriorTable);
+  for (const auto& [v, row] : rows_) {
+    (void)v;
+    bytes += sizeof(int64_t) + row.capacity() * sizeof(double) + 64;
+  }
+  return bytes;
+}
+
+void GedPriorTable::Serialize(BinaryWriter* writer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer->PutI64(num_vertex_labels_);
+  writer->PutI64(num_edge_labels_);
+  writer->PutI64(tau_max_);
+  writer->PutU64(rows_.size());
+  for (const auto& [v, row] : rows_) {
+    writer->PutI64(v);
+    writer->PutPodVector(row);
+  }
+}
+
+Result<GedPriorTable> GedPriorTable::Deserialize(BinaryReader* reader) {
+  Result<int64_t> lv = reader->GetI64();
+  if (!lv.ok()) return lv.status();
+  Result<int64_t> le = reader->GetI64();
+  if (!le.ok()) return le.status();
+  Result<int64_t> tau_max = reader->GetI64();
+  if (!tau_max.ok()) return tau_max.status();
+  GedPriorTable table(*lv, *le, *tau_max);
+  Result<uint64_t> count = reader->GetU64();
+  if (!count.ok()) return count.status();
+  for (uint64_t i = 0; i < *count; ++i) {
+    Result<int64_t> v = reader->GetI64();
+    if (!v.ok()) return v.status();
+    Result<std::vector<double>> row = reader->GetPodVector<double>();
+    if (!row.ok()) return row.status();
+    if (row->size() != static_cast<size_t>(*tau_max + 1)) {
+      return Status::InvalidArgument("GED prior row has wrong length");
+    }
+    table.rows_.emplace(*v, std::move(*row));
+  }
+  return table;
+}
+
+}  // namespace gbda

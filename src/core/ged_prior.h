@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serialize.h"
+
+namespace gbda {
+
+/// Jeffreys prior over GED values (Lambda3, Section V-C / Eq. 16).
+///
+/// For each extended-graph size v the table stores
+///   Pr[GED = tau | v]  proportional to  sqrt( sum_phi Lambda1(tau,phi) * Z(tau,phi)^2 ),
+/// where Z = d/dtau ln Lambda1 — the square root of the Fisher information of
+/// the Lambda1 family, the textbook Jeffreys construction. Z is evaluated by
+/// the centred difference of ln Lambda1 over integer tau (one-sided at the
+/// boundaries); the paper's printed closed forms (Eqs. 36-41) contain typos,
+/// see DESIGN.md. Rows are normalised per v so sum_tau Pr[GED = tau] = 1
+/// (the paper's 1/(k1 k2) constant does not normalise the distribution).
+///
+/// Rows are built lazily per distinct v and cached (the paper precomputes all
+/// v in [1, n]; EagerBuild does the same when asked). Thread-safe.
+class GedPriorTable {
+ public:
+  GedPriorTable(int64_t num_vertex_labels, int64_t num_edge_labels,
+                int64_t tau_max);
+
+  /// Movable (the mutex is not moved; the source must be quiescent).
+  GedPriorTable(GedPriorTable&& other) noexcept
+      : num_vertex_labels_(other.num_vertex_labels_),
+        num_edge_labels_(other.num_edge_labels_),
+        tau_max_(other.tau_max_),
+        rows_(std::move(other.rows_)) {}
+
+  /// Pr[GED = tau | extended size v]; 0 for tau outside [0, tau_max].
+  double Probability(int64_t tau, int64_t v);
+
+  /// The full normalised row for size v (indexed by tau in [0, tau_max]).
+  const std::vector<double>& Row(int64_t v);
+
+  /// Precomputes rows for every v in `sizes` (deduplicated).
+  void EagerBuild(const std::vector<int64_t>& sizes);
+
+  int64_t tau_max() const { return tau_max_; }
+  size_t num_cached_rows() const;
+  size_t MemoryBytes() const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<GedPriorTable> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<double> BuildRow(int64_t v) const;
+
+  int64_t num_vertex_labels_;
+  int64_t num_edge_labels_;
+  int64_t tau_max_;
+  mutable std::mutex mutex_;
+  std::unordered_map<int64_t, std::vector<double>> rows_;
+};
+
+}  // namespace gbda

@@ -1,0 +1,87 @@
+#include "core/lambda1.h"
+
+#include <algorithm>
+
+namespace gbda {
+
+Lambda1Calculator::Lambda1Calculator(const ModelParams& params, int64_t tau_max)
+    : params_(params),
+      tau_max_(tau_max),
+      m_cap_(std::min<int64_t>(2 * tau_max, params.v)),
+      omega2_(params.v, tau_max) {
+  omega1_.resize(static_cast<size_t>(tau_max + 1));
+  for (int64_t tau = 0; tau <= tau_max; ++tau) {
+    auto& row = omega1_[static_cast<size_t>(tau)];
+    row.resize(static_cast<size_t>(tau + 1), 0.0);
+    for (int64_t x = 0; x <= tau; ++x) {
+      row[static_cast<size_t>(x)] = Omega1(x, tau, params_);
+    }
+  }
+}
+
+std::vector<std::vector<double>> Lambda1Calculator::Inner2(int64_t phi) const {
+  const int64_t x_cap = std::min<int64_t>(tau_max_, params_.v);
+  std::vector<std::vector<double>> inner(
+      static_cast<size_t>(x_cap + 1),
+      std::vector<double>(static_cast<size_t>(m_cap_ + 1), 0.0));
+  for (int64_t x = 0; x <= x_cap; ++x) {
+    for (int64_t m = 0; m <= m_cap_; ++m) {
+      // R = x + m - t with overlap t in the hypergeometric support.
+      const int64_t r_lo = std::max(x, m);
+      const int64_t r_hi = std::min(x + m, params_.v);
+      double acc = 0.0;
+      for (int64_t r = r_lo; r <= r_hi; ++r) {
+        const double o4 = Omega4(x, r, m, params_);
+        if (o4 <= 0.0) continue;
+        const double o3 = Omega3(r, phi, params_);
+        if (o3 <= 0.0) continue;
+        acc += o3 * o4;
+      }
+      inner[static_cast<size_t>(x)][static_cast<size_t>(m)] = acc;
+    }
+  }
+  return inner;
+}
+
+std::vector<double> Lambda1Calculator::Column(int64_t phi) const {
+  std::vector<double> column(static_cast<size_t>(tau_max_ + 1), 0.0);
+  if (phi < 0) return column;
+  const std::vector<std::vector<double>> inner = Inner2(phi);
+  const int64_t x_cap = std::min<int64_t>(tau_max_, params_.v);
+  for (int64_t tau = 0; tau <= tau_max_; ++tau) {
+    double total = 0.0;
+    const auto& o1row = omega1_[static_cast<size_t>(tau)];
+    for (int64_t x = 0; x <= std::min(tau, x_cap); ++x) {
+      const double o1 = o1row[static_cast<size_t>(x)];
+      if (o1 <= 0.0) continue;
+      const int64_t y = tau - x;
+      const int64_t m_hi = std::min<int64_t>(2 * y, m_cap_);
+      double inner_sum = 0.0;
+      for (int64_t m = 0; m <= m_hi; ++m) {
+        const double o2 = omega2_.At(m, y);
+        if (o2 <= 0.0) continue;
+        inner_sum += o2 * inner[static_cast<size_t>(x)][static_cast<size_t>(m)];
+      }
+      total += o1 * inner_sum;
+    }
+    column[static_cast<size_t>(tau)] = total;
+  }
+  return column;
+}
+
+std::vector<std::vector<double>> Lambda1Calculator::Matrix() const {
+  const int64_t phi_max = 2 * tau_max_;
+  std::vector<std::vector<double>> matrix(
+      static_cast<size_t>(tau_max_ + 1),
+      std::vector<double>(static_cast<size_t>(phi_max + 1), 0.0));
+  for (int64_t phi = 0; phi <= phi_max; ++phi) {
+    const std::vector<double> col = Column(phi);
+    for (int64_t tau = 0; tau <= tau_max_; ++tau) {
+      matrix[static_cast<size_t>(tau)][static_cast<size_t>(phi)] =
+          col[static_cast<size_t>(tau)];
+    }
+  }
+  return matrix;
+}
+
+}  // namespace gbda

@@ -1,0 +1,137 @@
+#include "core/omega.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/discrete_distributions.h"
+#include "math/log_combinatorics.h"
+
+namespace gbda {
+namespace {
+
+double Choose2(double n) { return n * (n - 1.0) * 0.5; }
+
+}  // namespace
+
+double LogNumBranchTypes(int64_t v, int64_t num_vertex_labels,
+                         int64_t num_edge_labels) {
+  const double log_lv = std::log(static_cast<double>(std::max<int64_t>(num_vertex_labels, 1)));
+  return log_lv + LogBinomial(v + num_edge_labels - 1, num_edge_labels);
+}
+
+ModelParams MakeModelParams(int64_t v, int64_t num_vertex_labels,
+                            int64_t num_edge_labels) {
+  ModelParams p;
+  p.v = v;
+  p.num_vertex_labels = num_vertex_labels;
+  p.num_edge_labels = num_edge_labels;
+  p.log_d = LogNumBranchTypes(v, num_vertex_labels, num_edge_labels);
+  p.edges = Choose2(static_cast<double>(v));
+  p.slots = static_cast<double>(v) + p.edges;
+  return p;
+}
+
+double Omega1(int64_t x, int64_t tau, const ModelParams& params) {
+  return HypergeometricPmf(x, static_cast<int64_t>(params.slots), params.v, tau);
+}
+
+double DLogOmega1DTau(int64_t x, int64_t tau, const ModelParams& params) {
+  const double t = static_cast<double>(tau);
+  const double xd = static_cast<double>(x);
+  const double m1 = params.slots;
+  const double m2 = params.edges;
+  return Digamma(t + 1.0) - Digamma(m1 - t + 1.0) - Digamma(t - xd + 1.0) +
+         Digamma(m2 - (t - xd) + 1.0);
+}
+
+Omega2Table::Omega2Table(int64_t v, int64_t y_max) : v_(v), y_max_(y_max) {
+  const double total_edges = Choose2(static_cast<double>(v));
+  rows_.resize(static_cast<size_t>(y_max + 1));
+  // Row y = 0: zero edges cover zero vertices.
+  rows_[0] = {1.0};
+  for (int64_t y = 1; y <= y_max; ++y) {
+    const std::vector<double>& prev = rows_[static_cast<size_t>(y - 1)];
+    const int64_t m_cap = std::min<int64_t>(2 * y, v);
+    std::vector<double> row(static_cast<size_t>(m_cap + 1), 0.0);
+    const double denom = total_edges - static_cast<double>(y - 1);
+    if (denom <= 0.0) {
+      // Fewer than y distinct edges exist: the conditional event is empty.
+      rows_[static_cast<size_t>(y)] = std::move(row);
+      continue;
+    }
+    for (int64_t m = 0; m <= m_cap; ++m) {
+      double acc = 0.0;
+      // Stay at m: the new edge falls inside the covered set. The j = y-1
+      // already-chosen edges all lie inside it.
+      if (m < static_cast<int64_t>(prev.size())) {
+        const double inside =
+            Choose2(static_cast<double>(m)) - static_cast<double>(y - 1);
+        if (inside > 0.0 && prev[static_cast<size_t>(m)] > 0.0) {
+          acc += prev[static_cast<size_t>(m)] * inside;
+        }
+      }
+      // Grow by one: edge between covered (m-1) and uncovered (v-m+1).
+      if (m >= 1 && m - 1 < static_cast<int64_t>(prev.size())) {
+        const double cross =
+            static_cast<double>(m - 1) * static_cast<double>(v - (m - 1));
+        if (cross > 0.0) acc += prev[static_cast<size_t>(m - 1)] * cross;
+      }
+      // Grow by two: edge inside the uncovered set (v - m + 2 vertices).
+      if (m >= 2 && m - 2 < static_cast<int64_t>(prev.size())) {
+        const double fresh = Choose2(static_cast<double>(v - (m - 2)));
+        if (fresh > 0.0) acc += prev[static_cast<size_t>(m - 2)] * fresh;
+      }
+      row[static_cast<size_t>(m)] = acc / denom;
+    }
+    rows_[static_cast<size_t>(y)] = std::move(row);
+  }
+}
+
+double Omega2Table::At(int64_t m, int64_t y) const {
+  if (y < 0 || y > y_max_ || m < 0) return 0.0;
+  const std::vector<double>& row = rows_[static_cast<size_t>(y)];
+  if (m >= static_cast<int64_t>(row.size())) return 0.0;
+  return row[static_cast<size_t>(m)];
+}
+
+double Omega2InclusionExclusion(int64_t m, int64_t y, int64_t v) {
+  if (y == 0) return m == 0 ? 1.0 : 0.0;
+  if (m < 0 || m > std::min<int64_t>(2 * y, v)) return 0.0;
+  const double log_denom =
+      LogBinomialReal(Choose2(static_cast<double>(v)), static_cast<double>(y));
+  if (std::isinf(log_denom)) return 0.0;
+  const double log_vm = LogBinomial(v, m);
+  long double acc = 0.0L;
+  for (int64_t t = 0; t <= m; ++t) {
+    const double log_term =
+        log_vm + LogBinomial(m, t) +
+        LogBinomialReal(Choose2(static_cast<double>(t)), static_cast<double>(y)) -
+        log_denom;
+    if (std::isinf(log_term)) continue;
+    const long double term = std::exp(static_cast<long double>(log_term));
+    acc += ((m - t) % 2 == 0) ? term : -term;
+  }
+  if (acc < 0.0L) acc = 0.0L;  // cancellation guard
+  return static_cast<double>(acc);
+}
+
+double Omega3(int64_t r, int64_t phi, const ModelParams& params) {
+  if (phi < 0 || phi > r) return 0.0;
+  // p_keep = 1/D; success probability of "branch changed" is (D-1)/D.
+  const double log_d = params.log_d;
+  if (log_d <= 0.0) {
+    // Degenerate single-branch-type universe: nothing can ever change.
+    return phi == 0 ? 1.0 : 0.0;
+  }
+  // ln((D-1)/D) = ln(1 - 1/D).
+  const double log_changed = std::log1p(-ExpSafe(-log_d));
+  const double log_kept = -log_d;
+  return ExpSafe(LogBinomial(r, phi) + static_cast<double>(phi) * log_changed +
+                 static_cast<double>(r - phi) * log_kept);
+}
+
+double Omega4(int64_t x, int64_t r, int64_t m, const ModelParams& params) {
+  return HypergeometricPmf(x + m - r, params.v, m, x);
+}
+
+}  // namespace gbda

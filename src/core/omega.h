@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gbda {
+
+/// Parameters shared by the Omega terms of the probabilistic model
+/// (Section V / Appendix C). `v` is |V'1|, the number of vertices of the
+/// extended graph, i.e. max(|V1|, |V2|) for the pair under comparison.
+struct ModelParams {
+  int64_t v = 1;
+  int64_t num_vertex_labels = 1;  // |L_V|
+  int64_t num_edge_labels = 1;    // |L_E|
+  double log_d = 0.0;             // ln D, D = number of branch types (Eq. 33)
+  double edges = 0.0;             // C(v, 2), edge count of the extended graph
+  double slots = 0.0;             // v + C(v, 2), total relabel targets
+};
+
+ModelParams MakeModelParams(int64_t v, int64_t num_vertex_labels,
+                            int64_t num_edge_labels);
+
+/// ln D with D = |L_V| * C(v + |L_E| - 1, |L_E|), the branch-type count of
+/// Eq. 33 (the vertex label choices times the multisets of edge labels).
+double LogNumBranchTypes(int64_t v, int64_t num_vertex_labels,
+                         int64_t num_edge_labels);
+
+/// Omega1 (Eq. 28): probability that a uniformly random set of tau relabel
+/// targets (among v vertices and C(v,2) edges of the complete extended graph)
+/// contains exactly x vertices: the hypergeometric H(x; v + C(v,2), v, tau).
+double Omega1(int64_t x, int64_t tau, const ModelParams& params);
+
+/// Analytic d/dtau ln Omega1 via the continuous (lgamma) extension:
+///   psi(tau+1) - psi(M1-tau+1) - psi(tau-x+1) + psi(M2-(tau-x)+1),
+/// with M1 = v + C(v,2), M2 = C(v,2). (The printed Eq. 38 differs by what we
+/// believe is a typo; see DESIGN.md. This form matches finite differences,
+/// which the tests verify.)
+double DLogOmega1DTau(int64_t x, int64_t tau, const ModelParams& params);
+
+/// Omega2 (Eq. 29): probability that y = tau - x uniformly random *distinct*
+/// edges of the complete extended graph cover exactly m vertices.
+///
+/// The paper evaluates this by inclusion-exclusion, which cancels
+/// catastrophically for large v (terms reach e^50+ while the sum is <= 1).
+/// This table instead runs the exact coverage Markov chain: after j chosen
+/// edges covering m vertices, the next distinct edge lands
+///   within the covered set      with weight C(m,2) - j,
+///   across covered/uncovered    with weight m * (v - m),
+///   within the uncovered set    with weight C(v-m, 2),
+/// all divided by C(v,2) - j. Every quantity is non-negative, so the
+/// recurrence is numerically stable; it agrees with inclusion-exclusion
+/// wherever the latter is computable (property-tested).
+class Omega2Table {
+ public:
+  /// Builds rows for y in [0, y_max]. O(y_max^2) states.
+  Omega2Table(int64_t v, int64_t y_max);
+
+  /// Pr[Z = m | Y = y]; 0 outside the support. When y exceeds C(v,2) the
+  /// event "choose y distinct edges" is impossible and the row is all zero
+  /// (consistent with Omega1 assigning such splits probability 0).
+  double At(int64_t m, int64_t y) const;
+
+  int64_t y_max() const { return y_max_; }
+  int64_t v() const { return v_; }
+
+ private:
+  int64_t v_;
+  int64_t y_max_;
+  std::vector<std::vector<double>> rows_;  // rows_[y][m], m in [0, min(2y, v)]
+};
+
+/// Reference implementation of Eq. 29 by inclusion-exclusion. Only reliable
+/// for small v (<= ~40) where cancellation is manageable; used by tests to
+/// validate Omega2Table.
+double Omega2InclusionExclusion(int64_t m, int64_t y, int64_t v);
+
+/// Omega3 (Eq. 30): probability that exactly phi of r touched branches end up
+/// different from the originals, each branch independently keeping its type
+/// with probability 1/D: the Binomial(r, (D-1)/D) pmf evaluated in log space
+/// because D is astronomically large.
+double Omega3(int64_t r, int64_t phi, const ModelParams& params);
+
+/// Omega4 (Eq. 31): probability that the x relabelled vertices overlap the m
+/// edge-covered vertices in exactly t = x + m - r positions: the
+/// hypergeometric H(x + m - r; v, m, x).
+double Omega4(int64_t x, int64_t r, int64_t m, const ModelParams& params);
+
+}  // namespace gbda

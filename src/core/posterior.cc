@@ -1,0 +1,63 @@
+#include "core/posterior.h"
+
+#include "common/string_util.h"
+
+namespace gbda {
+
+PosteriorEngine::PosteriorEngine(int64_t num_vertex_labels,
+                                 int64_t num_edge_labels, int64_t tau_max,
+                                 GedPriorTable* ged_prior,
+                                 const GbdPrior* gbd_prior)
+    : num_vertex_labels_(num_vertex_labels),
+      num_edge_labels_(num_edge_labels),
+      tau_max_(tau_max),
+      ged_prior_(ged_prior),
+      gbd_prior_(gbd_prior) {}
+
+const Lambda1Calculator& PosteriorEngine::CalculatorFor(int64_t v) {
+  auto it = calculators_.find(v);
+  if (it == calculators_.end()) {
+    it = calculators_
+             .emplace(v, std::make_unique<Lambda1Calculator>(
+                             MakeModelParams(v, num_vertex_labels_,
+                                             num_edge_labels_),
+                             tau_max_))
+             .first;
+  }
+  return *it->second;
+}
+
+Result<double> PosteriorEngine::Phi(int64_t v, int64_t phi, int64_t tau_hat) {
+  if (tau_hat < 0 || tau_hat > tau_max_) {
+    return Status::InvalidArgument(
+        StrFormat("tau_hat %lld outside the index's [0, %lld] range; rebuild "
+                  "the index with a larger tau_max",
+                  static_cast<long long>(tau_hat),
+                  static_cast<long long>(tau_max_)));
+  }
+  if (v < 1) return Status::InvalidArgument("extended size v must be >= 1");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto key = std::make_tuple(v, phi, tau_hat);
+  auto memo_it = phi_memo_.find(key);
+  if (memo_it != phi_memo_.end()) {
+    ++memo_hits_;
+    return memo_it->second;
+  }
+  ++memo_misses_;
+
+  const Lambda1Calculator& calc = CalculatorFor(v);
+  const std::vector<double> lambda1 = calc.Column(phi);
+  const double lambda2 = gbd_prior_->Probability(phi);
+  double total = 0.0;
+  for (int64_t tau = 0; tau <= tau_hat; ++tau) {
+    const double l1 = lambda1[static_cast<size_t>(tau)];
+    if (l1 <= 0.0) continue;
+    const double l3 = ged_prior_->Probability(tau, v);
+    total += l1 * l3 / lambda2;
+  }
+  phi_memo_.emplace(key, total);
+  return total;
+}
+
+}  // namespace gbda

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/gbd_prior.h"
+#include "core/ged_prior.h"
+#include "core/lambda1.h"
+
+namespace gbda {
+
+/// Evaluates Step 3 of Algorithm 1:
+///   Phi = Pr[GED <= tau_hat | GBD = phi]
+///       = sum_{tau=0}^{tau_hat} Lambda1(tau,phi) * Lambda3(tau) / Lambda2(phi).
+///
+/// Lambda1 columns are produced by a per-size Lambda1Calculator; calculators
+/// and (v, phi, tau_hat) -> Phi results are memoised because a database scan
+/// evaluates the same extended sizes and GBD values over and over. Phi can
+/// exceed 1 since the GMM prior Lambda2 is not the exact marginal of
+/// Lambda1 * Lambda3; the raw value is compared against gamma exactly as the
+/// paper does (see DESIGN.md).
+class PosteriorEngine {
+ public:
+  /// The priors must outlive the engine. `tau_max` bounds the tau_hat values
+  /// that can be queried.
+  PosteriorEngine(int64_t num_vertex_labels, int64_t num_edge_labels,
+                  int64_t tau_max, GedPriorTable* ged_prior,
+                  const GbdPrior* gbd_prior);
+
+  /// Phi for extended size v and observed GBD = phi. Fails when
+  /// tau_hat > tau_max.
+  Result<double> Phi(int64_t v, int64_t phi, int64_t tau_hat);
+
+  int64_t tau_max() const { return tau_max_; }
+  size_t memo_hits() const { return memo_hits_; }
+  size_t memo_misses() const { return memo_misses_; }
+
+ private:
+  const Lambda1Calculator& CalculatorFor(int64_t v);
+
+  int64_t num_vertex_labels_;
+  int64_t num_edge_labels_;
+  int64_t tau_max_;
+  GedPriorTable* ged_prior_;
+  const GbdPrior* gbd_prior_;
+
+  std::mutex mutex_;
+  std::map<int64_t, std::unique_ptr<Lambda1Calculator>> calculators_;
+  // Key: (v, phi, tau_hat) packed.
+  std::map<std::tuple<int64_t, int64_t, int64_t>, double> phi_memo_;
+  size_t memo_hits_ = 0;
+  size_t memo_misses_ = 0;
+};
+
+}  // namespace gbda

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/branch.h"
+#include "graph/graph_database.h"
+
+namespace gbda {
+
+/// Cheap per-graph summary used by the layered prefilter: vertex/edge counts
+/// and sorted label multisets. All four are admissible GED lower bounds when
+/// differenced, so a candidate can be discarded without touching its branch
+/// multiset whenever any of them already exceeds tau.
+struct FilterProfile {
+  int64_t num_vertices = 0;
+  int64_t num_edges = 0;
+  std::vector<LabelId> vertex_labels;  // ascending
+  std::vector<LabelId> edge_labels;    // ascending
+};
+
+FilterProfile BuildFilterProfile(const Graph& g);
+
+/// Admissible GED lower bound from two filter profiles:
+///   max(|ΔV|, |ΔE|, vertex-label multiset distance + edge-label multiset
+///       distance),
+/// each operation changing at most one unit of one quantity. O(n) per pair.
+int64_t FilterLowerBound(const FilterProfile& a, const FilterProfile& b);
+
+/// The layered prefilter of the multi-layer indexing direction discussed in
+/// the paper's related work [35]: a size layer (O(1)) then a label layer
+/// (O(n)) in front of the probabilistic test. Sound for any search with
+/// threshold tau — it only removes candidates whose GED provably exceeds
+/// tau — so recall is unaffected while the expensive stage sees fewer
+/// candidates.
+class Prefilter {
+ public:
+  /// Precomputes profiles for every database graph.
+  explicit Prefilter(const GraphDatabase* db);
+
+  /// Ids of database graphs whose lower bound does not exceed tau.
+  std::vector<size_t> Candidates(const Graph& query, int64_t tau) const;
+
+  /// True when graph `id` survives the filter at threshold tau.
+  bool Passes(const FilterProfile& query_profile, size_t id,
+              int64_t tau) const;
+
+  size_t size() const { return profiles_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<FilterProfile> profiles_;
+};
+
+}  // namespace gbda

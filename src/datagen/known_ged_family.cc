@@ -1,0 +1,289 @@
+#include "datagen/known_ged_family.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <set>
+
+#include "common/string_util.h"
+#include "datagen/signature.h"
+
+namespace gbda {
+
+int64_t SymmetricDifferenceSize(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0;
+  int64_t diff = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++diff;
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++diff;
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  diff += static_cast<int64_t>((a.size() - i) + (b.size() - j));
+  return diff;
+}
+
+int64_t StateHammingDistance(const std::vector<PoolEdgeState>& a,
+                             const std::vector<PoolEdgeState>& b) {
+  int64_t diff = 0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) ++diff;
+  }
+  diff += static_cast<int64_t>(std::max(a.size(), b.size()) - n);
+  return diff;
+}
+
+int64_t KnownGedFamily::KnownGed(size_t i, size_t j) const {
+  return StateHammingDistance(member_states[i], member_states[j]);
+}
+
+namespace {
+
+/// Marks every vertex within `radius` hops of `start` in `mask`.
+void MarkBall(const Graph& g, uint32_t start, int radius,
+              std::vector<char>* mask) {
+  std::vector<int> dist(g.num_vertices(), -1);
+  std::queue<uint32_t> q;
+  dist[start] = 0;
+  q.push(start);
+  (*mask)[start] = 1;
+  while (!q.empty()) {
+    const uint32_t v = q.front();
+    q.pop();
+    if (dist[v] == radius) continue;
+    for (const AdjEdge& e : g.Neighbors(v)) {
+      if (dist[e.to] == -1) {
+        dist[e.to] = dist[v] + 1;
+        (*mask)[e.to] = 1;
+        q.push(e.to);
+      }
+    }
+  }
+}
+
+/// Raises the degree of `center` to `target` by connecting it to random
+/// vertices outside `forbidden` (the 2-balls of other centers).
+bool BoostCenterDegree(Graph* g, uint32_t center, size_t target,
+                       const std::vector<char>& forbidden,
+                       size_t num_edge_labels, Rng* rng) {
+  size_t guard = 0;
+  while (g->Degree(center) < target) {
+    if (++guard > 200 * target + 2000) return false;
+    const uint32_t other = static_cast<uint32_t>(
+        rng->UniformInt(0, static_cast<int64_t>(g->num_vertices()) - 1));
+    if (other == center || forbidden[other] || g->HasEdge(center, other)) {
+      continue;
+    }
+    const LabelId label = static_cast<LabelId>(
+        rng->UniformInt(1, static_cast<int64_t>(num_edge_labels)));
+    if (!g->AddEdge(center, other, label).ok()) return false;
+  }
+  return true;
+}
+
+/// Rotation within [1, num_labels]: deterministic label change used by the
+/// modification step; guaranteed different from the input when num_labels>=2.
+LabelId RotateLabel(LabelId label, size_t num_labels) {
+  return static_cast<LabelId>(label % num_labels + 1);
+}
+
+/// log2 of the number of subsets of size <= k from a pool of p items,
+/// saturated; used for the capacity check.
+double SubsetCapacity(size_t pool, size_t k) {
+  double capacity = 0.0;
+  double binom = 1.0;
+  for (size_t i = 0; i <= std::min(pool, k) && capacity < 1e18; ++i) {
+    capacity += binom;
+    binom *= static_cast<double>(pool - i) / static_cast<double>(i + 1);
+  }
+  return capacity;
+}
+
+}  // namespace
+
+Result<KnownGedFamily> GenerateKnownGedFamily(const FamilyOptions& options,
+                                              Rng* rng) {
+  if (options.generator.num_edge_labels < 2) {
+    return Status::InvalidArgument(
+        "family generation needs at least two edge labels to relabel");
+  }
+  if (options.num_centers == 0) {
+    return Status::InvalidArgument("family generation needs >= 1 center");
+  }
+  if (options.max_modifications == 0) {
+    return Status::InvalidArgument("modification budget is zero");
+  }
+  if (options.num_marker_vertices > 0 &&
+      (options.marker_vertex_label == kVirtualLabel ||
+       options.marker_edge_label == kVirtualLabel)) {
+    return Status::InvalidArgument(
+        "marker vertices need non-virtual marker labels");
+  }
+  // Quick impossibility check: even a single center adjacent to every other
+  // vertex cannot host more subsets than C(n-1, <= max_mod).
+  const size_t n = options.generator.num_vertices;
+  if (SubsetCapacity(n > 0 ? n - 1 : 0,
+                     std::min(options.max_modifications, n > 0 ? n - 1 : 0)) <
+      static_cast<double>(options.num_members)) {
+    return Status::InvalidArgument(StrFormat(
+        "a %zu-vertex template cannot host %zu distinct members", n,
+        options.num_members));
+  }
+
+  for (size_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    Result<Graph> tmpl_result = GenerateConnectedGraph(options.generator, rng);
+    if (!tmpl_result.ok()) return tmpl_result.status();
+    Graph tmpl = std::move(*tmpl_result);
+
+    // Identity marker chain: head attaches to vertex 0, the rest form a
+    // path; all vertices and edges carry the family's marker labels.
+    const uint32_t num_core = static_cast<uint32_t>(tmpl.num_vertices());
+    for (size_t m = 0; m < options.num_marker_vertices; ++m) {
+      const uint32_t v = tmpl.AddVertex(options.marker_vertex_label);
+      const uint32_t prev = m == 0 ? 0 : v - 1;
+      GBDA_RETURN_IF_ERROR(tmpl.AddEdge(prev, v, options.marker_edge_label));
+    }
+
+    // Candidate order: descending degree for cheap boosting, index tiebreak.
+    // Marker vertices are excluded from center duty.
+    std::vector<uint32_t> candidates(num_core);
+    std::iota(candidates.begin(), candidates.end(), 0u);
+    std::sort(candidates.begin(), candidates.end(), [&](uint32_t a, uint32_t b) {
+      if (tmpl.Degree(a) != tmpl.Degree(b)) return tmpl.Degree(a) > tmpl.Degree(b);
+      return a < b;
+    });
+
+    // Phase 1: select up to num_centers separated centers at the base degree.
+    // Marker vertices start forbidden so boosts never touch the chain.
+    std::vector<uint32_t> centers;
+    std::vector<char> forbidden(tmpl.num_vertices(), 0);
+    for (uint32_t v = num_core; v < tmpl.num_vertices(); ++v) forbidden[v] = 1;
+    for (uint32_t cand : candidates) {
+      if (centers.size() == options.num_centers) break;
+      if (forbidden[cand]) continue;
+      Graph trial = tmpl;
+      if (!BoostCenterDegree(&trial, cand, options.center_min_degree, forbidden,
+                             options.generator.num_edge_labels, rng)) {
+        continue;
+      }
+      if (!IsModificationCenter(trial, cand, options.signature_hops)) continue;
+      tmpl = std::move(trial);
+      centers.push_back(cand);
+      // Ball of radius 2 keeps later centers at distance >= 3.
+      MarkBall(tmpl, cand, 2, &forbidden);
+    }
+    if (centers.empty()) continue;
+
+    // Phase 2: grow center degrees until the subset capacity covers the
+    // requested member count (fewer centers than preferred is fine as long
+    // as the pool is big enough).
+    auto pool_size = [&]() {
+      size_t pool = 0;
+      for (uint32_t c : centers) pool += tmpl.Degree(c);
+      return pool;
+    };
+    auto capacity_ok = [&]() {
+      const size_t pool = pool_size();
+      return SubsetCapacity(pool, std::min(options.max_modifications, pool)) >=
+             1.2 * static_cast<double>(options.num_members) + 2.0;
+    };
+    bool stuck = false;
+    while (!capacity_ok() && !stuck) {
+      // Grow the smallest center; retry with a fresh template if no center
+      // can grow while keeping its signature property.
+      std::sort(centers.begin(), centers.end(), [&](uint32_t a, uint32_t b) {
+        return tmpl.Degree(a) < tmpl.Degree(b);
+      });
+      stuck = true;
+      for (uint32_t c : centers) {
+        Graph trial = tmpl;
+        if (!BoostCenterDegree(&trial, c, trial.Degree(c) + 1, forbidden,
+                               options.generator.num_edge_labels, rng)) {
+          continue;
+        }
+        if (!IsModificationCenter(trial, c, options.signature_hops)) continue;
+        tmpl = std::move(trial);
+        // The new neighbour extends c's 2-ball; refresh the mask so later
+        // boosts of other centers keep the pairwise distance >= 3.
+        MarkBall(tmpl, c, 2, &forbidden);
+        stuck = false;
+        break;
+      }
+    }
+    if (!capacity_ok()) continue;
+
+    // The modification pool: center edges in deterministic order. Edges with
+    // labels outside the core alphabet (the vertex-0 marker attachment, when
+    // vertex 0 is a center) stay out of the pool so marker labels are never
+    // rotated.
+    KnownGedFamily family;
+    family.centers = centers;
+    for (uint32_t c : centers) {
+      for (const AdjEdge& e : tmpl.Neighbors(c)) {
+        if (e.label >= 1 &&
+            e.label <= static_cast<LabelId>(options.generator.num_edge_labels)) {
+          family.edge_pool.emplace_back(c, e.to);
+        }
+      }
+    }
+    const size_t pool = family.edge_pool.size();
+    const size_t mod_cap = std::min(options.max_modifications, pool);
+
+    // Distinct member state vectors; the template is member 0 (all original).
+    std::set<std::vector<PoolEdgeState>> states;
+    states.insert(std::vector<PoolEdgeState>(pool, PoolEdgeState::kOriginal));
+    size_t guard = 0;
+    while (states.size() < options.num_members) {
+      if (++guard > 1000 * options.num_members + 10000) break;
+      const size_t size =
+          static_cast<size_t>(rng->UniformInt(1, static_cast<int64_t>(mod_cap)));
+      std::vector<size_t> picks = rng->SampleWithoutReplacement(pool, size);
+      std::vector<PoolEdgeState> state(pool, PoolEdgeState::kOriginal);
+      for (size_t idx : picks) {
+        state[idx] = rng->Bernoulli(options.delete_fraction)
+                         ? PoolEdgeState::kDeleted
+                         : PoolEdgeState::kRelabeled;
+      }
+      states.insert(std::move(state));
+    }
+    if (states.size() < options.num_members) continue;
+
+    for (const std::vector<PoolEdgeState>& state : states) {
+      Graph member = tmpl;
+      for (size_t idx = 0; idx < pool; ++idx) {
+        const auto [c, nb] = family.edge_pool[idx];
+        switch (state[idx]) {
+          case PoolEdgeState::kOriginal:
+            break;
+          case PoolEdgeState::kRelabeled: {
+            const LabelId old_label = member.EdgeLabel(c, nb).value();
+            GBDA_RETURN_IF_ERROR(member.RelabelEdge(
+                c, nb,
+                RotateLabel(old_label, options.generator.num_edge_labels)));
+            break;
+          }
+          case PoolEdgeState::kDeleted:
+            GBDA_RETURN_IF_ERROR(member.RemoveEdge(c, nb));
+            break;
+        }
+      }
+      family.members.push_back(std::move(member));
+      family.member_states.push_back(state);
+      if (family.members.size() == options.num_members) break;
+    }
+    return family;
+  }
+  return Status::Internal(StrFormat(
+      "no template with %zu valid modification centers after %zu attempts",
+      options.num_centers, options.max_attempts));
+}
+
+}  // namespace gbda

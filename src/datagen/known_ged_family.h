@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace gbda {
+
+/// Options for one known-GED family (Appendix I).
+struct FamilyOptions {
+  /// Shape of the template graph.
+  GeneratorOptions generator;
+  /// Number of member graphs to derive (including the unmodified template).
+  size_t num_members = 10;
+  /// Maximum number of modified pool edges per member; pairwise GED then
+  /// ranges over [0, 2 * max_modifications].
+  size_t max_modifications = 5;
+  /// Number of modification centers. Centers are chosen pairwise at distance
+  /// >= 3 so their edits touch disjoint branch neighbourhoods — this spreads
+  /// the modifications over the graph the way arbitrary edit sequences
+  /// would, instead of concentrating them on one hub.
+  size_t num_centers = 1;
+  /// Minimum degree per center (raised by adding edges when the template
+  /// falls short). The modification pool has ~num_centers * center_min_degree
+  /// edges; C(pool, <= max_modifications) must cover num_members.
+  size_t center_min_degree = 8;
+  /// Hops used by the neighbour-signature distinctness check.
+  int signature_hops = 2;
+  /// Template re-generation attempts before giving up.
+  size_t max_attempts = 64;
+
+  /// Fraction of modifications that delete the pool edge instead of
+  /// relabelling it. Deletions perturb degrees and topology, which spreads
+  /// members structurally (and may disconnect them — only the template is
+  /// required to be connected, mirroring Appendix I).
+  double delete_fraction = 0.25;
+
+  /// Optional identity markers: a path of `num_marker_vertices` extra
+  /// vertices carrying `marker_vertex_label`, chained and attached to the
+  /// template with `marker_edge_label` edges. When every family uses its own
+  /// marker labels, any cross-family pair satisfies
+  ///   GED >= 2 * num_marker_vertices
+  /// by the vertex+edge label-multiset lower bound — the certification the
+  /// benchmark datasets use for "far" pairs. Markers are never modified and
+  /// never selected as centers. The final member size is
+  /// generator.num_vertices + num_marker_vertices.
+  size_t num_marker_vertices = 0;
+  LabelId marker_vertex_label = kVirtualLabel;
+  LabelId marker_edge_label = kVirtualLabel;
+};
+
+/// State of one pool edge in one family member.
+enum class PoolEdgeState : uint8_t {
+  kOriginal = 0,
+  kRelabeled = 1,  // rotated within the core edge alphabet
+  kDeleted = 2,
+};
+
+/// A family of graphs derived from one template by relabelling or deleting
+/// subsets of a pool of center-incident edges. For members i and j,
+/// GED(member_i, member_j) is exactly the Hamming distance between their
+/// pool-state vectors: each differing edge needs one operation (RE, DE or AE
+/// with the right label), and the pairwise-distinct neighbour signatures
+/// plus center separation rule out cheaper mappings (verified against exact
+/// A* GED in the test suite).
+struct KnownGedFamily {
+  std::vector<Graph> members;
+  /// Per member: the state of every pool edge (size == edge_pool.size()).
+  /// Member 0 is the unmodified template (all kOriginal).
+  std::vector<std::vector<PoolEdgeState>> member_states;
+  /// The selected modification centers.
+  std::vector<uint32_t> centers;
+  /// The modifiable edges as (center, neighbour) pairs.
+  std::vector<std::pair<uint32_t, uint32_t>> edge_pool;
+
+  /// Exact GED between two members: Hamming distance of the state vectors.
+  int64_t KnownGed(size_t i, size_t j) const;
+};
+
+/// Hamming distance between two equally sized state vectors.
+int64_t StateHammingDistance(const std::vector<PoolEdgeState>& a,
+                             const std::vector<PoolEdgeState>& b);
+
+/// Generates one family. Fails when no template with enough valid
+/// modification centers is found within max_attempts, or when the option set
+/// is inconsistent (fewer available edge subsets than members, or an edge
+/// alphabet too small to relabel at all).
+Result<KnownGedFamily> GenerateKnownGedFamily(const FamilyOptions& options,
+                                              Rng* rng);
+
+/// |A symmetric-difference B| for sorted index vectors.
+int64_t SymmetricDifferenceSize(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b);
+
+}  // namespace gbda

@@ -1,0 +1,61 @@
+#include "datagen/signature.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace gbda {
+
+std::string KHopSignature(const Graph& g, uint32_t vertex, int hops) {
+  // BFS ring by ring; each ring contributes a sorted list of
+  // (vertex label, entering edge label) pairs.
+  std::string sig = StrFormat("s0:%u", g.VertexLabel(vertex));
+  std::vector<int> dist(g.num_vertices(), -1);
+  dist[vertex] = 0;
+  std::vector<uint32_t> frontier = {vertex};
+  for (int k = 1; k <= hops && !frontier.empty(); ++k) {
+    std::vector<std::pair<LabelId, LabelId>> ring;  // (vertex label, edge label)
+    std::vector<uint32_t> next;
+    for (uint32_t u : frontier) {
+      for (const AdjEdge& e : g.Neighbors(u)) {
+        if (dist[e.to] == -1) {
+          dist[e.to] = k;
+          next.push_back(e.to);
+          ring.emplace_back(g.VertexLabel(e.to), e.label);
+        } else if (dist[e.to] == k) {
+          // Second entry point into an already-ringed vertex still shapes
+          // the neighbourhood; record the (label, edge) pair as well.
+          ring.emplace_back(g.VertexLabel(e.to), e.label);
+        }
+      }
+    }
+    std::sort(ring.begin(), ring.end());
+    sig += StrFormat("|s%d:", k);
+    for (const auto& [vl, el] : ring) sig += StrFormat("(%u,%u)", vl, el);
+    frontier = std::move(next);
+  }
+  return sig;
+}
+
+bool IsModificationCenter(const Graph& g, uint32_t center, int hops) {
+  std::set<std::string> seen;
+  for (const AdjEdge& e : g.Neighbors(center)) {
+    if (!seen.insert(KHopSignature(g, e.to, hops)).second) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> FindModificationCenters(const Graph& g, size_t min_degree,
+                                              int hops) {
+  std::vector<uint32_t> centers;
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    if (g.Degree(v) >= min_degree && IsModificationCenter(g, v, hops)) {
+      centers.push_back(v);
+    }
+  }
+  return centers;
+}
+
+}  // namespace gbda

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gbda {
+
+/// The k-hop vertex signature of Appendix I: s0 is the vertex's own label,
+/// and s_k (k >= 1) is the sorted multiset of (vertex label, edge label)
+/// pairs of the k-hop neighbourhood, where the edge label is the one on the
+/// edge entering the ring. Two vertices with different signatures cannot be
+/// exchanged by any automorphism that fixes the rest of the graph, which is
+/// what makes modification centers safe.
+std::string KHopSignature(const Graph& g, uint32_t vertex, int hops);
+
+/// True when the signatures of all of `center`'s neighbours are pairwise
+/// distinct — the sufficient condition of Appendix I for `center` to be a
+/// modification center.
+bool IsModificationCenter(const Graph& g, uint32_t center, int hops);
+
+/// All modification centers of `g` with degree at least `min_degree`,
+/// in ascending order.
+std::vector<uint32_t> FindModificationCenters(const Graph& g, size_t min_degree,
+                                              int hops);
+
+}  // namespace gbda

@@ -1,0 +1,189 @@
+#include "eval/experiment.h"
+
+#include "common/timer.h"
+
+namespace gbda {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kGbda:
+      return "GBDA";
+    case Method::kGbdaV1:
+      return "GBDA-V1";
+    case Method::kGbdaV2:
+      return "GBDA-V2";
+    case Method::kLsap:
+      return "LSAP";
+    case Method::kGreedySort:
+      return "greedysort";
+    case Method::kSeriation:
+      return "seriation";
+  }
+  return "?";
+}
+
+ExperimentRunner::ExperimentRunner(const GeneratedDataset* dataset)
+    : dataset_(dataset), oracle_(dataset) {}
+
+Result<std::unique_ptr<ExperimentRunner>> ExperimentRunner::Create(
+    const GeneratedDataset* dataset, int64_t index_tau_max,
+    const GbdPriorOptions& prior_options) {
+  std::unique_ptr<ExperimentRunner> runner(new ExperimentRunner(dataset));
+  GbdaIndexOptions options;
+  options.tau_max = index_tau_max;
+  options.gbd_prior = prior_options;
+  // The model's label universe is the profile's core alphabet; the
+  // family-identity marker labels are an artifact of the certified ground
+  // truth and must not inflate the branch-type count D (Eq. 33).
+  options.model_vertex_labels =
+      static_cast<int64_t>(dataset->profile.num_vertex_labels);
+  options.model_edge_labels =
+      static_cast<int64_t>(dataset->profile.num_edge_labels);
+  Result<GbdaIndex> index = GbdaIndex::Build(dataset->db, options);
+  if (!index.ok()) return index.status();
+  runner->index_ = std::make_unique<GbdaIndex>(std::move(*index));
+  runner->gbda_ =
+      std::make_unique<GbdaSearch>(&dataset->db, runner->index_.get());
+  runner->baselines_ = std::make_unique<BaselineSearch>(&dataset->db);
+  return runner;
+}
+
+namespace {
+
+std::vector<size_t> AllQueryIndices(size_t count) {
+  std::vector<size_t> all(count);
+  for (size_t i = 0; i < count; ++i) all[i] = i;
+  return all;
+}
+
+}  // namespace
+
+Result<MethodMetrics> ExperimentRunner::Run(
+    const ExperimentConfig& config, const std::vector<size_t>* query_subset) {
+  const std::vector<size_t> all =
+      query_subset ? *query_subset : AllQueryIndices(dataset_->queries.size());
+  MethodMetrics metrics;
+  metrics.num_queries = all.size();
+  double total_seconds = 0.0;
+
+  for (size_t q : all) {
+    const Graph& query = dataset_->queries[q];
+    std::vector<size_t> retrieved;
+
+    switch (config.method) {
+      case Method::kGbda:
+      case Method::kGbdaV1:
+      case Method::kGbdaV2: {
+        SearchOptions opts;
+        opts.tau_hat = config.tau_hat;
+        opts.gamma = config.gamma;
+        opts.vgbd_w = config.vgbd_w;
+        opts.v1_sample_alpha = config.v1_alpha;
+        opts.variant = config.method == Method::kGbdaV1
+                           ? GbdaVariant::kAverageSize
+                           : (config.method == Method::kGbdaV2
+                                  ? GbdaVariant::kWeightedGbd
+                                  : GbdaVariant::kStandard);
+        Result<SearchResult> result = gbda_->Query(query, opts);
+        if (!result.ok()) return result.status();
+        total_seconds += result->seconds;
+        retrieved.reserve(result->matches.size());
+        for (const SearchMatch& m : result->matches) {
+          retrieved.push_back(m.graph_id);
+        }
+        break;
+      }
+      case Method::kLsap:
+      case Method::kGreedySort:
+      case Method::kSeriation: {
+        const BaselineMethod bm =
+            config.method == Method::kLsap
+                ? BaselineMethod::kLsap
+                : (config.method == Method::kGreedySort
+                       ? BaselineMethod::kGreedySort
+                       : BaselineMethod::kSeriation);
+        Result<BaselineResult> result =
+            baselines_->Query(query, bm, config.tau_hat);
+        if (!result.ok()) return result.status();
+        total_seconds += result->seconds;
+        retrieved.reserve(result->matches.size());
+        for (const BaselineMatch& m : result->matches) {
+          retrieved.push_back(m.graph_id);
+        }
+        break;
+      }
+    }
+
+    Result<std::vector<size_t>> truth = oracle_.TrueMatches(q, config.tau_hat);
+    if (!truth.ok()) return truth.status();
+    metrics.confusion += CompareSets(std::move(retrieved), std::move(*truth));
+  }
+
+  metrics.precision = Precision(metrics.confusion);
+  metrics.recall = Recall(metrics.confusion);
+  metrics.f1 = F1Score(metrics.confusion);
+  metrics.avg_query_seconds =
+      metrics.num_queries == 0
+          ? 0.0
+          : total_seconds / static_cast<double>(metrics.num_queries);
+  return metrics;
+}
+
+Result<std::vector<MethodMetrics>> ExperimentRunner::RunTauSweep(
+    const ExperimentConfig& base, const std::vector<int64_t>& taus,
+    const std::vector<size_t>* query_subset) {
+  std::vector<MethodMetrics> out;
+  const bool is_baseline = base.method == Method::kLsap ||
+                           base.method == Method::kGreedySort ||
+                           base.method == Method::kSeriation;
+  if (!is_baseline) {
+    for (int64_t tau : taus) {
+      ExperimentConfig config = base;
+      config.tau_hat = tau;
+      Result<MethodMetrics> m = Run(config, query_subset);
+      if (!m.ok()) return m.status();
+      out.push_back(*m);
+    }
+    return out;
+  }
+
+  // Baselines: one estimate scan per query, thresholded for every tau.
+  const std::vector<size_t> all =
+      query_subset ? *query_subset : AllQueryIndices(dataset_->queries.size());
+  const BaselineMethod bm =
+      base.method == Method::kLsap
+          ? BaselineMethod::kLsap
+          : (base.method == Method::kGreedySort ? BaselineMethod::kGreedySort
+                                                : BaselineMethod::kSeriation);
+  out.assign(taus.size(), MethodMetrics{});
+  double total_seconds = 0.0;
+  for (size_t q : all) {
+    // The scan with an infinite threshold returns every pair's estimate.
+    Result<BaselineResult> scan =
+        baselines_->Query(dataset_->queries[q], bm, INT64_MAX / 2);
+    if (!scan.ok()) return scan.status();
+    total_seconds += scan->seconds;
+    for (size_t t = 0; t < taus.size(); ++t) {
+      std::vector<size_t> retrieved;
+      for (const BaselineMatch& m : scan->matches) {
+        if (m.estimate <= static_cast<double>(taus[t])) {
+          retrieved.push_back(m.graph_id);
+        }
+      }
+      Result<std::vector<size_t>> truth = oracle_.TrueMatches(q, taus[t]);
+      if (!truth.ok()) return truth.status();
+      out[t].confusion += CompareSets(std::move(retrieved), std::move(*truth));
+    }
+  }
+  for (MethodMetrics& m : out) {
+    m.num_queries = all.size();
+    m.precision = Precision(m.confusion);
+    m.recall = Recall(m.confusion);
+    m.f1 = F1Score(m.confusion);
+    m.avg_query_seconds =
+        all.empty() ? 0.0 : total_seconds / static_cast<double>(all.size());
+  }
+  return out;
+}
+
+}  // namespace gbda

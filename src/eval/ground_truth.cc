@@ -1,0 +1,40 @@
+#include "eval/ground_truth.h"
+
+#include "common/string_util.h"
+
+namespace gbda {
+
+GroundTruthOracle::GroundTruthOracle(const GeneratedDataset* dataset)
+    : dataset_(dataset) {}
+
+Result<std::vector<size_t>> GroundTruthOracle::TrueMatches(size_t query_idx,
+                                                           int64_t tau) const {
+  if (query_idx >= dataset_->queries.size()) {
+    return Status::OutOfRange("query index out of range");
+  }
+  if (tau > max_certified_tau()) {
+    return Status::InvalidArgument(StrFormat(
+        "tau %lld exceeds the certified gap %lld of dataset %s",
+        static_cast<long long>(tau),
+        static_cast<long long>(max_certified_tau()),
+        dataset_->profile.name.c_str()));
+  }
+  return dataset_->TrueMatches(query_idx, tau);
+}
+
+Result<int64_t> GroundTruthOracle::Distance(size_t query_idx,
+                                            size_t graph_id) const {
+  if (query_idx >= dataset_->queries.size()) {
+    return Status::OutOfRange("query index out of range");
+  }
+  if (graph_id >= dataset_->db.size()) {
+    return Status::OutOfRange("graph id out of range");
+  }
+  const int64_t ged = dataset_->KnownGedOrFar(query_idx, graph_id);
+  if (ged < 0) {
+    return Status::NotFound("certified far pair: GED exceeds the rung gap");
+  }
+  return ged;
+}
+
+}  // namespace gbda

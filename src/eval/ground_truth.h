@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/dataset_profiles.h"
+
+namespace gbda {
+
+/// Ground-truth oracle over a generated dataset. Thin, validated wrapper
+/// around GeneratedDataset::KnownGedOrFar that refuses thresholds beyond the
+/// certification margin (a tau above the rung gap would silently mislabel
+/// cross-rung pairs).
+class GroundTruthOracle {
+ public:
+  explicit GroundTruthOracle(const GeneratedDataset* dataset);
+
+  /// True answer set of query `query_idx` at threshold `tau`. Fails when tau
+  /// exceeds the dataset's certified gap.
+  Result<std::vector<size_t>> TrueMatches(size_t query_idx, int64_t tau) const;
+
+  /// Exact GED for same-rung pairs; NotFound for certified far pairs.
+  Result<int64_t> Distance(size_t query_idx, size_t graph_id) const;
+
+  /// Largest threshold with certified labels.
+  int64_t max_certified_tau() const { return dataset_->profile.certified_gap(); }
+
+  size_t num_queries() const { return dataset_->queries.size(); }
+
+ private:
+  const GeneratedDataset* dataset_;
+};
+
+}  // namespace gbda

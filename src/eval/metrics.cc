@@ -1,0 +1,61 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace gbda {
+
+Confusion& Confusion::operator+=(const Confusion& other) {
+  true_positives += other.true_positives;
+  false_positives += other.false_positives;
+  false_negatives += other.false_negatives;
+  return *this;
+}
+
+double Precision(const Confusion& c) {
+  const size_t retrieved = c.true_positives + c.false_positives;
+  if (retrieved == 0) return 1.0;
+  return static_cast<double>(c.true_positives) / static_cast<double>(retrieved);
+}
+
+double Recall(const Confusion& c) {
+  const size_t relevant = c.true_positives + c.false_negatives;
+  if (relevant == 0) return 1.0;
+  return static_cast<double>(c.true_positives) / static_cast<double>(relevant);
+}
+
+double F1Score(const Confusion& c) {
+  const double p = Precision(c);
+  const double r = Recall(c);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+Confusion CompareSets(std::vector<size_t> retrieved,
+                      std::vector<size_t> relevant) {
+  std::sort(retrieved.begin(), retrieved.end());
+  retrieved.erase(std::unique(retrieved.begin(), retrieved.end()),
+                  retrieved.end());
+  std::sort(relevant.begin(), relevant.end());
+  relevant.erase(std::unique(relevant.begin(), relevant.end()), relevant.end());
+
+  Confusion c;
+  size_t i = 0, j = 0;
+  while (i < retrieved.size() && j < relevant.size()) {
+    if (retrieved[i] < relevant[j]) {
+      ++c.false_positives;
+      ++i;
+    } else if (retrieved[i] > relevant[j]) {
+      ++c.false_negatives;
+      ++j;
+    } else {
+      ++c.true_positives;
+      ++i;
+      ++j;
+    }
+  }
+  c.false_positives += retrieved.size() - i;
+  c.false_negatives += relevant.size() - j;
+  return c;
+}
+
+}  // namespace gbda

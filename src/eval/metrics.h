@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gbda {
+
+/// Confusion counts of one query result against the ground truth.
+struct Confusion {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  Confusion& operator+=(const Confusion& other);
+};
+
+/// Precision = TP / (TP + FP); defined as 1 when nothing was retrieved
+/// (an empty answer makes no false claims — keeps the tau=1 points of
+/// Figures 10-13 meaningful when answer sets are empty).
+double Precision(const Confusion& c);
+
+/// Recall = TP / (TP + FN); defined as 1 when nothing was relevant.
+double Recall(const Confusion& c);
+
+/// Harmonic mean of precision and recall; 0 when both are 0.
+double F1Score(const Confusion& c);
+
+/// Compares a retrieved id set against the relevant id set. Both vectors are
+/// copied and sorted internally; duplicates are an error of the caller and
+/// are deduplicated defensively.
+Confusion CompareSets(std::vector<size_t> retrieved,
+                      std::vector<size_t> relevant);
+
+}  // namespace gbda

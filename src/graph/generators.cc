@@ -1,0 +1,92 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+namespace gbda {
+
+Result<Graph> GenerateConnectedGraph(const GeneratorOptions& options, Rng* rng) {
+  if (options.num_vertices == 0) {
+    return Status::InvalidArgument("generator: num_vertices must be positive");
+  }
+  if (options.num_vertex_labels == 0 || options.num_edge_labels == 0) {
+    return Status::InvalidArgument("generator: label alphabets must be non-empty");
+  }
+  const size_t n = options.num_vertices;
+  auto rand_vlabel = [&]() {
+    return static_cast<LabelId>(
+        rng->UniformInt(1, static_cast<int64_t>(options.num_vertex_labels)));
+  };
+  auto rand_elabel = [&]() {
+    return static_cast<LabelId>(
+        rng->UniformInt(1, static_cast<int64_t>(options.num_edge_labels)));
+  };
+
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddVertex(rand_vlabel());
+
+  // Every edge pushes both endpoints, so a uniform draw from the pool picks
+  // a vertex with probability proportional to its degree — the O(1)
+  // preferential-attachment sampler.
+  std::vector<uint32_t> endpoint_pool;
+  endpoint_pool.reserve(2 * (n + options.edges_per_vertex * n));
+  auto record_edge = [&endpoint_pool](uint32_t a, uint32_t b) {
+    endpoint_pool.push_back(a);
+    endpoint_pool.push_back(b);
+  };
+
+  // Spanning tree guaranteeing connectivity. The scale-free kind grows a
+  // Barabasi-Albert tree (attach proportional to degree, power-law degrees
+  // with average ~2, matching the molecule datasets of Table III); the
+  // random kind attaches uniformly.
+  for (uint32_t i = 1; i < n; ++i) {
+    uint32_t j;
+    if (options.scale_free && !endpoint_pool.empty()) {
+      j = endpoint_pool[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(endpoint_pool.size()) - 1))];
+    } else {
+      j = static_cast<uint32_t>(rng->UniformInt(0, i - 1));
+    }
+    Status st = g.AddEdge(i, j, rand_elabel());
+    if (!st.ok()) return st;
+    record_edge(i, j);
+  }
+
+  if (options.scale_free) {
+    // Extra preferential edges (edges_per_vertex per vertex, skipped when 0).
+    for (uint32_t i = 1; i < n; ++i) {
+      for (size_t k = 0; k < options.edges_per_vertex; ++k) {
+        bool added = false;
+        for (int attempt = 0; attempt < 16 && !added; ++attempt) {
+          const uint32_t t = endpoint_pool[static_cast<size_t>(rng->UniformInt(
+              0, static_cast<int64_t>(endpoint_pool.size()) - 1))];
+          if (t == i || g.HasEdge(i, t)) continue;
+          Status st = g.AddEdge(i, t, rand_elabel());
+          if (!st.ok()) return st;
+          record_edge(i, t);
+          added = true;
+        }
+      }
+    }
+  } else {
+    const size_t max_possible = n * (n - 1) / 2 - (n - 1);
+    const size_t target = std::min(options.extra_edges, max_possible);
+    size_t added = 0;
+    size_t attempts = 0;
+    const size_t attempt_limit = 50 * (target + 1) + 1000;
+    while (added < target && attempts < attempt_limit) {
+      ++attempts;
+      if (n < 2) break;
+      const uint32_t u = static_cast<uint32_t>(
+          rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+      const uint32_t v = static_cast<uint32_t>(
+          rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+      if (u == v || g.HasEdge(u, v)) continue;
+      Status st = g.AddEdge(u, v, rand_elabel());
+      if (!st.ok()) return st;
+      ++added;
+    }
+  }
+  return g;
+}
+
+}  // namespace gbda

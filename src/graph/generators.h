@@ -1,0 +1,32 @@
+#pragma once
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace gbda {
+
+/// Parameters for the synthetic graph generators of Appendix I. Both kinds
+/// first build a random spanning tree (vertex i attaches to a uniform j < i,
+/// guaranteeing connectivity) and then add extra edges:
+///  - random (Syn-2): uniform non-adjacent vertex pairs;
+///  - scale-free (Syn-1): `edges_per_vertex` extra edges per vertex, endpoint
+///    chosen among earlier vertices with probability proportional to degree
+///    (preferential attachment).
+struct GeneratorOptions {
+  size_t num_vertices = 16;
+  /// Extra edges beyond the spanning tree for the random kind. Ignored by the
+  /// scale-free kind.
+  size_t extra_edges = 8;
+  /// Preferential-attachment edges per vertex for the scale-free kind.
+  size_t edges_per_vertex = 1;
+  size_t num_vertex_labels = 4;
+  size_t num_edge_labels = 3;
+  bool scale_free = false;
+};
+
+/// Generates one connected labeled graph. Fails when num_vertices is 0 or an
+/// alphabet is empty. Label ids are 1..num_*_labels (0 is the virtual label).
+Result<Graph> GenerateConnectedGraph(const GeneratorOptions& options, Rng* rng);
+
+}  // namespace gbda

@@ -1,0 +1,196 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/string_util.h"
+
+namespace gbda {
+namespace {
+
+std::vector<AdjEdge>::const_iterator FindEdge(const std::vector<AdjEdge>& adj,
+                                              uint32_t to) {
+  auto it = std::lower_bound(
+      adj.begin(), adj.end(), to,
+      [](const AdjEdge& e, uint32_t target) { return e.to < target; });
+  if (it != adj.end() && it->to == to) return it;
+  return adj.end();
+}
+
+}  // namespace
+
+Graph Graph::WithVertices(size_t n, LabelId label) {
+  Graph g;
+  g.vertex_labels_.assign(n, label);
+  g.adjacency_.resize(n);
+  return g;
+}
+
+uint32_t Graph::AddVertex(LabelId label) {
+  vertex_labels_.push_back(label);
+  adjacency_.emplace_back();
+  return static_cast<uint32_t>(vertex_labels_.size() - 1);
+}
+
+Status Graph::AddEdge(uint32_t u, uint32_t v, LabelId label) {
+  if (!HasVertex(u) || !HasVertex(v)) {
+    return Status::OutOfRange(StrFormat("edge endpoint out of range: {%u, %u}", u, v));
+  }
+  if (u == v) {
+    return Status::InvalidArgument(StrFormat("self-loop rejected at vertex %u", u));
+  }
+  if (HasEdge(u, v)) {
+    return Status::InvalidArgument(StrFormat("parallel edge rejected: {%u, %u}", u, v));
+  }
+  auto insert_sorted = [](std::vector<AdjEdge>& adj, uint32_t to, LabelId lab) {
+    auto it = std::lower_bound(
+        adj.begin(), adj.end(), to,
+        [](const AdjEdge& e, uint32_t target) { return e.to < target; });
+    adj.insert(it, AdjEdge{to, lab});
+  };
+  insert_sorted(adjacency_[u], v, label);
+  insert_sorted(adjacency_[v], u, label);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status Graph::RelabelVertex(uint32_t v, LabelId label) {
+  if (!HasVertex(v)) {
+    return Status::OutOfRange(StrFormat("vertex %u out of range", v));
+  }
+  vertex_labels_[v] = label;
+  return Status::OK();
+}
+
+Status Graph::RelabelEdge(uint32_t u, uint32_t v, LabelId label) {
+  if (!HasVertex(u) || !HasVertex(v)) {
+    return Status::OutOfRange(StrFormat("edge endpoint out of range: {%u, %u}", u, v));
+  }
+  auto it_u = FindEdge(adjacency_[u], v);
+  if (it_u == adjacency_[u].end()) {
+    return Status::NotFound(StrFormat("edge {%u, %u} absent", u, v));
+  }
+  auto it_v = FindEdge(adjacency_[v], u);
+  const_cast<AdjEdge&>(*it_u).label = label;
+  const_cast<AdjEdge&>(*it_v).label = label;
+  return Status::OK();
+}
+
+Status Graph::RemoveEdge(uint32_t u, uint32_t v) {
+  if (!HasVertex(u) || !HasVertex(v)) {
+    return Status::OutOfRange(StrFormat("edge endpoint out of range: {%u, %u}", u, v));
+  }
+  auto it_u = FindEdge(adjacency_[u], v);
+  if (it_u == adjacency_[u].end()) {
+    return Status::NotFound(StrFormat("edge {%u, %u} absent", u, v));
+  }
+  auto it_v = FindEdge(adjacency_[v], u);
+  adjacency_[u].erase(it_u);
+  adjacency_[v].erase(it_v);
+  --num_edges_;
+  return Status::OK();
+}
+
+Status Graph::RemoveIsolatedVertex(uint32_t v) {
+  if (!HasVertex(v)) {
+    return Status::OutOfRange(StrFormat("vertex %u out of range", v));
+  }
+  if (!adjacency_[v].empty()) {
+    return Status::FailedPrecondition(
+        StrFormat("vertex %u is not isolated (degree %zu)", v, adjacency_[v].size()));
+  }
+  const uint32_t last = static_cast<uint32_t>(vertex_labels_.size() - 1);
+  if (v != last) {
+    // Swap-remove: move the last vertex into slot v and rewrite references.
+    vertex_labels_[v] = vertex_labels_[last];
+    adjacency_[v] = std::move(adjacency_[last]);
+    for (const AdjEdge& e : adjacency_[v]) {
+      auto it = FindEdge(adjacency_[e.to], last);
+      const LabelId lab = it->label;
+      adjacency_[e.to].erase(it);
+      auto ins = std::lower_bound(
+          adjacency_[e.to].begin(), adjacency_[e.to].end(), v,
+          [](const AdjEdge& ae, uint32_t target) { return ae.to < target; });
+      adjacency_[e.to].insert(ins, AdjEdge{v, lab});
+    }
+  }
+  vertex_labels_.pop_back();
+  adjacency_.pop_back();
+  return Status::OK();
+}
+
+bool Graph::HasEdge(uint32_t u, uint32_t v) const {
+  if (!HasVertex(u) || !HasVertex(v)) return false;
+  return FindEdge(adjacency_[u], v) != adjacency_[u].end();
+}
+
+Result<LabelId> Graph::EdgeLabel(uint32_t u, uint32_t v) const {
+  if (!HasVertex(u) || !HasVertex(v)) {
+    return Status::OutOfRange(StrFormat("edge endpoint out of range: {%u, %u}", u, v));
+  }
+  auto it = FindEdge(adjacency_[u], v);
+  if (it == adjacency_[u].end()) {
+    return Status::NotFound(StrFormat("edge {%u, %u} absent", u, v));
+  }
+  return it->label;
+}
+
+double Graph::AvgDegree() const {
+  if (vertex_labels_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(vertex_labels_.size());
+}
+
+std::map<int64_t, size_t> Graph::DegreeHistogram() const {
+  std::map<int64_t, size_t> hist;
+  for (const auto& adj : adjacency_) ++hist[static_cast<int64_t>(adj.size())];
+  return hist;
+}
+
+bool Graph::IsConnected() const {
+  if (vertex_labels_.empty()) return true;
+  std::vector<char> seen(vertex_labels_.size(), 0);
+  std::queue<uint32_t> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  size_t visited = 1;
+  while (!frontier.empty()) {
+    const uint32_t v = frontier.front();
+    frontier.pop();
+    for (const AdjEdge& e : adjacency_[v]) {
+      if (!seen[e.to]) {
+        seen[e.to] = 1;
+        ++visited;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return visited == vertex_labels_.size();
+}
+
+std::vector<Graph::EdgeTriple> Graph::SortedEdges() const {
+  std::vector<EdgeTriple> edges;
+  edges.reserve(num_edges_);
+  for (uint32_t u = 0; u < vertex_labels_.size(); ++u) {
+    for (const AdjEdge& e : adjacency_[u]) {
+      if (u < e.to) edges.push_back(EdgeTriple{u, e.to, e.label});
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+bool Graph::IdenticalTo(const Graph& other) const {
+  return vertex_labels_ == other.vertex_labels_ &&
+         SortedEdges() == other.SortedEdges();
+}
+
+size_t Graph::MemoryBytes() const {
+  size_t bytes = sizeof(Graph);
+  bytes += vertex_labels_.capacity() * sizeof(LabelId);
+  bytes += adjacency_.capacity() * sizeof(std::vector<AdjEdge>);
+  for (const auto& adj : adjacency_) bytes += adj.capacity() * sizeof(AdjEdge);
+  return bytes;
+}
+
+}  // namespace gbda

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/label_dict.h"
+
+namespace gbda {
+
+/// One endpoint of an adjacency list: neighbour vertex and edge label.
+struct AdjEdge {
+  uint32_t to = 0;
+  LabelId label = kVirtualLabel;
+
+  bool operator==(const AdjEdge&) const = default;
+};
+
+/// Simple labeled undirected graph (Section II): no self-loops, no parallel
+/// edges, every vertex and edge carries a label id. Vertices are dense indices
+/// 0..n-1. Adjacency lists are kept sorted by neighbour id, which makes edge
+/// lookup O(log d) and iteration deterministic.
+///
+/// Mutating operations validate their arguments and return Status; the class
+/// never throws. Directed or weighted graphs are handled by encoding
+/// direction/weight into edge labels, as the paper prescribes.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `n` vertices all labelled `label`.
+  static Graph WithVertices(size_t n, LabelId label);
+
+  /// Appends a vertex; returns its index.
+  uint32_t AddVertex(LabelId label);
+
+  /// Inserts edge {u, v} with `label`. Fails if an endpoint is out of range,
+  /// u == v, or the edge already exists.
+  Status AddEdge(uint32_t u, uint32_t v, LabelId label);
+
+  /// Replaces the label of vertex v.
+  Status RelabelVertex(uint32_t v, LabelId label);
+
+  /// Replaces the label of edge {u, v}; fails when absent.
+  Status RelabelEdge(uint32_t u, uint32_t v, LabelId label);
+
+  /// Deletes edge {u, v}; fails when absent.
+  Status RemoveEdge(uint32_t u, uint32_t v);
+
+  /// Deletes vertex v, which must be isolated (the DV operation of
+  /// Definition 1). The last vertex is swapped into position v, so callers
+  /// must not hold on to vertex indices across this call.
+  Status RemoveIsolatedVertex(uint32_t v);
+
+  size_t num_vertices() const { return vertex_labels_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  bool HasVertex(uint32_t v) const { return v < vertex_labels_.size(); }
+  bool HasEdge(uint32_t u, uint32_t v) const;
+
+  LabelId VertexLabel(uint32_t v) const { return vertex_labels_[v]; }
+  Result<LabelId> EdgeLabel(uint32_t u, uint32_t v) const;
+
+  size_t Degree(uint32_t v) const { return adjacency_[v].size(); }
+
+  /// Average degree 2|E|/|V| (0 for the empty graph).
+  double AvgDegree() const;
+
+  /// Sorted adjacency list of v.
+  const std::vector<AdjEdge>& Neighbors(uint32_t v) const { return adjacency_[v]; }
+
+  /// Degree -> vertex count, the input of the scale-free test.
+  std::map<int64_t, size_t> DegreeHistogram() const;
+
+  /// True when the graph is connected (BFS); the empty graph is connected.
+  bool IsConnected() const;
+
+  /// All edges as (u, v, label) with u < v, sorted; convenient for I/O and
+  /// comparisons.
+  struct EdgeTriple {
+    uint32_t u, v;
+    LabelId label;
+    bool operator==(const EdgeTriple&) const = default;
+    auto operator<=>(const EdgeTriple&) const = default;
+  };
+  std::vector<EdgeTriple> SortedEdges() const;
+
+  /// Structural equality: same vertex labels in index order and same edge set.
+  /// (Not isomorphism — used by tests and serialization round-trips.)
+  bool IdenticalTo(const Graph& other) const;
+
+  /// Estimated heap footprint in bytes (capacity-based).
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<LabelId> vertex_labels_;
+  std::vector<std::vector<AdjEdge>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace gbda

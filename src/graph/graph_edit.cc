@@ -1,0 +1,185 @@
+#include "graph/graph_edit.h"
+
+#include "common/string_util.h"
+
+namespace gbda {
+
+const char* EditTypeName(EditType type) {
+  switch (type) {
+    case EditType::kAddVertex:
+      return "AV";
+    case EditType::kDeleteVertex:
+      return "DV";
+    case EditType::kRelabelVertex:
+      return "RV";
+    case EditType::kAddEdge:
+      return "AE";
+    case EditType::kDeleteEdge:
+      return "DE";
+    case EditType::kRelabelEdge:
+      return "RE";
+  }
+  return "?";
+}
+
+EditOp EditOp::AddVertex(LabelId label) {
+  return EditOp{EditType::kAddVertex, 0, 0, label};
+}
+EditOp EditOp::DeleteVertex(uint32_t u) {
+  return EditOp{EditType::kDeleteVertex, u, 0, kVirtualLabel};
+}
+EditOp EditOp::RelabelVertex(uint32_t u, LabelId label) {
+  return EditOp{EditType::kRelabelVertex, u, 0, label};
+}
+EditOp EditOp::AddEdge(uint32_t u, uint32_t v, LabelId label) {
+  return EditOp{EditType::kAddEdge, u, v, label};
+}
+EditOp EditOp::DeleteEdge(uint32_t u, uint32_t v) {
+  return EditOp{EditType::kDeleteEdge, u, v, kVirtualLabel};
+}
+EditOp EditOp::RelabelEdge(uint32_t u, uint32_t v, LabelId label) {
+  return EditOp{EditType::kRelabelEdge, u, v, label};
+}
+
+std::string EditOp::ToString() const {
+  switch (type) {
+    case EditType::kAddVertex:
+      return StrFormat("AV(label=%u)", label);
+    case EditType::kDeleteVertex:
+      return StrFormat("DV(%u)", u);
+    case EditType::kRelabelVertex:
+      return StrFormat("RV(%u, label=%u)", u, label);
+    case EditType::kAddEdge:
+      return StrFormat("AE(%u, %u, label=%u)", u, v, label);
+    case EditType::kDeleteEdge:
+      return StrFormat("DE(%u, %u)", u, v);
+    case EditType::kRelabelEdge:
+      return StrFormat("RE(%u, %u, label=%u)", u, v, label);
+  }
+  return "?";
+}
+
+Status ApplyEdit(Graph* graph, const EditOp& op) {
+  switch (op.type) {
+    case EditType::kAddVertex:
+      if (op.label == kVirtualLabel) {
+        return Status::InvalidArgument("AV requires a non-virtual label");
+      }
+      graph->AddVertex(op.label);
+      return Status::OK();
+    case EditType::kDeleteVertex:
+      return graph->RemoveIsolatedVertex(op.u);
+    case EditType::kRelabelVertex:
+      if (op.label == kVirtualLabel) {
+        return Status::InvalidArgument("RV requires a non-virtual label");
+      }
+      return graph->RelabelVertex(op.u, op.label);
+    case EditType::kAddEdge:
+      if (op.label == kVirtualLabel) {
+        return Status::InvalidArgument("AE requires a non-virtual label");
+      }
+      return graph->AddEdge(op.u, op.v, op.label);
+    case EditType::kDeleteEdge:
+      return graph->RemoveEdge(op.u, op.v);
+    case EditType::kRelabelEdge:
+      if (op.label == kVirtualLabel) {
+        return Status::InvalidArgument("RE requires a non-virtual label");
+      }
+      return graph->RelabelEdge(op.u, op.v, op.label);
+  }
+  return Status::InvalidArgument("unknown edit type");
+}
+
+Status ApplyEditSequence(Graph* graph, const std::vector<EditOp>& sequence) {
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    Status st = ApplyEdit(graph, sequence[i]);
+    if (!st.ok()) {
+      return Status(st.code(),
+                    StrFormat("op %zu (%s): %s", i, sequence[i].ToString().c_str(),
+                              st.message().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<RandomEditResult> RandomEditSequence(const Graph& base, size_t length,
+                                            size_t num_vertex_labels,
+                                            size_t num_edge_labels, Rng* rng) {
+  if (num_vertex_labels == 0 || num_edge_labels == 0) {
+    return Status::InvalidArgument("random edits need non-empty label alphabets");
+  }
+  RandomEditResult out;
+  out.edited = base;
+  Graph& g = out.edited;
+  auto rand_vlabel = [&]() {
+    return static_cast<LabelId>(rng->UniformInt(1, static_cast<int64_t>(num_vertex_labels)));
+  };
+  auto rand_elabel = [&]() {
+    return static_cast<LabelId>(rng->UniformInt(1, static_cast<int64_t>(num_edge_labels)));
+  };
+
+  size_t attempts = 0;
+  while (out.sequence.size() < length) {
+    if (++attempts > 100 * (length + 1)) {
+      return Status::Internal("random edit generation failed to converge");
+    }
+    const int kind = static_cast<int>(rng->UniformInt(0, 5));
+    const size_t n = g.num_vertices();
+    EditOp op;
+    switch (kind) {
+      case 0:
+        op = EditOp::AddVertex(rand_vlabel());
+        break;
+      case 1: {
+        // Find an isolated vertex; skip if none.
+        std::vector<uint32_t> isolated;
+        for (uint32_t v = 0; v < n; ++v) {
+          if (g.Degree(v) == 0) isolated.push_back(v);
+        }
+        if (isolated.empty()) continue;
+        op = EditOp::DeleteVertex(isolated[static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(isolated.size()) - 1))]);
+        break;
+      }
+      case 2: {
+        if (n == 0) continue;
+        const uint32_t v = static_cast<uint32_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+        const LabelId lab = rand_vlabel();
+        if (g.VertexLabel(v) == lab) continue;  // no-op relabel would not count
+        op = EditOp::RelabelVertex(v, lab);
+        break;
+      }
+      case 3: {
+        if (n < 2) continue;
+        const uint32_t u = static_cast<uint32_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+        const uint32_t v = static_cast<uint32_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+        if (u == v || g.HasEdge(u, v)) continue;
+        op = EditOp::AddEdge(u, v, rand_elabel());
+        break;
+      }
+      case 4:
+      case 5: {
+        if (g.num_edges() == 0) continue;
+        const std::vector<Graph::EdgeTriple> edges = g.SortedEdges();
+        const Graph::EdgeTriple e = edges[static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(edges.size()) - 1))];
+        if (kind == 4) {
+          op = EditOp::DeleteEdge(e.u, e.v);
+        } else {
+          const LabelId lab = rand_elabel();
+          if (lab == e.label) continue;
+          op = EditOp::RelabelEdge(e.u, e.v, lab);
+        }
+        break;
+      }
+      default:
+        continue;
+    }
+    Status st = ApplyEdit(&g, op);
+    if (!st.ok()) continue;
+    out.sequence.push_back(op);
+  }
+  return out;
+}
+
+}  // namespace gbda

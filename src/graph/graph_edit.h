@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace gbda {
+
+/// The six graph edit operation types of Definition 1.
+enum class EditType {
+  kAddVertex,      // AV: add one isolated vertex with a non-virtual label
+  kDeleteVertex,   // DV: delete one isolated vertex
+  kRelabelVertex,  // RV
+  kAddEdge,        // AE: add one edge with a non-virtual label
+  kDeleteEdge,     // DE
+  kRelabelEdge,    // RE
+};
+
+const char* EditTypeName(EditType type);
+
+/// One graph edit operation. `u` is the vertex for AV/DV/RV; `u`,`v` are the
+/// endpoints for AE/DE/RE; `label` is the new label for AV/RV/AE/RE.
+struct EditOp {
+  EditType type = EditType::kRelabelVertex;
+  uint32_t u = 0;
+  uint32_t v = 0;
+  LabelId label = kVirtualLabel;
+
+  static EditOp AddVertex(LabelId label);
+  static EditOp DeleteVertex(uint32_t u);
+  static EditOp RelabelVertex(uint32_t u, LabelId label);
+  static EditOp AddEdge(uint32_t u, uint32_t v, LabelId label);
+  static EditOp DeleteEdge(uint32_t u, uint32_t v);
+  static EditOp RelabelEdge(uint32_t u, uint32_t v, LabelId label);
+
+  std::string ToString() const;
+};
+
+/// Applies one operation in place. Enforces the restrictions of Definition 1:
+/// AV/RV/AE/RE labels must be non-virtual, DV requires an isolated vertex,
+/// AE requires a fresh vertex pair. Note DV swap-removes, so indices in
+/// subsequent operations must account for Graph::RemoveIsolatedVertex.
+Status ApplyEdit(Graph* graph, const EditOp& op);
+
+/// Applies a whole sequence, stopping at the first failure. On failure the
+/// graph is left in the partially edited state (callers that need rollback
+/// should copy first); the status reports the failing index.
+Status ApplyEditSequence(Graph* graph, const std::vector<EditOp>& sequence);
+
+/// Generates a random valid edit sequence of exactly `length` operations on a
+/// copy of `base`, returning the edited graph and the sequence. Labels are
+/// drawn from [1, num_labels]. By construction GED(base, result) <= length —
+/// the upper-bound half of test oracles.
+struct RandomEditResult {
+  Graph edited;
+  std::vector<EditOp> sequence;
+};
+Result<RandomEditResult> RandomEditSequence(const Graph& base, size_t length,
+                                            size_t num_vertex_labels,
+                                            size_t num_edge_labels, Rng* rng);
+
+}  // namespace gbda

@@ -1,0 +1,43 @@
+#include "graph/label_dict.h"
+
+#include "common/string_util.h"
+
+namespace gbda {
+namespace {
+const char kEpsilonName[] = "\xCE\xB5";  // UTF-8 for the Greek letter epsilon
+}
+
+LabelDict::LabelDict() {
+  names_.push_back(kEpsilonName);
+  ids_.emplace(kEpsilonName, kVirtualLabel);
+}
+
+LabelId LabelDict::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const LabelId id = static_cast<LabelId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+Result<LabelId> LabelDict::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return Status::NotFound("label not interned: " + name);
+  return it->second;
+}
+
+Result<std::string> LabelDict::Name(LabelId id) const {
+  if (id >= names_.size()) {
+    return Status::OutOfRange(StrFormat("label id %u out of range", id));
+  }
+  return names_[id];
+}
+
+void LabelDict::InternNumbered(size_t count, const std::string& prefix) {
+  for (size_t i = 0; i < count; ++i) {
+    Intern(prefix + std::to_string(i));
+  }
+}
+
+}  // namespace gbda

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gbda {
+
+/// Interned label identifier. Labels are compared by id everywhere in the
+/// library; strings only appear at the I/O boundary.
+using LabelId = uint32_t;
+
+/// The virtual label epsilon of Section II. Id 0 is reserved for it in every
+/// dictionary; it never collides with a real label.
+inline constexpr LabelId kVirtualLabel = 0;
+
+/// Bidirectional string<->id mapping for one label universe (the library keeps
+/// separate dictionaries for vertex labels L_V and edge labels L_E).
+class LabelDict {
+ public:
+  LabelDict();
+
+  /// Returns the id for `name`, interning it when unseen. Interning the
+  /// reserved epsilon name returns kVirtualLabel.
+  LabelId Intern(const std::string& name);
+
+  /// Id lookup without interning.
+  Result<LabelId> Find(const std::string& name) const;
+
+  /// Name lookup; fails on out-of-range ids.
+  Result<std::string> Name(LabelId id) const;
+
+  /// Number of labels including the reserved virtual label.
+  size_t size() const { return names_.size(); }
+
+  /// Number of real (non-virtual) labels — the |L_V| / |L_E| of the paper.
+  size_t num_real_labels() const { return names_.size() - 1; }
+
+  /// Interns "L0", "L1", ..., "L{count-1}"; convenient for synthetic data.
+  void InternNumbered(size_t count, const std::string& prefix = "L");
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+}  // namespace gbda

@@ -1,0 +1,28 @@
+#include "math/dense_matrix.h"
+
+#include <cmath>
+
+namespace gbda {
+
+std::vector<double> DenseMatrix::MatVec(const std::vector<double>& x) const {
+  std::vector<double> y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+double DenseMatrix::MaxOffDiagonal() const {
+  double best = 0.0;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      if (r != c) best = std::max(best, std::fabs(At(r, c)));
+    }
+  }
+  return best;
+}
+
+}  // namespace gbda

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gbda {
+
+/// Minimal row-major dense matrix of doubles. Used for assignment cost
+/// matrices (baselines) and small symmetric eigenproblems (seriation, tests).
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// y = A * x. Requires x.size() == cols().
+  std::vector<double> MatVec(const std::vector<double>& x) const;
+
+  /// Maximum absolute off-diagonal element (Jacobi convergence criterion).
+  double MaxOffDiagonal() const;
+
+  bool IsSquare() const { return rows_ == cols_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace gbda

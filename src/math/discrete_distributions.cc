@@ -1,0 +1,45 @@
+#include "math/discrete_distributions.h"
+
+#include <cmath>
+
+#include "math/log_combinatorics.h"
+
+namespace gbda {
+
+double LogHypergeometricPmf(int64_t x, int64_t m_total, int64_t k_marked,
+                            int64_t n_draws) {
+  if (x < 0 || x > k_marked || x > n_draws) return NegInf();
+  if (n_draws - x > m_total - k_marked) return NegInf();
+  if (n_draws <= 256) {
+    // Product form: C(N,x) * prod K-i * prod (M-K)-j / prod M-t. Each factor
+    // is O(1) in log space, so the result keeps full double precision even
+    // when M ~ 5e9 (where the lgamma route loses ~1e-5 relative accuracy).
+    double log_p = LogBinomial(n_draws, x);
+    for (int64_t i = 0; i < x; ++i) {
+      log_p += std::log(static_cast<double>(k_marked - i));
+    }
+    for (int64_t j = 0; j < n_draws - x; ++j) {
+      log_p += std::log(static_cast<double>(m_total - k_marked - j));
+    }
+    for (int64_t t = 0; t < n_draws; ++t) {
+      log_p -= std::log(static_cast<double>(m_total - t));
+    }
+    return log_p;
+  }
+  return LogBinomial(k_marked, x) + LogBinomial(m_total - k_marked, n_draws - x) -
+         LogBinomial(m_total, n_draws);
+}
+
+double HypergeometricPmf(int64_t x, int64_t m_total, int64_t k_marked,
+                         int64_t n_draws) {
+  return ExpSafe(LogHypergeometricPmf(x, m_total, k_marked, n_draws));
+}
+
+double LogBinomialPmfFromLogs(int64_t k, int64_t n, double log_p,
+                              double log_1mp) {
+  if (k < 0 || k > n) return NegInf();
+  return LogBinomial(n, k) + static_cast<double>(k) * log_p +
+         static_cast<double>(n - k) * log_1mp;
+}
+
+}  // namespace gbda

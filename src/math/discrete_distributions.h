@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+namespace gbda {
+
+/// Hypergeometric pmf H(x; M, K, N) = C(K,x) C(M-K, N-x) / C(M, N):
+/// the probability of drawing exactly `x` marked items when drawing `N`
+/// without replacement from `M` items of which `K` are marked (Eq. 32 in the
+/// paper). Returns 0 outside the support.
+double HypergeometricPmf(int64_t x, int64_t m_total, int64_t k_marked,
+                         int64_t n_draws);
+
+/// Natural log of the hypergeometric pmf; NegInf() outside the support.
+double LogHypergeometricPmf(int64_t x, int64_t m_total, int64_t k_marked,
+                            int64_t n_draws);
+
+/// Binomial pmf C(n,k) p^k (1-p)^{n-k} parameterised by ln p and ln(1-p) so it
+/// stays usable when p is within 1e-300 of 0 or 1 (Omega3 has p = (D-1)/D with
+/// D astronomically large). NegInf() outside the support.
+double LogBinomialPmfFromLogs(int64_t k, int64_t n, double log_p,
+                              double log_1mp);
+
+}  // namespace gbda

@@ -1,0 +1,111 @@
+#include "math/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gbda {
+
+Status JacobiEigenSymmetric(const DenseMatrix& a,
+                            std::vector<double>* eigenvalues,
+                            std::vector<std::vector<double>>* eigenvectors,
+                            int max_sweeps, double tolerance) {
+  if (!a.IsSquare()) {
+    return Status::InvalidArgument("Jacobi: matrix must be square");
+  }
+  const size_t n = a.rows();
+  DenseMatrix m = a;
+  // v starts as identity and accumulates the rotations.
+  DenseMatrix v(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) v.At(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (m.MaxOffDiagonal() < tolerance) break;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = m.At(p, q);
+        if (std::fabs(apq) < tolerance) continue;
+        const double app = m.At(p, p);
+        const double aqq = m.At(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          const double mkp = m.At(k, p);
+          const double mkq = m.At(k, q);
+          m.At(k, p) = c * mkp - s * mkq;
+          m.At(k, q) = s * mkp + c * mkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double mpk = m.At(p, k);
+          const double mqk = m.At(q, k);
+          m.At(p, k) = c * mpk - s * mqk;
+          m.At(q, k) = s * mpk + c * mqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v.At(k, p);
+          const double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return m.At(i, i) > m.At(j, j); });
+
+  eigenvalues->resize(n);
+  eigenvectors->assign(n, std::vector<double>(n));
+  for (size_t rank = 0; rank < n; ++rank) {
+    const size_t col = order[rank];
+    (*eigenvalues)[rank] = m.At(col, col);
+    for (size_t k = 0; k < n; ++k) (*eigenvectors)[rank][k] = v.At(k, col);
+  }
+  return Status::OK();
+}
+
+Result<double> PowerIterationLeading(
+    const std::function<std::vector<double>(const std::vector<double>&)>& matvec,
+    size_t n, std::vector<double>* eigenvector, int max_iterations,
+    double tolerance, uint64_t seed) {
+  if (n == 0) return Status::InvalidArgument("power iteration: empty operator");
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& xi : x) xi = rng.Uniform(0.1, 1.0);  // positive start helps Perron
+  double norm = 0.0;
+  for (double xi : x) norm += xi * xi;
+  norm = std::sqrt(norm);
+  for (auto& xi : x) xi /= norm;
+
+  double lambda_shifted = 0.0;
+  constexpr double kShift = 1.0;
+  for (int it = 0; it < max_iterations; ++it) {
+    std::vector<double> y = matvec(x);
+    for (size_t i = 0; i < n; ++i) y[i] += kShift * x[i];
+    double ynorm = 0.0;
+    for (double yi : y) ynorm += yi * yi;
+    ynorm = std::sqrt(ynorm);
+    if (ynorm == 0.0) {
+      // The zero operator: every vector is an eigenvector with eigenvalue 0.
+      *eigenvector = x;
+      return 0.0 - kShift + kShift;  // eigenvalue of A is 0
+    }
+    double diff = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double xi_new = y[i] / ynorm;
+      diff = std::max(diff, std::fabs(xi_new - x[i]));
+      x[i] = xi_new;
+    }
+    lambda_shifted = ynorm;
+    if (diff < tolerance) break;
+  }
+  *eigenvector = std::move(x);
+  return lambda_shifted - kShift;
+}
+
+}  // namespace gbda

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "math/dense_matrix.h"
+
+namespace gbda {
+
+/// Full eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+/// `eigenvalues` are returned in descending order with matching columns in
+/// `eigenvectors` (each inner vector is one eigenvector). Fails on non-square
+/// input. O(n^3) per sweep; intended for matrices up to a few hundred rows
+/// (tests and small seriation instances).
+Status JacobiEigenSymmetric(const DenseMatrix& a,
+                            std::vector<double>* eigenvalues,
+                            std::vector<std::vector<double>>* eigenvectors,
+                            int max_sweeps = 64, double tolerance = 1e-12);
+
+/// Leading eigenpair of a symmetric operator given only a matrix-vector
+/// product, via shifted power iteration (shift +1 breaks the bipartite
+/// lambda/-lambda tie of adjacency matrices). Deterministic for a fixed seed.
+/// Returns the eigenvalue; writes the unit eigenvector into `eigenvector`.
+/// This is the O(n^2)-per-iteration kernel of the Graph Seriation baseline
+/// (Robles-Kelly & Hancock), applied to sparse adjacency in O(|E|).
+Result<double> PowerIterationLeading(
+    const std::function<std::vector<double>(const std::vector<double>&)>& matvec,
+    size_t n, std::vector<double>* eigenvector, int max_iterations = 300,
+    double tolerance = 1e-10, uint64_t seed = 7);
+
+}  // namespace gbda

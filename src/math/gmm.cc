@@ -1,0 +1,194 @@
+#include "math/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "math/gaussian.h"
+#include "math/log_combinatorics.h"
+
+namespace gbda {
+namespace {
+
+/// k-means++ seeding: first centre uniform, later centres proportional to the
+/// squared distance to the nearest chosen centre.
+std::vector<double> KMeansPlusPlusCentres(const std::vector<double>& data,
+                                          int k, Rng* rng) {
+  std::vector<double> centres;
+  centres.reserve(static_cast<size_t>(k));
+  centres.push_back(
+      data[static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(data.size()) - 1))]);
+  std::vector<double> d2(data.size());
+  while (centres.size() < static_cast<size_t>(k)) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (double c : centres) {
+        const double d = data[i] - c;
+        best = std::min(best, d * d);
+      }
+      d2[i] = best;
+    }
+    const size_t pick = rng->WeightedIndex(d2);
+    if (pick >= data.size()) {
+      // All points coincide with existing centres; duplicate one.
+      centres.push_back(centres.back());
+    } else {
+      centres.push_back(data[pick]);
+    }
+  }
+  return centres;
+}
+
+}  // namespace
+
+Result<GaussianMixture> GaussianMixture::Fit(const std::vector<double>& data,
+                                             const GmmFitOptions& options) {
+  if (data.empty()) return Status::InvalidArgument("GMM fit: empty data");
+  if (options.num_components <= 0) {
+    return Status::InvalidArgument("GMM fit: num_components must be positive");
+  }
+  const int k = options.num_components;
+  const size_t n = data.size();
+
+  double mean = 0.0;
+  for (double x : data) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double x : data) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(n);
+  const double global_sd =
+      std::max(std::sqrt(var), options.stddev_floor);
+
+  Rng rng(options.seed);
+  GaussianMixture model;
+  model.components_.resize(static_cast<size_t>(k));
+  const std::vector<double> centres = KMeansPlusPlusCentres(data, k, &rng);
+  for (int c = 0; c < k; ++c) {
+    model.components_[static_cast<size_t>(c)] = {1.0 / k, centres[static_cast<size_t>(c)],
+                                                 global_sd};
+  }
+
+  std::vector<double> resp(n * static_cast<size_t>(k));
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // E step: responsibilities via log-sum-exp.
+    double ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double max_log = -std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const GmmComponent& gc = model.components_[static_cast<size_t>(c)];
+        const double lw = gc.weight > 0.0 ? std::log(gc.weight) : NegInf();
+        const double lp = lw + NormalLogPdf(data[i], gc.mean, gc.stddev);
+        resp[i * static_cast<size_t>(k) + static_cast<size_t>(c)] = lp;
+        max_log = std::max(max_log, lp);
+      }
+      double denom = 0.0;
+      for (int c = 0; c < k; ++c) {
+        denom += std::exp(resp[i * static_cast<size_t>(k) + static_cast<size_t>(c)] - max_log);
+      }
+      const double log_denom = max_log + std::log(denom);
+      ll += log_denom;
+      for (int c = 0; c < k; ++c) {
+        double& r = resp[i * static_cast<size_t>(k) + static_cast<size_t>(c)];
+        r = std::exp(r - log_denom);
+      }
+    }
+    ll /= static_cast<double>(n);
+
+    // M step.
+    for (int c = 0; c < k; ++c) {
+      double nk = 0.0, mu = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double r = resp[i * static_cast<size_t>(k) + static_cast<size_t>(c)];
+        nk += r;
+        mu += r * data[i];
+      }
+      GmmComponent& gc = model.components_[static_cast<size_t>(c)];
+      if (nk < 1e-12) {
+        // Dead component: park it at the global statistics with zero weight.
+        gc = {0.0, mean, global_sd};
+        continue;
+      }
+      mu /= nk;
+      double s2 = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double r = resp[i * static_cast<size_t>(k) + static_cast<size_t>(c)];
+        s2 += r * (data[i] - mu) * (data[i] - mu);
+      }
+      s2 /= nk;
+      gc.weight = nk / static_cast<double>(n);
+      gc.mean = mu;
+      gc.stddev = std::max(std::sqrt(s2), options.stddev_floor);
+    }
+
+    if (ll - prev_ll < options.tolerance && iter > 0) {
+      prev_ll = ll;
+      ++iter;
+      break;
+    }
+    prev_ll = ll;
+  }
+  model.log_likelihood_ = prev_ll;
+  model.iterations_used_ = iter;
+
+  // Renormalise weights against accumulated floating-point drift.
+  double wsum = 0.0;
+  for (const auto& gc : model.components_) wsum += gc.weight;
+  if (wsum <= 0.0) return Status::Internal("GMM fit: all components died");
+  for (auto& gc : model.components_) gc.weight /= wsum;
+  return model;
+}
+
+Result<GaussianMixture> GaussianMixture::FromComponents(
+    std::vector<GmmComponent> comps) {
+  if (comps.empty()) {
+    return Status::InvalidArgument("GMM: component list is empty");
+  }
+  double wsum = 0.0;
+  for (const auto& c : comps) {
+    if (c.stddev <= 0.0) {
+      return Status::InvalidArgument("GMM: component stddev must be positive");
+    }
+    if (c.weight < 0.0) {
+      return Status::InvalidArgument("GMM: component weight must be non-negative");
+    }
+    wsum += c.weight;
+  }
+  if (wsum <= 0.0) {
+    return Status::InvalidArgument("GMM: weights sum to zero");
+  }
+  for (auto& c : comps) c.weight /= wsum;
+  GaussianMixture model;
+  model.components_ = std::move(comps);
+  return model;
+}
+
+double GaussianMixture::Pdf(double x) const {
+  double p = 0.0;
+  for (const auto& c : components_) {
+    if (c.weight > 0.0) p += c.weight * NormalPdf(x, c.mean, c.stddev);
+  }
+  return p;
+}
+
+double GaussianMixture::Cdf(double x) const {
+  double p = 0.0;
+  for (const auto& c : components_) {
+    if (c.weight > 0.0) p += c.weight * NormalCdf(x, c.mean, c.stddev);
+  }
+  return p;
+}
+
+double GaussianMixture::IntervalProbability(double lo, double hi) const {
+  if (hi <= lo) return 0.0;
+  double p = 0.0;
+  for (const auto& c : components_) {
+    if (c.weight > 0.0) {
+      p += c.weight * NormalIntervalProb(lo, hi, c.mean, c.stddev);
+    }
+  }
+  return p;
+}
+
+}  // namespace gbda

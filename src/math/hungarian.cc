@@ -1,0 +1,107 @@
+#include "math/hungarian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace gbda {
+
+Result<AssignmentResult> SolveAssignment(const DenseMatrix& cost) {
+  if (cost.rows() == 0) return Status::InvalidArgument("assignment: empty matrix");
+  if (!cost.IsSquare()) {
+    return Status::InvalidArgument("assignment: matrix must be square");
+  }
+  const int n = static_cast<int>(cost.rows());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Kuhn-Munkres with row/column potentials; 1-based auxiliary arrays.
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<int> match(static_cast<size_t>(n) + 1, 0);  // column -> row
+  std::vector<int> way(static_cast<size_t>(n) + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    match[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(n) + 1, kInf);
+    std::vector<char> used(static_cast<size_t>(n) + 1, 0);
+    do {
+      used[static_cast<size_t>(j0)] = 1;
+      const int i0 = match[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const double cur = cost.At(static_cast<size_t>(i0) - 1, static_cast<size_t>(j) - 1) -
+                           u[static_cast<size_t>(i0)] - v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(match[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[static_cast<size_t>(j0)] != 0);
+    do {
+      const int j1 = way[static_cast<size_t>(j0)];
+      match[static_cast<size_t>(j0)] = match[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.row_to_col.assign(static_cast<size_t>(n), 0);
+  for (int j = 1; j <= n; ++j) {
+    result.row_to_col[static_cast<size_t>(match[static_cast<size_t>(j)]) - 1] =
+        static_cast<size_t>(j) - 1;
+  }
+  for (int r = 0; r < n; ++r) {
+    result.cost += cost.At(static_cast<size_t>(r), result.row_to_col[static_cast<size_t>(r)]);
+  }
+  return result;
+}
+
+Result<AssignmentResult> SolveAssignmentGreedySort(const DenseMatrix& cost) {
+  if (cost.rows() == 0) return Status::InvalidArgument("assignment: empty matrix");
+  if (!cost.IsSquare()) {
+    return Status::InvalidArgument("assignment: matrix must be square");
+  }
+  const size_t n = cost.rows();
+  std::vector<size_t> cells(n * n);
+  std::iota(cells.begin(), cells.end(), size_t{0});
+  std::sort(cells.begin(), cells.end(), [&](size_t a, size_t b) {
+    const double ca = cost.data()[a];
+    const double cb = cost.data()[b];
+    if (ca != cb) return ca < cb;
+    return a < b;  // deterministic tie-break
+  });
+
+  AssignmentResult result;
+  result.row_to_col.assign(n, n);  // n = unassigned sentinel
+  std::vector<char> row_used(n, 0), col_used(n, 0);
+  size_t assigned = 0;
+  for (size_t cell : cells) {
+    const size_t r = cell / n;
+    const size_t c = cell % n;
+    if (row_used[r] || col_used[c]) continue;
+    row_used[r] = col_used[c] = 1;
+    result.row_to_col[r] = c;
+    result.cost += cost.At(r, c);
+    if (++assigned == n) break;
+  }
+  return result;
+}
+
+}  // namespace gbda

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "math/dense_matrix.h"
+
+namespace gbda {
+
+/// Solution of a linear sum assignment problem.
+struct AssignmentResult {
+  /// row_to_col[r] is the column assigned to row r.
+  std::vector<size_t> row_to_col;
+  /// Total cost of the optimal assignment.
+  double cost = 0.0;
+};
+
+/// Exact minimum-cost assignment on a square cost matrix (Kuhn-Munkres with
+/// potentials, O(n^3)). This is the solver behind the LSAP baseline of
+/// Riesen & Bunke [11] and the branch-based GED lower bound of Zheng et
+/// al. [15]. Fails on non-square or empty input.
+Result<AssignmentResult> SolveAssignment(const DenseMatrix& cost);
+
+/// Greedy suboptimal assignment: sort all cells ascending, take each cell
+/// whose row and column are both free. O(n^2 log n^2). This is the assignment
+/// rule of Greedy-Sort-GED (Riesen, Ferrer & Bunke [12]); its cost upper-
+/// bounds the Hungarian optimum.
+Result<AssignmentResult> SolveAssignmentGreedySort(const DenseMatrix& cost);
+
+}  // namespace gbda

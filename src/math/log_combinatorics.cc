@@ -1,0 +1,97 @@
+#include "math/log_combinatorics.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace gbda {
+namespace {
+
+constexpr int kFactorialCache = 4096;
+constexpr int kHarmonicCache = 1 << 16;
+
+const std::vector<double>& FactorialTable() {
+  static const std::vector<double> table = [] {
+    std::vector<double> t(kFactorialCache);
+    t[0] = 0.0;
+    for (int i = 1; i < kFactorialCache; ++i) {
+      t[i] = t[i - 1] + std::log(static_cast<double>(i));
+    }
+    return t;
+  }();
+  return table;
+}
+
+const std::vector<double>& HarmonicTable() {
+  static const std::vector<double> table = [] {
+    std::vector<double> t(kHarmonicCache);
+    t[0] = 0.0;
+    for (int i = 1; i < kHarmonicCache; ++i) {
+      t[i] = t[i - 1] + 1.0 / static_cast<double>(i);
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+double NegInf() { return -std::numeric_limits<double>::infinity(); }
+
+double LogFactorial(int64_t n) {
+  if (n < 0) return NegInf();
+  if (n < kFactorialCache) return FactorialTable()[static_cast<size_t>(n)];
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomial(int64_t n, int64_t k) {
+  if (k < 0 || k > n || n < 0) return NegInf();
+  if (k == 0 || k == n) return 0.0;
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double LogBinomialReal(double a, double x) {
+  if (x < 0.0 || x > a) return NegInf();
+  return std::lgamma(a + 1.0) - std::lgamma(x + 1.0) - std::lgamma(a - x + 1.0);
+}
+
+double DLogBinomialDx(double a, double x) {
+  return Digamma(a - x + 1.0) - Digamma(x + 1.0);
+}
+
+double HarmonicNumber(int64_t n) {
+  if (n <= 0) return 0.0;
+  if (n < kHarmonicCache) return HarmonicTable()[static_cast<size_t>(n)];
+  return Digamma(static_cast<double>(n) + 1.0) + kEulerGamma;
+}
+
+double Digamma(double x) {
+  // Shift to x >= 6 via psi(x) = psi(x+1) - 1/x, then the asymptotic series
+  // psi(x) ~ ln x - 1/(2x) - sum B_{2k} / (2k x^{2k}).
+  double acc = 0.0;
+  while (x < 6.0) {
+    acc -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  double series = std::log(x) - 0.5 * inv;
+  series -= inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 -
+            inv2 * (1.0 / 240.0 - inv2 * (1.0 / 132.0)))));
+  return acc + series;
+}
+
+double ExpSafe(double x) {
+  if (std::isinf(x) && x < 0.0) return 0.0;
+  return std::exp(x);
+}
+
+double LogAdd(double a, double b) {
+  if (std::isinf(a) && a < 0.0) return b;
+  if (std::isinf(b) && b < 0.0) return a;
+  const double hi = a > b ? a : b;
+  const double lo = a > b ? b : a;
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+}  // namespace gbda

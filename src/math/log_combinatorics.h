@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+namespace gbda {
+
+/// Log-space combinatorics used throughout the probabilistic model.
+///
+/// The model of Section V manipulates binomial coefficients whose upper index
+/// is C(|V'1|, 2) — up to ~5e9 for the 100K-vertex synthetic graphs — so every
+/// quantity is kept as a natural logarithm and only ratios are exponentiated.
+/// Continuous extensions (via lgamma) make Lambda1 differentiable in tau,
+/// which the Jeffreys prior (Eq. 16) requires.
+
+/// Negative infinity, the log of probability zero.
+double NegInf();
+
+/// ln(n!) with a cached table for small n and lgamma beyond.
+double LogFactorial(int64_t n);
+
+/// ln C(n, k) for integers; returns NegInf() when k < 0 or k > n.
+double LogBinomial(int64_t n, int64_t k);
+
+/// ln C(a, x) for real a >= x >= 0 via lgamma — the continuous extension used
+/// to differentiate the model with respect to tau. Returns NegInf() outside
+/// the domain.
+double LogBinomialReal(double a, double x);
+
+/// d/dx ln C(a, x) = psi(a - x + 1) - psi(x + 1), the derivative of the
+/// continuous extension above.
+double DLogBinomialDx(double a, double x);
+
+/// n-th harmonic number H(n) = 1 + 1/2 + ... + 1/n; H(0) = 0. Cached for
+/// small n, psi-based beyond.
+double HarmonicNumber(int64_t n);
+
+/// Digamma function psi(x) for x > 0 (recurrence + asymptotic series,
+/// |error| < 1e-12 for x >= 6 after shifting).
+double Digamma(double x);
+
+/// Euler-Mascheroni constant.
+inline constexpr double kEulerGamma = 0.5772156649015328606;
+
+/// exp(x) that maps NegInf() to exactly 0.
+double ExpSafe(double x);
+
+/// ln(exp(a) + exp(b)) computed stably; either side may be NegInf().
+double LogAdd(double a, double b);
+
+}  // namespace gbda

@@ -1,0 +1,98 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbda {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double SampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - mu) * (x - mu);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(SampleVariance(xs)); }
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+std::map<int64_t, size_t> IntegerHistogram(const std::vector<int64_t>& xs) {
+  std::map<int64_t, size_t> hist;
+  for (int64_t x : xs) ++hist[x];
+  return hist;
+}
+
+Result<RegressionFit> LinearRegression(const std::vector<double>& x,
+                                       const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("regression: size mismatch");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("regression: need at least two points");
+  }
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0) {
+    return Status::InvalidArgument("regression: x values are constant");
+  }
+  RegressionFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+Result<PowerLawFit> FitPowerLaw(const std::map<int64_t, size_t>& degree_counts) {
+  std::vector<double> log_k, log_p;
+  size_t total = 0;
+  for (const auto& [k, c] : degree_counts) {
+    if (k >= 1) total += c;
+  }
+  if (total == 0) return Status::InvalidArgument("power law: no positive degrees");
+  for (const auto& [k, c] : degree_counts) {
+    if (k >= 1 && c > 0) {
+      log_k.push_back(std::log(static_cast<double>(k)));
+      log_p.push_back(std::log(static_cast<double>(c) / static_cast<double>(total)));
+    }
+  }
+  if (log_k.size() < 3) {
+    return Status::InvalidArgument("power law: need at least three degree values");
+  }
+  Result<RegressionFit> reg = LinearRegression(log_k, log_p);
+  if (!reg.ok()) return reg.status();
+  PowerLawFit fit;
+  fit.exponent = -reg->slope;
+  fit.r2 = reg->r2;
+  fit.support = log_k.size();
+  return fit;
+}
+
+bool LooksScaleFree(const std::map<int64_t, size_t>& degree_counts,
+                    double min_exponent, double max_exponent, double min_r2) {
+  Result<PowerLawFit> fit = FitPowerLaw(degree_counts);
+  if (!fit.ok()) return false;
+  return fit->exponent >= min_exponent && fit->exponent <= max_exponent &&
+         fit->r2 >= min_r2;
+}
+
+}  // namespace gbda

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gbda {
+
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 points.
+double SampleVariance(const std::vector<double>& xs);
+
+double StdDev(const std::vector<double>& xs);
+
+/// Median (average of middle pair for even sizes). Copies and sorts.
+double Median(std::vector<double> xs);
+
+/// Integer histogram: value -> count.
+std::map<int64_t, size_t> IntegerHistogram(const std::vector<int64_t>& xs);
+
+/// Ordinary least squares y = slope*x + intercept with coefficient of
+/// determination r2. Requires at least two points with distinct x.
+struct RegressionFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+Result<RegressionFit> LinearRegression(const std::vector<double>& x,
+                                       const std::vector<double>& y);
+
+/// Power-law fit of a degree distribution: fits log p_k ~ -delta * log k over
+/// degrees k >= 1 with nonzero counts. Used to testify the scale-free property
+/// the way the paper does for Table III (degree law p_k ~ C k^-delta).
+struct PowerLawFit {
+  double exponent = 0.0;  // delta in p_k ~ k^-delta
+  double r2 = 0.0;
+  size_t support = 0;  // number of (k, p_k) points used
+};
+Result<PowerLawFit> FitPowerLaw(const std::map<int64_t, size_t>& degree_counts);
+
+/// Heuristic scale-free test: power-law exponent in a plausible band with a
+/// reasonable fit, mirroring the paper's "degree distributions follow the
+/// power law" check. Small graphs give noisy fits, hence the loose defaults.
+bool LooksScaleFree(const std::map<int64_t, size_t>& degree_counts,
+                    double min_exponent = 1.2, double max_exponent = 4.5,
+                    double min_r2 = 0.55);
+
+}  // namespace gbda

@@ -1,0 +1,165 @@
+#include "baselines/astar_ged.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_edit.h"
+#include "test_util.h"
+
+namespace gbda {
+namespace {
+
+TEST(AStarTest, IdenticalGraphsHaveZeroDistance) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  EXPECT_EQ(*ExactGedValue(p.g1, p.g1), 0);
+  EXPECT_EQ(*ExactGedValue(p.g2, p.g2), 0);
+}
+
+TEST(AStarTest, PaperExample1DistanceIsThree) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  Result<ExactGedResult> r = ExactGed(p.g1, p.g2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->distance, 3);
+  EXPECT_TRUE(r->exact);
+}
+
+TEST(AStarTest, Example4DistanceIsTwo) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  EXPECT_EQ(*ExactGedValue(p.ex4_g1, p.ex4_g2), 2);
+}
+
+TEST(AStarTest, EmptyGraphCases) {
+  Graph empty;
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  EXPECT_EQ(*ExactGedValue(empty, empty), 0);
+  // Building g1 from nothing: 3 vertices + 3 edges.
+  EXPECT_EQ(*ExactGedValue(empty, p.g1), 6);
+  EXPECT_EQ(*ExactGedValue(p.g1, empty), 6);
+}
+
+TEST(AStarTest, SingleOperationDistances) {
+  Graph a = Graph::WithVertices(2, 1);
+  ASSERT_TRUE(a.AddEdge(0, 1, 1).ok());
+
+  Graph relabeled = a;
+  ASSERT_TRUE(relabeled.RelabelVertex(0, 2).ok());
+  EXPECT_EQ(*ExactGedValue(a, relabeled), 1);
+
+  Graph edge_relabeled = a;
+  ASSERT_TRUE(edge_relabeled.RelabelEdge(0, 1, 2).ok());
+  EXPECT_EQ(*ExactGedValue(a, edge_relabeled), 1);
+
+  Graph with_vertex = a;
+  with_vertex.AddVertex(1);
+  EXPECT_EQ(*ExactGedValue(a, with_vertex), 1);
+
+  Graph without_edge = a;
+  ASSERT_TRUE(without_edge.RemoveEdge(0, 1).ok());
+  EXPECT_EQ(*ExactGedValue(a, without_edge), 1);
+}
+
+TEST(AStarTest, SymmetricDistance) {
+  Rng rng(77);
+  GeneratorOptions opts;
+  opts.num_vertices = 5;
+  opts.num_vertex_labels = 2;
+  opts.num_edge_labels = 2;
+  for (int trial = 0; trial < 8; ++trial) {
+    Result<Graph> a = GenerateConnectedGraph(opts, &rng);
+    Result<Graph> b = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*ExactGedValue(*a, *b), *ExactGedValue(*b, *a));
+  }
+}
+
+TEST(AStarTest, TriangleInequality) {
+  Rng rng(88);
+  GeneratorOptions opts;
+  opts.num_vertices = 5;
+  opts.num_vertex_labels = 2;
+  opts.num_edge_labels = 2;
+  for (int trial = 0; trial < 5; ++trial) {
+    Result<Graph> a = GenerateConnectedGraph(opts, &rng);
+    Result<Graph> b = GenerateConnectedGraph(opts, &rng);
+    Result<Graph> c = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(c.ok());
+    const int64_t ab = *ExactGedValue(*a, *b);
+    const int64_t bc = *ExactGedValue(*b, *c);
+    const int64_t ac = *ExactGedValue(*a, *c);
+    EXPECT_LE(ac, ab + bc);
+  }
+}
+
+class EditDistanceUpperBound : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EditDistanceUpperBound, GedNeverExceedsSequenceLength) {
+  Rng rng(GetParam());
+  GeneratorOptions opts;
+  opts.num_vertices = 6;
+  opts.extra_edges = 3;
+  opts.num_vertex_labels = 3;
+  opts.num_edge_labels = 2;
+  Result<Graph> base = GenerateConnectedGraph(opts, &rng);
+  ASSERT_TRUE(base.ok());
+  for (size_t len = 0; len <= 4; ++len) {
+    Result<RandomEditResult> edited = RandomEditSequence(
+        *base, len, opts.num_vertex_labels, opts.num_edge_labels, &rng);
+    ASSERT_TRUE(edited.ok());
+    Result<int64_t> ged = ExactGedValue(*base, edited->edited);
+    ASSERT_TRUE(ged.ok());
+    EXPECT_LE(*ged, static_cast<int64_t>(len));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceUpperBound,
+                         ::testing::Values(101, 102, 103, 104, 105));
+
+TEST(AStarTest, LimitSaturates) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  AStarOptions opts;
+  opts.limit = 1;  // true distance is 3
+  Result<ExactGedResult> r = ExactGed(p.g1, p.g2, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->distance, 2);  // limit + 1
+  EXPECT_FALSE(r->exact);
+
+  opts.limit = 3;
+  r = ExactGed(p.g1, p.g2, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->distance, 3);
+  EXPECT_TRUE(r->exact);
+}
+
+TEST(AStarTest, BudgetExhaustionReported) {
+  Rng rng(99);
+  GeneratorOptions opts;
+  opts.num_vertices = 12;
+  opts.extra_edges = 14;
+  Result<Graph> a = GenerateConnectedGraph(opts, &rng);
+  Result<Graph> b = GenerateConnectedGraph(opts, &rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  AStarOptions astar;
+  astar.max_expansions = 10;  // absurdly small
+  Result<ExactGedResult> r = ExactGed(*a, *b, astar);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AStarTest, DistanceToSupergraph) {
+  // a path of 3; b = same path plus a pendant vertex: distance 2 (AV + AE).
+  Graph a = Graph::WithVertices(3, 1);
+  ASSERT_TRUE(a.AddEdge(0, 1, 1).ok());
+  ASSERT_TRUE(a.AddEdge(1, 2, 1).ok());
+  Graph b = a;
+  b.AddVertex(1);
+  ASSERT_TRUE(b.AddEdge(2, 3, 1).ok());
+  EXPECT_EQ(*ExactGedValue(a, b), 2);
+}
+
+}  // namespace
+}  // namespace gbda

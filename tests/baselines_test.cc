@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "baselines/astar_ged.h"
+#include "baselines/baseline_search.h"
+#include "baselines/greedy_sort_ged.h"
+#include "baselines/lsap_ged.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gbda {
+namespace {
+
+TEST(LsapTest, ZeroForIdenticalGraphs) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  EXPECT_DOUBLE_EQ(LsapGedLowerBound(p.g1, p.g1), 0.0);
+  EXPECT_DOUBLE_EQ(LsapGedEstimate(p.g2, p.g2), 0.0);
+  EXPECT_DOUBLE_EQ(GreedySortGed(p.g1, p.g1), 0.0);
+}
+
+TEST(LsapTest, EmptyGraphs) {
+  Graph empty;
+  EXPECT_DOUBLE_EQ(LsapGedLowerBound(empty, empty), 0.0);
+  Graph two = Graph::WithVertices(2, 1);
+  // Inserting two isolated vertices costs exactly 2.
+  EXPECT_DOUBLE_EQ(LsapGedLowerBound(empty, two), 2.0);
+}
+
+class LsapLowerBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LsapLowerBoundSweep, LowerBoundNeverExceedsExactGed) {
+  Rng rng(GetParam());
+  GeneratorOptions opts;
+  opts.num_vertices = 6;
+  opts.extra_edges = 4;
+  opts.num_vertex_labels = 3;
+  opts.num_edge_labels = 2;
+  for (int trial = 0; trial < 8; ++trial) {
+    opts.num_vertices = 4 + static_cast<size_t>(rng.UniformInt(0, 3));
+    Result<Graph> a = GenerateConnectedGraph(opts, &rng);
+    opts.num_vertices = 4 + static_cast<size_t>(rng.UniformInt(0, 3));
+    Result<Graph> b = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    Result<int64_t> exact = ExactGedValue(*a, *b);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(LsapGedLowerBound(*a, *b), static_cast<double>(*exact) + 1e-9)
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsapLowerBoundSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(GreedySortTest, UpperBoundsHungarianOnSameMatrix) {
+  Rng rng(5);
+  GeneratorOptions opts;
+  opts.num_vertices = 8;
+  opts.extra_edges = 6;
+  for (int trial = 0; trial < 10; ++trial) {
+    Result<Graph> a = GenerateConnectedGraph(opts, &rng);
+    Result<Graph> b = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_GE(GreedySortGed(*a, *b), LsapGedEstimate(*a, *b) - 1e-9);
+  }
+}
+
+TEST(BaselineEstimatesTest, SymmetricUpToNumericNoise) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  EXPECT_NEAR(LsapGedLowerBound(p.g1, p.g2), LsapGedLowerBound(p.g2, p.g1),
+              1e-9);
+  EXPECT_NEAR(LsapGedEstimate(p.g1, p.g2), LsapGedEstimate(p.g2, p.g1), 1e-9);
+}
+
+TEST(BaselineEstimatesTest, PaperPairBounds) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const double lb = LsapGedLowerBound(p.g1, p.g2);
+  EXPECT_GT(lb, 0.0);
+  EXPECT_LE(lb, 3.0 + 1e-9);  // exact GED is 3 (Example 1)
+}
+
+TEST(BaselineSearchTest, PrecomputesAndQueries) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  GraphDatabase db = std::move(p.db);
+  db.Add(p.g1);
+  db.Add(p.g2);
+  BaselineSearch search(&db);
+  EXPECT_GT(search.MemoryBytes(), 0u);
+
+  // Query with g1 itself: g1 must be found at tau >= 0 by every method.
+  for (BaselineMethod m : {BaselineMethod::kLsap, BaselineMethod::kGreedySort,
+                           BaselineMethod::kSeriation}) {
+    Result<BaselineResult> r = search.Query(p.g1, m, 0);
+    ASSERT_TRUE(r.ok());
+    bool found_self = false;
+    for (const BaselineMatch& match : r->matches) {
+      if (match.graph_id == 0) found_self = true;
+    }
+    EXPECT_TRUE(found_self) << BaselineMethodName(m);
+  }
+}
+
+TEST(BaselineSearchTest, LsapRecallIsTotalOnKnownPairs) {
+  // The halved-cost LSAP bound never rejects a true match: search with the
+  // exact GED as threshold must return every graph within that distance.
+  Rng rng(123);
+  GeneratorOptions opts;
+  opts.num_vertices = 6;
+  opts.extra_edges = 3;
+  opts.num_vertex_labels = 3;
+  opts.num_edge_labels = 2;
+  GraphDatabase db;
+  db.vertex_labels().InternNumbered(3);
+  db.edge_labels().InternNumbered(2);
+  std::vector<Graph> graphs;
+  for (int i = 0; i < 8; ++i) {
+    Result<Graph> g = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(g.ok());
+    graphs.push_back(*g);
+    db.Add(std::move(*g));
+  }
+  BaselineSearch search(&db);
+  const Graph& query = graphs[0];
+  const int64_t tau = 5;
+  Result<BaselineResult> r = search.Query(query, BaselineMethod::kLsap, tau);
+  ASSERT_TRUE(r.ok());
+  std::vector<bool> retrieved(db.size(), false);
+  for (const BaselineMatch& m : r->matches) retrieved[m.graph_id] = true;
+  for (size_t g = 0; g < db.size(); ++g) {
+    Result<int64_t> exact = ExactGedValue(query, db.graph(g));
+    ASSERT_TRUE(exact.ok());
+    if (*exact <= tau) {
+      EXPECT_TRUE(retrieved[g]) << "missed true match " << g;
+    }
+  }
+}
+
+TEST(BaselineSearchTest, RejectsNegativeTau) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  GraphDatabase db = std::move(p.db);
+  db.Add(p.g1);
+  BaselineSearch search(&db);
+  EXPECT_FALSE(search.Query(p.g1, BaselineMethod::kLsap, -1).ok());
+}
+
+TEST(BaselineSearchTest, EstimateEndpointMatchesQueryPath) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  GraphDatabase db = std::move(p.db);
+  db.Add(p.g1);
+  db.Add(p.g2);
+  BaselineSearch search(&db);
+  EXPECT_DOUBLE_EQ(search.Estimate(p.g1, 0, BaselineMethod::kLsap), 0.0);
+  EXPECT_GT(search.Estimate(p.g1, 1, BaselineMethod::kGreedySort), 0.0);
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,156 @@
+#include "core/branch.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/astar_ged.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_edit.h"
+#include "test_util.h"
+
+namespace gbda {
+namespace {
+
+TEST(BranchTest, PaperExample2BranchMultisets) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+
+  // Expected branches (Example 2):
+  //   G1: B(v1)={A; y,y}, B(v2)={C; y,z}, B(v3)={B; y,z}
+  //   G2: B(u1)={B; x,z}, B(u2)={A; y}, B(u3)={A; x}, B(u4)={C; y,z}
+  const BranchMultiset b1 = ExtractBranches(p.g1);
+  const BranchMultiset b2 = ExtractBranches(p.g2);
+  ASSERT_EQ(b1.size(), 3u);
+  ASSERT_EQ(b2.size(), 4u);
+
+  const Branch v1{p.A, {p.y, p.y}};
+  const Branch v2{p.C, {p.y, p.z}};
+  const Branch v3{p.B, {p.y, p.z}};
+  EXPECT_NE(std::find(b1.begin(), b1.end(), v1), b1.end());
+  EXPECT_NE(std::find(b1.begin(), b1.end(), v2), b1.end());
+  EXPECT_NE(std::find(b1.begin(), b1.end(), v3), b1.end());
+
+  const Branch u2{p.A, {p.y}};
+  const Branch u3{p.A, {p.x}};
+  const Branch u1{p.B, {p.x, p.z}};
+  const Branch u4{p.C, {p.y, p.z}};
+  EXPECT_NE(std::find(b2.begin(), b2.end(), u1), b2.end());
+  EXPECT_NE(std::find(b2.begin(), b2.end(), u2), b2.end());
+  EXPECT_NE(std::find(b2.begin(), b2.end(), u3), b2.end());
+  EXPECT_NE(std::find(b2.begin(), b2.end(), u4), b2.end());
+
+  // The only isomorphic pair is B(v2) ~ B(u4), so |intersection| = 1.
+  EXPECT_EQ(BranchIntersectionSize(b1, b2), 1u);
+  // GBD = max(3, 4) - 1 = 3 (Example 2).
+  EXPECT_EQ(Gbd(p.g1, p.g2), 3u);
+}
+
+TEST(BranchTest, MultisetIsSorted) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const BranchMultiset b = ExtractBranches(p.g2);
+  for (size_t i = 1; i < b.size(); ++i) {
+    EXPECT_TRUE(b[i - 1] <= b[i]);
+  }
+}
+
+TEST(BranchTest, VirtualEdgesExcludedFromBranches) {
+  Graph g = Graph::WithVertices(3, 1);
+  ASSERT_TRUE(g.AddEdge(0, 1, 5).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, kVirtualLabel).ok());  // virtual edge
+  const BranchMultiset b = ExtractBranches(g);
+  // Vertex 0's branch sees only the real edge.
+  bool found = false;
+  for (const Branch& br : b) {
+    if (br.edge_labels == std::vector<LabelId>{5}) found = true;
+    for (LabelId l : br.edge_labels) EXPECT_NE(l, kVirtualLabel);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BranchTest, GbdIdenticalGraphsIsZero) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  EXPECT_EQ(Gbd(p.g1, p.g1), 0u);
+  EXPECT_EQ(Gbd(p.g2, p.g2), 0u);
+}
+
+TEST(BranchTest, GbdIsSymmetric) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  EXPECT_EQ(Gbd(p.g1, p.g2), Gbd(p.g2, p.g1));
+}
+
+TEST(BranchTest, GbdBoundedByMaxSize) {
+  Rng rng(9);
+  GeneratorOptions opts;
+  opts.num_vertices = 20;
+  for (int trial = 0; trial < 20; ++trial) {
+    Result<Graph> a = GenerateConnectedGraph(opts, &rng);
+    Result<Graph> b = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_LE(Gbd(*a, *b), std::max(a->num_vertices(), b->num_vertices()));
+  }
+}
+
+TEST(BranchTest, OneEditChangesAtMostTwoBranches) {
+  // GBD <= 2 * (number of edit operations): each edit touches at most two
+  // branches — the bound motivating the phi <= 2 tau range of Section V-C.
+  Rng rng(11);
+  GeneratorOptions opts;
+  opts.num_vertices = 12;
+  opts.extra_edges = 8;
+  for (int trial = 0; trial < 30; ++trial) {
+    Result<Graph> base = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(base.ok());
+    const size_t len = static_cast<size_t>(rng.UniformInt(1, 6));
+    Result<RandomEditResult> edited =
+        RandomEditSequence(*base, len, opts.num_vertex_labels,
+                           opts.num_edge_labels, &rng);
+    ASSERT_TRUE(edited.ok());
+    EXPECT_LE(Gbd(*base, edited->edited), 2 * len) << "trial " << trial;
+  }
+}
+
+TEST(BranchTest, VgbdMatchesGbdAtWeightOne) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const BranchMultiset b1 = ExtractBranches(p.g1);
+  const BranchMultiset b2 = ExtractBranches(p.g2);
+  EXPECT_DOUBLE_EQ(Vgbd(b1, b2, 1.0),
+                   static_cast<double>(GbdFromBranches(b1, b2)));
+  // Smaller weights keep more of the max term: VGBD(w) >= GBD for w <= 1.
+  EXPECT_GE(Vgbd(b1, b2, 0.5), Vgbd(b1, b2, 1.0));
+  EXPECT_DOUBLE_EQ(Vgbd(b1, b2, 0.0), 4.0);  // max(|V1|, |V2|)
+}
+
+TEST(BranchTest, EmptyGraphs) {
+  Graph empty;
+  EXPECT_EQ(Gbd(empty, empty), 0u);
+  Graph one = Graph::WithVertices(1, 1);
+  EXPECT_EQ(Gbd(empty, one), 1u);
+}
+
+class BranchLowerBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BranchLowerBoundSweep, NeverExceedsExactGed) {
+  Rng rng(GetParam());
+  GeneratorOptions opts;
+  opts.num_vertices = 6;
+  opts.extra_edges = 3;
+  opts.num_vertex_labels = 3;
+  opts.num_edge_labels = 2;
+  for (int trial = 0; trial < 8; ++trial) {
+    Result<Graph> a = GenerateConnectedGraph(opts, &rng);
+    Result<Graph> b = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    Result<int64_t> exact = ExactGedValue(*a, *b);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    const double lb = BranchGedLowerBound(*a, *b);
+    EXPECT_LE(lb, static_cast<double>(*exact) + 1e-9)
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BranchLowerBoundSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace gbda

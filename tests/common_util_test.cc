@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/table_writer.h"
+#include "common/timer.h"
+
+namespace gbda {
+namespace {
+
+TEST(TableWriterTest, AlignsColumns) {
+  TableWriter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string ascii = table.ToAscii();
+  // Header and both rows present.
+  EXPECT_NE(ascii.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(ascii.find("| longer-name | 22    |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableWriterTest, PadsAndTruncatesRows) {
+  TableWriter table({"a", "b", "c"});
+  table.AddRow({"1"});                    // padded
+  table.AddRow({"1", "2", "3", "extra"});  // truncated
+  const std::string ascii = table.ToAscii();
+  EXPECT_EQ(ascii.find("extra"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvQuotesSpecialCells) {
+  TableWriter table({"k", "v"});
+  table.AddRow({"plain", "a,b"});
+  table.AddRow({"quote", "say \"hi\""});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_EQ(csv.substr(0, 4), "k,v\n");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = timer.Seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(timer.Millis(), timer.Seconds() * 1e3, 1.0);
+  timer.Restart();
+  EXPECT_LT(timer.Seconds(), 0.015);
+}
+
+TEST(LoggingTest, ThresholdFiltersLevels) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // These must not crash; output routing is to stderr.
+  LogDebug("quiet");
+  LogInfo("quiet");
+  LogWarning("quiet");
+  LogError("loud");
+  SetLogLevel(prev);
+}
+
+}  // namespace
+}  // namespace gbda

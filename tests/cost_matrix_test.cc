@@ -1,0 +1,73 @@
+#include "baselines/cost_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace gbda {
+namespace {
+
+TEST(VertexProfileTest, ExtractsSortedIncidentLabels) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const auto profiles = BuildVertexProfiles(p.g1);
+  ASSERT_EQ(profiles.size(), 3u);
+  // v1 = A with incident {y, y}.
+  EXPECT_EQ(profiles[0].label, p.A);
+  EXPECT_EQ(profiles[0].incident, (std::vector<LabelId>{p.y, p.y}));
+  // v2 = C with incident {y, z}.
+  EXPECT_EQ(profiles[1].label, p.C);
+  EXPECT_EQ(profiles[1].incident, (std::vector<LabelId>{p.y, p.z}));
+}
+
+TEST(VertexProfileTest, SkipsVirtualEdges) {
+  Graph g = Graph::WithVertices(2, 1);
+  ASSERT_TRUE(g.AddEdge(0, 1, kVirtualLabel).ok());
+  const auto profiles = BuildVertexProfiles(g);
+  EXPECT_TRUE(profiles[0].incident.empty());
+}
+
+TEST(MultisetEditDistanceTest, Basics) {
+  EXPECT_EQ(MultisetEditDistance({}, {}), 0u);
+  EXPECT_EQ(MultisetEditDistance({1, 2}, {1, 2}), 0u);
+  EXPECT_EQ(MultisetEditDistance({1, 2}, {1, 3}), 1u);
+  EXPECT_EQ(MultisetEditDistance({1, 1, 2}, {1}), 2u);
+  EXPECT_EQ(MultisetEditDistance({}, {4, 5, 6}), 3u);
+  // Multiset semantics: duplicates matter.
+  EXPECT_EQ(MultisetEditDistance({7, 7}, {7}), 1u);
+}
+
+TEST(CostMatrixTest, ShapeAndBlocks) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const auto p1 = BuildVertexProfiles(p.g1);  // 3 vertices
+  const auto p2 = BuildVertexProfiles(p.g2);  // 4 vertices
+  const DenseMatrix cost = BuildAssignmentCostMatrix(p1, p2, 1.0);
+  ASSERT_EQ(cost.rows(), 7u);
+  ASSERT_EQ(cost.cols(), 7u);
+
+  // Substitution v2(C;{y,z}) -> u4(C;{y,z}) is free.
+  EXPECT_DOUBLE_EQ(cost.At(1, 3), 0.0);
+  // Deletion diagonal: 1 + degree.
+  EXPECT_DOUBLE_EQ(cost.At(0, 4 + 0), 1.0 + 2.0);
+  // Deletion off-diagonal forbidden (large).
+  EXPECT_GT(cost.At(0, 4 + 1), 1e8);
+  // Insertion diagonal: 1 + degree of u1 (2 edges).
+  EXPECT_DOUBLE_EQ(cost.At(3 + 0, 0), 1.0 + 2.0);
+  // Dummy-dummy block zero.
+  EXPECT_DOUBLE_EQ(cost.At(3 + 2, 4 + 1), 0.0);
+}
+
+TEST(CostMatrixTest, EdgeFactorScalesEdgeTerms) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const auto p1 = BuildVertexProfiles(p.g1);
+  const auto p2 = BuildVertexProfiles(p.g2);
+  const DenseMatrix full = BuildAssignmentCostMatrix(p1, p2, 1.0);
+  const DenseMatrix half = BuildAssignmentCostMatrix(p1, p2, 0.5);
+  // v1(A;{y,y}) -> u3(A;{x}): labels equal, multiset distance = 2.
+  EXPECT_DOUBLE_EQ(full.At(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(half.At(0, 2), 1.0);
+  // Deletion diagonals scale as well: 1 + factor * deg.
+  EXPECT_DOUBLE_EQ(half.At(0, 4 + 0), 2.0);
+}
+
+}  // namespace
+}  // namespace gbda

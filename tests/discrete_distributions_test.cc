@@ -1,0 +1,92 @@
+#include "math/discrete_distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "math/log_combinatorics.h"
+
+namespace gbda {
+namespace {
+
+TEST(HypergeometricTest, KnownValue) {
+  // Drawing 2 from {3 marked, 2 unmarked}: P[X=1] = C(3,1)C(2,1)/C(5,2) = 0.6.
+  EXPECT_NEAR(HypergeometricPmf(1, 5, 3, 2), 0.6, 1e-12);
+  EXPECT_NEAR(HypergeometricPmf(2, 5, 3, 2), 0.3, 1e-12);
+  EXPECT_NEAR(HypergeometricPmf(0, 5, 3, 2), 0.1, 1e-12);
+}
+
+TEST(HypergeometricTest, OutOfSupportIsZero) {
+  EXPECT_EQ(HypergeometricPmf(-1, 10, 4, 3), 0.0);
+  EXPECT_EQ(HypergeometricPmf(5, 10, 4, 3), 0.0);   // x > N
+  EXPECT_EQ(HypergeometricPmf(4, 10, 3, 5), 0.0);   // x > K
+  EXPECT_EQ(HypergeometricPmf(0, 10, 8, 5), 0.0);   // N - x > M - K
+}
+
+class HypergeometricSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(HypergeometricSweep, SumsToOneAndMeanMatches) {
+  const auto [m, k, n] = GetParam();
+  double total = 0.0, mean = 0.0;
+  for (int64_t x = 0; x <= n; ++x) {
+    const double p = HypergeometricPmf(x, m, k, n);
+    EXPECT_GE(p, 0.0);
+    total += p;
+    mean += p * static_cast<double>(x);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-10);
+  // E[X] = n*K/M.
+  EXPECT_NEAR(mean,
+              static_cast<double>(n) * static_cast<double>(k) /
+                  static_cast<double>(m),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, HypergeometricSweep,
+    ::testing::Values(std::make_tuple(10, 4, 3), std::make_tuple(50, 20, 10),
+                      std::make_tuple(100, 1, 5), std::make_tuple(7, 7, 7),
+                      std::make_tuple(1000, 500, 30),
+                      std::make_tuple(12, 3, 12)));
+
+TEST(HypergeometricTest, HugePopulationStaysFinite) {
+  // The Omega1 regime: M = v + C(v,2) with v = 100000.
+  const int64_t v = 100000;
+  const int64_t m = v + v * (v - 1) / 2;
+  double total = 0.0;
+  for (int64_t x = 0; x <= 10; ++x) {
+    const double p = HypergeometricPmf(x, m, v, 10);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LogBinomialPmfTest, MatchesDirectComputation) {
+  const double p = 0.3;
+  const double log_p = std::log(p);
+  const double log_1mp = std::log1p(-p);
+  for (int64_t k = 0; k <= 10; ++k) {
+    const double expected = std::exp(LogBinomial(10, k)) * std::pow(p, k) *
+                            std::pow(1 - p, 10 - k);
+    EXPECT_NEAR(ExpSafe(LogBinomialPmfFromLogs(k, 10, log_p, log_1mp)),
+                expected, 1e-12);
+  }
+  EXPECT_TRUE(std::isinf(LogBinomialPmfFromLogs(-1, 10, log_p, log_1mp)));
+  EXPECT_TRUE(std::isinf(LogBinomialPmfFromLogs(11, 10, log_p, log_1mp)));
+}
+
+TEST(LogBinomialPmfTest, ExtremeProbabilitySurvives) {
+  // p extremely close to 1 (the Omega3 regime with huge D).
+  const double log_p = -1e-30;       // ln p, p ~ 1
+  const double log_1mp = -69.0;      // ln(1-p) ~ 1e-30
+  const double log_pmf = LogBinomialPmfFromLogs(9, 10, log_p, log_1mp);
+  // One "failure" among ten trials: C(10,9) * p^9 * (1-p).
+  EXPECT_NEAR(log_pmf, std::log(10.0) - 69.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,157 @@
+#include "math/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace gbda {
+namespace {
+
+DenseMatrix RandomSymmetric(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = rng.Uniform(-1.0, 1.0);
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+  }
+  return a;
+}
+
+TEST(JacobiTest, RejectsNonSquare) {
+  DenseMatrix a(2, 3);
+  std::vector<double> evals;
+  std::vector<std::vector<double>> evecs;
+  EXPECT_FALSE(JacobiEigenSymmetric(a, &evals, &evecs).ok());
+}
+
+TEST(JacobiTest, DiagonalMatrix) {
+  DenseMatrix a(3, 3);
+  a.At(0, 0) = 3.0;
+  a.At(1, 1) = 1.0;
+  a.At(2, 2) = 2.0;
+  std::vector<double> evals;
+  std::vector<std::vector<double>> evecs;
+  ASSERT_TRUE(JacobiEigenSymmetric(a, &evals, &evecs).ok());
+  EXPECT_NEAR(evals[0], 3.0, 1e-12);
+  EXPECT_NEAR(evals[1], 2.0, 1e-12);
+  EXPECT_NEAR(evals[2], 1.0, 1e-12);
+}
+
+TEST(JacobiTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 2.0;
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0;
+  a.At(1, 1) = 2.0;
+  std::vector<double> evals;
+  std::vector<std::vector<double>> evecs;
+  ASSERT_TRUE(JacobiEigenSymmetric(a, &evals, &evecs).ok());
+  EXPECT_NEAR(evals[0], 3.0, 1e-10);
+  EXPECT_NEAR(evals[1], 1.0, 1e-10);
+}
+
+TEST(JacobiTest, ResidualAndOrthogonality) {
+  const size_t n = 12;
+  DenseMatrix a = RandomSymmetric(n, 99);
+  std::vector<double> evals;
+  std::vector<std::vector<double>> evecs;
+  ASSERT_TRUE(JacobiEigenSymmetric(a, &evals, &evecs).ok());
+  // A v = lambda v for every pair.
+  for (size_t e = 0; e < n; ++e) {
+    const std::vector<double> av = a.MatVec(evecs[e]);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], evals[e] * evecs[e][i], 1e-8);
+    }
+  }
+  // Eigenvectors pairwise orthonormal.
+  for (size_t e1 = 0; e1 < n; ++e1) {
+    for (size_t e2 = e1; e2 < n; ++e2) {
+      double dot = 0.0;
+      for (size_t i = 0; i < n; ++i) dot += evecs[e1][i] * evecs[e2][i];
+      EXPECT_NEAR(dot, e1 == e2 ? 1.0 : 0.0, 1e-9);
+    }
+  }
+  // Eigenvalues descending.
+  for (size_t e = 1; e < n; ++e) EXPECT_GE(evals[e - 1], evals[e] - 1e-12);
+}
+
+TEST(JacobiTest, TraceEqualsEigenvalueSum) {
+  const size_t n = 8;
+  DenseMatrix a = RandomSymmetric(n, 123);
+  double trace = 0.0;
+  for (size_t i = 0; i < n; ++i) trace += a.At(i, i);
+  std::vector<double> evals;
+  std::vector<std::vector<double>> evecs;
+  ASSERT_TRUE(JacobiEigenSymmetric(a, &evals, &evecs).ok());
+  double sum = 0.0;
+  for (double ev : evals) sum += ev;
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(PowerIterationTest, MatchesJacobiLeadingEigenvalue) {
+  const size_t n = 10;
+  // A positive matrix: the Perron eigenvector is unique and positive.
+  Rng rng(7);
+  DenseMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = rng.Uniform(0.1, 1.0);
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+  }
+  std::vector<double> evals;
+  std::vector<std::vector<double>> evecs;
+  ASSERT_TRUE(JacobiEigenSymmetric(a, &evals, &evecs).ok());
+
+  std::vector<double> lead;
+  Result<double> lambda = PowerIterationLeading(
+      [&a](const std::vector<double>& x) { return a.MatVec(x); }, n, &lead,
+      2000, 1e-12);
+  ASSERT_TRUE(lambda.ok());
+  EXPECT_NEAR(*lambda, evals[0], 1e-6);
+  // Same direction up to sign.
+  double dot = 0.0;
+  for (size_t i = 0; i < n; ++i) dot += lead[i] * evecs[0][i];
+  EXPECT_NEAR(std::fabs(dot), 1.0, 1e-5);
+}
+
+TEST(PowerIterationTest, BipartiteAdjacencyDoesNotOscillate) {
+  // Path a-b: eigenvalues +1/-1; the +1 shift breaks the tie.
+  DenseMatrix a(2, 2);
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0;
+  std::vector<double> v;
+  Result<double> lambda = PowerIterationLeading(
+      [&a](const std::vector<double>& x) { return a.MatVec(x); }, 2, &v);
+  ASSERT_TRUE(lambda.ok());
+  EXPECT_NEAR(*lambda, 1.0, 1e-6);
+  EXPECT_NEAR(v[0], v[1], 1e-6);
+}
+
+TEST(PowerIterationTest, ZeroOperator) {
+  std::vector<double> v;
+  Result<double> lambda = PowerIterationLeading(
+      [](const std::vector<double>& x) {
+        return std::vector<double>(x.size(), 0.0);
+      },
+      3, &v);
+  ASSERT_TRUE(lambda.ok());
+  EXPECT_NEAR(*lambda, 0.0, 1e-9);
+}
+
+TEST(PowerIterationTest, EmptyOperatorFails) {
+  std::vector<double> v;
+  EXPECT_FALSE(PowerIterationLeading(
+                   [](const std::vector<double>& x) { return x; }, 0, &v)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,114 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace gbda {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Large enough that the GBD prior concentrates away from the match
+    // range (the regime the method is designed for).
+    DatasetProfile profile = FingerprintProfile(0.08);
+    profile.seed = 55;
+    Result<GeneratedDataset> ds = GenerateDataset(profile);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new GeneratedDataset(std::move(*ds));
+
+    GbdPriorOptions prior;
+    prior.num_sample_pairs = 1500;
+    Result<std::unique_ptr<ExperimentRunner>> runner =
+        ExperimentRunner::Create(dataset_, /*index_tau_max=*/10, prior);
+    ASSERT_TRUE(runner.ok()) << runner.status().ToString();
+    runner_ = runner->release();
+  }
+  static void TearDownTestSuite() {
+    delete runner_;
+    delete dataset_;
+    runner_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static GeneratedDataset* dataset_;
+  static ExperimentRunner* runner_;
+};
+
+GeneratedDataset* ExperimentTest::dataset_ = nullptr;
+ExperimentRunner* ExperimentTest::runner_ = nullptr;
+
+TEST_F(ExperimentTest, MethodNamesAreStable) {
+  EXPECT_STREQ(MethodName(Method::kGbda), "GBDA");
+  EXPECT_STREQ(MethodName(Method::kGbdaV1), "GBDA-V1");
+  EXPECT_STREQ(MethodName(Method::kGbdaV2), "GBDA-V2");
+  EXPECT_STREQ(MethodName(Method::kLsap), "LSAP");
+  EXPECT_STREQ(MethodName(Method::kGreedySort), "greedysort");
+  EXPECT_STREQ(MethodName(Method::kSeriation), "seriation");
+}
+
+TEST_F(ExperimentTest, AllMethodsProduceMetricsInRange) {
+  for (Method m : {Method::kGbda, Method::kGbdaV1, Method::kGbdaV2,
+                   Method::kLsap, Method::kGreedySort, Method::kSeriation}) {
+    ExperimentConfig config;
+    config.method = m;
+    config.tau_hat = 5;
+    config.gamma = 0.8;
+    Result<MethodMetrics> metrics = runner_->Run(config);
+    ASSERT_TRUE(metrics.ok()) << MethodName(m) << ": "
+                              << metrics.status().ToString();
+    EXPECT_GE(metrics->precision, 0.0);
+    EXPECT_LE(metrics->precision, 1.0);
+    EXPECT_GE(metrics->recall, 0.0);
+    EXPECT_LE(metrics->recall, 1.0);
+    EXPECT_GE(metrics->f1, 0.0);
+    EXPECT_LE(metrics->f1, 1.0);
+    EXPECT_GE(metrics->avg_query_seconds, 0.0);
+    EXPECT_EQ(metrics->num_queries, dataset_->queries.size());
+  }
+}
+
+TEST_F(ExperimentTest, LsapAchievesTotalRecall) {
+  // The defining property of the LSAP baseline (Section VII-C): its lower
+  // bound never prunes a true match, so recall is always 100%.
+  for (int64_t tau : {1, 4, 8, 10}) {
+    ExperimentConfig config;
+    config.method = Method::kLsap;
+    config.tau_hat = tau;
+    Result<MethodMetrics> metrics = runner_->Run(config);
+    ASSERT_TRUE(metrics.ok());
+    EXPECT_DOUBLE_EQ(metrics->recall, 1.0) << "tau=" << tau;
+  }
+}
+
+TEST_F(ExperimentTest, GbdaBeatsSeriationOnF1) {
+  // The paper's headline effectiveness claim, at a moderate threshold.
+  ExperimentConfig gbda;
+  gbda.method = Method::kGbda;
+  gbda.tau_hat = 5;
+  gbda.gamma = 0.8;
+  ExperimentConfig seriation = gbda;
+  seriation.method = Method::kSeriation;
+  Result<MethodMetrics> m_gbda = runner_->Run(gbda);
+  Result<MethodMetrics> m_ser = runner_->Run(seriation);
+  ASSERT_TRUE(m_gbda.ok());
+  ASSERT_TRUE(m_ser.ok());
+  EXPECT_GE(m_gbda->f1, m_ser->f1 - 0.05);
+}
+
+TEST_F(ExperimentTest, OfflineCostsPopulated) {
+  const OfflineCosts& costs = runner_->offline_costs();
+  EXPECT_GT(costs.gbd_prior_seconds, 0.0);
+  EXPECT_GT(costs.ged_prior_seconds, 0.0);
+  EXPECT_GT(costs.gbd_prior_bytes, 0u);
+  EXPECT_GT(costs.ged_prior_bytes, 0u);
+  EXPECT_GT(costs.pairs_sampled, 0u);
+}
+
+TEST_F(ExperimentTest, RunRejectsTauBeyondCertifiedGap) {
+  ExperimentConfig config;
+  config.method = Method::kLsap;
+  config.tau_hat = dataset_->profile.certified_gap() + 1;
+  EXPECT_FALSE(runner_->Run(config).ok());
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,129 @@
+#include "core/extended_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/astar_ged.h"
+#include "common/rng.h"
+#include "core/branch.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gbda {
+namespace {
+
+TEST(ExtendedGraphTest, ExtensionMakesCompleteGraph) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const Graph ext = ExtendGraph(p.g1, 1);  // |V| = 4, like G1^{1} in Figure 2
+  EXPECT_EQ(ext.num_vertices(), 4u);
+  EXPECT_EQ(ext.num_edges(), 6u);  // complete K4
+  // The added vertex carries the virtual label.
+  EXPECT_EQ(ext.VertexLabel(3), kVirtualLabel);
+  // Original edges keep their labels; the new ones are virtual.
+  EXPECT_EQ(*ext.EdgeLabel(0, 1), p.y);
+  EXPECT_EQ(*ext.EdgeLabel(0, 3), kVirtualLabel);
+}
+
+TEST(ExtendedGraphTest, ExtensionWithZeroAddsNoVertices) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const Graph ext = ExtendGraph(p.g2, 0);
+  EXPECT_EQ(ext.num_vertices(), p.g2.num_vertices());
+  EXPECT_EQ(ext.num_edges(), 6u);  // complete K4
+}
+
+TEST(ExtendedGraphTest, Theorem2GbdInvariantUnderExtension) {
+  // GBD(G1, G2) = GBD(G'1, G'2) — Theorem 2 on the Figure 1 pair.
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const Graph ext1 = ExtendGraph(p.g1, 1);
+  const Graph ext2 = ExtendGraph(p.g2, 0);
+  EXPECT_EQ(Gbd(p.g1, p.g2), Gbd(ext1, ext2));
+  EXPECT_EQ(Gbd(ext1, ext2), 3u);
+}
+
+TEST(ExtendedGraphTest, Theorem2OnRandomPairs) {
+  Rng rng(21);
+  GeneratorOptions opts;
+  opts.num_vertices = 7;
+  for (int trial = 0; trial < 10; ++trial) {
+    opts.num_vertices = 4 + static_cast<size_t>(rng.UniformInt(0, 3));
+    Result<Graph> a = GenerateConnectedGraph(opts, &rng);
+    opts.num_vertices = 4 + static_cast<size_t>(rng.UniformInt(0, 3));
+    Result<Graph> b = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    const Graph* small = a->num_vertices() <= b->num_vertices() ? &*a : &*b;
+    const Graph* big = a->num_vertices() <= b->num_vertices() ? &*b : &*a;
+    const Graph ext_small =
+        ExtendGraph(*small, big->num_vertices() - small->num_vertices());
+    const Graph ext_big = ExtendGraph(*big, 0);
+    EXPECT_EQ(Gbd(*small, *big), Gbd(ext_small, ext_big)) << "trial " << trial;
+  }
+}
+
+TEST(ExtendedGraphTest, Theorem1RelabelOnlyGedEqualsOriginalGed) {
+  // Section IV: on extended graphs every minimal sequence is relabel-only,
+  // and GED(G'1, G'2) = GED(G1, G2). Verified exhaustively on the paper pair.
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const Graph ext1 = ExtendGraph(p.g1, 1);
+  const Graph ext2 = ExtendGraph(p.g2, 0);
+  Result<size_t> relabel_ged = RelabelOnlyGedExtended(ext1, ext2);
+  ASSERT_TRUE(relabel_ged.ok()) << relabel_ged.status().ToString();
+  Result<int64_t> exact = ExactGedValue(p.g1, p.g2);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(static_cast<int64_t>(*relabel_ged), *exact);
+  EXPECT_EQ(*exact, 3);  // Example 1
+}
+
+TEST(ExtendedGraphTest, Theorem1OnExample4Pair) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const Graph ext1 = ExtendGraph(p.ex4_g1, 0);
+  const Graph ext2 = ExtendGraph(p.ex4_g2, 0);
+  Result<size_t> relabel_ged = RelabelOnlyGedExtended(ext1, ext2);
+  ASSERT_TRUE(relabel_ged.ok());
+  EXPECT_EQ(*relabel_ged, 2u);  // Example 4: GED = 2
+  Result<int64_t> exact = ExactGedValue(p.ex4_g1, p.ex4_g2);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(*exact, 2);
+}
+
+TEST(ExtendedGraphTest, Theorem1OnRandomSmallPairs) {
+  Rng rng(31);
+  GeneratorOptions opts;
+  opts.num_vertex_labels = 2;
+  opts.num_edge_labels = 2;
+  for (int trial = 0; trial < 6; ++trial) {
+    opts.num_vertices = 3 + static_cast<size_t>(rng.UniformInt(0, 2));
+    Result<Graph> a = GenerateConnectedGraph(opts, &rng);
+    opts.num_vertices = 3 + static_cast<size_t>(rng.UniformInt(0, 2));
+    Result<Graph> b = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    const Graph* small = a->num_vertices() <= b->num_vertices() ? &*a : &*b;
+    const Graph* big = a->num_vertices() <= b->num_vertices() ? &*b : &*a;
+    const Graph ext_small =
+        ExtendGraph(*small, big->num_vertices() - small->num_vertices());
+    const Graph ext_big = ExtendGraph(*big, 0);
+    Result<size_t> relabel_ged = RelabelOnlyGedExtended(ext_small, ext_big);
+    Result<int64_t> exact = ExactGedValue(*small, *big);
+    ASSERT_TRUE(relabel_ged.ok());
+    ASSERT_TRUE(exact.ok());
+    EXPECT_EQ(static_cast<int64_t>(*relabel_ged), *exact) << "trial " << trial;
+  }
+}
+
+TEST(ExtendedGraphTest, RelabelOnlyGedRejectsSizeMismatch) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  EXPECT_FALSE(RelabelOnlyGedExtended(ExtendGraph(p.g1, 0), ExtendGraph(p.g2, 0))
+                   .ok());
+}
+
+TEST(ExtendedGraphTest, RelabelOnlyGedRejectsLargeGraphs) {
+  Graph big1 = Graph::WithVertices(11, 1);
+  Graph big2 = Graph::WithVertices(11, 1);
+  Result<size_t> r = RelabelOnlyGedExtended(ExtendGraph(big1, 0),
+                                            ExtendGraph(big2, 0));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,122 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "math/stats.h"
+
+namespace gbda {
+namespace {
+
+TEST(GeneratorTest, RejectsBadOptions) {
+  Rng rng(1);
+  GeneratorOptions opts;
+  opts.num_vertices = 0;
+  EXPECT_FALSE(GenerateConnectedGraph(opts, &rng).ok());
+  opts.num_vertices = 5;
+  opts.num_vertex_labels = 0;
+  EXPECT_FALSE(GenerateConnectedGraph(opts, &rng).ok());
+}
+
+TEST(GeneratorTest, SingleVertexGraph) {
+  Rng rng(2);
+  GeneratorOptions opts;
+  opts.num_vertices = 1;
+  Result<Graph> g = GenerateConnectedGraph(opts, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 1u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(GeneratorTest, RandomGraphsAreConnectedWithExpectedCounts) {
+  Rng rng(3);
+  GeneratorOptions opts;
+  opts.num_vertices = 60;
+  opts.extra_edges = 30;
+  opts.scale_free = false;
+  for (int trial = 0; trial < 10; ++trial) {
+    Result<Graph> g = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(g.ok());
+    EXPECT_TRUE(g->IsConnected());
+    EXPECT_EQ(g->num_vertices(), 60u);
+    EXPECT_EQ(g->num_edges(), 59u + 30u);
+  }
+}
+
+TEST(GeneratorTest, LabelsWithinAlphabets) {
+  Rng rng(4);
+  GeneratorOptions opts;
+  opts.num_vertices = 40;
+  opts.num_vertex_labels = 3;
+  opts.num_edge_labels = 2;
+  Result<Graph> g = GenerateConnectedGraph(opts, &rng);
+  ASSERT_TRUE(g.ok());
+  for (uint32_t v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_GE(g->VertexLabel(v), 1u);
+    EXPECT_LE(g->VertexLabel(v), 3u);
+  }
+  for (const auto& e : g->SortedEdges()) {
+    EXPECT_GE(e.label, 1u);
+    EXPECT_LE(e.label, 2u);
+  }
+}
+
+TEST(GeneratorTest, ScaleFreeDegreesFollowPowerLaw) {
+  Rng rng(5);
+  GeneratorOptions opts;
+  opts.num_vertices = 400;
+  opts.scale_free = true;
+  opts.edges_per_vertex = 1;
+  std::map<int64_t, size_t> degree_counts;
+  for (int trial = 0; trial < 25; ++trial) {
+    Result<Graph> g = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(g.ok());
+    EXPECT_TRUE(g->IsConnected());
+    for (const auto& [deg, cnt] : g->DegreeHistogram()) {
+      degree_counts[deg] += cnt;
+    }
+  }
+  EXPECT_TRUE(LooksScaleFree(degree_counts));
+}
+
+TEST(GeneratorTest, RandomGraphDegreesAreNotPowerLaw) {
+  Rng rng(6);
+  GeneratorOptions opts;
+  opts.num_vertices = 300;
+  opts.extra_edges = 900;  // dense-ish ER graph concentrates degrees
+  opts.scale_free = false;
+  std::map<int64_t, size_t> degree_counts;
+  for (int trial = 0; trial < 15; ++trial) {
+    Result<Graph> g = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(g.ok());
+    for (const auto& [deg, cnt] : g->DegreeHistogram()) {
+      degree_counts[deg] += cnt;
+    }
+  }
+  EXPECT_FALSE(LooksScaleFree(degree_counts));
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  GeneratorOptions opts;
+  opts.num_vertices = 30;
+  Rng a(42), b(42);
+  Result<Graph> g1 = GenerateConnectedGraph(opts, &a);
+  Result<Graph> g2 = GenerateConnectedGraph(opts, &b);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_TRUE(g1->IdenticalTo(*g2));
+}
+
+TEST(GeneratorTest, ExtraEdgesClampedToCompleteGraph) {
+  Rng rng(7);
+  GeneratorOptions opts;
+  opts.num_vertices = 5;
+  opts.extra_edges = 1000;  // far more than C(5,2)
+  Result<Graph> g = GenerateConnectedGraph(opts, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_LE(g->num_edges(), 10u);
+}
+
+}  // namespace
+}  // namespace gbda

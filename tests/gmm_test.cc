@@ -1,0 +1,131 @@
+#include "math/gmm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace gbda {
+namespace {
+
+TEST(GmmTest, FitFailsOnEmptyData) {
+  GmmFitOptions opts;
+  EXPECT_FALSE(GaussianMixture::Fit({}, opts).ok());
+}
+
+TEST(GmmTest, FitFailsOnNonPositiveK) {
+  GmmFitOptions opts;
+  opts.num_components = 0;
+  EXPECT_FALSE(GaussianMixture::Fit({1.0, 2.0}, opts).ok());
+}
+
+TEST(GmmTest, RecoversSingleGaussian) {
+  Rng rng(5);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) data.push_back(rng.Gaussian(4.0, 1.5));
+  GmmFitOptions opts;
+  opts.num_components = 1;
+  Result<GaussianMixture> gmm = GaussianMixture::Fit(data, opts);
+  ASSERT_TRUE(gmm.ok()) << gmm.status().ToString();
+  ASSERT_EQ(gmm->components().size(), 1u);
+  EXPECT_NEAR(gmm->components()[0].mean, 4.0, 0.05);
+  EXPECT_NEAR(gmm->components()[0].stddev, 1.5, 0.05);
+  EXPECT_NEAR(gmm->components()[0].weight, 1.0, 1e-9);
+}
+
+TEST(GmmTest, SeparatesTwoModes) {
+  Rng rng(7);
+  std::vector<double> data;
+  for (int i = 0; i < 10000; ++i) data.push_back(rng.Gaussian(0.0, 1.0));
+  for (int i = 0; i < 10000; ++i) data.push_back(rng.Gaussian(20.0, 1.0));
+  GmmFitOptions opts;
+  opts.num_components = 2;
+  Result<GaussianMixture> gmm = GaussianMixture::Fit(data, opts);
+  ASSERT_TRUE(gmm.ok());
+  double lo = 1e9, hi = -1e9;
+  for (const GmmComponent& c : gmm->components()) {
+    lo = std::min(lo, c.mean);
+    hi = std::max(hi, c.mean);
+    EXPECT_NEAR(c.weight, 0.5, 0.05);
+  }
+  EXPECT_NEAR(lo, 0.0, 0.2);
+  EXPECT_NEAR(hi, 20.0, 0.2);
+}
+
+TEST(GmmTest, WeightsSumToOne) {
+  Rng rng(11);
+  std::vector<double> data;
+  for (int i = 0; i < 3000; ++i) data.push_back(rng.Gaussian(5.0, 2.0));
+  GmmFitOptions opts;
+  opts.num_components = 3;
+  Result<GaussianMixture> gmm = GaussianMixture::Fit(data, opts);
+  ASSERT_TRUE(gmm.ok());
+  double total = 0.0;
+  for (const GmmComponent& c : gmm->components()) total += c.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GmmTest, DegenerateRepeatedDataRespectsVarianceFloor) {
+  std::vector<double> data(500, 3.0);
+  GmmFitOptions opts;
+  opts.num_components = 2;
+  Result<GaussianMixture> gmm = GaussianMixture::Fit(data, opts);
+  ASSERT_TRUE(gmm.ok());
+  for (const GmmComponent& c : gmm->components()) {
+    EXPECT_GE(c.stddev, opts.stddev_floor);
+  }
+  // Mass should concentrate at 3.
+  EXPECT_GT(gmm->IntervalProbability(2.0, 4.0), 0.9);
+}
+
+TEST(GmmTest, PdfIntegratesToOneNumerically) {
+  Result<GaussianMixture> gmm = GaussianMixture::FromComponents(
+      {{0.4, 0.0, 1.0}, {0.6, 5.0, 2.0}});
+  ASSERT_TRUE(gmm.ok());
+  double integral = 0.0;
+  const double step = 0.01;
+  for (double x = -20.0; x < 30.0; x += step) integral += gmm->Pdf(x) * step;
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(GmmTest, CdfAndIntervalConsistent) {
+  Result<GaussianMixture> gmm = GaussianMixture::FromComponents(
+      {{0.5, 1.0, 1.0}, {0.5, 8.0, 1.5}});
+  ASSERT_TRUE(gmm.ok());
+  EXPECT_NEAR(gmm->IntervalProbability(0.0, 10.0),
+              gmm->Cdf(10.0) - gmm->Cdf(0.0), 1e-12);
+  EXPECT_EQ(gmm->IntervalProbability(5.0, 5.0), 0.0);
+  EXPECT_EQ(gmm->IntervalProbability(6.0, 5.0), 0.0);
+}
+
+TEST(GmmTest, FromComponentsValidation) {
+  EXPECT_FALSE(GaussianMixture::FromComponents({}).ok());
+  EXPECT_FALSE(GaussianMixture::FromComponents({{1.0, 0.0, 0.0}}).ok());
+  EXPECT_FALSE(GaussianMixture::FromComponents({{-1.0, 0.0, 1.0}}).ok());
+  EXPECT_FALSE(GaussianMixture::FromComponents({{0.0, 0.0, 1.0}}).ok());
+  // Weights are renormalised.
+  Result<GaussianMixture> gmm =
+      GaussianMixture::FromComponents({{2.0, 0.0, 1.0}, {2.0, 1.0, 1.0}});
+  ASSERT_TRUE(gmm.ok());
+  EXPECT_NEAR(gmm->components()[0].weight, 0.5, 1e-12);
+}
+
+TEST(GmmTest, DeterministicForFixedSeed) {
+  Rng rng(13);
+  std::vector<double> data;
+  for (int i = 0; i < 2000; ++i) data.push_back(rng.Gaussian(2.0, 1.0));
+  GmmFitOptions opts;
+  opts.num_components = 2;
+  Result<GaussianMixture> a = GaussianMixture::Fit(data, opts);
+  Result<GaussianMixture> b = GaussianMixture::Fit(data, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->components().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->components()[i].mean, b->components()[i].mean);
+    EXPECT_DOUBLE_EQ(a->components()[i].stddev, b->components()[i].stddev);
+  }
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,95 @@
+#include "graph/graph_edit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gbda {
+namespace {
+
+TEST(EditOpTest, FactoriesAndNames) {
+  EXPECT_EQ(EditOp::AddVertex(3).type, EditType::kAddVertex);
+  EXPECT_EQ(EditOp::DeleteVertex(1).u, 1u);
+  EXPECT_EQ(EditOp::RelabelVertex(2, 5).label, 5u);
+  EXPECT_EQ(EditOp::AddEdge(0, 1, 2).v, 1u);
+  EXPECT_EQ(EditOp::DeleteEdge(0, 1).type, EditType::kDeleteEdge);
+  EXPECT_EQ(EditOp::RelabelEdge(0, 1, 2).type, EditType::kRelabelEdge);
+  EXPECT_STREQ(EditTypeName(EditType::kAddVertex), "AV");
+  EXPECT_STREQ(EditTypeName(EditType::kRelabelEdge), "RE");
+  EXPECT_FALSE(EditOp::AddEdge(0, 1, 2).ToString().empty());
+}
+
+TEST(ApplyEditTest, AllSixOperations) {
+  Graph g = Graph::WithVertices(2, 1);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1).ok());
+
+  ASSERT_TRUE(ApplyEdit(&g, EditOp::AddVertex(2)).ok());       // AV
+  EXPECT_EQ(g.num_vertices(), 3u);
+  ASSERT_TRUE(ApplyEdit(&g, EditOp::RelabelVertex(2, 3)).ok());  // RV
+  EXPECT_EQ(g.VertexLabel(2), 3u);
+  ASSERT_TRUE(ApplyEdit(&g, EditOp::AddEdge(1, 2, 4)).ok());   // AE
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  ASSERT_TRUE(ApplyEdit(&g, EditOp::RelabelEdge(1, 2, 5)).ok());  // RE
+  EXPECT_EQ(*g.EdgeLabel(1, 2), 5u);
+  ASSERT_TRUE(ApplyEdit(&g, EditOp::DeleteEdge(1, 2)).ok());   // DE
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  ASSERT_TRUE(ApplyEdit(&g, EditOp::DeleteVertex(2)).ok());    // DV
+  EXPECT_EQ(g.num_vertices(), 2u);
+}
+
+TEST(ApplyEditTest, RejectsVirtualLabels) {
+  Graph g = Graph::WithVertices(2, 1);
+  EXPECT_FALSE(ApplyEdit(&g, EditOp::AddVertex(kVirtualLabel)).ok());
+  EXPECT_FALSE(ApplyEdit(&g, EditOp::RelabelVertex(0, kVirtualLabel)).ok());
+  EXPECT_FALSE(ApplyEdit(&g, EditOp::AddEdge(0, 1, kVirtualLabel)).ok());
+}
+
+TEST(ApplyEditTest, RejectsDeletingConnectedVertex) {
+  Graph g = Graph::WithVertices(2, 1);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1).ok());
+  EXPECT_EQ(ApplyEdit(&g, EditOp::DeleteVertex(0)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ApplySequenceTest, ReportsFailingIndex) {
+  Graph g = Graph::WithVertices(2, 1);
+  std::vector<EditOp> seq = {
+      EditOp::AddEdge(0, 1, 2),
+      EditOp::AddEdge(0, 1, 2),  // duplicate -> fails at index 1
+  };
+  Status st = ApplyEditSequence(&g, seq);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("op 1"), std::string::npos);
+}
+
+TEST(RandomEditTest, ProducesRequestedLength) {
+  Rng rng(3);
+  Graph base = Graph::WithVertices(6, 1);
+  for (uint32_t i = 1; i < 6; ++i) ASSERT_TRUE(base.AddEdge(i - 1, i, 1).ok());
+  for (size_t len : {0u, 1u, 5u, 12u}) {
+    Result<RandomEditResult> r = RandomEditSequence(base, len, 4, 3, &rng);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->sequence.size(), len);
+  }
+}
+
+TEST(RandomEditTest, SequenceReplaysOntoBase) {
+  Rng rng(5);
+  Graph base = Graph::WithVertices(5, 2);
+  for (uint32_t i = 1; i < 5; ++i) ASSERT_TRUE(base.AddEdge(i - 1, i, 1).ok());
+  Result<RandomEditResult> r = RandomEditSequence(base, 8, 4, 3, &rng);
+  ASSERT_TRUE(r.ok());
+  Graph replay = base;
+  ASSERT_TRUE(ApplyEditSequence(&replay, r->sequence).ok());
+  EXPECT_TRUE(replay.IdenticalTo(r->edited));
+}
+
+TEST(RandomEditTest, RejectsEmptyAlphabets) {
+  Rng rng(7);
+  Graph base = Graph::WithVertices(3, 1);
+  EXPECT_FALSE(RandomEditSequence(base, 2, 0, 3, &rng).ok());
+  EXPECT_FALSE(RandomEditSequence(base, 2, 3, 0, &rng).ok());
+}
+
+}  // namespace
+}  // namespace gbda

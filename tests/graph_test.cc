@@ -1,0 +1,162 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace gbda {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_DOUBLE_EQ(g.AvgDegree(), 0.0);
+}
+
+TEST(GraphTest, AddVerticesAndEdges) {
+  Graph g;
+  EXPECT_EQ(g.AddVertex(1), 0u);
+  EXPECT_EQ(g.AddVertex(2), 1u);
+  EXPECT_EQ(g.AddVertex(3), 2u);
+  ASSERT_TRUE(g.AddEdge(0, 1, 5).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0, 6).ok());
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));  // undirected
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_EQ(*g.EdgeLabel(0, 1), 5u);
+  EXPECT_EQ(*g.EdgeLabel(0, 2), 6u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(GraphTest, RejectsSelfLoopsAndParallelEdges) {
+  Graph g = Graph::WithVertices(3, 1);
+  EXPECT_EQ(g.AddEdge(1, 1, 2).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(g.AddEdge(0, 1, 2).ok());
+  EXPECT_EQ(g.AddEdge(0, 1, 3).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(1, 0, 3).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoints) {
+  Graph g = Graph::WithVertices(2, 1);
+  EXPECT_EQ(g.AddEdge(0, 5, 1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.RelabelVertex(9, 1).code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(g.EdgeLabel(0, 9).ok());
+  EXPECT_FALSE(g.HasEdge(0, 9));
+}
+
+TEST(GraphTest, RelabelVertexAndEdge) {
+  Graph g = Graph::WithVertices(2, 1);
+  ASSERT_TRUE(g.AddEdge(0, 1, 7).ok());
+  ASSERT_TRUE(g.RelabelVertex(0, 9).ok());
+  EXPECT_EQ(g.VertexLabel(0), 9u);
+  ASSERT_TRUE(g.RelabelEdge(1, 0, 8).ok());
+  EXPECT_EQ(*g.EdgeLabel(0, 1), 8u);
+  EXPECT_EQ(*g.EdgeLabel(1, 0), 8u);  // both directions updated
+  EXPECT_EQ(g.RelabelEdge(0, 1, 8).code(), StatusCode::kOk);
+  Graph h = Graph::WithVertices(3, 1);
+  EXPECT_EQ(h.RelabelEdge(0, 1, 2).code(), StatusCode::kNotFound);
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g = Graph::WithVertices(3, 1);
+  ASSERT_TRUE(g.AddEdge(0, 1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 3).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.RemoveEdge(0, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(GraphTest, RemoveIsolatedVertexSwapsLast) {
+  Graph g;
+  g.AddVertex(10);  // 0, will become isolated
+  g.AddVertex(20);  // 1
+  g.AddVertex(30);  // 2 (last, swapped into 0)
+  ASSERT_TRUE(g.AddEdge(1, 2, 7).ok());
+  EXPECT_EQ(g.RemoveIsolatedVertex(1).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(g.RemoveIsolatedVertex(0).ok());
+  EXPECT_EQ(g.num_vertices(), 2u);
+  // Old vertex 2 (label 30) now sits at index 0; the edge follows it.
+  EXPECT_EQ(g.VertexLabel(0), 30u);
+  EXPECT_EQ(g.VertexLabel(1), 20u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_EQ(*g.EdgeLabel(0, 1), 7u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphTest, RemoveLastIsolatedVertex) {
+  Graph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  ASSERT_TRUE(g.RemoveIsolatedVertex(1).ok());
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.VertexLabel(0), 1u);
+}
+
+TEST(GraphTest, NeighborsAreSortedByIndex) {
+  Graph g = Graph::WithVertices(5, 1);
+  ASSERT_TRUE(g.AddEdge(2, 4, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 1, 1).ok());
+  const auto& nbrs = g.Neighbors(2);
+  for (size_t i = 1; i < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i - 1].to, nbrs[i].to);
+  }
+}
+
+TEST(GraphTest, ConnectivityDetection) {
+  Graph g = Graph::WithVertices(4, 1);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 1).ok());
+  EXPECT_FALSE(g.IsConnected());
+  ASSERT_TRUE(g.AddEdge(1, 2, 1).ok());
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GraphTest, AvgDegreeAndHistogram) {
+  Graph g = Graph::WithVertices(4, 1);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3, 1).ok());
+  EXPECT_DOUBLE_EQ(g.AvgDegree(), 1.5);  // 2*3/4
+  const auto hist = g.DegreeHistogram();
+  EXPECT_EQ(hist.at(1), 3u);
+  EXPECT_EQ(hist.at(3), 1u);
+}
+
+TEST(GraphTest, SortedEdgesAndIdentity) {
+  Graph g = Graph::WithVertices(3, 1);
+  ASSERT_TRUE(g.AddEdge(2, 0, 5).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0, 4).ok());
+  const auto edges = g.SortedEdges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].u, 0u);
+  EXPECT_EQ(edges[0].v, 1u);
+  EXPECT_EQ(edges[0].label, 4u);
+  EXPECT_EQ(edges[1].v, 2u);
+
+  Graph h = Graph::WithVertices(3, 1);
+  ASSERT_TRUE(h.AddEdge(0, 1, 4).ok());
+  ASSERT_TRUE(h.AddEdge(0, 2, 5).ok());
+  EXPECT_TRUE(g.IdenticalTo(h));
+  ASSERT_TRUE(h.RelabelEdge(0, 1, 9).ok());
+  EXPECT_FALSE(g.IdenticalTo(h));
+}
+
+TEST(GraphTest, MemoryBytesGrowsWithContent) {
+  Graph small = Graph::WithVertices(2, 1);
+  Graph big = Graph::WithVertices(1000, 1);
+  for (uint32_t i = 1; i < 1000; ++i) {
+    ASSERT_TRUE(big.AddEdge(i - 1, i, 1).ok());
+  }
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,137 @@
+#include "math/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace gbda {
+namespace {
+
+double BruteForceAssignment(const DenseMatrix& cost) {
+  const size_t n = cost.rows();
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double total = 0.0;
+    for (size_t r = 0; r < n; ++r) total += cost.At(r, perm[r]);
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+DenseMatrix RandomCost(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix cost(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) cost.At(r, c) = rng.Uniform(0.0, 10.0);
+  }
+  return cost;
+}
+
+TEST(HungarianTest, RejectsEmptyAndNonSquare) {
+  EXPECT_FALSE(SolveAssignment(DenseMatrix()).ok());
+  EXPECT_FALSE(SolveAssignment(DenseMatrix(2, 3)).ok());
+  EXPECT_FALSE(SolveAssignmentGreedySort(DenseMatrix()).ok());
+  EXPECT_FALSE(SolveAssignmentGreedySort(DenseMatrix(3, 2)).ok());
+}
+
+TEST(HungarianTest, TrivialOneByOne) {
+  DenseMatrix cost(1, 1);
+  cost.At(0, 0) = 3.5;
+  Result<AssignmentResult> r = SolveAssignment(cost);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->cost, 3.5);
+  EXPECT_EQ(r->row_to_col[0], 0u);
+}
+
+TEST(HungarianTest, KnownThreeByThree) {
+  // Classic example with optimum 5 on the anti-diagonal-ish assignment.
+  DenseMatrix cost(3, 3);
+  const double values[3][3] = {{1, 2, 3}, {2, 4, 6}, {3, 6, 9}};
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) cost.At(r, c) = values[r][c];
+  }
+  Result<AssignmentResult> r = SolveAssignment(cost);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->cost, 10.0);  // 3 + 4 + 3
+}
+
+TEST(HungarianTest, AssignmentIsPermutation) {
+  const DenseMatrix cost = RandomCost(8, 17);
+  Result<AssignmentResult> r = SolveAssignment(cost);
+  ASSERT_TRUE(r.ok());
+  std::vector<size_t> cols = r->row_to_col;
+  std::sort(cols.begin(), cols.end());
+  for (size_t i = 0; i < cols.size(); ++i) EXPECT_EQ(cols[i], i);
+}
+
+class HungarianVsBruteForce
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(HungarianVsBruteForce, MatchesExhaustiveSearch) {
+  const auto [n, seed] = GetParam();
+  const DenseMatrix cost = RandomCost(n, seed);
+  Result<AssignmentResult> r = SolveAssignment(cost);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->cost, BruteForceAssignment(cost), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HungarianVsBruteForce,
+    ::testing::Combine(::testing::Values(size_t{2}, size_t{3}, size_t{4},
+                                         size_t{5}, size_t{6}, size_t{7}),
+                       ::testing::Values(uint64_t{1}, uint64_t{2}, uint64_t{3},
+                                         uint64_t{4}, uint64_t{5})));
+
+class GreedyVsOptimal
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(GreedyVsOptimal, GreedyNeverBeatsHungarian) {
+  const auto [n, seed] = GetParam();
+  const DenseMatrix cost = RandomCost(n, seed);
+  Result<AssignmentResult> exact = SolveAssignment(cost);
+  Result<AssignmentResult> greedy = SolveAssignmentGreedySort(cost);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_GE(greedy->cost, exact->cost - 1e-9);
+  // Greedy also returns a permutation.
+  std::vector<size_t> cols = greedy->row_to_col;
+  std::sort(cols.begin(), cols.end());
+  for (size_t i = 0; i < cols.size(); ++i) EXPECT_EQ(cols[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedyVsOptimal,
+    ::testing::Combine(::testing::Values(size_t{3}, size_t{6}, size_t{12},
+                                         size_t{20}),
+                       ::testing::Values(uint64_t{11}, uint64_t{22},
+                                         uint64_t{33})));
+
+TEST(GreedySortTest, PicksGlobalMinimumFirst) {
+  DenseMatrix cost(2, 2);
+  cost.At(0, 0) = 5.0;
+  cost.At(0, 1) = 1.0;
+  cost.At(1, 0) = 2.0;
+  cost.At(1, 1) = 9.0;
+  Result<AssignmentResult> r = SolveAssignmentGreedySort(cost);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_to_col[0], 1u);
+  EXPECT_EQ(r->row_to_col[1], 0u);
+  EXPECT_DOUBLE_EQ(r->cost, 3.0);
+}
+
+TEST(HungarianTest, HandlesLargeUniformCosts) {
+  // All-equal costs: any permutation is optimal; cost = n * c.
+  DenseMatrix cost(16, 16, 2.5);
+  Result<AssignmentResult> r = SolveAssignment(cost);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->cost, 40.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gbda

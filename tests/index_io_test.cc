@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/gbda_index.h"
+#include "core/gbda_search.h"
+#include "datagen/dataset_profiles.h"
+
+namespace gbda {
+namespace {
+
+class IndexIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetProfile profile = GrecProfile(0.03);
+    profile.seed = 31;
+    Result<GeneratedDataset> ds = GenerateDataset(profile);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new GeneratedDataset(std::move(*ds));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static GeneratedDataset* dataset_;
+};
+
+GeneratedDataset* IndexIoTest::dataset_ = nullptr;
+
+TEST_F(IndexIoTest, SaveLoadRoundTripPreservesQueries) {
+  GbdaIndexOptions options;
+  options.tau_max = 8;
+  options.gbd_prior.num_sample_pairs = 1000;
+  Result<GbdaIndex> built = GbdaIndex::Build(dataset_->db, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  const std::string path = ::testing::TempDir() + "/gbda_index_test.bin";
+  ASSERT_TRUE(built->SaveToFile(path).ok());
+  Result<GbdaIndex> loaded = GbdaIndex::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_graphs(), built->num_graphs());
+  EXPECT_EQ(loaded->tau_max(), built->tau_max());
+  EXPECT_EQ(loaded->num_vertex_labels(), built->num_vertex_labels());
+  EXPECT_DOUBLE_EQ(loaded->avg_vertices(), built->avg_vertices());
+  for (size_t i = 0; i < built->num_graphs(); ++i) {
+    EXPECT_EQ(loaded->branches(i), built->branches(i)) << "graph " << i;
+  }
+
+  // The loaded index answers queries identically.
+  GbdaSearch search_built(&dataset_->db, &*built);
+  GbdaSearch search_loaded(&dataset_->db, &*loaded);
+  SearchOptions opts;
+  opts.tau_hat = 6;
+  opts.gamma = 0.5;
+  for (size_t q = 0; q < std::min<size_t>(dataset_->queries.size(), 3); ++q) {
+    Result<SearchResult> a = search_built.Query(dataset_->queries[q], opts);
+    Result<SearchResult> b = search_loaded.Query(dataset_->queries[q], opts);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->matches.size(), b->matches.size());
+    for (size_t i = 0; i < a->matches.size(); ++i) {
+      EXPECT_EQ(a->matches[i].graph_id, b->matches[i].graph_id);
+      EXPECT_NEAR(a->matches[i].phi_score, b->matches[i].phi_score, 1e-12);
+    }
+  }
+}
+
+TEST_F(IndexIoTest, LoadRejectsMissingFile) {
+  Result<GbdaIndex> r = GbdaIndex::LoadFromFile("/nonexistent/index.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(IndexIoTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/gbda_garbage.bin";
+  std::ofstream(path) << "this is not an index";
+  Result<GbdaIndex> r = GbdaIndex::LoadFromFile(path);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(IndexIoTest, LoadRejectsTruncatedIndex) {
+  GbdaIndexOptions options;
+  options.tau_max = 5;
+  options.gbd_prior.num_sample_pairs = 500;
+  Result<GbdaIndex> built = GbdaIndex::Build(dataset_->db, options);
+  ASSERT_TRUE(built.ok());
+  const std::string path = ::testing::TempDir() + "/gbda_trunc.bin";
+  ASSERT_TRUE(built->SaveToFile(path).ok());
+
+  // Truncate the file to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  out.close();
+
+  EXPECT_FALSE(GbdaIndex::LoadFromFile(path).ok());
+}
+
+TEST_F(IndexIoTest, BuildRejectsEmptyDatabase) {
+  GraphDatabase empty;
+  GbdaIndexOptions options;
+  EXPECT_FALSE(GbdaIndex::Build(empty, options).ok());
+}
+
+TEST_F(IndexIoTest, BuildRejectsNegativeTau) {
+  GbdaIndexOptions options;
+  options.tau_max = -1;
+  EXPECT_FALSE(GbdaIndex::Build(dataset_->db, options).ok());
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,183 @@
+#include "datagen/known_ged_family.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/astar_ged.h"
+
+namespace gbda {
+namespace {
+
+FamilyOptions SmallFamilyOptions() {
+  FamilyOptions opts;
+  opts.generator.num_vertices = 8;
+  opts.generator.num_vertex_labels = 4;
+  opts.generator.num_edge_labels = 3;
+  opts.generator.extra_edges = 3;
+  opts.num_members = 6;
+  opts.max_modifications = 3;
+  opts.center_min_degree = 4;
+  return opts;
+}
+
+TEST(SymmetricDifferenceTest, Basics) {
+  EXPECT_EQ(SymmetricDifferenceSize({}, {}), 0);
+  EXPECT_EQ(SymmetricDifferenceSize({1, 2}, {1, 2}), 0);
+  EXPECT_EQ(SymmetricDifferenceSize({1, 2}, {2, 3}), 2);
+  EXPECT_EQ(SymmetricDifferenceSize({1}, {}), 1);
+  EXPECT_EQ(SymmetricDifferenceSize({0, 3, 5}, {1, 3, 7}), 4);
+}
+
+TEST(FamilyTest, ValidatesOptions) {
+  Rng rng(1);
+  FamilyOptions opts = SmallFamilyOptions();
+  opts.generator.num_edge_labels = 1;  // cannot relabel within a 1-alphabet
+  EXPECT_FALSE(GenerateKnownGedFamily(opts, &rng).ok());
+
+  opts = SmallFamilyOptions();
+  opts.max_modifications = 0;
+  EXPECT_FALSE(GenerateKnownGedFamily(opts, &rng).ok());
+
+  opts = SmallFamilyOptions();
+  opts.num_members = 100000;  // no 8-vertex template hosts that many subsets
+  EXPECT_FALSE(GenerateKnownGedFamily(opts, &rng).ok());
+
+  opts = SmallFamilyOptions();
+  opts.num_marker_vertices = 2;  // markers need real labels
+  EXPECT_FALSE(GenerateKnownGedFamily(opts, &rng).ok());
+}
+
+TEST(FamilyTest, ProducesRequestedMembers) {
+  Rng rng(2);
+  const FamilyOptions opts = SmallFamilyOptions();
+  Result<KnownGedFamily> fam = GenerateKnownGedFamily(opts, &rng);
+  ASSERT_TRUE(fam.ok()) << fam.status().ToString();
+  EXPECT_EQ(fam->members.size(), opts.num_members);
+  EXPECT_EQ(fam->member_states.size(), opts.num_members);
+  // Member 0 is the unmodified template.
+  for (PoolEdgeState s : fam->member_states[0]) {
+    EXPECT_EQ(s, PoolEdgeState::kOriginal);
+  }
+  // State vectors are pairwise distinct and cover the whole pool.
+  std::set<std::vector<PoolEdgeState>> distinct(fam->member_states.begin(),
+                                                fam->member_states.end());
+  EXPECT_EQ(distinct.size(), opts.num_members);
+  for (const auto& state : fam->member_states) {
+    EXPECT_EQ(state.size(), fam->edge_pool.size());
+  }
+  // All members share the vertex count (edges may be deleted, vertices not).
+  for (const Graph& g : fam->members) {
+    EXPECT_EQ(g.num_vertices(), fam->members[0].num_vertices());
+    EXPECT_LE(g.num_edges(), fam->members[0].num_edges());
+  }
+}
+
+TEST(FamilyTest, KnownGedIsAMetricOnIndexSets) {
+  Rng rng(3);
+  Result<KnownGedFamily> fam = GenerateKnownGedFamily(SmallFamilyOptions(), &rng);
+  ASSERT_TRUE(fam.ok());
+  const size_t n = fam->members.size();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(fam->KnownGed(i, i), 0);
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(fam->KnownGed(i, j), fam->KnownGed(j, i));
+      for (size_t k = 0; k < n; ++k) {
+        EXPECT_LE(fam->KnownGed(i, k),
+                  fam->KnownGed(i, j) + fam->KnownGed(j, k));
+      }
+    }
+  }
+}
+
+class FamilyExactnessSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FamilyExactnessSweep, ClaimedGedMatchesAStar) {
+  // The critical datagen property: the claimed pairwise GED of family
+  // members equals the exact A* GED. Small templates keep A* tractable.
+  Rng rng(GetParam());
+  FamilyOptions opts = SmallFamilyOptions();
+  opts.generator.num_vertices = 7;
+  opts.num_members = 5;
+  Result<KnownGedFamily> fam = GenerateKnownGedFamily(opts, &rng);
+  ASSERT_TRUE(fam.ok()) << fam.status().ToString();
+  for (size_t i = 0; i < fam->members.size(); ++i) {
+    for (size_t j = i + 1; j < fam->members.size(); ++j) {
+      Result<int64_t> exact =
+          ExactGedValue(fam->members[i], fam->members[j]);
+      ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+      EXPECT_EQ(*exact, fam->KnownGed(i, j))
+          << "seed " << GetParam() << " pair (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FamilyExactnessSweep,
+                         ::testing::Values(10, 20, 30, 40, 50, 60));
+
+TEST(FamilyTest, MarkerChainAppendedAndImmutable) {
+  Rng rng(17);
+  FamilyOptions opts = SmallFamilyOptions();
+  opts.num_marker_vertices = 3;
+  opts.marker_vertex_label = 77;
+  opts.marker_edge_label = 78;
+  Result<KnownGedFamily> fam = GenerateKnownGedFamily(opts, &rng);
+  ASSERT_TRUE(fam.ok()) << fam.status().ToString();
+  for (const Graph& g : fam->members) {
+    ASSERT_EQ(g.num_vertices(), opts.generator.num_vertices + 3);
+    size_t marker_vertices = 0, marker_edges = 0;
+    for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+      if (g.VertexLabel(v) == 77) ++marker_vertices;
+    }
+    for (const auto& e : g.SortedEdges()) {
+      if (e.label == 78) ++marker_edges;
+    }
+    // The chain: 3 vertices, 3 edges (attachment + 2 links), never modified.
+    EXPECT_EQ(marker_vertices, 3u);
+    EXPECT_EQ(marker_edges, 3u);
+  }
+}
+
+class MarkerFamilyExactness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MarkerFamilyExactness, ClaimedGedMatchesAStarWithMarkers) {
+  Rng rng(GetParam());
+  FamilyOptions opts;
+  opts.generator.num_vertices = 5;
+  opts.generator.num_vertex_labels = 3;
+  opts.generator.num_edge_labels = 3;
+  opts.num_members = 4;
+  opts.max_modifications = 3;
+  opts.center_min_degree = 3;
+  opts.num_marker_vertices = 2;
+  opts.marker_vertex_label = 50;
+  opts.marker_edge_label = 51;
+  Result<KnownGedFamily> fam = GenerateKnownGedFamily(opts, &rng);
+  ASSERT_TRUE(fam.ok()) << fam.status().ToString();
+  for (size_t i = 0; i < fam->members.size(); ++i) {
+    for (size_t j = i + 1; j < fam->members.size(); ++j) {
+      Result<int64_t> exact = ExactGedValue(fam->members[i], fam->members[j]);
+      ASSERT_TRUE(exact.ok());
+      EXPECT_EQ(*exact, fam->KnownGed(i, j)) << "pair " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarkerFamilyExactness,
+                         ::testing::Values(70, 71, 72, 73));
+
+TEST(FamilyTest, DeterministicForSameSeed) {
+  const FamilyOptions opts = SmallFamilyOptions();
+  Rng a(9), b(9);
+  Result<KnownGedFamily> fa = GenerateKnownGedFamily(opts, &a);
+  Result<KnownGedFamily> fb = GenerateKnownGedFamily(opts, &b);
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  ASSERT_EQ(fa->members.size(), fb->members.size());
+  for (size_t i = 0; i < fa->members.size(); ++i) {
+    EXPECT_TRUE(fa->members[i].IdenticalTo(fb->members[i]));
+  }
+}
+
+}  // namespace
+}  // namespace gbda

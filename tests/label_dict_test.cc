@@ -1,0 +1,74 @@
+#include "graph/label_dict.h"
+
+#include <gtest/gtest.h>
+
+namespace gbda {
+namespace {
+
+TEST(LabelDictTest, ReservesVirtualLabelAtZero) {
+  LabelDict dict;
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(dict.num_real_labels(), 0u);
+  Result<std::string> name = dict.Name(kVirtualLabel);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "\xCE\xB5");  // epsilon
+}
+
+TEST(LabelDictTest, InternIsIdempotent) {
+  LabelDict dict;
+  const LabelId a = dict.Intern("carbon");
+  const LabelId b = dict.Intern("carbon");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_NE(a, kVirtualLabel);
+}
+
+TEST(LabelDictTest, DistinctNamesGetDistinctIds) {
+  LabelDict dict;
+  const LabelId c = dict.Intern("C");
+  const LabelId n = dict.Intern("N");
+  const LabelId o = dict.Intern("O");
+  EXPECT_NE(c, n);
+  EXPECT_NE(n, o);
+  EXPECT_EQ(dict.num_real_labels(), 3u);
+}
+
+TEST(LabelDictTest, FindWithoutInterning) {
+  LabelDict dict;
+  dict.Intern("x");
+  EXPECT_TRUE(dict.Find("x").ok());
+  Result<LabelId> missing = dict.Find("y");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(dict.size(), 2u);  // Find must not intern
+}
+
+TEST(LabelDictTest, NameRoundTrip) {
+  LabelDict dict;
+  const LabelId id = dict.Intern("aromatic");
+  Result<std::string> name = dict.Name(id);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "aromatic");
+  EXPECT_FALSE(dict.Name(999).ok());
+}
+
+TEST(LabelDictTest, InternNumbered) {
+  LabelDict dict;
+  dict.InternNumbered(3, "L");
+  EXPECT_EQ(dict.num_real_labels(), 3u);
+  EXPECT_TRUE(dict.Find("L0").ok());
+  EXPECT_TRUE(dict.Find("L2").ok());
+  EXPECT_FALSE(dict.Find("L3").ok());
+  // Ids are dense starting at 1.
+  EXPECT_EQ(*dict.Find("L0"), 1u);
+  EXPECT_EQ(*dict.Find("L2"), 3u);
+}
+
+TEST(LabelDictTest, InterningEpsilonNameReturnsVirtual) {
+  LabelDict dict;
+  EXPECT_EQ(dict.Intern("\xCE\xB5"), kVirtualLabel);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,115 @@
+#include "core/lambda1.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace gbda {
+namespace {
+
+class Lambda1Normalization
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(Lambda1Normalization, RowsSumToOneOverPhi) {
+  const auto [v, lv, tau_max] = GetParam();
+  const Lambda1Calculator calc(MakeModelParams(v, lv, 3), tau_max);
+  const auto matrix = calc.Matrix();
+  const double max_edits =
+      static_cast<double>(v) + static_cast<double>(v) * (v - 1) / 2.0;
+  for (int64_t tau = 0; tau <= tau_max; ++tau) {
+    if (static_cast<double>(tau) > max_edits) continue;  // impossible GED
+    double total = 0.0;
+    for (int64_t phi = 0; phi <= 2 * tau_max; ++phi) {
+      const double p = matrix[static_cast<size_t>(tau)][static_cast<size_t>(phi)];
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-8) << "v=" << v << " tau=" << tau;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lambda1Normalization,
+    ::testing::Values(std::make_tuple(int64_t{3}, int64_t{3}, int64_t{4}),
+                      std::make_tuple(int64_t{4}, int64_t{3}, int64_t{6}),
+                      std::make_tuple(int64_t{10}, int64_t{5}, int64_t{8}),
+                      std::make_tuple(int64_t{50}, int64_t{42}, int64_t{10}),
+                      std::make_tuple(int64_t{1000}, int64_t{10}, int64_t{10})));
+
+TEST(Lambda1Test, ReproducesPaperExample7) {
+  // Example 7 evaluates Lambda1(Q', G'2; tau, phi=3) for the Figure 1 pair:
+  // |V'1| = 4, |L_V| = 3, |L_E| = 3. The paper reports
+  //   Lambda1(2, 3) = 0.5113 and Lambda1(3, 3) = 0.5631.
+  const Lambda1Calculator calc(MakeModelParams(4, 3, 3), 4);
+  const std::vector<double> col = calc.Column(3);
+  EXPECT_EQ(col[0], 0.0);
+  EXPECT_EQ(col[1], 0.0);  // one edit cannot change three branches
+  EXPECT_NEAR(col[2], 0.5113, 5e-4);
+  EXPECT_NEAR(col[3], 0.5631, 5e-4);
+}
+
+TEST(Lambda1Test, ZeroEditsMeansZeroGbd) {
+  const Lambda1Calculator calc(MakeModelParams(5, 3, 3), 4);
+  const std::vector<double> col0 = calc.Column(0);
+  EXPECT_NEAR(col0[0], 1.0, 1e-12);  // Lambda1(0, 0) = 1
+  const std::vector<double> col1 = calc.Column(1);
+  EXPECT_EQ(col1[0], 0.0);  // Lambda1(0, phi>0) = 0
+}
+
+TEST(Lambda1Test, SupportBoundedByTwiceTau) {
+  // One edit changes at most two branches: Lambda1(tau, phi) = 0 for
+  // phi > 2 tau (the range analysis of Section V-C).
+  const Lambda1Calculator calc(MakeModelParams(8, 4, 3), 5);
+  const auto matrix = calc.Matrix();
+  for (int64_t tau = 0; tau <= 5; ++tau) {
+    for (int64_t phi = 2 * tau + 1; phi <= 10; ++phi) {
+      EXPECT_EQ(matrix[static_cast<size_t>(tau)][static_cast<size_t>(phi)], 0.0)
+          << "tau=" << tau << " phi=" << phi;
+    }
+  }
+}
+
+TEST(Lambda1Test, ColumnAgreesWithMatrix) {
+  const Lambda1Calculator calc(MakeModelParams(7, 4, 2), 6);
+  const auto matrix = calc.Matrix();
+  for (int64_t phi = 0; phi <= 12; ++phi) {
+    const std::vector<double> col = calc.Column(phi);
+    for (int64_t tau = 0; tau <= 6; ++tau) {
+      EXPECT_DOUBLE_EQ(col[static_cast<size_t>(tau)],
+                       matrix[static_cast<size_t>(tau)][static_cast<size_t>(phi)]);
+    }
+  }
+}
+
+TEST(Lambda1Test, NegativePhiIsZero) {
+  const Lambda1Calculator calc(MakeModelParams(5, 3, 3), 3);
+  for (double p : calc.Column(-2)) EXPECT_EQ(p, 0.0);
+}
+
+TEST(Lambda1Test, LargeGedConcentratesOnLargeGbd) {
+  // For big graphs, tau random edits almost surely touch 2*tau distinct
+  // branches and all change: Lambda1(tau, 2 tau) should dominate.
+  const Lambda1Calculator calc(MakeModelParams(100000, 10, 5), 5);
+  const auto matrix = calc.Matrix();
+  for (int64_t tau = 1; tau <= 5; ++tau) {
+    EXPECT_GT(matrix[static_cast<size_t>(tau)][static_cast<size_t>(2 * tau)], 0.95)
+        << "tau=" << tau;
+  }
+}
+
+TEST(Lambda1Test, HandlesTinyGraphs) {
+  // v = 1: only vertex relabels exist; tau=1 must put all mass on phi=1
+  // (the single branch changes — D > 1 for |LV| >= 2).
+  const Lambda1Calculator calc(MakeModelParams(1, 5, 3), 2);
+  const std::vector<double> col1 = calc.Column(1);
+  EXPECT_GT(col1[1], 0.5);
+  // tau = 2 exceeds the single relabel slot... the extended K1 has one
+  // vertex and zero edges, so 2 distinct targets never exist: row is zero.
+  const auto matrix = calc.Matrix();
+  double total_tau2 = 0.0;
+  for (double p : matrix[2]) total_tau2 += p;
+  EXPECT_NEAR(total_tau2, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,132 @@
+#include "math/log_combinatorics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gbda {
+namespace {
+
+TEST(LogFactorialTest, SmallValues) {
+  EXPECT_DOUBLE_EQ(LogFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogFactorial(1), 0.0);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-10);
+  EXPECT_TRUE(std::isinf(LogFactorial(-1)));
+}
+
+TEST(LogFactorialTest, LargeValuesMatchLgamma) {
+  EXPECT_NEAR(LogFactorial(100000), std::lgamma(100001.0), 1e-8);
+}
+
+TEST(LogBinomialTest, KnownValues) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 5), std::log(252.0), 1e-11);
+  EXPECT_DOUBLE_EQ(LogBinomial(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogBinomial(7, 7), 0.0);
+  EXPECT_TRUE(std::isinf(LogBinomial(5, 6)));
+  EXPECT_TRUE(std::isinf(LogBinomial(5, -1)));
+}
+
+TEST(LogBinomialTest, Symmetry) {
+  for (int64_t n = 1; n <= 60; ++n) {
+    for (int64_t k = 0; k <= n; ++k) {
+      EXPECT_NEAR(LogBinomial(n, k), LogBinomial(n, n - k), 1e-9)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(LogBinomialTest, PascalIdentity) {
+  // C(n,k) = C(n-1,k-1) + C(n-1,k), checked in linear space for moderate n.
+  for (int64_t n = 2; n <= 40; ++n) {
+    for (int64_t k = 1; k < n; ++k) {
+      const double lhs = std::exp(LogBinomial(n, k));
+      const double rhs =
+          std::exp(LogBinomial(n - 1, k - 1)) + std::exp(LogBinomial(n - 1, k));
+      EXPECT_NEAR(lhs / rhs, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(LogBinomialRealTest, AgreesWithIntegerVersion) {
+  EXPECT_NEAR(LogBinomialReal(10.0, 4.0), LogBinomial(10, 4), 1e-10);
+  EXPECT_NEAR(LogBinomialReal(5e9, 30.0), LogBinomial(5000000000LL, 30), 1e-6);
+  EXPECT_TRUE(std::isinf(LogBinomialReal(5.0, 6.0)));
+  EXPECT_TRUE(std::isinf(LogBinomialReal(5.0, -0.5)));
+}
+
+TEST(DLogBinomialDxTest, MatchesFiniteDifference) {
+  for (double a : {20.0, 500.0, 1e6}) {
+    // lgamma(a+1) ~ a ln a, so the finite difference loses roughly
+    // eps * a ln a / h absolute accuracy; scale h with a to compensate.
+    const double h = a <= 1000.0 ? 1e-6 : 1e-3;
+    const double tol = a <= 1000.0 ? 1e-5 : 1e-4;
+    for (double x : {1.0, 3.5, 10.0}) {
+      const double analytic = DLogBinomialDx(a, x);
+      const double numeric =
+          (LogBinomialReal(a, x + h) - LogBinomialReal(a, x - h)) / (2 * h);
+      EXPECT_NEAR(analytic, numeric, tol) << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(HarmonicTest, SmallValues) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_NEAR(HarmonicNumber(2), 1.5, 1e-15);
+  EXPECT_NEAR(HarmonicNumber(4), 25.0 / 12.0, 1e-14);
+}
+
+TEST(HarmonicTest, LargeValuesMatchAsymptotic) {
+  // H(n) ~ ln n + gamma + 1/(2n)
+  const int64_t n = 10'000'000;
+  const double expected = std::log(static_cast<double>(n)) + kEulerGamma +
+                          0.5 / static_cast<double>(n);
+  EXPECT_NEAR(HarmonicNumber(n), expected, 1e-9);
+}
+
+TEST(HarmonicTest, CacheBoundaryIsSeamless) {
+  // Values straddling the internal cache boundary must be consistent.
+  const int64_t n = (1 << 16) - 1;
+  EXPECT_NEAR(HarmonicNumber(n + 1),
+              HarmonicNumber(n) + 1.0 / static_cast<double>(n + 1), 1e-10);
+}
+
+TEST(DigammaTest, KnownValues) {
+  // psi(1) = -gamma, psi(2) = 1 - gamma, psi(1/2) = -gamma - 2 ln 2.
+  EXPECT_NEAR(Digamma(1.0), -kEulerGamma, 1e-10);
+  EXPECT_NEAR(Digamma(2.0), 1.0 - kEulerGamma, 1e-10);
+  EXPECT_NEAR(Digamma(0.5), -kEulerGamma - 2.0 * std::log(2.0), 1e-10);
+}
+
+TEST(DigammaTest, RecurrenceHolds) {
+  for (double x : {0.3, 1.7, 4.2, 25.0, 1000.0}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(DigammaTest, RelatesToHarmonic) {
+  // psi(n+1) = H(n) - gamma.
+  for (int64_t n : {1, 5, 100, 10000}) {
+    EXPECT_NEAR(Digamma(static_cast<double>(n) + 1.0),
+                HarmonicNumber(n) - kEulerGamma, 1e-10);
+  }
+}
+
+TEST(ExpSafeTest, MapsNegInfToZero) {
+  EXPECT_EQ(ExpSafe(NegInf()), 0.0);
+  EXPECT_DOUBLE_EQ(ExpSafe(0.0), 1.0);
+  EXPECT_NEAR(ExpSafe(1.0), std::exp(1.0), 1e-14);
+}
+
+TEST(LogAddTest, Basics) {
+  EXPECT_NEAR(LogAdd(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_DOUBLE_EQ(LogAdd(NegInf(), 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(LogAdd(1.5, NegInf()), 1.5);
+  // Extreme magnitude difference: result equals the larger argument.
+  EXPECT_DOUBLE_EQ(LogAdd(0.0, -800.0), 0.0);
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,67 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace gbda {
+namespace {
+
+TEST(MetricsTest, PerfectRetrieval) {
+  const Confusion c = CompareSets({1, 2, 3}, {1, 2, 3});
+  EXPECT_EQ(c.true_positives, 3u);
+  EXPECT_EQ(c.false_positives, 0u);
+  EXPECT_EQ(c.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(Precision(c), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(c), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score(c), 1.0);
+}
+
+TEST(MetricsTest, PartialOverlap) {
+  const Confusion c = CompareSets({1, 2, 4}, {1, 2, 3});
+  EXPECT_EQ(c.true_positives, 2u);
+  EXPECT_EQ(c.false_positives, 1u);
+  EXPECT_EQ(c.false_negatives, 1u);
+  EXPECT_NEAR(Precision(c), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(Recall(c), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(F1Score(c), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyRetrievedIsVacuouslyPrecise) {
+  const Confusion c = CompareSets({}, {1, 2});
+  EXPECT_DOUBLE_EQ(Precision(c), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(c), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score(c), 0.0);
+}
+
+TEST(MetricsTest, EmptyRelevantIsVacuouslyRecalled) {
+  const Confusion c = CompareSets({1}, {});
+  EXPECT_DOUBLE_EQ(Precision(c), 0.0);
+  EXPECT_DOUBLE_EQ(Recall(c), 1.0);
+}
+
+TEST(MetricsTest, BothEmpty) {
+  const Confusion c = CompareSets({}, {});
+  EXPECT_DOUBLE_EQ(Precision(c), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(c), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score(c), 1.0);
+}
+
+TEST(MetricsTest, UnsortedAndDuplicatedInputs) {
+  const Confusion c = CompareSets({3, 1, 3, 2}, {2, 1, 1});
+  EXPECT_EQ(c.true_positives, 2u);
+  EXPECT_EQ(c.false_positives, 1u);  // {3}
+  EXPECT_EQ(c.false_negatives, 0u);
+}
+
+TEST(MetricsTest, AccumulationAcrossQueries) {
+  Confusion total;
+  total += CompareSets({1, 2}, {1, 2, 3});  // tp=2, fn=1
+  total += CompareSets({5}, {6});           // fp=1, fn=1
+  EXPECT_EQ(total.true_positives, 2u);
+  EXPECT_EQ(total.false_positives, 1u);
+  EXPECT_EQ(total.false_negatives, 2u);
+  EXPECT_NEAR(Precision(total), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(Recall(total), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace gbda

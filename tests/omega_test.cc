@@ -1,0 +1,180 @@
+#include "core/omega.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "math/log_combinatorics.h"
+
+namespace gbda {
+namespace {
+
+TEST(ModelParamsTest, BasicQuantities) {
+  const ModelParams p = MakeModelParams(4, 3, 3);
+  EXPECT_EQ(p.v, 4);
+  EXPECT_DOUBLE_EQ(p.edges, 6.0);   // C(4,2)
+  EXPECT_DOUBLE_EQ(p.slots, 10.0);  // 4 + 6
+  // D = |LV| * C(v + |LE| - 1, |LE|) = 3 * C(6,3) = 60 (Eq. 33).
+  EXPECT_NEAR(std::exp(p.log_d), 60.0, 1e-9);
+}
+
+TEST(Omega1Test, IsHypergeometricAndNormalized) {
+  const ModelParams p = MakeModelParams(5, 3, 3);
+  for (int64_t tau = 0; tau <= 6; ++tau) {
+    double total = 0.0;
+    for (int64_t x = 0; x <= tau; ++x) total += Omega1(x, tau, p);
+    EXPECT_NEAR(total, 1.0, 1e-10) << "tau=" << tau;
+  }
+  // tau = 0 forces x = 0.
+  EXPECT_DOUBLE_EQ(Omega1(0, 0, p), 1.0);
+}
+
+TEST(Omega1Test, DerivativeMatchesFiniteDifference) {
+  const ModelParams p = MakeModelParams(8, 4, 3);
+  const double h = 1e-5;
+  for (int64_t tau = 1; tau <= 6; ++tau) {
+    for (int64_t x = 0; x < tau; ++x) {
+      // Continuous extension of log Omega1 in tau.
+      auto log_omega1 = [&](double t) {
+        return LogBinomialReal(static_cast<double>(p.v), static_cast<double>(x)) +
+               LogBinomialReal(p.edges, t - static_cast<double>(x)) -
+               LogBinomialReal(p.slots, t);
+      };
+      const double numeric = (log_omega1(static_cast<double>(tau) + h) -
+                              log_omega1(static_cast<double>(tau) - h)) /
+                             (2 * h);
+      EXPECT_NEAR(DLogOmega1DTau(x, tau, p), numeric, 1e-4)
+          << "tau=" << tau << " x=" << x;
+    }
+  }
+}
+
+class Omega2Normalization
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(Omega2Normalization, RowsSumToOne) {
+  const auto [v, y_max] = GetParam();
+  const Omega2Table table(v, y_max);
+  const double max_edges = static_cast<double>(v) * (v - 1) / 2.0;
+  for (int64_t y = 0; y <= y_max; ++y) {
+    if (static_cast<double>(y) > max_edges) continue;  // impossible row
+    double total = 0.0;
+    for (int64_t m = 0; m <= std::min<int64_t>(2 * y, v); ++m) {
+      const double p = table.At(m, y);
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "v=" << v << " y=" << y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Omega2Normalization,
+    ::testing::Values(std::make_tuple(int64_t{3}, int64_t{3}),
+                      std::make_tuple(int64_t{5}, int64_t{8}),
+                      std::make_tuple(int64_t{10}, int64_t{10}),
+                      std::make_tuple(int64_t{40}, int64_t{15}),
+                      std::make_tuple(int64_t{1000}, int64_t{12}),
+                      std::make_tuple(int64_t{100000}, int64_t{10})));
+
+TEST(Omega2Test, MatchesInclusionExclusionAtSmallV) {
+  // The paper's closed form (Eq. 29) and the coverage Markov chain must
+  // agree where the former is numerically trustworthy.
+  for (int64_t v : {4, 6, 9, 14}) {
+    const Omega2Table table(v, 6);
+    for (int64_t y = 0; y <= 6; ++y) {
+      for (int64_t m = 0; m <= std::min<int64_t>(2 * y, v); ++m) {
+        const double recurrence = table.At(m, y);
+        const double closed_form = Omega2InclusionExclusion(m, y, v);
+        EXPECT_NEAR(recurrence, closed_form, 1e-7)
+            << "v=" << v << " y=" << y << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(Omega2Test, KnownTinyCase) {
+  // v=3, y=1: one edge always covers exactly 2 vertices.
+  const Omega2Table table(3, 3);
+  EXPECT_DOUBLE_EQ(table.At(2, 1), 1.0);
+  EXPECT_DOUBLE_EQ(table.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(table.At(1, 1), 0.0);
+  // v=3, y=2: two distinct edges of a triangle always cover all 3 vertices.
+  EXPECT_DOUBLE_EQ(table.At(3, 2), 1.0);
+  // v=3, y=3: the whole triangle covers 3 vertices.
+  EXPECT_DOUBLE_EQ(table.At(3, 3), 1.0);
+}
+
+TEST(Omega2Test, DisjointEdgesDominateForLargeV) {
+  // With v = 100000 and y = 5 edges, the probability that all edges are
+  // vertex-disjoint (m = 10) is overwhelmingly close to 1.
+  const Omega2Table table(100000, 5);
+  EXPECT_GT(table.At(10, 5), 0.999);
+}
+
+TEST(Omega2Test, ImpossibleEdgeCountGivesZeroRow) {
+  // v=2 has a single edge; rows y >= 2 are impossible.
+  const Omega2Table table(2, 4);
+  for (int64_t m = 0; m <= 2; ++m) {
+    EXPECT_EQ(table.At(m, 2), 0.0);
+    EXPECT_EQ(table.At(m, 3), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(table.At(2, 1), 1.0);
+}
+
+TEST(Omega3Test, NormalizedOverPhi) {
+  const ModelParams p = MakeModelParams(6, 3, 3);
+  for (int64_t r = 0; r <= 12; ++r) {
+    double total = 0.0;
+    for (int64_t phi = 0; phi <= r; ++phi) total += Omega3(r, phi, p);
+    EXPECT_NEAR(total, 1.0, 1e-10) << "r=" << r;
+  }
+}
+
+TEST(Omega3Test, ChangeProbabilityNearOneForHugeD) {
+  // For large graphs D is astronomically large, so touched branches almost
+  // surely change: Omega3(r, r) ~ 1.
+  const ModelParams p = MakeModelParams(100000, 10, 5);
+  EXPECT_GT(Omega3(5, 5, p), 0.9999);
+  EXPECT_LT(Omega3(5, 0, p), 1e-10);
+}
+
+TEST(Omega3Test, DegenerateSingleTypeUniverse) {
+  // v=1 with one label each: D = 1, nothing can ever change.
+  ModelParams p = MakeModelParams(1, 1, 1);
+  EXPECT_NEAR(std::exp(p.log_d), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Omega3(3, 0, p), 1.0);
+  EXPECT_DOUBLE_EQ(Omega3(3, 2, p), 0.0);
+}
+
+TEST(Omega3Test, OutOfSupportIsZero) {
+  const ModelParams p = MakeModelParams(6, 3, 3);
+  EXPECT_EQ(Omega3(3, 4, p), 0.0);
+  EXPECT_EQ(Omega3(3, -1, p), 0.0);
+}
+
+TEST(Omega4Test, NormalizedOverR) {
+  const ModelParams p = MakeModelParams(8, 3, 3);
+  for (int64_t x = 0; x <= 5; ++x) {
+    for (int64_t m = 0; m <= 8; ++m) {
+      double total = 0.0;
+      for (int64_t r = std::max(x, m); r <= std::min<int64_t>(x + m, p.v); ++r) {
+        total += Omega4(x, r, m, p);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-10) << "x=" << x << " m=" << m;
+    }
+  }
+}
+
+TEST(Omega4Test, DisjointAndNestedExtremes) {
+  const ModelParams p = MakeModelParams(4, 3, 3);
+  // x=2 relabelled vertices, m=2 covered: r=2 means full overlap,
+  // r=4 means disjoint. Over C(4,2)=6 placements: overlap prob 1/6.
+  EXPECT_NEAR(Omega4(2, 2, 2, p), 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(Omega4(2, 4, 2, p), 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(Omega4(2, 3, 2, p), 4.0 / 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gbda

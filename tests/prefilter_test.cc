@@ -1,0 +1,175 @@
+#include "core/prefilter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/astar_ged.h"
+#include "common/rng.h"
+#include "core/gbda_index.h"
+#include "core/gbda_search.h"
+#include "datagen/dataset_profiles.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gbda {
+namespace {
+
+TEST(FilterProfileTest, ExtractsSortedSummaries) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const FilterProfile prof = BuildFilterProfile(p.g1);
+  EXPECT_EQ(prof.num_vertices, 3);
+  EXPECT_EQ(prof.num_edges, 3);
+  ASSERT_EQ(prof.vertex_labels.size(), 3u);
+  ASSERT_EQ(prof.edge_labels.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(prof.vertex_labels.begin(),
+                             prof.vertex_labels.end()));
+  EXPECT_TRUE(std::is_sorted(prof.edge_labels.begin(), prof.edge_labels.end()));
+}
+
+TEST(FilterLowerBoundTest, ZeroForIdenticalProfiles) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const FilterProfile a = BuildFilterProfile(p.g1);
+  EXPECT_EQ(FilterLowerBound(a, a), 0);
+}
+
+TEST(FilterLowerBoundTest, PaperPairIsBoundedByExactGed) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const int64_t lb = FilterLowerBound(BuildFilterProfile(p.g1),
+                                      BuildFilterProfile(p.g2));
+  EXPECT_GE(lb, 1);
+  EXPECT_LE(lb, 3);  // exact GED is 3 (Example 1)
+}
+
+class FilterBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FilterBoundSweep, NeverExceedsExactGed) {
+  Rng rng(GetParam());
+  GeneratorOptions opts;
+  opts.num_vertices = 6;
+  opts.extra_edges = 3;
+  opts.num_vertex_labels = 3;
+  opts.num_edge_labels = 2;
+  for (int trial = 0; trial < 8; ++trial) {
+    opts.num_vertices = 4 + static_cast<size_t>(rng.UniformInt(0, 3));
+    Result<Graph> a = GenerateConnectedGraph(opts, &rng);
+    opts.num_vertices = 4 + static_cast<size_t>(rng.UniformInt(0, 3));
+    Result<Graph> b = GenerateConnectedGraph(opts, &rng);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    Result<int64_t> exact = ExactGedValue(*a, *b);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(FilterLowerBound(BuildFilterProfile(*a), BuildFilterProfile(*b)),
+              *exact)
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterBoundSweep,
+                         ::testing::Values(201, 202, 203, 204, 205, 206));
+
+class PrefilterFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetProfile profile = GrecProfile(0.04);
+    profile.seed = 909;
+    Result<GeneratedDataset> ds = GenerateDataset(profile);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new GeneratedDataset(std::move(*ds));
+    prefilter_ = new Prefilter(&dataset_->db);
+  }
+  static void TearDownTestSuite() {
+    delete prefilter_;
+    delete dataset_;
+    prefilter_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static GeneratedDataset* dataset_;
+  static Prefilter* prefilter_;
+};
+
+GeneratedDataset* PrefilterFixture::dataset_ = nullptr;
+Prefilter* PrefilterFixture::prefilter_ = nullptr;
+
+TEST_F(PrefilterFixture, NeverDropsATrueMatch) {
+  // Soundness: every graph within true GED tau survives the filter.
+  for (size_t q = 0; q < dataset_->queries.size(); ++q) {
+    for (int64_t tau : {2, 5, 8}) {
+      const std::vector<size_t> candidates =
+          prefilter_->Candidates(dataset_->queries[q], tau);
+      const std::set<size_t> surviving(candidates.begin(), candidates.end());
+      for (size_t g : dataset_->TrueMatches(q, tau)) {
+        EXPECT_TRUE(surviving.count(g))
+            << "query " << q << " tau " << tau << " graph " << g;
+      }
+    }
+  }
+}
+
+TEST_F(PrefilterFixture, RemovesCrossFamilyCandidates) {
+  // The marker chains force a label-multiset distance above certified_tau,
+  // so cross-family graphs never survive at tau <= certified_tau.
+  const std::vector<size_t> candidates =
+      prefilter_->Candidates(dataset_->queries[0], 5);
+  for (size_t g : candidates) {
+    EXPECT_EQ(dataset_->query_family[0], dataset_->graph_family[g]);
+  }
+  EXPECT_LT(candidates.size(), dataset_->db.size());
+}
+
+TEST_F(PrefilterFixture, MonotoneInTau) {
+  const std::vector<size_t> tight =
+      prefilter_->Candidates(dataset_->queries[0], 2);
+  const std::vector<size_t> loose =
+      prefilter_->Candidates(dataset_->queries[0], 9);
+  const std::set<size_t> loose_set(loose.begin(), loose.end());
+  for (size_t g : tight) EXPECT_TRUE(loose_set.count(g));
+}
+
+TEST_F(PrefilterFixture, SearchWithPrefilterKeepsTrueMatches) {
+  GbdaIndexOptions options;
+  options.tau_max = 10;
+  options.gbd_prior.num_sample_pairs = 1000;
+  Result<GbdaIndex> index = GbdaIndex::Build(dataset_->db, options);
+  ASSERT_TRUE(index.ok());
+  GbdaSearch search(&dataset_->db, &*index);
+
+  SearchOptions plain;
+  plain.tau_hat = 6;
+  plain.gamma = 0.5;
+  SearchOptions filtered = plain;
+  filtered.use_prefilter = true;
+
+  for (size_t q = 0; q < std::min<size_t>(dataset_->queries.size(), 3); ++q) {
+    Result<SearchResult> a = search.Query(dataset_->queries[q], plain);
+    Result<SearchResult> b = search.Query(dataset_->queries[q], filtered);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    // The filtered result is a subset of the plain result...
+    std::set<size_t> plain_ids;
+    for (const SearchMatch& m : a->matches) plain_ids.insert(m.graph_id);
+    for (const SearchMatch& m : b->matches) {
+      EXPECT_TRUE(plain_ids.count(m.graph_id));
+    }
+    // ...that still contains every accepted TRUE match.
+    const std::vector<size_t> truth = dataset_->TrueMatches(q, plain.tau_hat);
+    std::set<size_t> filtered_ids;
+    for (const SearchMatch& m : b->matches) filtered_ids.insert(m.graph_id);
+    for (size_t g : truth) {
+      if (plain_ids.count(g)) {
+        EXPECT_TRUE(filtered_ids.count(g)) << "query " << q << " graph " << g;
+      }
+    }
+    EXPECT_EQ(b->candidates_evaluated + b->prefiltered_out,
+              dataset_->db.size());
+    EXPECT_GT(b->prefiltered_out, 0u);
+  }
+}
+
+TEST_F(PrefilterFixture, ReportsMemory) {
+  EXPECT_GT(prefilter_->MemoryBytes(), 0u);
+  EXPECT_EQ(prefilter_->size(), dataset_->db.size());
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "core/gbd_prior.h"
+#include "core/ged_prior.h"
+#include "core/posterior.h"
+#include "graph/generators.h"
+
+namespace gbda {
+namespace {
+
+std::vector<BranchMultiset> MakeBranchSamples(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  GeneratorOptions opts;
+  opts.num_vertices = 12;
+  opts.extra_edges = 6;
+  opts.num_vertex_labels = 4;
+  opts.num_edge_labels = 3;
+  std::vector<BranchMultiset> branches;
+  for (size_t i = 0; i < count; ++i) {
+    opts.num_vertices = 8 + static_cast<size_t>(rng.UniformInt(0, 8));
+    Result<Graph> g = GenerateConnectedGraph(opts, &rng);
+    branches.push_back(ExtractBranches(*g));
+  }
+  return branches;
+}
+
+TEST(GedPriorTest, RowsAreNormalizedDistributions) {
+  GedPriorTable table(4, 3, 10);
+  for (int64_t v : {3, 10, 50, 200}) {
+    const std::vector<double>& row = table.Row(v);
+    ASSERT_EQ(row.size(), 11u);
+    double total = 0.0;
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "v=" << v;
+  }
+}
+
+TEST(GedPriorTest, ProbabilityOutsideRangeIsZero) {
+  GedPriorTable table(4, 3, 5);
+  EXPECT_EQ(table.Probability(-1, 10), 0.0);
+  EXPECT_EQ(table.Probability(6, 10), 0.0);
+  EXPECT_GT(table.Probability(3, 10), 0.0);
+}
+
+TEST(GedPriorTest, RowsAreCachedAndDeterministic) {
+  GedPriorTable table(4, 3, 8);
+  const std::vector<double> first = table.Row(20);
+  EXPECT_EQ(table.num_cached_rows(), 1u);
+  const std::vector<double> second = table.Row(20);
+  EXPECT_EQ(table.num_cached_rows(), 1u);
+  EXPECT_EQ(first, second);
+
+  GedPriorTable other(4, 3, 8);
+  EXPECT_EQ(other.Row(20), first);
+}
+
+TEST(GedPriorTest, EagerBuildWarmsRows) {
+  GedPriorTable table(4, 3, 6);
+  table.EagerBuild({5, 10, 15, 10, 5});
+  EXPECT_EQ(table.num_cached_rows(), 3u);
+  EXPECT_GT(table.MemoryBytes(), 0u);
+}
+
+TEST(GedPriorTest, SerializationRoundTrip) {
+  GedPriorTable table(7, 2, 6);
+  table.EagerBuild({4, 9});
+  BinaryWriter writer;
+  table.Serialize(&writer);
+  BinaryReader reader(writer.buffer());
+  Result<GedPriorTable> loaded = GedPriorTable::Deserialize(&reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->tau_max(), 6);
+  EXPECT_EQ(loaded->num_cached_rows(), 2u);
+  EXPECT_EQ(loaded->Row(4), table.Row(4));
+  EXPECT_EQ(loaded->Row(9), table.Row(9));
+}
+
+TEST(GbdPriorTest, RequiresAtLeastTwoGraphs) {
+  Rng rng(1);
+  GbdPriorOptions opts;
+  std::vector<BranchMultiset> one = MakeBranchSamples(1, 2);
+  EXPECT_FALSE(GbdPrior::Fit(one, opts, &rng).ok());
+}
+
+TEST(GbdPriorTest, FitsAndTabulates) {
+  Rng rng(3);
+  const std::vector<BranchMultiset> branches = MakeBranchSamples(60, 4);
+  GbdPriorOptions opts;
+  opts.num_sample_pairs = 500;
+  Result<GbdPrior> prior = GbdPrior::Fit(branches, opts, &rng);
+  ASSERT_TRUE(prior.ok()) << prior.status().ToString();
+  EXPECT_EQ(prior->pairs_sampled(), 500u);
+  // Probabilities positive everywhere thanks to the floor.
+  for (int64_t phi = 0; phi <= 20; ++phi) {
+    EXPECT_GT(prior->Probability(phi), 0.0);
+  }
+  // Mass concentrates on the observed GBD range (roughly <= 16 here).
+  EXPECT_GT(prior->Probability(10), prior->Probability(1000));
+}
+
+TEST(GbdPriorTest, UsesAllPairsWhenFew) {
+  Rng rng(5);
+  const std::vector<BranchMultiset> branches = MakeBranchSamples(10, 6);
+  GbdPriorOptions opts;
+  opts.num_sample_pairs = 100000;
+  Result<GbdPrior> prior = GbdPrior::Fit(branches, opts, &rng);
+  ASSERT_TRUE(prior.ok());
+  EXPECT_EQ(prior->pairs_sampled(), 45u);  // C(10,2)
+}
+
+TEST(GbdPriorTest, HistogramCountsMatchSamples) {
+  Rng rng(7);
+  const std::vector<BranchMultiset> branches = MakeBranchSamples(12, 8);
+  GbdPriorOptions opts;
+  Result<GbdPrior> prior = GbdPrior::Fit(branches, opts, &rng);
+  ASSERT_TRUE(prior.ok());
+  size_t total = 0;
+  for (size_t c : prior->sample_histogram()) total += c;
+  EXPECT_EQ(total, prior->pairs_sampled());
+}
+
+TEST(GbdPriorTest, SerializationRoundTrip) {
+  Rng rng(9);
+  const std::vector<BranchMultiset> branches = MakeBranchSamples(20, 10);
+  GbdPriorOptions opts;
+  Result<GbdPrior> prior = GbdPrior::Fit(branches, opts, &rng);
+  ASSERT_TRUE(prior.ok());
+  BinaryWriter writer;
+  prior->Serialize(&writer);
+  BinaryReader reader(writer.buffer());
+  Result<GbdPrior> loaded = GbdPrior::Deserialize(&reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (int64_t phi = 0; phi <= 30; ++phi) {
+    EXPECT_DOUBLE_EQ(loaded->Probability(phi), prior->Probability(phi));
+  }
+  EXPECT_EQ(loaded->sample_histogram(), prior->sample_histogram());
+}
+
+TEST(PosteriorTest, RejectsTauBeyondTableRange) {
+  Rng rng(11);
+  const std::vector<BranchMultiset> branches = MakeBranchSamples(20, 12);
+  GbdPriorOptions opts;
+  Result<GbdPrior> gbd_prior = GbdPrior::Fit(branches, opts, &rng);
+  ASSERT_TRUE(gbd_prior.ok());
+  GedPriorTable ged_prior(4, 3, 5);
+  PosteriorEngine engine(4, 3, 5, &ged_prior, &*gbd_prior);
+  EXPECT_FALSE(engine.Phi(10, 3, 6).ok());
+  EXPECT_FALSE(engine.Phi(0, 3, 2).ok());
+  EXPECT_TRUE(engine.Phi(10, 3, 5).ok());
+}
+
+TEST(PosteriorTest, PhiIsNonNegativeAndMonotoneInTau) {
+  Rng rng(13);
+  const std::vector<BranchMultiset> branches = MakeBranchSamples(30, 14);
+  GbdPriorOptions opts;
+  Result<GbdPrior> gbd_prior = GbdPrior::Fit(branches, opts, &rng);
+  ASSERT_TRUE(gbd_prior.ok());
+  GedPriorTable ged_prior(4, 3, 8);
+  PosteriorEngine engine(4, 3, 8, &ged_prior, &*gbd_prior);
+  for (int64_t phi = 0; phi <= 6; ++phi) {
+    double prev = -1.0;
+    for (int64_t tau_hat = 0; tau_hat <= 8; ++tau_hat) {
+      Result<double> p = engine.Phi(12, phi, tau_hat);
+      ASSERT_TRUE(p.ok());
+      EXPECT_GE(*p, 0.0);
+      EXPECT_GE(*p, prev - 1e-12);  // sum over tau grows with tau_hat
+      prev = *p;
+    }
+  }
+}
+
+TEST(PosteriorTest, MemoizationKicksIn) {
+  Rng rng(15);
+  const std::vector<BranchMultiset> branches = MakeBranchSamples(20, 16);
+  GbdPriorOptions opts;
+  Result<GbdPrior> gbd_prior = GbdPrior::Fit(branches, opts, &rng);
+  ASSERT_TRUE(gbd_prior.ok());
+  GedPriorTable ged_prior(4, 3, 5);
+  PosteriorEngine engine(4, 3, 5, &ged_prior, &*gbd_prior);
+  ASSERT_TRUE(engine.Phi(10, 2, 5).ok());
+  EXPECT_EQ(engine.memo_hits(), 0u);
+  ASSERT_TRUE(engine.Phi(10, 2, 5).ok());
+  EXPECT_EQ(engine.memo_hits(), 1u);
+}
+
+}  // namespace
+}  // namespace gbda

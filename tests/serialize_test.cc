@@ -1,0 +1,73 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace gbda {
+namespace {
+
+TEST(SerializeTest, RoundTripAllTypes) {
+  BinaryWriter w;
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(123456789012345ULL);
+  w.PutI64(-42);
+  w.PutDouble(3.14159);
+  w.PutString("hello world");
+  w.PutPodVector<double>({1.0, 2.5, -3.0});
+  w.PutPodVector<uint32_t>({});
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.GetU64(), 123456789012345ULL);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(*r.GetDouble(), 3.14159);
+  EXPECT_EQ(*r.GetString(), "hello world");
+  EXPECT_EQ(*r.GetPodVector<double>(), (std::vector<double>{1.0, 2.5, -3.0}));
+  EXPECT_TRUE(r.GetPodVector<uint32_t>()->empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, TruncatedValueFails) {
+  BinaryWriter w;
+  w.PutU64(7);
+  BinaryReader r(std::string_view(w.buffer().data(), 4));
+  EXPECT_FALSE(r.GetU64().ok());
+}
+
+TEST(SerializeTest, TruncatedStringFails) {
+  BinaryWriter w;
+  w.PutString("long enough payload");
+  std::string data = w.buffer();
+  data.resize(data.size() - 5);
+  BinaryReader r(data);
+  Result<std::string> s = r.GetString();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, TruncatedVectorFails) {
+  BinaryWriter w;
+  w.PutPodVector<double>({1.0, 2.0, 3.0});
+  std::string data = w.buffer();
+  data.resize(data.size() - 1);
+  BinaryReader r(data);
+  EXPECT_FALSE(r.GetPodVector<double>().ok());
+}
+
+TEST(SerializeTest, EmptyBufferAtEnd) {
+  BinaryReader r("");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_FALSE(r.GetU32().ok());
+}
+
+TEST(SerializeTest, SequentialPosition) {
+  BinaryWriter w;
+  w.PutU32(1);
+  w.PutU32(2);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.position(), 0u);
+  ASSERT_TRUE(r.GetU32().ok());
+  EXPECT_EQ(r.position(), 4u);
+}
+
+}  // namespace
+}  // namespace gbda

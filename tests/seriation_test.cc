@@ -1,0 +1,86 @@
+#include "baselines/graph_seriation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gbda {
+namespace {
+
+TEST(SeriationTest, EmptyGraphProfile) {
+  Graph empty;
+  const SeriationProfile p = BuildSeriationProfile(empty);
+  EXPECT_TRUE(p.labels.empty());
+  EXPECT_TRUE(p.degrees.empty());
+}
+
+TEST(SeriationTest, ProfileCoversAllVertices) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  const SeriationProfile prof = BuildSeriationProfile(p.g2);
+  EXPECT_EQ(prof.labels.size(), 4u);
+  EXPECT_EQ(prof.degrees.size(), 4u);
+}
+
+TEST(SeriationTest, ProfileIsDeterministic) {
+  Rng rng(3);
+  GeneratorOptions opts;
+  opts.num_vertices = 30;
+  Result<Graph> g = GenerateConnectedGraph(opts, &rng);
+  ASSERT_TRUE(g.ok());
+  const SeriationProfile a = BuildSeriationProfile(*g);
+  const SeriationProfile b = BuildSeriationProfile(*g);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.degrees, b.degrees);
+}
+
+TEST(SeriationTest, IdenticalGraphsHaveZeroDistance) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  EXPECT_DOUBLE_EQ(SeriationGed(p.g1, p.g1), 0.0);
+  EXPECT_DOUBLE_EQ(SeriationGed(p.g2, p.g2), 0.0);
+}
+
+TEST(SeriationTest, DistanceIsSymmetric) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  EXPECT_NEAR(SeriationGed(p.g1, p.g2), SeriationGed(p.g2, p.g1), 1e-9);
+}
+
+TEST(SeriationTest, DistanceToEmptyGraph) {
+  Graph empty;
+  Graph chain = Graph::WithVertices(3, 1);
+  ASSERT_TRUE(chain.AddEdge(0, 1, 1).ok());
+  ASSERT_TRUE(chain.AddEdge(1, 2, 1).ok());
+  // Deleting 3 vertices at unit gap cost.
+  EXPECT_DOUBLE_EQ(SeriationGed(chain, empty), 3.0);
+}
+
+TEST(SeriationTest, SensitiveToLabelDifferences) {
+  Graph a = Graph::WithVertices(4, 1);
+  for (uint32_t i = 1; i < 4; ++i) ASSERT_TRUE(a.AddEdge(i - 1, i, 1).ok());
+  Graph b = a;
+  ASSERT_TRUE(b.RelabelVertex(2, 9).ok());
+  EXPECT_GT(SeriationGed(a, b), 0.0);
+  EXPECT_LE(SeriationGed(a, b), 2.0);  // one relabel-ish difference
+}
+
+TEST(SeriationTest, GrowsWithStructuralDivergence) {
+  Rng rng(11);
+  GeneratorOptions opts;
+  opts.num_vertices = 20;
+  opts.extra_edges = 10;
+  Result<Graph> base = GenerateConnectedGraph(opts, &rng);
+  ASSERT_TRUE(base.ok());
+  opts.num_vertices = 40;
+  opts.extra_edges = 40;
+  Result<Graph> far = GenerateConnectedGraph(opts, &rng);
+  ASSERT_TRUE(far.ok());
+  const double near_dist = SeriationGed(*base, *base);
+  const double far_dist = SeriationGed(*base, *far);
+  EXPECT_LT(near_dist, far_dist);
+  // A graph 20 vertices larger needs at least 20 unit insertions.
+  EXPECT_GE(far_dist, 20.0);
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,91 @@
+#include "datagen/signature.h"
+
+#include <gtest/gtest.h>
+
+namespace gbda {
+namespace {
+
+/// Star with distinct leaf labels: the hub is a modification center.
+Graph DistinctStar() {
+  Graph g;
+  g.AddVertex(1);  // hub
+  for (LabelId l = 2; l <= 5; ++l) {
+    const uint32_t leaf = g.AddVertex(l);
+    (void)g.AddEdge(0, leaf, 1);
+  }
+  return g;
+}
+
+/// Star with identical leaves: the hub is not a modification center.
+Graph UniformStar() {
+  Graph g;
+  g.AddVertex(1);
+  for (int i = 0; i < 4; ++i) {
+    const uint32_t leaf = g.AddVertex(7);
+    (void)g.AddEdge(0, leaf, 3);
+  }
+  return g;
+}
+
+TEST(SignatureTest, ZeroHopsIsOwnLabel) {
+  Graph g = DistinctStar();
+  EXPECT_EQ(KHopSignature(g, 1, 0), "s0:2");
+  EXPECT_EQ(KHopSignature(g, 2, 0), "s0:3");
+}
+
+TEST(SignatureTest, DistinguishesDifferentNeighborhoods) {
+  Graph g = DistinctStar();
+  EXPECT_NE(KHopSignature(g, 1, 1), KHopSignature(g, 2, 1));
+}
+
+TEST(SignatureTest, IdenticalContextsShareSignature) {
+  Graph g = UniformStar();
+  EXPECT_EQ(KHopSignature(g, 1, 2), KHopSignature(g, 2, 2));
+}
+
+TEST(SignatureTest, SecondHopMatters) {
+  // Path 0-1-2 vs path 0-1-3 where 2 and 3 differ only at hop 2 from 0.
+  Graph a;
+  a.AddVertex(1);
+  a.AddVertex(2);
+  a.AddVertex(3);
+  (void)a.AddEdge(0, 1, 1);
+  (void)a.AddEdge(1, 2, 1);
+  Graph b = a;
+  ASSERT_TRUE(b.RelabelVertex(2, 9).ok());
+  EXPECT_EQ(KHopSignature(a, 0, 1), KHopSignature(b, 0, 1));
+  EXPECT_NE(KHopSignature(a, 0, 2), KHopSignature(b, 0, 2));
+}
+
+TEST(ModificationCenterTest, DistinctStarHubQualifies) {
+  Graph g = DistinctStar();
+  EXPECT_TRUE(IsModificationCenter(g, 0, 1));
+  EXPECT_TRUE(IsModificationCenter(g, 0, 2));
+}
+
+TEST(ModificationCenterTest, UniformStarHubDoesNot) {
+  Graph g = UniformStar();
+  EXPECT_FALSE(IsModificationCenter(g, 0, 1));
+  EXPECT_FALSE(IsModificationCenter(g, 0, 2));
+}
+
+TEST(ModificationCenterTest, LeafIsTriviallyACenter) {
+  // A vertex with a single neighbour has pairwise-distinct signatures
+  // vacuously.
+  Graph g = DistinctStar();
+  EXPECT_TRUE(IsModificationCenter(g, 1, 2));
+}
+
+TEST(ModificationCenterTest, FindFiltersMinDegree) {
+  Graph g = DistinctStar();
+  const std::vector<uint32_t> centers = FindModificationCenters(g, 4, 2);
+  ASSERT_EQ(centers.size(), 1u);
+  EXPECT_EQ(centers[0], 0u);
+  EXPECT_TRUE(FindModificationCenters(g, 5, 2).empty());
+  const std::vector<uint32_t> all = FindModificationCenters(g, 1, 2);
+  EXPECT_EQ(all.size(), 5u);  // hub + leaves (leaves vacuously qualify)
+  EXPECT_TRUE(FindModificationCenters(UniformStar(), 4, 2).empty());
+}
+
+}  // namespace
+}  // namespace gbda

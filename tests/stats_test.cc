@@ -1,0 +1,88 @@
+#include "math/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gbda {
+namespace {
+
+TEST(StatsTest, MeanVarianceMedian) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev({2.0, 4.0, 6.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(StatsTest, IntegerHistogram) {
+  const auto hist = IntegerHistogram({1, 2, 2, 3, 3, 3});
+  EXPECT_EQ(hist.at(1), 1u);
+  EXPECT_EQ(hist.at(2), 2u);
+  EXPECT_EQ(hist.at(3), 3u);
+  EXPECT_EQ(hist.size(), 3u);
+}
+
+TEST(RegressionTest, ExactLine) {
+  Result<RegressionFit> fit =
+      LinearRegression({1.0, 2.0, 3.0, 4.0}, {3.0, 5.0, 7.0, 9.0});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r2, 1.0, 1e-12);
+}
+
+TEST(RegressionTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(LinearRegression({1.0}, {2.0}).ok());
+  EXPECT_FALSE(LinearRegression({1.0, 2.0}, {2.0}).ok());
+  EXPECT_FALSE(LinearRegression({3.0, 3.0}, {1.0, 2.0}).ok());
+}
+
+TEST(RegressionTest, NoisyFitHasR2BelowOne) {
+  Result<RegressionFit> fit =
+      LinearRegression({0.0, 1.0, 2.0, 3.0}, {0.0, 1.5, 1.5, 3.0});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->r2, 0.8);
+  EXPECT_LT(fit->r2, 1.0);
+}
+
+std::map<int64_t, size_t> PowerLawCounts(double exponent, int64_t max_degree,
+                                         double scale) {
+  std::map<int64_t, size_t> counts;
+  for (int64_t k = 1; k <= max_degree; ++k) {
+    counts[k] = static_cast<size_t>(
+        std::llround(scale * std::pow(static_cast<double>(k), -exponent)));
+  }
+  return counts;
+}
+
+TEST(PowerLawTest, RecoversExponent) {
+  const auto counts = PowerLawCounts(2.5, 40, 1e6);
+  Result<PowerLawFit> fit = FitPowerLaw(counts);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->exponent, 2.5, 0.1);
+  EXPECT_GT(fit->r2, 0.98);
+}
+
+TEST(PowerLawTest, RejectsTooFewPoints) {
+  EXPECT_FALSE(FitPowerLaw({{1, 10}}).ok());
+  EXPECT_FALSE(FitPowerLaw({}).ok());
+}
+
+TEST(ScaleFreeTest, AcceptsPowerLawRejectsUniform) {
+  EXPECT_TRUE(LooksScaleFree(PowerLawCounts(2.5, 40, 1e6)));
+  // A flat degree distribution is not scale-free.
+  std::map<int64_t, size_t> flat;
+  for (int64_t k = 1; k <= 20; ++k) flat[k] = 100;
+  EXPECT_FALSE(LooksScaleFree(flat));
+  // An increasing distribution certainly is not.
+  std::map<int64_t, size_t> rising;
+  for (int64_t k = 1; k <= 20; ++k) rising[k] = static_cast<size_t>(10 * k);
+  EXPECT_FALSE(LooksScaleFree(rising));
+}
+
+}  // namespace
+}  // namespace gbda

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+
+namespace gbda::testutil {
+
+/// The worked examples of the paper, usable as oracles:
+///  - Figure 1 / Examples 1-2: GED(g1, g2) = 3 and GBD(g1, g2) = 3;
+///  - Example 4: GED(ex4_g1, ex4_g2) = 2.
+struct PaperGraphs {
+  GraphDatabase db;  // provides the shared label dictionaries
+  LabelId A, B, C;   // vertex labels
+  LabelId x, y, z;   // edge labels
+  Graph g1, g2;
+  Graph ex4_g1, ex4_g2;
+};
+
+inline PaperGraphs MakePaperGraphs() {
+  PaperGraphs p;
+  p.A = p.db.vertex_labels().Intern("A");
+  p.B = p.db.vertex_labels().Intern("B");
+  p.C = p.db.vertex_labels().Intern("C");
+  p.x = p.db.edge_labels().Intern("x");
+  p.y = p.db.edge_labels().Intern("y");
+  p.z = p.db.edge_labels().Intern("z");
+
+  // G1 (Figure 1): v1(A)-v2(C):y, v1-v3(B):y, v2-v3:z.
+  p.g1.AddVertex(p.A);  // v1 = 0
+  p.g1.AddVertex(p.C);  // v2 = 1
+  p.g1.AddVertex(p.B);  // v3 = 2
+  (void)p.g1.AddEdge(0, 1, p.y);
+  (void)p.g1.AddEdge(0, 2, p.y);
+  (void)p.g1.AddEdge(1, 2, p.z);
+
+  // G2 (Figure 1): u1(B), u2(A), u3(A), u4(C);
+  // edges u1-u3:x, u1-u4:z, u2-u4:y.
+  p.g2.AddVertex(p.B);  // u1 = 0
+  p.g2.AddVertex(p.A);  // u2 = 1
+  p.g2.AddVertex(p.A);  // u3 = 2
+  p.g2.AddVertex(p.C);  // u4 = 3
+  (void)p.g2.AddEdge(0, 2, p.x);
+  (void)p.g2.AddEdge(0, 3, p.z);
+  (void)p.g2.AddEdge(1, 3, p.y);
+
+  // Example 4 originals (before extension): triangle-less 3-vertex graphs.
+  // g1: v1(A)-v2(B):x, v1-v3(C):y;  g2: u1(A)-u2(B):y, u1-u3(C):x.
+  p.ex4_g1.AddVertex(p.A);
+  p.ex4_g1.AddVertex(p.B);
+  p.ex4_g1.AddVertex(p.C);
+  (void)p.ex4_g1.AddEdge(0, 1, p.x);
+  (void)p.ex4_g1.AddEdge(0, 2, p.y);
+
+  p.ex4_g2.AddVertex(p.A);
+  p.ex4_g2.AddVertex(p.B);
+  p.ex4_g2.AddVertex(p.C);
+  (void)p.ex4_g2.AddEdge(0, 1, p.y);
+  (void)p.ex4_g2.AddEdge(0, 2, p.x);
+  return p;
+}
+
+}  // namespace gbda::testutil
