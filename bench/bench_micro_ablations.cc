@@ -1,4 +1,4 @@
-// Ablation microbenchmarks for the design choices called out in DESIGN.md:
+// Ablation microbenchmarks for the design choices called out in docs/ARCHITECTURE.md:
 //  - the O(tau^3) shared-table Lambda1 evaluation vs naive per-tau
 //    recomputation (Section VI-B);
 //  - the Omega2 coverage recurrence vs the paper's inclusion-exclusion form;

@@ -27,7 +27,7 @@ std::vector<DatasetProfile> RealProfiles(const BenchFlags& flags);
 
 /// Syn-1 (scale-free) / Syn-2 (random) profiles. Quick mode uses subset
 /// sizes {100, 200, 500, 1000}; full mode {1000, 2000, 5000, 10000, 20000}
-/// (the paper goes to 100K; see EXPERIMENTS.md for the scaling note).
+/// (the paper goes to 100K; see docs/BENCHMARKS.md for the scaling note).
 DatasetProfile SynBenchProfile(bool scale_free, const BenchFlags& flags);
 
 /// Generated dataset + ready experiment runner. The dataset lives on the

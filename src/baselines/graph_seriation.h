@@ -27,7 +27,7 @@ struct SeriationProfile {
 /// iteration); ties are broken by degree then by index so the order is
 /// deterministic.
 ///
-/// Reconstruction note (see DESIGN.md): the original method extracts leading
+/// Reconstruction note (see docs/ARCHITECTURE.md): the original method extracts leading
 /// eigenvalues of a dense adjacency matrix (O(n^2) memory) and scores the
 /// string alignment with a Bernoulli edit model. We keep the same pipeline —
 /// spectral seriation, then sequence edit distance — but use the sparse

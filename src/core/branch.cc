@@ -27,10 +27,9 @@ BranchMultiset ExtractBranches(const Graph& g) {
 size_t BranchIntersectionSize(const BranchMultiset& a, const BranchMultiset& b) {
   size_t i = 0, j = 0, common = 0;
   while (i < a.size() && j < b.size()) {
-    const auto cmp = a[i] <=> b[j];
-    if (cmp == std::strong_ordering::less) {
+    if (a[i] < b[j]) {
       ++i;
-    } else if (cmp == std::strong_ordering::greater) {
+    } else if (b[j] < a[i]) {
       ++j;
     } else {
       ++common;

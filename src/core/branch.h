@@ -1,7 +1,7 @@
 #pragma once
 
-#include <compare>
 #include <cstdint>
+#include <tuple>
 #include <vector>
 
 #include "graph/graph.h"
@@ -19,8 +19,16 @@ struct Branch {
   /// Branch isomorphism (Definition 3) is exact equality of root label and
   /// edge-label multiset; the lexicographic order is the storage order of the
   /// branch multiset (the paper's std::lexicographical_compare ordering).
-  bool operator==(const Branch&) const = default;
-  auto operator<=>(const Branch&) const = default;
+  bool operator==(const Branch& o) const {
+    return root == o.root && edge_labels == o.edge_labels;
+  }
+  bool operator!=(const Branch& o) const { return !(*this == o); }
+  bool operator<(const Branch& o) const {
+    return std::tie(root, edge_labels) < std::tie(o.root, o.edge_labels);
+  }
+  bool operator>(const Branch& o) const { return o < *this; }
+  bool operator<=(const Branch& o) const { return !(o < *this); }
+  bool operator>=(const Branch& o) const { return !(*this < o); }
 };
 
 /// The sorted multiset B_G of all branches of a graph, stored as an ascending

@@ -1,3 +1,12 @@
+/// \file gbda_index.h
+/// The offline stage of GBDA (Step 1* of Algorithm 1), run once per
+/// database and shared by any number of online searches. GbdaIndex stores
+/// the three precomputed artifacts the online stage consumes: the sorted
+/// branch multiset of every database graph (Section III), the GMM prior of
+/// GBD values Lambda2 (Section V-B), and the Jeffreys prior of GED values
+/// Lambda3 (Section V-C). It also records the offline time/space costs
+/// reported in Tables IV-V and supports binary save/load.
+
 #pragma once
 
 #include <cstdint>

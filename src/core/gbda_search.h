@@ -1,3 +1,13 @@
+/// \file gbda_search.h
+/// The online stage of GBDA (Algorithm 1, Steps 2-4). Given a query and a
+/// prebuilt GbdaIndex, GbdaSearch scans the database computing each
+/// candidate's GBD from its precomputed branches (Step 2), evaluates the
+/// posterior Phi = Pr[GED <= tau_hat | GBD] through the PosteriorEngine
+/// (Step 3), and accepts candidates with Phi >= gamma (Step 4).
+/// SearchOptions selects the published algorithm or the Section VII-D
+/// variants (GBDA-V1 average-size, GBDA-V2 weighted VGBD of Eq. 26) and can
+/// enable the sound layered Prefilter in front of the probabilistic test.
+
 #pragma once
 
 #include <cstdint>

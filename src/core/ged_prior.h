@@ -18,7 +18,7 @@ namespace gbda {
 /// the Lambda1 family, the textbook Jeffreys construction. Z is evaluated by
 /// the centred difference of ln Lambda1 over integer tau (one-sided at the
 /// boundaries); the paper's printed closed forms (Eqs. 36-41) contain typos,
-/// see DESIGN.md. Rows are normalised per v so sum_tau Pr[GED = tau] = 1
+/// see docs/ARCHITECTURE.md. Rows are normalised per v so sum_tau Pr[GED = tau] = 1
 /// (the paper's 1/(k1 k2) constant does not normalise the distribution).
 ///
 /// Rows are built lazily per distinct v and cached (the paper precomputes all

@@ -33,7 +33,7 @@ double Omega1(int64_t x, int64_t tau, const ModelParams& params);
 /// Analytic d/dtau ln Omega1 via the continuous (lgamma) extension:
 ///   psi(tau+1) - psi(M1-tau+1) - psi(tau-x+1) + psi(M2-(tau-x)+1),
 /// with M1 = v + C(v,2), M2 = C(v,2). (The printed Eq. 38 differs by what we
-/// believe is a typo; see DESIGN.md. This form matches finite differences,
+/// believe is a typo; see docs/ARCHITECTURE.md. This form matches finite differences,
 /// which the tests verify.)
 double DLogOmega1DTau(int64_t x, int64_t tau, const ModelParams& params);
 

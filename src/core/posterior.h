@@ -1,3 +1,13 @@
+/// \file posterior.h
+/// Step 3 of Algorithm 1: the Bayesian accept test. PosteriorEngine
+/// combines the conditional Lambda1 = Pr[GBD | GED] (Eq. 8/27, via
+/// Lambda1Calculator), the GMM prior Lambda2 = Pr[GBD] and the Jeffreys
+/// prior Lambda3 = Pr[GED] into Phi = Pr[GED <= tau_hat | GBD], the value
+/// Step 4 compares against gamma. Per-size calculators and (v, phi,
+/// tau_hat) results are memoised so a database scan pays O(tau_hat^3) only
+/// for distinct extended sizes, keeping the per-graph online cost at the
+/// O(nd + tau_hat^3) of Theorem 3.
+
 #pragma once
 
 #include <cstdint>
@@ -20,7 +30,7 @@ namespace gbda {
 /// evaluates the same extended sizes and GBD values over and over. Phi can
 /// exceed 1 since the GMM prior Lambda2 is not the exact marginal of
 /// Lambda1 * Lambda3; the raw value is compared against gamma exactly as the
-/// paper does (see DESIGN.md).
+/// paper does (see docs/ARCHITECTURE.md).
 class PosteriorEngine {
  public:
   /// The priors must outlive the engine. `tau_max` bounds the tau_hat values

@@ -1,3 +1,12 @@
+/// \file prefilter.h
+/// Optional candidate pruning in front of Algorithm 1's probabilistic test.
+/// The Prefilter precomputes a cheap FilterProfile per database graph and
+/// discards, in Step 2, any candidate whose admissible GED lower bound
+/// (size and label-multiset differences) already exceeds tau_hat — before
+/// branches or the posterior are touched. The bounds are sound, so the
+/// Step 4 result set loses no true match; only provably-far graphs skip
+/// the O(nd + tau_hat^3) evaluation.
+
 #pragma once
 
 #include <cstdint>

@@ -29,7 +29,7 @@ namespace gbda {
 ///
 /// This replaces the paper's (unstated) real-data ground truth with provably
 /// correct labels while keeping true answer sets small, as in real search
-/// workloads; see DESIGN.md section 3.
+/// workloads; see docs/ARCHITECTURE.md.
 struct DatasetProfile {
   std::string name;
   std::vector<size_t> rung_sizes;        // member |V| per rung, descending

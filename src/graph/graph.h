@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <tuple>
 #include <vector>
 
 #include "common/result.h"
@@ -14,7 +15,8 @@ struct AdjEdge {
   uint32_t to = 0;
   LabelId label = kVirtualLabel;
 
-  bool operator==(const AdjEdge&) const = default;
+  bool operator==(const AdjEdge& o) const { return to == o.to && label == o.label; }
+  bool operator!=(const AdjEdge& o) const { return !(*this == o); }
 };
 
 /// Simple labeled undirected graph (Section II): no self-loops, no parallel
@@ -81,8 +83,16 @@ class Graph {
   struct EdgeTriple {
     uint32_t u, v;
     LabelId label;
-    bool operator==(const EdgeTriple&) const = default;
-    auto operator<=>(const EdgeTriple&) const = default;
+    bool operator==(const EdgeTriple& o) const {
+      return u == o.u && v == o.v && label == o.label;
+    }
+    bool operator!=(const EdgeTriple& o) const { return !(*this == o); }
+    bool operator<(const EdgeTriple& o) const {
+      return std::tie(u, v, label) < std::tie(o.u, o.v, o.label);
+    }
+    bool operator>(const EdgeTriple& o) const { return o < *this; }
+    bool operator<=(const EdgeTriple& o) const { return !(o < *this); }
+    bool operator>=(const EdgeTriple& o) const { return !(*this < o); }
   };
   std::vector<EdgeTriple> SortedEdges() const;
 
