@@ -1,0 +1,285 @@
+// Serving-layer throughput sweep (docs/BENCHMARKS.md, "Throughput bench").
+// Sweeps thread counts x batch sizes of GbdaService over a dataset_profiles
+// database and emits one machine-readable JSON object on stdout: per-config
+// wall time, QPS, mean latency, counters, and speedups vs the single-thread
+// config and the serial GbdaSearch loop. Before sweeping, the first config's
+// results are checked bit-identical against the serial engine so the numbers
+// can never come from a diverging concurrent path.
+//
+// Typical runs:
+//   bench_throughput                                   # default sweep
+//   bench_throughput --threads=1,4 --batches=8         # acceptance check
+//   bench_throughput --threads=2 --batches=4 --queries=8 --scale=0.03  # CI
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/gbda_index.h"
+#include "core/gbda_search.h"
+#include "datagen/dataset_profiles.h"
+#include "service/gbda_service.h"
+
+using namespace gbda;
+
+namespace {
+
+struct Flags {
+  std::vector<size_t> threads = {1, 2, 4};
+  std::vector<size_t> batch_sizes = {1, 8, 32};
+  size_t num_queries = 32;
+  std::string profile = "fingerprint";
+  double scale = 0.05;
+  size_t shards = 0;  // 0 = one per worker
+  int64_t tau_hat = 5;
+  double gamma = 0.5;
+  bool prefilter = false;
+  size_t sample_pairs = 2000;
+  uint64_t seed = 0;  // 0 = profile default
+};
+
+std::vector<size_t> ParseSizeList(const std::string& csv) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    out.push_back(static_cast<size_t>(
+        std::strtoull(csv.substr(pos, comma - pos).c_str(), nullptr, 10)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--threads", &v)) {
+      flags.threads = ParseSizeList(v);
+    } else if (ParseFlag(argv[i], "--batches", &v)) {
+      flags.batch_sizes = ParseSizeList(v);
+    } else if (ParseFlag(argv[i], "--queries", &v)) {
+      flags.num_queries = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--profile", &v)) {
+      flags.profile = v;
+    } else if (ParseFlag(argv[i], "--scale", &v)) {
+      flags.scale = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--shards", &v)) {
+      flags.shards = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--tau", &v)) {
+      flags.tau_hat = std::strtoll(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--gamma", &v)) {
+      flags.gamma = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--prefilter", &v)) {
+      flags.prefilter = v != "0" && v != "false";
+    } else if (ParseFlag(argv[i], "--pairs", &v)) {
+      flags.sample_pairs = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      flags.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nflags: --threads=CSV --batches=CSV "
+                   "--queries=N --profile=fingerprint|aids|grec|aasd "
+                   "--scale=F --shards=N --tau=N --gamma=F --prefilter=0|1 "
+                   "--pairs=N --seed=N\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+Result<DatasetProfile> ProfileByName(const std::string& name, double scale) {
+  if (name == "fingerprint") return FingerprintProfile(scale);
+  if (name == "aids") return AidsProfile(scale);
+  if (name == "grec") return GrecProfile(scale);
+  if (name == "aasd") return AasdProfile(scale);
+  return Status::InvalidArgument("unknown profile: " + name);
+}
+
+bool SameMatches(const SearchResult& a, const SearchResult& b) {
+  if (a.matches.size() != b.matches.size()) return false;
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    if (a.matches[i].graph_id != b.matches[i].graph_id ||
+        a.matches[i].phi_score != b.matches[i].phi_score ||
+        a.matches[i].gbd != b.matches[i].gbd) {
+      return false;
+    }
+  }
+  return a.candidates_evaluated == b.candidates_evaluated &&
+         a.prefiltered_out == b.prefiltered_out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  if (flags.threads.empty() || flags.batch_sizes.empty() ||
+      flags.num_queries == 0) {
+    std::fprintf(stderr, "empty sweep\n");
+    return 2;
+  }
+
+  Result<DatasetProfile> profile = ProfileByName(flags.profile, flags.scale);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  if (flags.seed != 0) profile->seed = flags.seed;
+  Result<GeneratedDataset> dataset = GenerateDataset(*profile);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  GbdaIndexOptions index_options;
+  index_options.tau_max = std::max<int64_t>(10, flags.tau_hat);
+  index_options.gbd_prior.num_sample_pairs = flags.sample_pairs;
+  index_options.model_vertex_labels =
+      static_cast<int64_t>(profile->num_vertex_labels);
+  index_options.model_edge_labels =
+      static_cast<int64_t>(profile->num_edge_labels);
+  Result<GbdaIndex> index = GbdaIndex::Build(dataset->db, index_options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+
+  // The query stream: dataset queries cycled to the requested length.
+  std::vector<Graph> queries;
+  queries.reserve(flags.num_queries);
+  for (size_t i = 0; i < flags.num_queries; ++i) {
+    queries.push_back(dataset->queries[i % dataset->queries.size()]);
+  }
+
+  SearchOptions search_options;
+  search_options.tau_hat = flags.tau_hat;
+  search_options.gamma = flags.gamma;
+  search_options.use_prefilter = flags.prefilter;
+
+  // Serial reference: one engine, one query at a time — the pre-service
+  // code path, also the source of truth for the equivalence check.
+  std::vector<SearchResult> serial_results;
+  serial_results.reserve(queries.size());
+  double serial_wall;
+  {
+    GbdaSearch serial(&dataset->db, &*index);
+    WallTimer timer;
+    for (const Graph& query : queries) {
+      Result<SearchResult> r = serial.Query(query, search_options);
+      if (!r.ok()) {
+        std::fprintf(stderr, "serial query: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      serial_results.push_back(std::move(*r));
+    }
+    serial_wall = timer.Seconds();
+  }
+
+  // Equivalence gate: the first sweep config must reproduce the serial
+  // results bit-identically before any throughput number is reported.
+  {
+    ServiceOptions service_options;
+    service_options.num_threads = flags.threads.front();
+    service_options.num_shards = flags.shards;
+    GbdaService service(&dataset->db, &*index, service_options);
+    Result<std::vector<SearchResult>> batch =
+        service.QueryBatch(queries, search_options);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "service batch: %s\n",
+                   batch.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!SameMatches(serial_results[i], (*batch)[i])) {
+        std::fprintf(stderr,
+                     "EQUIVALENCE FAILURE: query %zu diverges from the "
+                     "serial scan\n",
+                     i);
+        return 1;
+      }
+    }
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_throughput\",\n");
+  std::printf("  \"profile\": \"%s\",\n", flags.profile.c_str());
+  std::printf("  \"scale\": %g,\n", flags.scale);
+  std::printf("  \"db_graphs\": %zu,\n", dataset->db.size());
+  std::printf("  \"queries\": %zu,\n", queries.size());
+  std::printf("  \"tau_hat\": %lld,\n",
+              static_cast<long long>(flags.tau_hat));
+  std::printf("  \"gamma\": %g,\n", flags.gamma);
+  std::printf("  \"prefilter\": %s,\n", flags.prefilter ? "true" : "false");
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"equivalence_ok\": true,\n");
+  std::printf("  \"serial\": {\"wall_seconds\": %.6f, \"qps\": %.2f},\n",
+              serial_wall,
+              serial_wall > 0 ? static_cast<double>(queries.size()) / serial_wall
+                              : 0.0);
+  std::printf("  \"configs\": [\n");
+
+  bool first_config = true;
+  // wall_seconds of the threads==1 config per batch size, for speedup.
+  std::vector<double> one_thread_wall(flags.batch_sizes.size(), 0.0);
+  for (size_t ti = 0; ti < flags.threads.size(); ++ti) {
+    const size_t threads = flags.threads[ti];
+    for (size_t bi = 0; bi < flags.batch_sizes.size(); ++bi) {
+      const size_t batch_size = flags.batch_sizes[bi];
+      ServiceOptions service_options;
+      service_options.num_threads = threads;
+      service_options.num_shards = flags.shards;
+      GbdaService service(&dataset->db, &*index, service_options);
+
+      WallTimer timer;
+      for (size_t begin = 0; begin < queries.size(); begin += batch_size) {
+        const size_t count = std::min(batch_size, queries.size() - begin);
+        Result<std::vector<SearchResult>> batch = service.QueryBatch(
+            Span<Graph>(queries.data() + begin, count), search_options);
+        if (!batch.ok()) {
+          std::fprintf(stderr, "config (%zu threads, batch %zu): %s\n",
+                       threads, batch_size,
+                       batch.status().ToString().c_str());
+          return 1;
+        }
+      }
+      const double wall = timer.Seconds();
+      const ServiceStats stats = service.stats();
+      if (threads == 1 && one_thread_wall[bi] == 0.0) {
+        one_thread_wall[bi] = wall;
+      }
+      const double speedup_1t =
+          one_thread_wall[bi] > 0.0 ? one_thread_wall[bi] / wall : 0.0;
+
+      std::printf("%s    {\"threads\": %zu, \"shards\": %zu, "
+                  "\"batch_size\": %zu, \"wall_seconds\": %.6f, "
+                  "\"qps\": %.2f, \"mean_latency_seconds\": %.6f, "
+                  "\"candidates_evaluated\": %zu, \"prefiltered_out\": %zu, "
+                  "\"matches_returned\": %zu, "
+                  "\"speedup_vs_1thread\": %.3f, "
+                  "\"speedup_vs_serial\": %.3f}",
+                  first_config ? "" : ",\n", threads, service.num_shards(),
+                  batch_size, wall,
+                  wall > 0 ? static_cast<double>(queries.size()) / wall : 0.0,
+                  stats.MeanLatencySeconds(), stats.candidates_evaluated,
+                  stats.prefiltered_out, stats.matches_returned, speedup_1t,
+                  wall > 0 ? serial_wall / wall : 0.0);
+      first_config = false;
+    }
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

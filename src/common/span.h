@@ -1,0 +1,35 @@
+/// \file span.h
+/// A minimal read-only view over a contiguous sequence, standing in for
+/// C++20's std::span<const T> in this C++17 tree. Used by batch APIs
+/// (GbdaService::QueryBatch) so callers can pass a vector, an array, or a
+/// single object without copying. The viewed storage must outlive the Span.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gbda {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  /// Implicit from a vector (the common call site).
+  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace gbda

@@ -1,0 +1,79 @@
+/// \file thread_pool.h
+/// A fixed-size worker pool for the serving layer (docs/ARCHITECTURE.md,
+/// "Serving layer"). Tasks are submitted as callables and return
+/// std::future handles, so results and exceptions propagate to the
+/// submitter. The destructor drains every task already enqueued before
+/// joining, so work submitted during the pool's lifetime is never dropped.
+/// Workers expose a stable index via CurrentWorkerIndex(), which lets
+/// callers keep per-worker state (e.g. one PosteriorEngine replica per
+/// worker) without locks.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gbda {
+
+/// Fixed-size FIFO thread pool. Submission is thread-safe; the queue is
+/// unbounded. Tasks must not submit to the pool from within the pool's own
+/// destructor window (tasks enqueued before destruction are always run).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue (every task already submitted runs to completion),
+  /// then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Value of CurrentWorkerIndex() on threads that are not pool workers.
+  static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+
+  /// Index in [0, size()) of the calling pool worker, or kNotAWorker when
+  /// called from any other thread. Indices are per-pool-local but the
+  /// thread-local slot is shared: a task only sees its own pool's index.
+  static size_t CurrentWorkerIndex();
+
+  /// Enqueues `f` and returns a future for its result. Exceptions thrown by
+  /// the task surface on future.get().
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop(size_t index);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace gbda

@@ -7,6 +7,103 @@
 
 namespace gbda {
 
+bool SearchMatchRankBefore(const SearchMatch& a, const SearchMatch& b) {
+  if (a.phi_score != b.phi_score) return a.phi_score > b.phi_score;
+  if (a.gbd != b.gbd) return a.gbd < b.gbd;
+  return a.graph_id < b.graph_id;
+}
+
+void SortTopK(std::vector<SearchMatch>* matches, size_t k) {
+  if (k >= matches->size()) {
+    std::sort(matches->begin(), matches->end(), SearchMatchRankBefore);
+    return;
+  }
+  std::partial_sort(matches->begin(),
+                    matches->begin() + static_cast<ptrdiff_t>(k),
+                    matches->end(), SearchMatchRankBefore);
+  matches->resize(k);
+}
+
+Result<ScanContext> PrepareScan(const Graph& query,
+                                const SearchOptions& options, bool apply_gamma,
+                                const GraphDatabase& db,
+                                const GbdaIndex& index) {
+  if (options.tau_hat < 0 || options.tau_hat > index.tau_max()) {
+    return Status::InvalidArgument(
+        "tau_hat outside the range supported by this index");
+  }
+  ScanContext ctx;
+  ctx.options = options;
+  ctx.apply_gamma = apply_gamma;
+  ctx.query_branches = ExtractBranches(query);
+  if (options.use_prefilter) ctx.query_profile = BuildFilterProfile(query);
+
+  // GBDA-V1 replaces the pair-specific |V'1| by a database average estimated
+  // from alpha sampled graphs. Sampled once per query so every shard of the
+  // same query sees the same estimate.
+  if (options.variant == GbdaVariant::kAverageSize) {
+    Rng rng(options.seed);
+    const size_t alpha =
+        std::max<size_t>(1, std::min(options.v1_sample_alpha, db.size()));
+    const std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(db.size(), alpha);
+    double sum = 0.0;
+    for (size_t id : picks) {
+      sum += static_cast<double>(db.graph(id).num_vertices());
+    }
+    ctx.v1_size = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(sum / static_cast<double>(alpha))));
+  }
+  return ctx;
+}
+
+Status ScanRange(const ScanContext& ctx, const GbdaIndex& index,
+                 const Prefilter* prefilter, size_t begin, size_t end,
+                 PosteriorEngine* posterior, SearchResult* result) {
+  const SearchOptions& options = ctx.options;
+  const size_t range = end - begin;
+  // Only the no-gamma, no-prefilter scan has a known match count (every
+  // candidate); under the gamma cut or the prefilter the accepted set is
+  // small in real workloads, so a modest reservation avoids the early
+  // doubling churn without over-allocating per shard.
+  const size_t expected =
+      !ctx.apply_gamma && !options.use_prefilter
+          ? range
+          : std::min<size_t>(range, 64);
+  result->matches.reserve(result->matches.size() + expected);
+  for (size_t id = begin; id < end; ++id) {
+    if (options.use_prefilter &&
+        !prefilter->Passes(ctx.query_profile, id, options.tau_hat)) {
+      ++result->prefiltered_out;
+      continue;
+    }
+    const BranchMultiset& g_branches = index.branches(id);
+    ++result->candidates_evaluated;
+
+    int64_t phi;
+    if (options.variant == GbdaVariant::kWeightedGbd) {
+      const double vgbd = Vgbd(ctx.query_branches, g_branches, options.vgbd_w);
+      phi = std::max<int64_t>(0, static_cast<int64_t>(std::llround(vgbd)));
+    } else {
+      phi = static_cast<int64_t>(
+          GbdFromBranches(ctx.query_branches, g_branches));
+    }
+
+    const int64_t v =
+        options.variant == GbdaVariant::kAverageSize
+            ? ctx.v1_size
+            : static_cast<int64_t>(
+                  std::max(ctx.query_branches.size(), g_branches.size()));
+
+    Result<double> phi_score = posterior->Phi(v, phi, options.tau_hat);
+    if (!phi_score.ok()) return phi_score.status();
+    if (!ctx.apply_gamma || *phi_score >= options.gamma) {
+      result->matches.push_back(SearchMatch{id, *phi_score, phi});
+    }
+  }
+  return Status::OK();
+}
+
 GbdaSearch::GbdaSearch(const GraphDatabase* db, GbdaIndex* index)
     : db_(db),
       index_(index),
@@ -17,62 +114,14 @@ GbdaSearch::GbdaSearch(const GraphDatabase* db, GbdaIndex* index)
 Result<SearchResult> GbdaSearch::Scan(const Graph& query,
                                       const SearchOptions& options,
                                       bool apply_gamma) {
-  if (options.tau_hat < 0 || options.tau_hat > index_->tau_max()) {
-    return Status::InvalidArgument(
-        "tau_hat outside the range supported by this index");
-  }
   WallTimer timer;
+  Result<ScanContext> ctx =
+      PrepareScan(query, options, apply_gamma, *db_, *index_);
+  if (!ctx.ok()) return ctx.status();
   SearchResult result;
-  const BranchMultiset query_branches = ExtractBranches(query);
-  const FilterProfile query_profile =
-      options.use_prefilter ? BuildFilterProfile(query) : FilterProfile{};
-
-  // GBDA-V1 replaces the pair-specific |V'1| by a database average estimated
-  // from alpha sampled graphs.
-  int64_t v1_size = 0;
-  if (options.variant == GbdaVariant::kAverageSize) {
-    Rng rng(options.seed);
-    const size_t alpha = std::max<size_t>(
-        1, std::min(options.v1_sample_alpha, db_->size()));
-    const std::vector<size_t> picks =
-        rng.SampleWithoutReplacement(db_->size(), alpha);
-    double sum = 0.0;
-    for (size_t id : picks) {
-      sum += static_cast<double>(db_->graph(id).num_vertices());
-    }
-    v1_size = std::max<int64_t>(
-        1, static_cast<int64_t>(std::llround(sum / static_cast<double>(alpha))));
-  }
-
-  for (size_t id = 0; id < db_->size(); ++id) {
-    if (options.use_prefilter &&
-        !prefilter_.Passes(query_profile, id, options.tau_hat)) {
-      ++result.prefiltered_out;
-      continue;
-    }
-    const BranchMultiset& g_branches = index_->branches(id);
-    ++result.candidates_evaluated;
-
-    int64_t phi;
-    if (options.variant == GbdaVariant::kWeightedGbd) {
-      const double vgbd = Vgbd(query_branches, g_branches, options.vgbd_w);
-      phi = std::max<int64_t>(0, static_cast<int64_t>(std::llround(vgbd)));
-    } else {
-      phi = static_cast<int64_t>(GbdFromBranches(query_branches, g_branches));
-    }
-
-    const int64_t v =
-        options.variant == GbdaVariant::kAverageSize
-            ? v1_size
-            : static_cast<int64_t>(
-                  std::max(query_branches.size(), g_branches.size()));
-
-    Result<double> phi_score = posterior_.Phi(v, phi, options.tau_hat);
-    if (!phi_score.ok()) return phi_score.status();
-    if (!apply_gamma || *phi_score >= options.gamma) {
-      result.matches.push_back(SearchMatch{id, *phi_score, phi});
-    }
-  }
+  Status scan = ScanRange(*ctx, *index_, &prefilter_, 0, db_->size(),
+                          &posterior_, &result);
+  if (!scan.ok()) return scan;
   result.seconds = timer.Seconds();
   return result;
 }
@@ -87,13 +136,7 @@ Result<SearchResult> GbdaSearch::QueryTopK(const Graph& query, size_t k,
   Result<SearchResult> scan = Scan(query, options, /*apply_gamma=*/false);
   if (!scan.ok()) return scan.status();
   SearchResult result = std::move(*scan);
-  std::sort(result.matches.begin(), result.matches.end(),
-            [](const SearchMatch& a, const SearchMatch& b) {
-              if (a.phi_score != b.phi_score) return a.phi_score > b.phi_score;
-              if (a.gbd != b.gbd) return a.gbd < b.gbd;
-              return a.graph_id < b.graph_id;
-            });
-  if (result.matches.size() > k) result.matches.resize(k);
+  SortTopK(&result.matches, k);
   return result;
 }
 

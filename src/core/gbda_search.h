@@ -7,6 +7,12 @@
 /// SearchOptions selects the published algorithm or the Section VII-D
 /// variants (GBDA-V1 average-size, GBDA-V2 weighted VGBD of Eq. 26) and can
 /// enable the sound layered Prefilter in front of the probabilistic test.
+///
+/// The scan is factored into PrepareScan (per-query state: branches, filter
+/// profile, the V1 size estimate) and ScanRange (candidate evaluation over a
+/// contiguous id range), so the serving layer (src/service/gbda_service.h)
+/// can fan the same arithmetic out over shards and stay bit-identical to
+/// the serial scan; see docs/ARCHITECTURE.md, "Serving layer".
 
 #pragma once
 
@@ -54,6 +60,16 @@ struct SearchMatch {
   int64_t gbd = 0;
 };
 
+/// The total ranking order used by every top-k path (serial and sharded):
+/// higher phi_score first, ties by smaller GBD, then smaller id. Total, so
+/// any k-truncation is unique and shard merges reproduce the serial order.
+bool SearchMatchRankBefore(const SearchMatch& a, const SearchMatch& b);
+
+/// Sorts the best k matches to the front under SearchMatchRankBefore and
+/// truncates to k (std::partial_sort; the whole vector is sorted when
+/// k >= size).
+void SortTopK(std::vector<SearchMatch>* matches, size_t k);
+
 /// Outcome of one query.
 struct SearchResult {
   std::vector<SearchMatch> matches;
@@ -62,6 +78,37 @@ struct SearchResult {
   /// Candidates removed by the prefilter (0 when it is disabled).
   size_t prefiltered_out = 0;
 };
+
+/// Per-query state shared by every candidate evaluation of one query:
+/// the query's branch multiset, its filter profile (when the prefilter is
+/// on) and the GBDA-V1 database-average size estimate. Computed once by
+/// PrepareScan, then read-only — safe to share across shard workers.
+struct ScanContext {
+  SearchOptions options;
+  bool apply_gamma = true;
+  BranchMultiset query_branches;
+  FilterProfile query_profile;
+  int64_t v1_size = 0;  // only meaningful for GbdaVariant::kAverageSize
+};
+
+/// Validates options against the index and computes the per-query state.
+/// Deterministic in options.seed (the V1 sample). Fails when
+/// options.tau_hat exceeds the index's tau_max.
+Result<ScanContext> PrepareScan(const Graph& query,
+                                const SearchOptions& options, bool apply_gamma,
+                                const GraphDatabase& db,
+                                const GbdaIndex& index);
+
+/// Evaluates candidates with ids in [begin, end), appending accepted
+/// matches to result->matches (in ascending id order) and accumulating
+/// candidates_evaluated / prefiltered_out, so per-shard results sum to the
+/// serial scan's counters. `prefilter` may be null when
+/// ctx.options.use_prefilter is false. Thread-compatible: concurrent calls
+/// are safe when each uses its own `posterior` and `result` (the index,
+/// prefilter and ctx are only read).
+Status ScanRange(const ScanContext& ctx, const GbdaIndex& index,
+                 const Prefilter* prefilter, size_t begin, size_t end,
+                 PosteriorEngine* posterior, SearchResult* result);
 
 /// The online stage of GBDA (Algorithm 1, Steps 2-4): per database graph,
 /// compute GBD from precomputed branches, evaluate the posterior

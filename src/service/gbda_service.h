@@ -1,0 +1,125 @@
+/// \file gbda_service.h
+/// The serving layer: a concurrent, sharded front-end over the one-shot
+/// GbdaSearch (docs/ARCHITECTURE.md, "Serving layer"). A GbdaService owns a
+/// fixed-size ThreadPool and an IndexShards partitioning of the database;
+/// Query / QueryTopK / QueryBatch fan every (query, shard) pair onto the
+/// pool and merge shard results deterministically, so the output — match
+/// set, ordering, top-k tie-breaking and the candidates/prefilter counters
+/// — is bit-identical to the serial GbdaSearch scan.
+///
+/// Each pool worker owns a private PosteriorEngine replica: the engine
+/// lazily warms per-size Lambda1 calculators and a (v, phi, tau_hat) memo,
+/// and sharing one engine would serialise every Phi evaluation on its memo
+/// lock. The replicas share the index's thread-safe GedPriorTable and the
+/// immutable GbdPrior, so replication costs only the (small, lazily filled)
+/// memo tables.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/span.h"
+#include "common/thread_pool.h"
+#include "core/gbda_search.h"
+#include "service/index_shards.h"
+
+namespace gbda {
+
+/// Concurrency knobs of the serving layer.
+struct ServiceOptions {
+  /// Pool workers; 0 means std::thread::hardware_concurrency (at least 1).
+  size_t num_threads = 0;
+  /// Contiguous database shards; 0 means one per worker. More shards than
+  /// workers improves load balance on skewed databases; the result is
+  /// identical for any shard count.
+  size_t num_shards = 0;
+};
+
+/// Aggregate serving statistics since construction (or ResetStats).
+struct ServiceStats {
+  size_t queries_served = 0;
+  size_t batches_served = 0;  // QueryBatch calls
+  size_t candidates_evaluated = 0;
+  size_t prefiltered_out = 0;
+  size_t matches_returned = 0;
+  /// Sum of per-query latencies (submission to last-shard completion).
+  double total_latency_seconds = 0.0;
+  /// Sum of top-level call wall times (a batch counts once).
+  double total_wall_seconds = 0.0;
+
+  double MeanLatencySeconds() const {
+    return queries_served == 0 ? 0.0
+                               : total_latency_seconds /
+                                     static_cast<double>(queries_served);
+  }
+  double QueriesPerSecond() const {
+    return total_wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(queries_served) / total_wall_seconds;
+  }
+};
+
+/// Concurrent sharded query engine over a prebuilt GbdaIndex. Thread-safe:
+/// concurrent public calls are allowed (they share the pool and the
+/// per-worker engines; statistics are mutex-guarded). `db` and `index`
+/// must outlive the service and the index must have been built over
+/// exactly this database.
+class GbdaService {
+ public:
+  GbdaService(const GraphDatabase* db, GbdaIndex* index,
+              const ServiceOptions& options = ServiceOptions());
+
+  /// Threshold query, bit-identical to GbdaSearch::Query (matches in
+  /// ascending graph id order). result.seconds is the query's wall latency.
+  Result<SearchResult> Query(const Graph& query, const SearchOptions& options);
+
+  /// Top-k ranking, bit-identical to GbdaSearch::QueryTopK including the
+  /// (phi_score desc, gbd asc, id asc) tie-breaking. Each shard truncates
+  /// to its local top-k before the global merge re-ranks.
+  Result<SearchResult> QueryTopK(const Graph& query, size_t k,
+                                 const SearchOptions& options);
+
+  /// Batched threshold queries: all (query, shard) pairs are in flight on
+  /// the pool at once, so one slow query does not serialise the batch.
+  /// results[i].seconds is query i's latency from batch submission to its
+  /// last shard completing. Fails as a whole on the first invalid query /
+  /// evaluation error (the only failure modes are option validation and
+  /// posterior-domain errors, which are query-global).
+  Result<std::vector<SearchResult>> QueryBatch(Span<Graph> queries,
+                                               const SearchOptions& options);
+
+  size_t num_threads() const { return pool_.size(); }
+  size_t num_shards() const { return shards_.num_shards(); }
+
+  /// Snapshot of the aggregate counters.
+  ServiceStats stats() const;
+  void ResetStats();
+
+ private:
+  static constexpr size_t kNoTopK = static_cast<size_t>(-1);
+
+  /// Shared fan-out/merge. top_k == kNoTopK keeps every match (threshold
+  /// mode); otherwise each shard and the final merge truncate to top_k.
+  Result<std::vector<SearchResult>> RunBatch(Span<Graph> queries,
+                                             const SearchOptions& options,
+                                             bool apply_gamma, size_t top_k);
+
+  /// The calling pool worker's engine replica (the spare, last slot for the
+  /// caller thread — only reachable if a task ever runs off-pool).
+  PosteriorEngine* EngineForCurrentThread();
+
+  const GraphDatabase* db_;
+  GbdaIndex* index_;
+  ThreadPool pool_;  // before shards_: the shard default is one per worker
+  IndexShards shards_;
+  std::vector<std::unique_ptr<PosteriorEngine>> engines_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+};
+
+}  // namespace gbda

@@ -1,0 +1,22 @@
+#include "service/index_shards.h"
+
+#include <algorithm>
+
+namespace gbda {
+
+IndexShards::IndexShards(const GraphDatabase* db, const GbdaIndex* index,
+                         size_t num_shards)
+    : num_graphs_(index->num_graphs()), prefilter_(db) {
+  const size_t n = num_graphs_;
+  num_shards = std::max<size_t>(1, std::min(num_shards, std::max<size_t>(1, n)));
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    // begin/end via the rounding-free split: shard s covers
+    // [s*n/S, (s+1)*n/S), which tiles [0, n) with sizes differing by <= 1.
+    const size_t begin = s * n / num_shards;
+    const size_t end = (s + 1) * n / num_shards;
+    shards_.emplace_back(s, begin, end, index, &prefilter_);
+  }
+}
+
+}  // namespace gbda

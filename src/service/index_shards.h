@@ -1,0 +1,74 @@
+/// \file index_shards.h
+/// Static partitioning of a GbdaIndex for shard-parallel scans. Graph ids
+/// are split into contiguous, near-equal ranges; each ShardView bundles the
+/// id range with read-only views of the branch store and the shared layered
+/// Prefilter, which is all a worker needs to run core ScanRange over its
+/// slice. Because shards are contiguous and ascending, concatenating
+/// per-shard results in shard order reproduces the serial scan's id order
+/// exactly — the determinism contract of the serving layer
+/// (docs/ARCHITECTURE.md, "Serving layer").
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/gbda_index.h"
+#include "core/prefilter.h"
+#include "graph/graph_database.h"
+
+namespace gbda {
+
+/// Read-only view of one shard: the contiguous id range plus accessors into
+/// the shared index artifacts. Ids are absolute database ids.
+class ShardView {
+ public:
+  ShardView(size_t shard_id, size_t begin, size_t end, const GbdaIndex* index,
+            const Prefilter* prefilter)
+      : shard_id_(shard_id),
+        begin_(begin),
+        end_(end),
+        index_(index),
+        prefilter_(prefilter) {}
+
+  size_t shard_id() const { return shard_id_; }
+  size_t begin() const { return begin_; }
+  size_t end() const { return end_; }
+  size_t size() const { return end_ - begin_; }
+
+  /// The shared branch store; scan with core ScanRange over [begin, end).
+  const GbdaIndex& index() const { return *index_; }
+  /// The shared layered prefilter (profiles cover every database graph).
+  const Prefilter& prefilter() const { return *prefilter_; }
+
+ private:
+  size_t shard_id_;
+  size_t begin_;
+  size_t end_;
+  const GbdaIndex* index_;
+  const Prefilter* prefilter_;
+};
+
+/// Splits [0, index.num_graphs()) into `num_shards` contiguous ranges whose
+/// sizes differ by at most one, and owns the shared Prefilter (profiles are
+/// per database graph, so one instance serves every shard). The database and
+/// index must outlive the partitioning.
+class IndexShards {
+ public:
+  /// `num_shards` is clamped to [1, max(1, num_graphs)] so no shard is
+  /// empty (except when the database itself is empty).
+  IndexShards(const GraphDatabase* db, const GbdaIndex* index,
+              size_t num_shards);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_graphs() const { return num_graphs_; }
+  const ShardView& shard(size_t s) const { return shards_[s]; }
+
+ private:
+  size_t num_graphs_;
+  Prefilter prefilter_;
+  std::vector<ShardView> shards_;
+};
+
+}  // namespace gbda

@@ -1,0 +1,211 @@
+#include "service/gbda_service.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/gbda_search.h"
+#include "datagen/dataset_profiles.h"
+
+namespace gbda {
+namespace {
+
+// Bit-identical comparison: ids, exact phi doubles, GBDs, ordering and the
+// scan counters must all match the serial engine (the serving layer's
+// determinism contract, docs/ARCHITECTURE.md "Serving layer").
+void ExpectSameResult(const SearchResult& serial, const SearchResult& sharded,
+                      const std::string& label) {
+  ASSERT_EQ(serial.matches.size(), sharded.matches.size()) << label;
+  for (size_t i = 0; i < serial.matches.size(); ++i) {
+    EXPECT_EQ(serial.matches[i].graph_id, sharded.matches[i].graph_id)
+        << label << " match " << i;
+    EXPECT_EQ(serial.matches[i].phi_score, sharded.matches[i].phi_score)
+        << label << " match " << i;
+    EXPECT_EQ(serial.matches[i].gbd, sharded.matches[i].gbd)
+        << label << " match " << i;
+  }
+  EXPECT_EQ(serial.candidates_evaluated, sharded.candidates_evaluated)
+      << label;
+  EXPECT_EQ(serial.prefiltered_out, sharded.prefiltered_out) << label;
+}
+
+class GbdaServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetProfile profile = FingerprintProfile(0.03);
+    profile.seed = 99;
+    Result<GeneratedDataset> ds = GenerateDataset(profile);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new GeneratedDataset(std::move(*ds));
+
+    GbdaIndexOptions options;
+    options.tau_max = 10;
+    options.gbd_prior.num_sample_pairs = 2000;
+    Result<GbdaIndex> index = GbdaIndex::Build(dataset_->db, options);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = new GbdaIndex(std::move(*index));
+    serial_ = new GbdaSearch(&dataset_->db, index_);
+  }
+  static void TearDownTestSuite() {
+    delete serial_;
+    delete index_;
+    delete dataset_;
+    serial_ = nullptr;
+    index_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static GeneratedDataset* dataset_;
+  static GbdaIndex* index_;
+  static GbdaSearch* serial_;
+};
+
+GeneratedDataset* GbdaServiceTest::dataset_ = nullptr;
+GbdaIndex* GbdaServiceTest::index_ = nullptr;
+GbdaSearch* GbdaServiceTest::serial_ = nullptr;
+
+TEST_F(GbdaServiceTest, ShardRangesTileTheDatabase) {
+  for (size_t shards : {1u, 2u, 7u}) {
+    IndexShards partition(&dataset_->db, index_, shards);
+    ASSERT_EQ(partition.num_shards(), shards);
+    size_t expected_begin = 0;
+    for (size_t s = 0; s < partition.num_shards(); ++s) {
+      const ShardView& view = partition.shard(s);
+      EXPECT_EQ(view.begin(), expected_begin);
+      EXPECT_GE(view.size(), dataset_->db.size() / shards);
+      expected_begin = view.end();
+    }
+    EXPECT_EQ(expected_begin, dataset_->db.size());
+  }
+}
+
+TEST_F(GbdaServiceTest, QueryMatchesSerialAcrossVariantsPrefilterAndShards) {
+  for (GbdaVariant variant :
+       {GbdaVariant::kStandard, GbdaVariant::kAverageSize,
+        GbdaVariant::kWeightedGbd}) {
+    for (bool prefilter : {false, true}) {
+      SearchOptions opts;
+      opts.tau_hat = 6;
+      opts.gamma = 0.4;
+      opts.variant = variant;
+      opts.vgbd_w = 0.5;
+      opts.use_prefilter = prefilter;
+      for (size_t q = 0; q < 3 && q < dataset_->queries.size(); ++q) {
+        Result<SearchResult> serial =
+            serial_->Query(dataset_->queries[q], opts);
+        ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+        for (size_t shards : {1u, 2u, 7u}) {
+          ServiceOptions service_opts;
+          service_opts.num_threads = 3;
+          service_opts.num_shards = shards;
+          GbdaService service(&dataset_->db, index_, service_opts);
+          Result<SearchResult> sharded =
+              service.Query(dataset_->queries[q], opts);
+          ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+          ExpectSameResult(
+              *serial, *sharded,
+              "variant=" + std::to_string(static_cast<int>(variant)) +
+                  " prefilter=" + std::to_string(prefilter) + " shards=" +
+                  std::to_string(shards) + " query=" + std::to_string(q));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(GbdaServiceTest, TopKMatchesSerialIncludingTieBreaks) {
+  SearchOptions opts;
+  opts.tau_hat = 6;
+  const Graph& query = dataset_->queries[0];
+  // SIZE_MAX guards the kNoTopK sentinel: an oversized k must still rank.
+  for (size_t k : {size_t{1}, size_t{3}, size_t{10}, dataset_->db.size() + 5,
+                   std::numeric_limits<size_t>::max()}) {
+    Result<SearchResult> serial = serial_->QueryTopK(query, k, opts);
+    ASSERT_TRUE(serial.ok());
+    for (size_t shards : {1u, 2u, 7u}) {
+      ServiceOptions service_opts;
+      service_opts.num_threads = 2;
+      service_opts.num_shards = shards;
+      GbdaService service(&dataset_->db, index_, service_opts);
+      Result<SearchResult> sharded = service.QueryTopK(query, k, opts);
+      ASSERT_TRUE(sharded.ok());
+      ExpectSameResult(*serial, *sharded,
+                       "k=" + std::to_string(k) + " shards=" +
+                           std::to_string(shards));
+    }
+  }
+}
+
+TEST_F(GbdaServiceTest, BatchMatchesPerQuerySerialResults) {
+  SearchOptions opts;
+  opts.tau_hat = 5;
+  opts.gamma = 0.5;
+  ServiceOptions service_opts;
+  service_opts.num_threads = 3;
+  service_opts.num_shards = 7;
+  GbdaService service(&dataset_->db, index_, service_opts);
+  Result<std::vector<SearchResult>> batch =
+      service.QueryBatch(dataset_->queries, opts);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), dataset_->queries.size());
+  for (size_t q = 0; q < dataset_->queries.size(); ++q) {
+    Result<SearchResult> serial = serial_->Query(dataset_->queries[q], opts);
+    ASSERT_TRUE(serial.ok());
+    ExpectSameResult(*serial, (*batch)[q], "batch query " + std::to_string(q));
+  }
+}
+
+TEST_F(GbdaServiceTest, StatsAggregateAcrossCalls) {
+  SearchOptions opts;
+  opts.tau_hat = 5;
+  opts.gamma = 0.5;
+  GbdaService service(&dataset_->db, index_, ServiceOptions{2, 4});
+  ASSERT_TRUE(service.Query(dataset_->queries[0], opts).ok());
+  Result<std::vector<SearchResult>> batch =
+      service.QueryBatch(dataset_->queries, opts);
+  ASSERT_TRUE(batch.ok());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries_served, 1 + dataset_->queries.size());
+  EXPECT_EQ(stats.batches_served, 1u);
+  // One full-database scan per query (prefilter off).
+  EXPECT_EQ(stats.candidates_evaluated,
+            (1 + dataset_->queries.size()) * dataset_->db.size());
+  EXPECT_EQ(stats.prefiltered_out, 0u);
+  EXPECT_GT(stats.total_wall_seconds, 0.0);
+  EXPECT_GT(stats.total_latency_seconds, 0.0);
+  EXPECT_GT(stats.QueriesPerSecond(), 0.0);
+  EXPECT_GT(stats.MeanLatencySeconds(), 0.0);
+  service.ResetStats();
+  EXPECT_EQ(service.stats().queries_served, 0u);
+}
+
+TEST_F(GbdaServiceTest, OversubscribedShardCountIsClamped) {
+  // More shards than graphs: clamped so no shard is empty.
+  ServiceOptions service_opts;
+  service_opts.num_threads = 2;
+  service_opts.num_shards = dataset_->db.size() * 10;
+  GbdaService service(&dataset_->db, index_, service_opts);
+  EXPECT_LE(service.num_shards(), dataset_->db.size());
+  SearchOptions opts;
+  opts.tau_hat = 5;
+  opts.gamma = 0.5;
+  Result<SearchResult> serial = serial_->Query(dataset_->queries[0], opts);
+  Result<SearchResult> sharded = service.Query(dataset_->queries[0], opts);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(sharded.ok());
+  ExpectSameResult(*serial, *sharded, "clamped shards");
+}
+
+TEST_F(GbdaServiceTest, RejectsTauBeyondIndex) {
+  GbdaService service(&dataset_->db, index_, ServiceOptions{2, 2});
+  SearchOptions opts;
+  opts.tau_hat = index_->tau_max() + 1;
+  EXPECT_FALSE(service.Query(dataset_->queries[0], opts).ok());
+  EXPECT_FALSE(service.QueryBatch(dataset_->queries, opts).ok());
+  // A failed batch serves no queries.
+  EXPECT_EQ(service.stats().queries_served, 0u);
+}
+
+}  // namespace
+}  // namespace gbda
