@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/timer.h"
 #include "core/gbda_index.h"
 #include "core/gbda_search.h"
@@ -25,6 +26,8 @@
 #include "service/gbda_service.h"
 
 using namespace gbda;
+using bench::ParseFlagValue;
+using bench::ProfileByName;
 
 namespace {
 
@@ -55,38 +58,31 @@ std::vector<size_t> ParseSizeList(const std::string& csv) {
   return out;
 }
 
-bool ParseFlag(const char* arg, const char* name, std::string* value) {
-  const size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
-  *value = arg + len + 1;
-  return true;
-}
-
 Flags ParseFlags(int argc, char** argv) {
   Flags flags;
   for (int i = 1; i < argc; ++i) {
     std::string v;
-    if (ParseFlag(argv[i], "--threads", &v)) {
+    if (ParseFlagValue(argv[i], "--threads", &v)) {
       flags.threads = ParseSizeList(v);
-    } else if (ParseFlag(argv[i], "--batches", &v)) {
+    } else if (ParseFlagValue(argv[i], "--batches", &v)) {
       flags.batch_sizes = ParseSizeList(v);
-    } else if (ParseFlag(argv[i], "--queries", &v)) {
+    } else if (ParseFlagValue(argv[i], "--queries", &v)) {
       flags.num_queries = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
-    } else if (ParseFlag(argv[i], "--profile", &v)) {
+    } else if (ParseFlagValue(argv[i], "--profile", &v)) {
       flags.profile = v;
-    } else if (ParseFlag(argv[i], "--scale", &v)) {
+    } else if (ParseFlagValue(argv[i], "--scale", &v)) {
       flags.scale = std::strtod(v.c_str(), nullptr);
-    } else if (ParseFlag(argv[i], "--shards", &v)) {
+    } else if (ParseFlagValue(argv[i], "--shards", &v)) {
       flags.shards = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
-    } else if (ParseFlag(argv[i], "--tau", &v)) {
+    } else if (ParseFlagValue(argv[i], "--tau", &v)) {
       flags.tau_hat = std::strtoll(v.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "--gamma", &v)) {
+    } else if (ParseFlagValue(argv[i], "--gamma", &v)) {
       flags.gamma = std::strtod(v.c_str(), nullptr);
-    } else if (ParseFlag(argv[i], "--prefilter", &v)) {
+    } else if (ParseFlagValue(argv[i], "--prefilter", &v)) {
       flags.prefilter = v != "0" && v != "false";
-    } else if (ParseFlag(argv[i], "--pairs", &v)) {
+    } else if (ParseFlagValue(argv[i], "--pairs", &v)) {
       flags.sample_pairs = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
-    } else if (ParseFlag(argv[i], "--seed", &v)) {
+    } else if (ParseFlagValue(argv[i], "--seed", &v)) {
       flags.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr,
@@ -99,14 +95,6 @@ Flags ParseFlags(int argc, char** argv) {
     }
   }
   return flags;
-}
-
-Result<DatasetProfile> ProfileByName(const std::string& name, double scale) {
-  if (name == "fingerprint") return FingerprintProfile(scale);
-  if (name == "aids") return AidsProfile(scale);
-  if (name == "grec") return GrecProfile(scale);
-  if (name == "aasd") return AasdProfile(scale);
-  return Status::InvalidArgument("unknown profile: " + name);
 }
 
 bool SameMatches(const SearchResult& a, const SearchResult& b) {

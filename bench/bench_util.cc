@@ -25,6 +25,21 @@ BenchFlags ParseFlags(int argc, char** argv) {
   return flags;
 }
 
+bool ParseFlagValue(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+Result<DatasetProfile> ProfileByName(const std::string& name, double scale) {
+  if (name == "fingerprint") return FingerprintProfile(scale);
+  if (name == "aids") return AidsProfile(scale);
+  if (name == "grec") return GrecProfile(scale);
+  if (name == "aasd") return AasdProfile(scale);
+  return Status::InvalidArgument("unknown profile: " + name);
+}
+
 std::vector<DatasetProfile> RealProfiles(const BenchFlags& flags) {
   std::vector<DatasetProfile> profiles;
   if (flags.full) {

@@ -22,6 +22,14 @@ struct BenchFlags {
 
 BenchFlags ParseFlags(int argc, char** argv);
 
+/// `--name=value` matcher shared by the serving benches' flag parsers:
+/// returns true and fills `value` when `arg` is `<name>=<value>`.
+bool ParseFlagValue(const char* arg, const char* name, std::string* value);
+
+/// Table III profile by CLI name ("fingerprint" | "aids" | "grec" |
+/// "aasd") at the given scale; fails on unknown names.
+Result<DatasetProfile> ProfileByName(const std::string& name, double scale);
+
 /// The four Table III dataset profiles at quick or paper scale.
 std::vector<DatasetProfile> RealProfiles(const BenchFlags& flags);
 

@@ -52,11 +52,13 @@ class BinaryReader {
   Result<std::string> GetString() {
     Result<uint64_t> len = GetU64();
     if (!len.ok()) return len.status();
-    if (pos_ + *len > data_.size()) {
+    // Compare against the bytes left, never against pos_ + *len: a hostile
+    // length prefix near UINT64_MAX would wrap that sum past data_.size().
+    if (*len > remaining()) {
       return Status::OutOfRange("binary decode: truncated string");
     }
-    std::string out(data_.substr(pos_, *len));
-    pos_ += *len;
+    std::string out(data_.substr(pos_, static_cast<size_t>(*len)));
+    pos_ += static_cast<size_t>(*len);
     return out;
   }
 
@@ -65,11 +67,13 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     Result<uint64_t> len = GetU64();
     if (!len.ok()) return len.status();
-    const size_t bytes = *len * sizeof(T);
-    if (pos_ + bytes > data_.size()) {
+    // *len * sizeof(T) can wrap in uint64 (e.g. len = 2^61 + 1 with an
+    // 8-byte T), so bound the element count, not the byte count.
+    if (*len > remaining() / sizeof(T)) {
       return Status::OutOfRange("binary decode: truncated vector");
     }
-    std::vector<T> out(*len);
+    const size_t bytes = static_cast<size_t>(*len) * sizeof(T);
+    std::vector<T> out(static_cast<size_t>(*len));
     if (bytes > 0) std::memcpy(out.data(), data_.data() + pos_, bytes);
     pos_ += bytes;
     return out;
@@ -77,11 +81,15 @@ class BinaryReader {
 
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t position() const { return pos_; }
+  /// Bytes left to decode. Decoders validate on-disk element counts against
+  /// this before allocating (a corrupt count must never drive a huge
+  /// allocation; see GbdaIndex::LoadFromFile).
+  size_t remaining() const { return data_.size() - pos_; }
 
  private:
   template <typename T>
   Result<T> GetPod() {
-    if (pos_ + sizeof(T) > data_.size()) {
+    if (sizeof(T) > remaining()) {
       return Status::OutOfRange("binary decode: truncated value");
     }
     T v;

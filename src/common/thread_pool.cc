@@ -5,7 +5,14 @@
 namespace gbda {
 
 namespace {
-thread_local size_t tls_worker_index = ThreadPool::kNotAWorker;
+// The slot records which pool the index belongs to: worker indices are only
+// meaningful relative to their own pool, and with several pools alive a bare
+// index would let pool B's worker 2 masquerade as pool A's worker 2.
+struct TlsWorkerSlot {
+  const ThreadPool* pool = nullptr;
+  size_t index = ThreadPool::kNotAWorker;
+};
+thread_local TlsWorkerSlot tls_worker_slot;
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -27,10 +34,12 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-size_t ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+size_t ThreadPool::CurrentWorkerIndex() const {
+  return tls_worker_slot.pool == this ? tls_worker_slot.index : kNotAWorker;
+}
 
 void ThreadPool::WorkerLoop(size_t index) {
-  tls_worker_index = index;
+  tls_worker_slot = {this, index};
   for (;;) {
     std::function<void()> task;
     {

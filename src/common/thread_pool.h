@@ -42,13 +42,17 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
-  /// Value of CurrentWorkerIndex() on threads that are not pool workers.
+  /// Value of CurrentWorkerIndex() on threads that are not workers of the
+  /// queried pool.
   static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
 
-  /// Index in [0, size()) of the calling pool worker, or kNotAWorker when
-  /// called from any other thread. Indices are per-pool-local but the
-  /// thread-local slot is shared: a task only sees its own pool's index.
-  static size_t CurrentWorkerIndex();
+  /// Index in [0, size()) of the calling thread when it is a worker of THIS
+  /// pool, kNotAWorker otherwise — including when the caller is a worker of
+  /// a different pool. The thread-local slot records its owning pool, so
+  /// with several pools alive (two services, a snapshot-rebuild pool) a
+  /// worker of pool B can never alias into pool A's per-worker state; see
+  /// the engine selection in service/parallel_scan.h (ParallelScanEnv).
+  size_t CurrentWorkerIndex() const;
 
   /// Enqueues `f` and returns a future for its result. Exceptions thrown by
   /// the task surface on future.get().

@@ -6,12 +6,20 @@ namespace gbda {
 
 Result<GbdPrior> GbdPrior::Fit(const std::vector<BranchMultiset>& branches,
                                const GbdPriorOptions& options, Rng* rng) {
+  std::vector<const BranchMultiset*> ptrs;
+  ptrs.reserve(branches.size());
+  for (const BranchMultiset& b : branches) ptrs.push_back(&b);
+  return Fit(ptrs, options, rng);
+}
+
+Result<GbdPrior> GbdPrior::Fit(const std::vector<const BranchMultiset*>& branches,
+                               const GbdPriorOptions& options, Rng* rng) {
   const size_t n = branches.size();
   if (n < 2) {
     return Status::InvalidArgument("GBD prior: need at least two graphs");
   }
   size_t max_v = 0;
-  for (const auto& b : branches) max_v = std::max(max_v, b.size());
+  for (const auto* b : branches) max_v = std::max(max_v, b->size());
 
   // Collect GBD samples over pairs.
   std::vector<double> samples;
@@ -22,7 +30,7 @@ Result<GbdPrior> GbdPrior::Fit(const std::vector<BranchMultiset>& branches,
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = i + 1; j < n; ++j) {
         samples.push_back(
-            static_cast<double>(GbdFromBranches(branches[i], branches[j])));
+            static_cast<double>(GbdFromBranches(*branches[i], *branches[j])));
       }
     }
   } else {
@@ -34,7 +42,7 @@ Result<GbdPrior> GbdPrior::Fit(const std::vector<BranchMultiset>& branches,
           static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
       if (i == j) continue;
       samples.push_back(
-          static_cast<double>(GbdFromBranches(branches[i], branches[j])));
+          static_cast<double>(GbdFromBranches(*branches[i], *branches[j])));
     }
   }
 
@@ -101,7 +109,12 @@ Result<GbdPrior> GbdPrior::Deserialize(BinaryReader* reader) {
   prior.floor_ = *floor;
   Result<uint64_t> ncomp = reader->GetU64();
   if (!ncomp.ok()) return ncomp.status();
+  // Each component occupies three doubles; a larger count cannot be honest.
+  if (*ncomp > reader->remaining() / (3 * sizeof(double))) {
+    return Status::OutOfRange("GBD prior: component count exceeds file size");
+  }
   std::vector<GmmComponent> comps;
+  comps.reserve(static_cast<size_t>(*ncomp));
   for (uint64_t i = 0; i < *ncomp; ++i) {
     GmmComponent c;
     Result<double> w = reader->GetDouble();

@@ -33,6 +33,14 @@ class GbdPrior {
   static Result<GbdPrior> Fit(const std::vector<BranchMultiset>& branches,
                               const GbdPriorOptions& options, Rng* rng);
 
+  /// Pointer variant used by the incremental index (docs/ARCHITECTURE.md,
+  /// "Dynamic corpus"): fits over the referenced multisets without copying
+  /// them, so a staleness-triggered refit touches only the live corpus. The
+  /// arithmetic is byte-for-byte the one of the value overload — the same
+  /// ordered inputs and seed yield the same prior.
+  static Result<GbdPrior> Fit(const std::vector<const BranchMultiset*>& branches,
+                              const GbdPriorOptions& options, Rng* rng);
+
   /// Pr[GBD = phi], floored (see GbdPriorOptions::probability_floor).
   double Probability(int64_t phi) const;
 

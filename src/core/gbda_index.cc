@@ -1,5 +1,6 @@
 #include "core/gbda_index.h"
 
+#include <cmath>
 #include <fstream>
 #include <numeric>
 #include <set>
@@ -12,13 +13,43 @@ namespace gbda {
 namespace {
 
 constexpr uint32_t kIndexMagic = 0x47424441;  // "GBDA"
-constexpr uint32_t kIndexVersion = 1;
+// v2 persists the full GbdPriorOptions (GMM fit knobs + probability floor),
+// so RefitGbdPrior on a loaded index runs the exact arithmetic Build would.
+constexpr uint32_t kIndexVersion = 2;
+
+// Plausibility bounds for on-disk header fields. A hostile file can claim
+// any value; these only need to admit every index this library can build.
+// (kMaxPlausibleTau is shared with the GED-prior decoder; the loader
+// cross-checks the two headers for equality.)
+constexpr int64_t kMaxPlausibleLabels = int64_t{1} << 32;  // LabelId is u32
+// Both feed int fields of GmmFitOptions, so the bounds must stay below
+// INT_MAX or the validated value would wrap in the narrowing cast.
+constexpr int64_t kMaxPlausibleComponents = 1 << 16;
+constexpr int64_t kMaxPlausibleIterations = 1 << 30;
+
+size_t BranchMultisetBytes(const BranchMultiset& ms) {
+  size_t bytes = sizeof(BranchMultiset);
+  for (const Branch& b : ms) {
+    bytes += sizeof(Branch) + b.edge_labels.capacity() * sizeof(LabelId);
+  }
+  return bytes;
+}
+
+// Minimum encoded footprint of one record, used to validate on-disk counts
+// against the bytes actually remaining before any allocation happens.
+constexpr size_t kMinGraphRecordBytes = 8;    // u64 branch count
+constexpr size_t kMinBranchRecordBytes = 12;  // u32 root + u64 vector length
 
 }  // namespace
 
 Result<GbdaIndex> GbdaIndex::Build(const GraphDatabase& db,
                                    const GbdaIndexOptions& options) {
   if (db.empty()) return Status::InvalidArgument("index build: empty database");
+  if (db.has_tombstones()) {
+    return Status::InvalidArgument(
+        "index build: database has tombstones; Build covers the frozen "
+        "offline stage — serve a mutable corpus through DynamicGbdaService");
+  }
   if (options.tau_max < 0) {
     return Status::InvalidArgument("index build: tau_max must be >= 0");
   }
@@ -36,34 +67,28 @@ Result<GbdaIndex> GbdaIndex::Build(const GraphDatabase& db,
   // Branch multisets (the auxiliary structure of Section III).
   WallTimer timer;
   index.branches_.reserve(db.size());
-  double vertex_sum = 0.0;
   for (size_t i = 0; i < db.size(); ++i) {
-    index.branches_.push_back(ExtractBranches(db.graph(i)));
-    vertex_sum += static_cast<double>(db.graph(i).num_vertices());
+    index.branches_.push_back(
+        std::make_shared<const BranchMultiset>(ExtractBranches(db.graph(i))));
+    index.vertex_sum_ += static_cast<double>(db.graph(i).num_vertices());
   }
-  index.avg_vertices_ = vertex_sum / static_cast<double>(db.size());
+  index.num_live_ = db.size();
   index.costs_.branch_seconds = timer.Seconds();
   for (const auto& b : index.branches_) {
-    index.costs_.branch_bytes += sizeof(BranchMultiset);
-    for (const auto& br : b) {
-      index.costs_.branch_bytes +=
-          sizeof(Branch) + br.edge_labels.capacity() * sizeof(LabelId);
-    }
+    index.costs_.branch_bytes += BranchMultisetBytes(*b);
   }
 
-  // Lambda2: GMM prior over GBDs.
+  // Lambda2: GMM prior over GBDs. RefitGbdPrior runs the identical
+  // arithmetic later in the index's life, so incremental maintenance stays
+  // bit-compatible with a from-scratch Build.
   timer.Restart();
-  Rng rng(options.seed);
-  Result<GbdPrior> prior = GbdPrior::Fit(index.branches_, options.gbd_prior, &rng);
-  if (!prior.ok()) return prior.status();
-  index.gbd_prior_ = std::move(*prior);
+  Status fit = index.RefitGbdPrior();
+  if (!fit.ok()) return fit;
   index.costs_.gbd_prior_seconds = timer.Seconds();
-  index.costs_.gbd_prior_bytes = index.gbd_prior_.MemoryBytes();
-  index.costs_.pairs_sampled = index.gbd_prior_.pairs_sampled();
 
   // Lambda3: Jeffreys prior rows.
   timer.Restart();
-  index.ged_prior_ = std::make_unique<GedPriorTable>(
+  index.ged_prior_ = std::make_shared<GedPriorTable>(
       index.num_vertex_labels_, index.num_edge_labels_, options.tau_max);
   std::vector<int64_t> sizes;
   if (options.eager_all_sizes) {
@@ -83,25 +108,128 @@ Result<GbdaIndex> GbdaIndex::Build(const GraphDatabase& db,
   return index;
 }
 
+size_t GbdaIndex::AddGraph(const Graph& g) {
+  branches_.push_back(
+      std::make_shared<const BranchMultiset>(ExtractBranches(g)));
+  costs_.branch_bytes += BranchMultisetBytes(*branches_.back());
+  vertex_sum_ += static_cast<double>(g.num_vertices());
+  ++num_live_;
+  ++gbd_staleness_;
+  return branches_.size() - 1;
+}
+
+Status GbdaIndex::RemoveGraphs(const std::vector<size_t>& ids) {
+  Status valid = ValidateRemovalBatch(
+      ids, branches_.size(),
+      [this](size_t id) { return branches_[id] != nullptr; },
+      "index RemoveGraphs");
+  if (!valid.ok()) return valid;
+  for (size_t id : ids) {
+    vertex_sum_ -= static_cast<double>(branches_[id]->size());
+    costs_.branch_bytes -= BranchMultisetBytes(*branches_[id]);
+    branches_[id] = nullptr;
+    --num_live_;
+    ++gbd_staleness_;
+  }
+  return Status::OK();
+}
+
+Status GbdaIndex::RefitGbdPrior() {
+  std::vector<const BranchMultiset*> live;
+  live.reserve(num_live_);
+  for (const auto& b : branches_) {
+    if (b) live.push_back(b.get());
+  }
+  Rng rng(options_.seed);
+  Result<GbdPrior> prior = GbdPrior::Fit(live, options_.gbd_prior, &rng);
+  if (!prior.ok()) return prior.status();
+  gbd_prior_ = std::make_shared<const GbdPrior>(std::move(*prior));
+  gbd_staleness_ = 0;
+  costs_.gbd_prior_bytes = gbd_prior_->MemoryBytes();
+  costs_.pairs_sampled = gbd_prior_->pairs_sampled();
+  return Status::OK();
+}
+
+void GbdaIndex::RefreshModelLabels(int64_t num_vertex_labels,
+                                   int64_t num_edge_labels) {
+  if (num_vertex_labels == num_vertex_labels_ &&
+      num_edge_labels == num_edge_labels_) {
+    return;
+  }
+  num_vertex_labels_ = num_vertex_labels;
+  num_edge_labels_ = num_edge_labels;
+  // Lambda3 rows depend on the label universe; swap in a fresh table and let
+  // rows rebuild lazily. Published snapshots keep the old table alive.
+  ged_prior_ = std::make_shared<GedPriorTable>(num_vertex_labels_,
+                                               num_edge_labels_,
+                                               options_.tau_max);
+}
+
+GbdaIndex GbdaIndex::CompactView(std::vector<size_t>* live_ids_out) const {
+  GbdaIndex dense;
+  dense.options_ = options_;
+  dense.num_vertex_labels_ = num_vertex_labels_;
+  dense.num_edge_labels_ = num_edge_labels_;
+  dense.vertex_sum_ = vertex_sum_;
+  dense.num_live_ = num_live_;
+  dense.gbd_staleness_ = gbd_staleness_;
+  dense.gbd_prior_ = gbd_prior_;
+  dense.ged_prior_ = ged_prior_;
+  dense.costs_ = costs_;
+  dense.branches_.reserve(num_live_);
+  if (live_ids_out) {
+    live_ids_out->clear();
+    live_ids_out->reserve(num_live_);
+  }
+  for (size_t id = 0; id < branches_.size(); ++id) {
+    if (!branches_[id]) continue;
+    dense.branches_.push_back(branches_[id]);
+    if (live_ids_out) live_ids_out->push_back(id);
+  }
+  return dense;
+}
+
 Status GbdaIndex::SaveToFile(const std::string& path) const {
+  if (num_live_ != branches_.size()) {
+    return Status::FailedPrecondition(
+        "index save: tombstoned indexes cannot be persisted");
+  }
+  // The format has no staleness field: a loaded index always reports
+  // gbd_staleness() == 0, so persisting a drifted Lambda2 would silently
+  // lose the drift marker. Refit (or Flush through the dynamic service)
+  // before saving.
+  if (gbd_staleness_ != 0) {
+    return Status::FailedPrecondition(
+        "index save: Lambda2 is stale (mutations since last fit); refit "
+        "before persisting");
+  }
   BinaryWriter writer;
   writer.PutU32(kIndexMagic);
   writer.PutU32(kIndexVersion);
   writer.PutI64(options_.tau_max);
   writer.PutU64(options_.gbd_prior.num_sample_pairs);
   writer.PutU64(options_.seed);
+  // v2: the remaining GbdPriorOptions, so a later RefitGbdPrior on the
+  // loaded index reproduces Build's arithmetic exactly.
+  writer.PutDouble(options_.gbd_prior.probability_floor);
+  writer.PutI64(options_.gbd_prior.gmm.num_components);
+  writer.PutI64(options_.gbd_prior.gmm.max_iterations);
+  writer.PutDouble(options_.gbd_prior.gmm.tolerance);
+  writer.PutDouble(options_.gbd_prior.gmm.stddev_floor);
+  writer.PutU64(options_.gbd_prior.gmm.seed);
   writer.PutI64(num_vertex_labels_);
   writer.PutI64(num_edge_labels_);
-  writer.PutDouble(avg_vertices_);
+  writer.PutDouble(avg_vertices());
   writer.PutU64(branches_.size());
-  for (const BranchMultiset& ms : branches_) {
+  for (const auto& ms_ptr : branches_) {
+    const BranchMultiset& ms = *ms_ptr;
     writer.PutU64(ms.size());
     for (const Branch& b : ms) {
       writer.PutU32(b.root);
       writer.PutPodVector(b.edge_labels);
     }
   }
-  gbd_prior_.Serialize(&writer);
+  gbd_prior_->Serialize(&writer);
   ged_prior_->Serialize(&writer);
 
   std::ofstream out(path, std::ios::binary);
@@ -134,31 +262,78 @@ Result<GbdaIndex> GbdaIndex::LoadFromFile(const std::string& path) {
   GbdaIndex index;
   Result<int64_t> tau_max = reader.GetI64();
   if (!tau_max.ok()) return tau_max.status();
+  if (*tau_max < 0 || *tau_max > kMaxPlausibleTau) {
+    return Status::InvalidArgument("index load: implausible tau_max");
+  }
   index.options_.tau_max = *tau_max;
   Result<uint64_t> pairs = reader.GetU64();
   if (!pairs.ok()) return pairs.status();
+  // Bounded like tau_max: the field feeds a later RefitGbdPrior, and an
+  // absurd pair budget would make the fit enumerate every corpus pair.
+  if (*pairs > (uint64_t{1} << 32)) {
+    return Status::InvalidArgument("index load: implausible sample pairs");
+  }
   index.options_.gbd_prior.num_sample_pairs = *pairs;
   Result<uint64_t> seed = reader.GetU64();
   if (!seed.ok()) return seed.status();
   index.options_.seed = *seed;
+  Result<double> prob_floor = reader.GetDouble();
+  if (!prob_floor.ok()) return prob_floor.status();
+  Result<int64_t> ncomp = reader.GetI64();
+  if (!ncomp.ok()) return ncomp.status();
+  Result<int64_t> iters = reader.GetI64();
+  if (!iters.ok()) return iters.status();
+  Result<double> tol = reader.GetDouble();
+  if (!tol.ok()) return tol.status();
+  Result<double> sd_floor = reader.GetDouble();
+  if (!sd_floor.ok()) return sd_floor.status();
+  Result<uint64_t> gmm_seed = reader.GetU64();
+  if (!gmm_seed.ok()) return gmm_seed.status();
+  if (!std::isfinite(*prob_floor) || *prob_floor < 0.0 || *ncomp < 1 ||
+      *ncomp > kMaxPlausibleComponents || *iters < 1 ||
+      *iters > kMaxPlausibleIterations || !std::isfinite(*tol) || *tol < 0.0 ||
+      !std::isfinite(*sd_floor) || *sd_floor <= 0.0) {
+    return Status::InvalidArgument("index load: implausible prior options");
+  }
+  index.options_.gbd_prior.probability_floor = *prob_floor;
+  index.options_.gbd_prior.gmm.num_components = static_cast<int>(*ncomp);
+  index.options_.gbd_prior.gmm.max_iterations = static_cast<int>(*iters);
+  index.options_.gbd_prior.gmm.tolerance = *tol;
+  index.options_.gbd_prior.gmm.stddev_floor = *sd_floor;
+  index.options_.gbd_prior.gmm.seed = *gmm_seed;
   Result<int64_t> lv = reader.GetI64();
   if (!lv.ok()) return lv.status();
-  index.num_vertex_labels_ = *lv;
   Result<int64_t> le = reader.GetI64();
   if (!le.ok()) return le.status();
+  if (*lv < 1 || *lv > kMaxPlausibleLabels || *le < 1 ||
+      *le > kMaxPlausibleLabels) {
+    return Status::InvalidArgument("index load: implausible label universe");
+  }
+  index.num_vertex_labels_ = *lv;
   index.num_edge_labels_ = *le;
   Result<double> avg_v = reader.GetDouble();
   if (!avg_v.ok()) return avg_v.status();
-  index.avg_vertices_ = *avg_v;
+  if (!std::isfinite(*avg_v) || *avg_v < 0.0) {
+    return Status::InvalidArgument("index load: implausible avg_vertices");
+  }
 
   Result<uint64_t> num_graphs = reader.GetU64();
   if (!num_graphs.ok()) return num_graphs.status();
-  index.branches_.resize(*num_graphs);
+  // Every graph record occupies at least its branch-count word, so a count
+  // exceeding remaining/8 cannot be honest. Checking BEFORE resize keeps a
+  // hostile 16-byte file from demanding gigabytes.
+  if (*num_graphs > reader.remaining() / kMinGraphRecordBytes) {
+    return Status::OutOfRange("index load: graph count exceeds file size");
+  }
+  index.branches_.reserve(static_cast<size_t>(*num_graphs));
   for (uint64_t i = 0; i < *num_graphs; ++i) {
     Result<uint64_t> count = reader.GetU64();
     if (!count.ok()) return count.status();
-    BranchMultiset& ms = index.branches_[i];
-    ms.resize(*count);
+    if (*count > reader.remaining() / kMinBranchRecordBytes) {
+      return Status::OutOfRange("index load: branch count exceeds file size");
+    }
+    BranchMultiset ms;
+    ms.resize(static_cast<size_t>(*count));
     for (uint64_t j = 0; j < *count; ++j) {
       Result<uint32_t> root = reader.GetU32();
       if (!root.ok()) return root.status();
@@ -167,15 +342,60 @@ Result<GbdaIndex> GbdaIndex::LoadFromFile(const std::string& path) {
       ms[j].root = *root;
       ms[j].edge_labels = std::move(*labels);
     }
+    index.vertex_sum_ += static_cast<double>(ms.size());
+    index.branches_.push_back(
+        std::make_shared<const BranchMultiset>(std::move(ms)));
   }
+  index.num_live_ = index.branches_.size();
 
   Result<GbdPrior> prior = GbdPrior::Deserialize(&reader);
   if (!prior.ok()) return prior.status();
-  index.gbd_prior_ = std::move(*prior);
+  index.gbd_prior_ = std::make_shared<const GbdPrior>(std::move(*prior));
   Result<GedPriorTable> ged = GedPriorTable::Deserialize(&reader);
   if (!ged.ok()) return ged.status();
-  index.ged_prior_ = std::make_unique<GedPriorTable>(std::move(*ged));
+  // The embedded prior carries its own header; a crafted file could pass
+  // both independent plausibility checks with inconsistent values and then
+  // serve silently wrong scores (e.g. zero GED mass above the embedded
+  // tau_max while the index admits larger tau_hat).
+  if (ged->tau_max() != index.options_.tau_max ||
+      ged->num_vertex_labels() != index.num_vertex_labels_ ||
+      ged->num_edge_labels() != index.num_edge_labels_) {
+    return Status::InvalidArgument(
+        "index load: GED prior header disagrees with the index header");
+  }
+  index.ged_prior_ = std::make_shared<GedPriorTable>(std::move(*ged));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("index load: trailing bytes after index");
+  }
   return index;
+}
+
+Status ValidateIndexForDatabase(const GraphDatabase& db,
+                                const GbdaIndex& index) {
+  if (index.num_graphs() != db.size()) {
+    return Status::FailedPrecondition(
+        "index/database mismatch: index covers " +
+        std::to_string(index.num_graphs()) + " graphs, database holds " +
+        std::to_string(db.size()) +
+        " (stale index artifact? rebuild or reload the matching generation)");
+  }
+  // The frozen consumers behind this check (GbdaSearch, GbdaService) scan
+  // every slot; a tombstoned pair — even a mutually consistent one — would
+  // evaluate retired slots as empty multisets and could return removed
+  // graphs as matches. Mutable corpora go through DynamicGbdaService.
+  if (db.has_tombstones() || index.num_live() != index.num_graphs()) {
+    return Status::FailedPrecondition(
+        "index/database pair is tombstoned: frozen-world consumers cannot "
+        "serve a mutated corpus — use DynamicGbdaService");
+  }
+  for (size_t id = 0; id < db.size(); ++id) {
+    if (index.branches(id).size() != db.graph(id).num_vertices()) {
+      return Status::FailedPrecondition(
+          "index/database mismatch: branch multiset of graph " +
+          std::to_string(id) + " does not match the stored graph");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace gbda

@@ -6,6 +6,17 @@
 /// GBD values Lambda2 (Section V-B), and the Jeffreys prior of GED values
 /// Lambda3 (Section V-C). It also records the offline time/space costs
 /// reported in Tables IV-V and supports binary save/load.
+///
+/// Beyond the paper's frozen-database stage, the index supports incremental
+/// maintenance for a corpus that changes under live traffic
+/// (docs/ARCHITECTURE.md, "Dynamic corpus"): AddGraph / RemoveGraphs update
+/// the per-graph branch multisets in O(1) per graph, the GED prior extends
+/// lazily to unseen sizes as it always has, and the GMM prior Lambda2
+/// tracks a staleness counter so a caller can re-fit it (RefitGbdPrior)
+/// once drift exceeds its policy threshold. Artifacts are held through
+/// shared_ptr, so CompactView can derive an immutable dense index over the
+/// live graphs in O(live) pointer copies — the snapshot primitive of
+/// DynamicGbdaService.
 
 #pragma once
 
@@ -53,23 +64,30 @@ struct OfflineCosts {
   size_t pairs_sampled = 0;
 };
 
+/// The branch multiset of a tombstoned slot (see GbdaIndex::RemoveGraphs).
+inline const BranchMultiset kEmptyBranchMultiset{};
+
 /// The offline artifact of GBDA: precomputed branch multisets for every
 /// database graph (Section III requires them stored with the graphs), the
 /// GMM prior of GBDs (Lambda2) and the Jeffreys prior of GEDs (Lambda3).
 /// Built once per database, then shared by any number of online searches.
+///
+/// Copying an index is cheap and shallow: the branch multisets and both
+/// priors are immutable (or internally synchronized) shared artifacts.
 class GbdaIndex {
  public:
-  /// Runs the offline stage over `db`. The database must stay alive and
-  /// unmodified while the index is in use.
+  /// Runs the offline stage over `db`. The database must not contain
+  /// tombstones (use the dynamic serving layer for mutable corpora) and must
+  /// stay alive while the index is in use.
   static Result<GbdaIndex> Build(const GraphDatabase& db,
                                  const GbdaIndexOptions& options);
 
   const BranchMultiset& branches(size_t graph_id) const {
-    return branches_[graph_id];
+    return branches_[graph_id] ? *branches_[graph_id] : kEmptyBranchMultiset;
   }
   size_t num_graphs() const { return branches_.size(); }
 
-  const GbdPrior& gbd_prior() const { return gbd_prior_; }
+  const GbdPrior& gbd_prior() const { return *gbd_prior_; }
   GedPriorTable& ged_prior() { return *ged_prior_; }
   const GedPriorTable& ged_prior() const { return *ged_prior_; }
 
@@ -77,13 +95,66 @@ class GbdaIndex {
   int64_t num_vertex_labels() const { return num_vertex_labels_; }
   int64_t num_edge_labels() const { return num_edge_labels_; }
 
-  /// Mean vertex count over database graphs (used by the GBDA-V1 variant).
-  double avg_vertices() const { return avg_vertices_; }
+  /// Mean vertex count over live database graphs (used by the GBDA-V1
+  /// variant).
+  double avg_vertices() const {
+    return num_live_ == 0 ? 0.0
+                          : vertex_sum_ / static_cast<double>(num_live_);
+  }
 
   const OfflineCosts& costs() const { return costs_; }
   const GbdaIndexOptions& options() const { return options_; }
 
-  /// Binary persistence of the full offline artifact.
+  // -- Incremental maintenance (docs/ARCHITECTURE.md, "Dynamic corpus") ----
+
+  /// Appends the branch multiset of `g` (its id becomes num_graphs() - 1).
+  /// O(|g| log |g|) — only the new graph is touched. Lambda2 is NOT refit;
+  /// the staleness counter advances instead.
+  size_t AddGraph(const Graph& g);
+
+  /// Tombstones the given slots: their multisets are dropped and they no
+  /// longer contribute to avg_vertices or Lambda2 refits. Fails without
+  /// modifying anything when an id is out of range or already removed.
+  Status RemoveGraphs(const std::vector<size_t>& ids);
+
+  /// True when `id` holds a live (non-tombstoned) branch multiset.
+  bool is_live(size_t id) const {
+    return id < branches_.size() && branches_[id] != nullptr;
+  }
+  size_t num_live() const { return num_live_; }
+
+  /// Mutations (adds + removes) since Lambda2 was last fit.
+  size_t gbd_staleness() const { return gbd_staleness_; }
+  /// Staleness relative to the live corpus size — the drift measure of the
+  /// refit policy (DynamicServiceOptions::gbd_refit_fraction).
+  double GbdStalenessFraction() const {
+    return num_live_ == 0 ? 0.0
+                          : static_cast<double>(gbd_staleness_) /
+                                static_cast<double>(num_live_);
+  }
+
+  /// Re-fits Lambda2 over the live branch multisets with this index's seed
+  /// and sampling options — the exact arithmetic Build would run over a
+  /// fresh database holding the live graphs in id order, so a refit index
+  /// is bit-identical to a from-scratch rebuild. Needs >= 2 live graphs.
+  Status RefitGbdPrior();
+
+  /// Updates the model label-universe sizes |L_V| / |L_E| (Eq. 33), e.g.
+  /// after new graphs introduced unseen labels. On change the GED prior
+  /// table is replaced (rows rebuild lazily under the new universe).
+  void RefreshModelLabels(int64_t num_vertex_labels, int64_t num_edge_labels);
+
+  /// Derives the dense immutable index over the live slots, sharing every
+  /// artifact (branch multisets, both priors) with this index — O(live)
+  /// shared_ptr copies. `live_ids_out`, when non-null, receives the
+  /// dense-position -> stable-id mapping. The view equals what Build would
+  /// produce over a database holding exactly the live graphs in id order,
+  /// assuming Lambda2 is fresh (gbd_staleness() == 0).
+  GbdaIndex CompactView(std::vector<size_t>* live_ids_out) const;
+
+  /// Binary persistence of the full offline artifact. Tombstoned or
+  /// Lambda2-stale indexes cannot be saved (the format carries neither
+  /// liveness nor staleness): refit first, or persist a fresh rebuild.
   Status SaveToFile(const std::string& path) const;
   static Result<GbdaIndex> LoadFromFile(const std::string& path);
 
@@ -93,11 +164,22 @@ class GbdaIndex {
   GbdaIndexOptions options_;
   int64_t num_vertex_labels_ = 1;
   int64_t num_edge_labels_ = 1;
-  double avg_vertices_ = 0.0;
-  std::vector<BranchMultiset> branches_;
-  GbdPrior gbd_prior_;
-  std::unique_ptr<GedPriorTable> ged_prior_;
+  /// Exact sum of vertex counts over live graphs (integer-valued doubles, so
+  /// incremental +/- stays bit-identical to a fresh summation).
+  double vertex_sum_ = 0.0;
+  size_t num_live_ = 0;
+  size_t gbd_staleness_ = 0;
+  /// nullptr marks a tombstoned slot.
+  std::vector<std::shared_ptr<const BranchMultiset>> branches_;
+  std::shared_ptr<const GbdPrior> gbd_prior_;
+  std::shared_ptr<GedPriorTable> ged_prior_;
   OfflineCosts costs_;
 };
+
+/// The construction-time agreement check of every (database, index) consumer
+/// (GbdaSearch, GbdaService, DynamicGbdaService): an index built over a
+/// different database generation — e.g. a stale SaveToFile artifact — would
+/// otherwise drive out-of-bounds branch and prefilter lookups during scans.
+Status ValidateIndexForDatabase(const GraphDatabase& db, const GbdaIndex& index);
 
 }  // namespace gbda

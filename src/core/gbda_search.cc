@@ -26,11 +26,24 @@ void SortTopK(std::vector<SearchMatch>* matches, size_t k) {
 
 Result<ScanContext> PrepareScan(const Graph& query,
                                 const SearchOptions& options, bool apply_gamma,
-                                const GraphDatabase& db,
+                                const CorpusRef& corpus,
                                 const GbdaIndex& index) {
   if (options.tau_hat < 0 || options.tau_hat > index.tau_max()) {
     return Status::InvalidArgument(
         "tau_hat outside the range supported by this index");
+  }
+  if (corpus.size() != index.num_graphs()) {
+    return Status::FailedPrecondition(
+        "index/database mismatch: index covers " +
+        std::to_string(index.num_graphs()) + " graphs, corpus holds " +
+        std::to_string(corpus.size()) + " (stale index artifact?)");
+  }
+  // A tombstoned index would have its retired slots scanned as empty
+  // multisets here (dynamic snapshots are dense CompactViews, so they pass).
+  if (index.num_live() != index.num_graphs()) {
+    return Status::FailedPrecondition(
+        "index is tombstoned: the frozen scan cannot serve a mutated "
+        "corpus — use DynamicGbdaService");
   }
   ScanContext ctx;
   ctx.options = options;
@@ -44,12 +57,12 @@ Result<ScanContext> PrepareScan(const Graph& query,
   if (options.variant == GbdaVariant::kAverageSize) {
     Rng rng(options.seed);
     const size_t alpha =
-        std::max<size_t>(1, std::min(options.v1_sample_alpha, db.size()));
+        std::max<size_t>(1, std::min(options.v1_sample_alpha, corpus.size()));
     const std::vector<size_t> picks =
-        rng.SampleWithoutReplacement(db.size(), alpha);
+        rng.SampleWithoutReplacement(corpus.size(), alpha);
     double sum = 0.0;
     for (size_t id : picks) {
-      sum += static_cast<double>(db.graph(id).num_vertices());
+      sum += static_cast<double>(corpus.graph(id).num_vertices());
     }
     ctx.v1_size = std::max<int64_t>(
         1, static_cast<int64_t>(std::llround(sum / static_cast<double>(alpha))));
@@ -104,6 +117,13 @@ Status ScanRange(const ScanContext& ctx, const GbdaIndex& index,
   return Status::OK();
 }
 
+Result<std::unique_ptr<GbdaSearch>> GbdaSearch::Create(const GraphDatabase* db,
+                                                       GbdaIndex* index) {
+  Status agree = ValidateIndexForDatabase(*db, *index);
+  if (!agree.ok()) return agree;
+  return std::make_unique<GbdaSearch>(db, index);
+}
+
 GbdaSearch::GbdaSearch(const GraphDatabase* db, GbdaIndex* index)
     : db_(db),
       index_(index),
@@ -115,8 +135,15 @@ Result<SearchResult> GbdaSearch::Scan(const Graph& query,
                                       const SearchOptions& options,
                                       bool apply_gamma) {
   WallTimer timer;
+  // Retired db slots would otherwise still be scanned (their index entries
+  // are intact); PrepareScan catches the tombstoned-index direction.
+  if (db_->has_tombstones()) {
+    return Status::FailedPrecondition(
+        "database is tombstoned: the frozen scan cannot serve a mutated "
+        "corpus — use DynamicGbdaService");
+  }
   Result<ScanContext> ctx =
-      PrepareScan(query, options, apply_gamma, *db_, *index_);
+      PrepareScan(query, options, apply_gamma, CorpusRef(db_), *index_);
   if (!ctx.ok()) return ctx.status();
   SearchResult result;
   Status scan = ScanRange(*ctx, *index_, &prefilter_, 0, db_->size(),

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -79,6 +80,27 @@ struct SearchResult {
   size_t prefiltered_out = 0;
 };
 
+/// A dense read-only view of the corpus a scan runs over: either a whole
+/// GraphDatabase (the frozen offline world) or a snapshot's vector of live
+/// graph pointers (the dynamic world, where dense position i maps to the
+/// i-th live graph; see src/service/dynamic_service.h). Only size() and
+/// graph() are ever needed by the scan, so both worlds share one code path
+/// and stay bit-identical. The viewed storage must outlive the CorpusRef.
+class CorpusRef {
+ public:
+  CorpusRef(const GraphDatabase* db) : db_(db) {}
+  CorpusRef(const std::vector<const Graph*>* graphs) : graphs_(graphs) {}
+
+  size_t size() const { return db_ ? db_->size() : graphs_->size(); }
+  const Graph& graph(size_t i) const {
+    return db_ ? db_->graph(i) : *(*graphs_)[i];
+  }
+
+ private:
+  const GraphDatabase* db_ = nullptr;
+  const std::vector<const Graph*>* graphs_ = nullptr;
+};
+
 /// Per-query state shared by every candidate evaluation of one query:
 /// the query's branch multiset, its filter profile (when the prefilter is
 /// on) and the GBDA-V1 database-average size estimate. Computed once by
@@ -93,10 +115,12 @@ struct ScanContext {
 
 /// Validates options against the index and computes the per-query state.
 /// Deterministic in options.seed (the V1 sample). Fails when
-/// options.tau_hat exceeds the index's tau_max.
+/// options.tau_hat exceeds the index's tau_max, and when the corpus and
+/// index disagree on the graph count (a stale index artifact would
+/// otherwise drive out-of-bounds branch lookups in ScanRange).
 Result<ScanContext> PrepareScan(const Graph& query,
                                 const SearchOptions& options, bool apply_gamma,
-                                const GraphDatabase& db,
+                                const CorpusRef& corpus,
                                 const GbdaIndex& index);
 
 /// Evaluates candidates with ids in [begin, end), appending accepted
@@ -116,8 +140,17 @@ Status ScanRange(const ScanContext& ctx, const GbdaIndex& index,
 /// threshold. O(nd + tau_hat^3) per graph as analysed in Theorem 3.
 class GbdaSearch {
  public:
+  /// Checked construction: fails when `index` does not agree with `db`
+  /// (graph counts and per-graph branch sizes), e.g. a stale LoadFromFile
+  /// artifact. Prefer this over the raw constructor whenever the index
+  /// provenance is not statically known.
+  static Result<std::unique_ptr<GbdaSearch>> Create(const GraphDatabase* db,
+                                                    GbdaIndex* index);
+
   /// `db` and `index` must outlive the search object. The index must have
-  /// been built over exactly this database.
+  /// been built over exactly this database (Create enforces this; the raw
+  /// constructor defers the check to query time, where PrepareScan rejects
+  /// a size mismatch before any out-of-bounds access can happen).
   GbdaSearch(const GraphDatabase* db, GbdaIndex* index);
 
   /// Runs one similarity query. Fails when options.tau_hat exceeds the

@@ -123,9 +123,16 @@ Result<GedPriorTable> GedPriorTable::Deserialize(BinaryReader* reader) {
   if (!le.ok()) return le.status();
   Result<int64_t> tau_max = reader->GetI64();
   if (!tau_max.ok()) return tau_max.status();
+  if (*lv < 1 || *le < 1 || *tau_max < 0 || *tau_max > kMaxPlausibleTau) {
+    return Status::InvalidArgument("GED prior: implausible header");
+  }
   GedPriorTable table(*lv, *le, *tau_max);
   Result<uint64_t> count = reader->GetU64();
   if (!count.ok()) return count.status();
+  // Each cached row occupies at least its size key plus the row length word.
+  if (*count > reader->remaining() / 16) {
+    return Status::OutOfRange("GED prior: row count exceeds file size");
+  }
   for (uint64_t i = 0; i < *count; ++i) {
     Result<int64_t> v = reader->GetI64();
     if (!v.ok()) return v.status();

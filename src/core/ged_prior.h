@@ -10,6 +10,16 @@
 
 namespace gbda {
 
+/// Largest tau_max any persisted artifact may claim. Shared by the index
+/// and GED-prior decoders — the index loader cross-checks the two headers
+/// for equality, so the bounds must never diverge. The bound reflects what
+/// a loaded table can afford to compute, not just integer plausibility:
+/// BuildRow allocates an O(tau^2) Lambda1 matrix and spends O(tau^3+) time,
+/// so an unbounded hostile tau_max would turn the first query into an OOM
+/// or an effective hang (at 1024 the matrix is ~17 MB; the paper uses
+/// tau <= 30).
+inline constexpr int64_t kMaxPlausibleTau = 1024;
+
 /// Jeffreys prior over GED values (Lambda3, Section V-C / Eq. 16).
 ///
 /// For each extended-graph size v the table stores
@@ -45,6 +55,8 @@ class GedPriorTable {
   void EagerBuild(const std::vector<int64_t>& sizes);
 
   int64_t tau_max() const { return tau_max_; }
+  int64_t num_vertex_labels() const { return num_vertex_labels_; }
+  int64_t num_edge_labels() const { return num_edge_labels_; }
   size_t num_cached_rows() const;
   size_t MemoryBytes() const;
 

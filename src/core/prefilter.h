@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/branch.h"
@@ -47,6 +48,13 @@ class Prefilter {
   /// Precomputes profiles for every database graph.
   explicit Prefilter(const GraphDatabase* db);
 
+  /// Adopts precomputed per-graph profiles (position = graph id). Profiles
+  /// are shared immutably, so the dynamic serving layer can assemble the
+  /// dense prefilter of a snapshot from its per-graph profile store in
+  /// O(live) pointer copies (docs/ARCHITECTURE.md, "Dynamic corpus").
+  explicit Prefilter(
+      std::vector<std::shared_ptr<const FilterProfile>> profiles);
+
   /// Ids of database graphs whose lower bound does not exceed tau.
   std::vector<size_t> Candidates(const Graph& query, int64_t tau) const;
 
@@ -58,7 +66,7 @@ class Prefilter {
   size_t MemoryBytes() const;
 
  private:
-  std::vector<FilterProfile> profiles_;
+  std::vector<std::shared_ptr<const FilterProfile>> profiles_;
 };
 
 }  // namespace gbda

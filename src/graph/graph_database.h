@@ -1,5 +1,7 @@
 #pragma once
 
+#include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -9,7 +11,17 @@
 
 namespace gbda {
 
+/// Shared validation for tombstone-removal batches (GraphDatabase and the
+/// incremental GbdaIndex apply the same contract): every id must be in
+/// [0, size), currently live per `is_live`, and unique within the batch.
+/// Returns the first violation; callers mutate only after an OK, so a
+/// failed removal is always a no-op.
+Status ValidateRemovalBatch(const std::vector<size_t>& ids, size_t size,
+                            const std::function<bool(size_t)>& is_live,
+                            const std::string& context);
+
 /// Summary statistics of a database, matching the columns of Table III.
+/// Tombstoned (removed) graphs are excluded.
 struct DatabaseStats {
   size_t num_graphs = 0;
   size_t max_vertices = 0;   // V_m
@@ -23,38 +35,68 @@ struct DatabaseStats {
 
 /// A graph collection with shared vertex/edge label dictionaries — the
 /// database D of the similarity-search problem statement. Graphs are
-/// append-only and addressed by dense ids.
+/// addressed by dense stable ids: Add appends, RemoveGraphs tombstones in
+/// place, and an id never changes meaning over the database's lifetime.
+///
+/// Storage is a deque so `graph(id)` references stay valid across Add —
+/// the dynamic serving layer (src/service/dynamic_service.h) publishes
+/// snapshots holding Graph pointers while the writer keeps appending.
+/// Tombstoned slots keep their payload until the database is destroyed
+/// (in-flight snapshots may still scan them); a compaction pass is future
+/// work, see docs/ARCHITECTURE.md "Dynamic corpus".
 class GraphDatabase {
  public:
   GraphDatabase() = default;
 
-  /// Appends a graph and returns its id. The caller must have produced label
-  /// ids from this database's dictionaries.
+  /// Appends a graph and returns its stable id. The caller must have
+  /// produced label ids from this database's dictionaries.
   size_t Add(Graph graph);
 
+  /// Tombstones the given ids. Fails without modifying anything when any id
+  /// is out of range, already removed, or duplicated in the call.
+  Status RemoveGraphs(const std::vector<size_t>& ids);
+
+  /// Total id slots, including tombstoned ones (ids are dense in [0, size)).
   size_t size() const { return graphs_.size(); }
   bool empty() const { return graphs_.empty(); }
 
+  /// True when `id` has not been removed. Out-of-range ids are not alive.
+  bool is_live(size_t id) const {
+    return id < graphs_.size() && (alive_.empty() || alive_[id]);
+  }
+  /// Number of live (non-tombstoned) graphs.
+  size_t num_live() const { return alive_.empty() ? graphs_.size() : num_live_; }
+  bool has_tombstones() const { return num_live() != graphs_.size(); }
+  /// Live ids in ascending order — the dense enumeration a compacted
+  /// rebuild of this database would use.
+  std::vector<size_t> LiveIds() const;
+
   const Graph& graph(size_t id) const { return graphs_[id]; }
-  const std::vector<Graph>& graphs() const { return graphs_; }
 
   LabelDict& vertex_labels() { return vertex_labels_; }
   LabelDict& edge_labels() { return edge_labels_; }
   const LabelDict& vertex_labels() const { return vertex_labels_; }
   const LabelDict& edge_labels() const { return edge_labels_; }
 
-  /// Maximum vertex count across graphs — the n of the complexity analyses.
+  /// Maximum vertex count across live graphs — the n of the complexity
+  /// analyses.
   size_t MaxVertices() const;
 
-  /// Table III style statistics. The scale-free flag aggregates per-graph
-  /// degree histograms and runs the power-law test of stats.h.
+  /// Table III style statistics over live graphs. The scale-free flag
+  /// aggregates per-graph degree histograms and runs the power-law test of
+  /// stats.h.
   DatabaseStats Stats() const;
 
-  /// Estimated heap footprint of all stored graphs.
+  /// Estimated heap footprint of all stored graphs (tombstoned payloads
+  /// included — they are retained, see the class comment).
   size_t MemoryBytes() const;
 
  private:
-  std::vector<Graph> graphs_;
+  std::deque<Graph> graphs_;
+  /// Liveness per id; empty means "everything alive" (the frozen-database
+  /// fast path — no removal ever happened).
+  std::vector<uint8_t> alive_;
+  size_t num_live_ = 0;
   LabelDict vertex_labels_;
   LabelDict edge_labels_;
 };

@@ -1,0 +1,322 @@
+#include "service/dynamic_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/timer.h"
+#include "service/parallel_scan.h"
+
+namespace gbda {
+
+Result<std::unique_ptr<DynamicGbdaService>> DynamicGbdaService::Create(
+    GraphDatabase db, const GbdaIndexOptions& index_options,
+    const DynamicServiceOptions& options) {
+  if (db.has_tombstones()) {
+    return Status::InvalidArgument(
+        "dynamic service: the initial database must be tombstone-free");
+  }
+  Result<GbdaIndex> master = GbdaIndex::Build(db, index_options);
+  if (!master.ok()) return master.status();
+  // Build copies everything it needs out of `db`, so moving it afterwards
+  // is safe; from here on the service owns the only mutable handle.
+  return std::unique_ptr<DynamicGbdaService>(new DynamicGbdaService(
+      std::move(db), std::move(*master), index_options, options));
+}
+
+DynamicGbdaService::DynamicGbdaService(GraphDatabase db, GbdaIndex master,
+                                       const GbdaIndexOptions& index_options,
+                                       const DynamicServiceOptions& options)
+    : index_options_(index_options),
+      options_(options),
+      db_(std::move(db)),
+      master_(std::move(master)),
+      pool_(options.service.num_threads) {
+  profiles_.reserve(db_.size());
+  for (size_t id = 0; id < db_.size(); ++id) {
+    profiles_.push_back(
+        std::make_shared<const FilterProfile>(BuildFilterProfile(db_.graph(id))));
+  }
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  Republish();
+}
+
+Status DynamicGbdaService::ValidateLabels(const Graph& g) const {
+  const size_t num_vertex_ids = db_.vertex_labels().size();
+  const size_t num_edge_ids = db_.edge_labels().size();
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    if (g.VertexLabel(v) >= num_vertex_ids) {
+      return Status::InvalidArgument(
+          "AddGraph: unknown vertex label id " +
+          std::to_string(g.VertexLabel(v)) +
+          " (intern labels through the service first)");
+    }
+    for (const AdjEdge& e : g.Neighbors(v)) {
+      if (e.label >= num_edge_ids) {
+        return Status::InvalidArgument(
+            "AddGraph: unknown edge label id " + std::to_string(e.label) +
+            " (intern labels through the service first)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void DynamicGbdaService::Republish(bool force_refit) {
+  WallTimer rebuild_timer;
+
+  // The model label universe may have grown (interned labels, new graphs);
+  // explicit option overrides stay pinned, as in Build.
+  const int64_t lv =
+      index_options_.model_vertex_labels > 0
+          ? index_options_.model_vertex_labels
+          : static_cast<int64_t>(db_.vertex_labels().num_real_labels());
+  const int64_t le =
+      index_options_.model_edge_labels > 0
+          ? index_options_.model_edge_labels
+          : static_cast<int64_t>(db_.edge_labels().num_real_labels());
+  master_.RefreshModelLabels(lv, le);
+
+  // Lambda2 staleness policy (see DynamicServiceOptions). A refit that
+  // cannot run (fit failure, or fewer than the two live graphs a fit
+  // needs) keeps the previous prior: availability over freshness,
+  // surfaced through dynamic_stats().gbd_refit_failures and the
+  // still-nonzero SnapshotInfo::gbd_staleness.
+  bool refit_failed = false;
+  bool refit_done = false;
+  if (master_.gbd_staleness() > 0 &&
+      (force_refit || options_.gbd_refit_fraction <= 0.0 ||
+       master_.GbdStalenessFraction() > options_.gbd_refit_fraction)) {
+    if (master_.num_live() >= 2) {
+      Status refit = master_.RefitGbdPrior();
+      refit_done = refit.ok();
+      refit_failed = !refit.ok();
+    } else {
+      refit_failed = true;
+    }
+  }
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->generation = ++generation_;
+  snap->index =
+      std::make_shared<GbdaIndex>(master_.CompactView(&snap->stable_ids));
+  snap->graphs.reserve(snap->stable_ids.size());
+  std::vector<std::shared_ptr<const FilterProfile>> dense_profiles;
+  dense_profiles.reserve(snap->stable_ids.size());
+  for (size_t id : snap->stable_ids) {
+    snap->graphs.push_back(&db_.graph(id));
+    dense_profiles.push_back(profiles_[id]);
+  }
+  snap->prefilter = std::make_shared<const Prefilter>(std::move(dense_profiles));
+  const size_t shard_count = options_.service.num_shards == 0
+                                 ? pool_.size()
+                                 : options_.service.num_shards;
+  snap->shards = std::make_unique<IndexShards>(snap->index.get(),
+                                               snap->prefilter.get(),
+                                               shard_count);
+
+  // Engine replicas memoise posterior values that depend only on the two
+  // priors, so when neither prior object changed the previous generation's
+  // warm replicas carry over; otherwise fresh ones are built against the
+  // new prior objects (kept alive by the snapshot's index).
+  std::shared_ptr<const Snapshot> prev = LoadSnapshot();
+  if (prev && &prev->index->gbd_prior() == &snap->index->gbd_prior() &&
+      &prev->index->ged_prior() == &snap->index->ged_prior()) {
+    snap->engines = prev->engines;
+  } else {
+    auto engines =
+        std::make_shared<std::vector<std::unique_ptr<PosteriorEngine>>>();
+    engines->reserve(pool_.size() + 1);
+    for (size_t i = 0; i < pool_.size() + 1; ++i) {
+      engines->push_back(std::make_unique<PosteriorEngine>(
+          snap->index->num_vertex_labels(), snap->index->num_edge_labels(),
+          snap->index->tau_max(), &snap->index->ged_prior(),
+          &snap->index->gbd_prior()));
+    }
+    snap->engines = std::move(engines);
+  }
+
+  const double rebuild_seconds = rebuild_timer.Seconds();
+  WallTimer swap_timer;
+  std::atomic_store(&snapshot_,
+                    std::shared_ptr<const Snapshot>(std::move(snap)));
+  const double swap_seconds = swap_timer.Seconds();
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++dynamic_stats_.snapshots_published;
+  if (refit_done) ++dynamic_stats_.gbd_refits;
+  if (refit_failed) ++dynamic_stats_.gbd_refit_failures;
+  dynamic_stats_.last_rebuild_seconds = rebuild_seconds;
+  dynamic_stats_.total_rebuild_seconds += rebuild_seconds;
+  dynamic_stats_.max_rebuild_seconds =
+      std::max(dynamic_stats_.max_rebuild_seconds, rebuild_seconds);
+  dynamic_stats_.last_swap_seconds = swap_seconds;
+  dynamic_stats_.total_swap_seconds += swap_seconds;
+  dynamic_stats_.max_swap_seconds =
+      std::max(dynamic_stats_.max_swap_seconds, swap_seconds);
+}
+
+std::shared_ptr<const DynamicGbdaService::Snapshot>
+DynamicGbdaService::LoadSnapshot() const {
+  return std::atomic_load(&snapshot_);
+}
+
+Result<size_t> DynamicGbdaService::AddGraph(Graph g) {
+  Result<std::vector<size_t>> ids = AddGraphs({std::move(g)});
+  if (!ids.ok()) return ids.status();
+  return (*ids)[0];
+}
+
+Result<std::vector<size_t>> DynamicGbdaService::AddGraphs(
+    std::vector<Graph> graphs) {
+  if (graphs.empty()) return std::vector<size_t>{};
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  for (const Graph& g : graphs) {
+    Status labels = ValidateLabels(g);
+    if (!labels.ok()) return labels;
+  }
+  std::vector<size_t> ids;
+  ids.reserve(graphs.size());
+  for (Graph& g : graphs) {
+    const size_t id = db_.Add(std::move(g));
+    const Graph& stored = db_.graph(id);
+    master_.AddGraph(stored);
+    profiles_.push_back(
+        std::make_shared<const FilterProfile>(BuildFilterProfile(stored)));
+    ids.push_back(id);
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    dynamic_stats_.graphs_added += ids.size();
+  }
+  Republish();
+  return ids;
+}
+
+Status DynamicGbdaService::RemoveGraphs(const std::vector<size_t>& ids) {
+  if (ids.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  Status removed = db_.RemoveGraphs(ids);
+  if (!removed.ok()) return removed;  // validated up front: no-op on failure
+  Status index_removed = master_.RemoveGraphs(ids);
+  if (!index_removed.ok()) return index_removed;  // unreachable: db agreed
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    dynamic_stats_.graphs_removed += ids.size();
+  }
+  Republish();
+  return Status::OK();
+}
+
+LabelId DynamicGbdaService::InternVertexLabel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return db_.vertex_labels().Intern(name);
+}
+
+LabelId DynamicGbdaService::InternEdgeLabel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return db_.edge_labels().Intern(name);
+}
+
+Status DynamicGbdaService::Flush() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  Republish(/*force_refit=*/true);
+  // The snapshot is published either way (availability), but a caller
+  // flushing to guarantee a fresh Lambda2 must hear when the refit could
+  // not run (degenerate corpus or fit failure).
+  if (master_.gbd_staleness() > 0) {
+    return Status::FailedPrecondition(
+        "Flush: Lambda2 refit could not run (need >= 2 live graphs and a "
+        "fit-able corpus); snapshot published with the stale prior");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<SearchResult>> DynamicGbdaService::RunBatchOn(
+    const std::shared_ptr<const Snapshot>& snap, Span<Graph> queries,
+    const SearchOptions& options, bool apply_gamma, size_t top_k) {
+  WallTimer timer;
+  ParallelScanEnv env{&pool_, snap->shards.get(), snap->index.get(),
+                      CorpusRef(&snap->graphs), snap->engines.get()};
+  Result<std::vector<SearchResult>> results =
+      ParallelScanBatch(env, queries, options, apply_gamma, top_k);
+  if (!results.ok()) return results;
+
+  for (SearchResult& r : *results) {
+    // Dense positions -> stable ids. The map is ascending, so the serial id
+    // order and every top-k tie-break survive the translation.
+    for (SearchMatch& m : r.matches) {
+      m.graph_id = snap->stable_ids[m.graph_id];
+    }
+  }
+  const double wall = timer.Seconds();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    AccumulateServiceStats(*results, wall, &stats_);
+  }
+  return results;
+}
+
+Result<SearchResult> DynamicGbdaService::Query(const Graph& query,
+                                               const SearchOptions& options) {
+  std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  Result<std::vector<SearchResult>> batch =
+      RunBatchOn(snap, Span<Graph>(&query, 1), options, /*apply_gamma=*/true,
+                 kScanAllMatches);
+  if (!batch.ok()) return batch.status();
+  return std::move((*batch)[0]);
+}
+
+Result<SearchResult> DynamicGbdaService::QueryTopK(const Graph& query,
+                                                   size_t k,
+                                                   const SearchOptions& options) {
+  std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  // Clamp exactly as GbdaService does, against THIS snapshot's corpus, so an
+  // oversized k cannot collide with the kScanAllMatches sentinel.
+  k = std::min(k, snap->index->num_graphs());
+  Result<std::vector<SearchResult>> batch = RunBatchOn(
+      snap, Span<Graph>(&query, 1), options, /*apply_gamma=*/false, k);
+  if (!batch.ok()) return batch.status();
+  return std::move((*batch)[0]);
+}
+
+Result<std::vector<SearchResult>> DynamicGbdaService::QueryBatch(
+    Span<Graph> queries, const SearchOptions& options) {
+  std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  Result<std::vector<SearchResult>> batch = RunBatchOn(
+      snap, queries, options, /*apply_gamma=*/true, kScanAllMatches);
+  if (batch.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches_served;
+  }
+  return batch;
+}
+
+SnapshotInfo DynamicGbdaService::snapshot_info() const {
+  std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  SnapshotInfo info;
+  if (snap) {
+    info.generation = snap->generation;
+    info.num_live = snap->index->num_graphs();
+    info.gbd_staleness = snap->index->gbd_staleness();
+  }
+  return info;
+}
+
+ServiceStats DynamicGbdaService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+DynamicServiceStats DynamicGbdaService::dynamic_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return dynamic_stats_;
+}
+
+void DynamicGbdaService::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_ = ServiceStats();
+  dynamic_stats_ = DynamicServiceStats();
+}
+
+}  // namespace gbda

@@ -1,0 +1,198 @@
+/// \file dynamic_service.h
+/// The dynamic-corpus serving layer (docs/ARCHITECTURE.md, "Dynamic
+/// corpus"). The paper's offline stage (Algorithm 1, Step 1*) freezes the
+/// database; DynamicGbdaService lifts that restriction for production
+/// traffic: graphs are added and retired while queries are in flight.
+///
+/// Concurrency model — immutable snapshots, atomically swapped:
+///   - A Snapshot bundles everything one query generation needs: the dense
+///     list of live graphs, a dense GbdaIndex view, the Prefilter, the
+///     IndexShards partitioning and the per-worker PosteriorEngine
+///     replicas. Once published it is never modified.
+///   - Writers (AddGraph / AddGraphs / RemoveGraphs) are serialized by a
+///     mutex; each commit updates the master index incrementally (O(1)
+///     branch-multiset work per touched graph), derives the next snapshot
+///     in O(live) pointer copies (artifacts are shared, nothing heavy is
+///     rebuilt) and swaps the published shared_ptr atomically.
+///   - Readers load the current shared_ptr and answer the whole query
+///     against that one generation — they never block on writers, and a
+///     generation stays alive until its last in-flight query drops it.
+///
+/// Freshness of the GMM prior Lambda2 (Section V-B) is a policy knob:
+/// every commit advances a staleness counter, and once drift exceeds
+/// gbd_refit_fraction the prior is re-fit from pairs sampled over the live
+/// corpus. With the default fraction of 0 every published snapshot is
+/// bit-identical — match set, ordering and counters — to a fresh
+/// GbdaIndex::Build + GbdaService over a database holding exactly the live
+/// graphs (the equivalence asserted by tests/dynamic_service_test.cc).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/span.h"
+#include "common/thread_pool.h"
+#include "core/gbda_index.h"
+#include "core/gbda_search.h"
+#include "core/prefilter.h"
+#include "service/gbda_service.h"
+#include "service/index_shards.h"
+
+namespace gbda {
+
+/// Knobs of the dynamic serving layer.
+struct DynamicServiceOptions {
+  /// Pool/shard configuration, as in GbdaService.
+  ServiceOptions service;
+  /// Lambda2 staleness policy: the prior is re-fit at a commit when
+  /// (mutations since last fit) / (live graphs) exceeds this fraction.
+  /// <= 0 re-fits on every commit, which keeps every snapshot bit-identical
+  /// to a from-scratch Build over the live corpus; larger values trade that
+  /// strictness for cheaper commits (the prior drifts within the bound).
+  double gbd_refit_fraction = 0.0;
+};
+
+/// Mutation-side counters since construction.
+struct DynamicServiceStats {
+  uint64_t snapshots_published = 0;
+  uint64_t graphs_added = 0;
+  uint64_t graphs_removed = 0;
+  uint64_t gbd_refits = 0;
+  /// Commits where the refit policy fired but fitting failed (e.g. the live
+  /// corpus degenerated); the previous prior is kept and serving continues.
+  uint64_t gbd_refit_failures = 0;
+  double total_rebuild_seconds = 0.0;  // snapshot derivation, incl. refits
+  double max_rebuild_seconds = 0.0;
+  double last_rebuild_seconds = 0.0;
+  double total_swap_seconds = 0.0;  // the atomic publish itself
+  double max_swap_seconds = 0.0;
+  double last_swap_seconds = 0.0;
+};
+
+/// One published generation. Identity of the corpus at a point in time.
+struct SnapshotInfo {
+  uint64_t generation = 0;
+  size_t num_live = 0;
+  /// Mutations absorbed since Lambda2 was last fit (0 means the snapshot is
+  /// bit-identical to a from-scratch Build of its corpus).
+  size_t gbd_staleness = 0;
+};
+
+/// Concurrent query engine over a mutable graph corpus. Thread-safe:
+/// queries may run from any number of threads concurrently with each other
+/// and with mutations; mutations are serialized internally. Query results
+/// report stable graph ids — the id returned by AddGraph stays valid for
+/// the graph's lifetime regardless of later mutations.
+class DynamicGbdaService {
+ public:
+  /// Takes ownership of the initial database (no tombstones; at least the
+  /// two graphs GbdaIndex::Build needs) and publishes generation 1.
+  static Result<std::unique_ptr<DynamicGbdaService>> Create(
+      GraphDatabase db, const GbdaIndexOptions& index_options,
+      const DynamicServiceOptions& options = DynamicServiceOptions());
+
+  // -- Mutations (serialized; each returns after the snapshot swap) --------
+
+  /// Adds a graph (label ids must come from this corpus's dictionaries, see
+  /// InternVertexLabel/InternEdgeLabel) and returns its stable id.
+  Result<size_t> AddGraph(Graph g);
+  /// Adds a batch under one commit — one snapshot swap for the whole batch.
+  Result<std::vector<size_t>> AddGraphs(std::vector<Graph> graphs);
+  /// Retires graphs by stable id. Fails as a no-op when any id is unknown,
+  /// already removed, or duplicated.
+  Status RemoveGraphs(const std::vector<size_t>& ids);
+  /// Interns a label for use by later AddGraph calls. The enlarged label
+  /// universe |L_V| / |L_E| (Eq. 33) takes effect at the next commit (or
+  /// Flush) unless the index options pin explicit model label counts.
+  LabelId InternVertexLabel(const std::string& name);
+  LabelId InternEdgeLabel(const std::string& name);
+  /// Publishes a snapshot without mutating the corpus: absorbs interned
+  /// labels and forces any policy-deferred Lambda2 refit (the staleness
+  /// threshold is bypassed). Fails — with the snapshot still published —
+  /// when the refit could not run (fewer than two live graphs, or the fit
+  /// itself failed), so success guarantees a drift-free prior.
+  Status Flush();
+
+  // -- Queries (against one consistent snapshot; ids are stable ids) ------
+
+  Result<SearchResult> Query(const Graph& query, const SearchOptions& options);
+  Result<SearchResult> QueryTopK(const Graph& query, size_t k,
+                                 const SearchOptions& options);
+  Result<std::vector<SearchResult>> QueryBatch(Span<Graph> queries,
+                                               const SearchOptions& options);
+
+  // -- Introspection -------------------------------------------------------
+
+  size_t num_threads() const { return pool_.size(); }
+  /// The published generation's identity (atomic read, no locking).
+  SnapshotInfo snapshot_info() const;
+  /// Live graph count of the published generation.
+  size_t num_live() const { return snapshot_info().num_live; }
+
+  /// Query-side counters, as in GbdaService.
+  ServiceStats stats() const;
+  /// Mutation-side counters.
+  DynamicServiceStats dynamic_stats() const;
+  void ResetStats();
+
+  /// The underlying database (stable-id space, including tombstoned slots).
+  /// Reading it concurrently with mutations requires external
+  /// synchronization; prefer the query API on the serving path.
+  const GraphDatabase& db() const { return db_; }
+
+ private:
+  struct Snapshot {
+    uint64_t generation = 0;
+    std::vector<size_t> stable_ids;       // dense position -> stable id
+    std::vector<const Graph*> graphs;     // dense; deque-stable pointers
+    std::shared_ptr<GbdaIndex> index;     // dense CompactView
+    std::shared_ptr<const Prefilter> prefilter;
+    std::unique_ptr<IndexShards> shards;
+    /// One engine per pool worker + spare; shared with the previous
+    /// generation when both priors are unchanged (replicas stay warm).
+    std::shared_ptr<std::vector<std::unique_ptr<PosteriorEngine>>> engines;
+  };
+
+  DynamicGbdaService(GraphDatabase db, GbdaIndex master,
+                     const GbdaIndexOptions& index_options,
+                     const DynamicServiceOptions& options);
+
+  /// Validates that `g`'s label ids exist in the corpus dictionaries.
+  Status ValidateLabels(const Graph& g) const;
+  /// Derives and publishes the next snapshot. `force_refit` bypasses the
+  /// Lambda2 staleness threshold (any accumulated drift is fit away).
+  /// Caller holds write_mutex_.
+  void Republish(bool force_refit = false);
+  /// Shared query path over one pinned snapshot; remaps dense match ids to
+  /// stable ids.
+  Result<std::vector<SearchResult>> RunBatchOn(
+      const std::shared_ptr<const Snapshot>& snap, Span<Graph> queries,
+      const SearchOptions& options, bool apply_gamma, size_t top_k);
+  std::shared_ptr<const Snapshot> LoadSnapshot() const;
+
+  const GbdaIndexOptions index_options_;
+  const DynamicServiceOptions options_;
+
+  std::mutex write_mutex_;  // serializes mutations + publication
+  GraphDatabase db_;        // stable-id space; deque storage keeps refs valid
+  GbdaIndex master_;        // stable-id space, incrementally maintained
+  /// Per-stable-id filter profiles (built once per graph, shared by every
+  /// snapshot that includes the graph).
+  std::vector<std::shared_ptr<const FilterProfile>> profiles_;
+  uint64_t generation_ = 0;
+
+  ThreadPool pool_;
+  std::shared_ptr<const Snapshot> snapshot_;  // std::atomic_load/store
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+  DynamicServiceStats dynamic_stats_;
+};
+
+}  // namespace gbda

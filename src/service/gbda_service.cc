@@ -1,20 +1,39 @@
 #include "service/gbda_service.h"
 
 #include <algorithm>
-#include <atomic>
-#include <future>
 #include <utility>
 
 #include "common/timer.h"
+#include "service/parallel_scan.h"
 
 namespace gbda {
+
+void AccumulateServiceStats(const std::vector<SearchResult>& results,
+                            double wall_seconds, ServiceStats* stats) {
+  stats->queries_served += results.size();
+  for (const SearchResult& r : results) {
+    stats->candidates_evaluated += r.candidates_evaluated;
+    stats->prefiltered_out += r.prefiltered_out;
+    stats->matches_returned += r.matches.size();
+    stats->total_latency_seconds += r.seconds;
+  }
+  stats->total_wall_seconds += wall_seconds;
+}
+
+Result<std::unique_ptr<GbdaService>> GbdaService::Create(
+    const GraphDatabase* db, GbdaIndex* index, const ServiceOptions& options) {
+  Status agree = ValidateIndexForDatabase(*db, *index);
+  if (!agree.ok()) return agree;
+  return std::make_unique<GbdaService>(db, index, options);
+}
 
 GbdaService::GbdaService(const GraphDatabase* db, GbdaIndex* index,
                          const ServiceOptions& options)
     : db_(db),
       index_(index),
       pool_(options.num_threads),
-      shards_(db, index,
+      prefilter_(db),
+      shards_(index, &prefilter_,
               options.num_shards == 0 ? pool_.size() : options.num_shards) {
   // One engine per worker plus a spare for non-pool threads; replicas share
   // the index's thread-safe priors (see the file comment).
@@ -26,147 +45,34 @@ GbdaService::GbdaService(const GraphDatabase* db, GbdaIndex* index,
   }
 }
 
-PosteriorEngine* GbdaService::EngineForCurrentThread() {
-  const size_t worker = ThreadPool::CurrentWorkerIndex();
-  return worker == ThreadPool::kNotAWorker ? engines_.back().get()
-                                           : engines_[worker].get();
-}
-
 Result<std::vector<SearchResult>> GbdaService::RunBatch(
     Span<Graph> queries, const SearchOptions& options, bool apply_gamma,
     size_t top_k) {
   WallTimer timer;
-  const size_t num_queries = queries.size();
-  const size_t num_shards = shards_.num_shards();
-
-  struct QueryJob {
-    ScanContext ctx;
-    std::vector<SearchResult> partials;
-    std::vector<Status> statuses;
-    // Brace-initialized: C++17 atomics are only well-defined after
-    // constructor initialization (P0883 fixed the default in C++20).
-    std::atomic<size_t> shards_left{0};
-    double latency_seconds = 0.0;
-  };
-  std::vector<std::unique_ptr<QueryJob>> jobs;
-  jobs.reserve(num_queries);
-  for (size_t qi = 0; qi < num_queries; ++qi) {
-    Result<ScanContext> ctx =
-        PrepareScan(queries[qi], options, apply_gamma, *db_, *index_);
-    if (!ctx.ok()) return ctx.status();
-    auto job = std::make_unique<QueryJob>();
-    job->ctx = std::move(*ctx);
-    job->partials.resize(num_shards);
-    job->statuses.resize(num_shards);
-    job->shards_left.store(num_shards, std::memory_order_relaxed);
-    jobs.push_back(std::move(job));
+  // Retired db slots would otherwise still be scanned (their index entries
+  // are intact); PrepareScan catches the tombstoned-index direction.
+  if (db_->has_tombstones()) {
+    return Status::FailedPrecondition(
+        "database is tombstoned: the frozen scan cannot serve a mutated "
+        "corpus — use DynamicGbdaService");
   }
-
-  // Fan out every (query, shard) pair; each task writes only its own slot,
-  // so no synchronisation is needed beyond the completion countdown.
-  std::vector<std::future<void>> futures;
-  futures.reserve(num_queries * num_shards);
-  try {
-    for (size_t qi = 0; qi < num_queries; ++qi) {
-      QueryJob* job = jobs[qi].get();
-      for (size_t s = 0; s < num_shards; ++s) {
-        futures.push_back(pool_.Submit([this, job, s, top_k, &timer]() {
-          const ShardView& view = shards_.shard(s);
-          SearchResult partial;
-          Status status =
-              ScanRange(job->ctx, view.index(), &view.prefilter(),
-                        view.begin(), view.end(), EngineForCurrentThread(),
-                        &partial);
-          // Local truncation keeps the merge O(S * k): any global top-k
-          // match is also in its own shard's top-k.
-          if (status.ok() && top_k != kNoTopK) {
-            SortTopK(&partial.matches, top_k);
-          }
-          job->statuses[s] = std::move(status);
-          job->partials[s] = std::move(partial);
-          if (job->shards_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            job->latency_seconds = timer.Seconds();
-          }
-        }));
-      }
-    }
-  } catch (...) {
-    // Submit itself failed (e.g. allocation): the tasks already enqueued
-    // still hold pointers into `jobs` and `timer`, so wait them out before
-    // letting the stack unwind.
-    for (std::future<void>& f : futures) {
-      try {
-        f.get();
-      } catch (...) {
-      }
-    }
-    throw;
-  }
-  // Drain every future before any rethrow: tasks hold pointers into `jobs`
-  // and `timer`, so unwinding while siblings are still running would be a
-  // use-after-free.
-  std::exception_ptr first_error;
-  for (std::future<void>& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
-
-  // Deterministic merge: shards are contiguous ascending id ranges, so
-  // concatenation in shard order equals the serial scan order; top-k re-ranks
-  // under the same total order as the serial QueryTopK.
-  std::vector<SearchResult> results;
-  results.reserve(num_queries);
-  size_t total_matches = 0;
-  size_t total_candidates = 0;
-  size_t total_prefiltered = 0;
-  double total_latency = 0.0;
-  for (size_t qi = 0; qi < num_queries; ++qi) {
-    QueryJob* job = jobs[qi].get();
-    for (const Status& status : job->statuses) {
-      if (!status.ok()) return status;
-    }
-    SearchResult merged;
-    size_t match_count = 0;
-    for (const SearchResult& partial : job->partials) {
-      match_count += partial.matches.size();
-    }
-    merged.matches.reserve(match_count);
-    for (SearchResult& partial : job->partials) {
-      merged.matches.insert(merged.matches.end(), partial.matches.begin(),
-                            partial.matches.end());
-      merged.candidates_evaluated += partial.candidates_evaluated;
-      merged.prefiltered_out += partial.prefiltered_out;
-    }
-    if (top_k != kNoTopK) SortTopK(&merged.matches, top_k);
-    merged.seconds = job->latency_seconds;
-    total_matches += merged.matches.size();
-    total_candidates += merged.candidates_evaluated;
-    total_prefiltered += merged.prefiltered_out;
-    total_latency += merged.seconds;
-    results.push_back(std::move(merged));
-  }
+  ParallelScanEnv env{&pool_, &shards_, index_, CorpusRef(db_), &engines_};
+  Result<std::vector<SearchResult>> results =
+      ParallelScanBatch(env, queries, options, apply_gamma, top_k);
+  if (!results.ok()) return results;
 
   const double wall = timer.Seconds();
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.queries_served += num_queries;
-    stats_.candidates_evaluated += total_candidates;
-    stats_.prefiltered_out += total_prefiltered;
-    stats_.matches_returned += total_matches;
-    stats_.total_latency_seconds += total_latency;
-    stats_.total_wall_seconds += wall;
+    AccumulateServiceStats(*results, wall, &stats_);
   }
   return results;
 }
 
 Result<SearchResult> GbdaService::Query(const Graph& query,
                                         const SearchOptions& options) {
-  Result<std::vector<SearchResult>> batch =
-      RunBatch(Span<Graph>(&query, 1), options, /*apply_gamma=*/true, kNoTopK);
+  Result<std::vector<SearchResult>> batch = RunBatch(
+      Span<Graph>(&query, 1), options, /*apply_gamma=*/true, kScanAllMatches);
   if (!batch.ok()) return batch.status();
   return std::move((*batch)[0]);
 }
@@ -174,8 +80,8 @@ Result<SearchResult> GbdaService::Query(const Graph& query,
 Result<SearchResult> GbdaService::QueryTopK(const Graph& query, size_t k,
                                             const SearchOptions& options) {
   // Clamp so an oversized k (notably SIZE_MAX) cannot collide with the
-  // kNoTopK sentinel and skip the ranking sort; a scan never yields more
-  // matches than the database has graphs, so the clamp is behavior-free.
+  // kScanAllMatches sentinel and skip the ranking sort; a scan never yields
+  // more matches than the database has graphs, so the clamp is behavior-free.
   k = std::min(k, shards_.num_graphs());
   Result<std::vector<SearchResult>> batch =
       RunBatch(Span<Graph>(&query, 1), options, /*apply_gamma=*/false, k);
@@ -186,7 +92,7 @@ Result<SearchResult> GbdaService::QueryTopK(const Graph& query, size_t k,
 Result<std::vector<SearchResult>> GbdaService::QueryBatch(
     Span<Graph> queries, const SearchOptions& options) {
   Result<std::vector<SearchResult>> batch =
-      RunBatch(queries, options, /*apply_gamma=*/true, kNoTopK);
+      RunBatch(queries, options, /*apply_gamma=*/true, kScanAllMatches);
   if (batch.ok()) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.batches_served;

@@ -25,6 +25,7 @@
 #include "common/span.h"
 #include "common/thread_pool.h"
 #include "core/gbda_search.h"
+#include "core/prefilter.h"
 #include "service/index_shards.h"
 
 namespace gbda {
@@ -63,6 +64,12 @@ struct ServiceStats {
   }
 };
 
+/// Folds one batch's results into the aggregate counters (shared by
+/// GbdaService and DynamicGbdaService; the caller holds its stats lock).
+/// `wall_seconds` is the top-level call's wall time.
+void AccumulateServiceStats(const std::vector<SearchResult>& results,
+                            double wall_seconds, ServiceStats* stats);
+
 /// Concurrent sharded query engine over a prebuilt GbdaIndex. Thread-safe:
 /// concurrent public calls are allowed (they share the pool and the
 /// per-worker engines; statistics are mutex-guarded). `db` and `index`
@@ -70,6 +77,17 @@ struct ServiceStats {
 /// exactly this database.
 class GbdaService {
  public:
+  /// Checked construction: fails when `index` does not agree with `db`
+  /// (graph counts and per-graph branch sizes), e.g. a stale LoadFromFile
+  /// artifact — an undetected mismatch would drive out-of-bounds branch and
+  /// prefilter lookups in the shard scans.
+  static Result<std::unique_ptr<GbdaService>> Create(
+      const GraphDatabase* db, GbdaIndex* index,
+      const ServiceOptions& options = ServiceOptions());
+
+  /// Raw constructor; Create enforces db/index agreement up front, the raw
+  /// path defers it to query time (PrepareScan rejects a size mismatch
+  /// before any out-of-bounds access can happen).
   GbdaService(const GraphDatabase* db, GbdaIndex* index,
               const ServiceOptions& options = ServiceOptions());
 
@@ -100,21 +118,17 @@ class GbdaService {
   void ResetStats();
 
  private:
-  static constexpr size_t kNoTopK = static_cast<size_t>(-1);
-
-  /// Shared fan-out/merge. top_k == kNoTopK keeps every match (threshold
-  /// mode); otherwise each shard and the final merge truncate to top_k.
+  /// Shared fan-out/merge (service/parallel_scan.h). top_k ==
+  /// kScanAllMatches keeps every match (threshold mode); otherwise each
+  /// shard and the final merge truncate to top_k.
   Result<std::vector<SearchResult>> RunBatch(Span<Graph> queries,
                                              const SearchOptions& options,
                                              bool apply_gamma, size_t top_k);
 
-  /// The calling pool worker's engine replica (the spare, last slot for the
-  /// caller thread — only reachable if a task ever runs off-pool).
-  PosteriorEngine* EngineForCurrentThread();
-
   const GraphDatabase* db_;
   GbdaIndex* index_;
   ThreadPool pool_;  // before shards_: the shard default is one per worker
+  Prefilter prefilter_;
   IndexShards shards_;
   std::vector<std::unique_ptr<PosteriorEngine>> engines_;
 

@@ -4,9 +4,9 @@
 
 namespace gbda {
 
-IndexShards::IndexShards(const GraphDatabase* db, const GbdaIndex* index,
+IndexShards::IndexShards(const GbdaIndex* index, const Prefilter* prefilter,
                          size_t num_shards)
-    : num_graphs_(index->num_graphs()), prefilter_(db) {
+    : num_graphs_(index->num_graphs()) {
   const size_t n = num_graphs_;
   num_shards = std::max<size_t>(1, std::min(num_shards, std::max<size_t>(1, n)));
   shards_.reserve(num_shards);
@@ -15,7 +15,7 @@ IndexShards::IndexShards(const GraphDatabase* db, const GbdaIndex* index,
     // [s*n/S, (s+1)*n/S), which tiles [0, n) with sizes differing by <= 1.
     const size_t begin = s * n / num_shards;
     const size_t end = (s + 1) * n / num_shards;
-    shards_.emplace_back(s, begin, end, index, &prefilter_);
+    shards_.emplace_back(s, begin, end, index, prefilter);
   }
 }
 

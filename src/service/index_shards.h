@@ -16,12 +16,13 @@
 
 #include "core/gbda_index.h"
 #include "core/prefilter.h"
-#include "graph/graph_database.h"
 
 namespace gbda {
 
 /// Read-only view of one shard: the contiguous id range plus accessors into
-/// the shared index artifacts. Ids are absolute database ids.
+/// the shared index artifacts. Ids are positions in the partitioned index
+/// (absolute database ids for a frozen database, dense live positions for a
+/// dynamic snapshot).
 class ShardView {
  public:
   ShardView(size_t shard_id, size_t begin, size_t end, const GbdaIndex* index,
@@ -39,7 +40,7 @@ class ShardView {
 
   /// The shared branch store; scan with core ScanRange over [begin, end).
   const GbdaIndex& index() const { return *index_; }
-  /// The shared layered prefilter (profiles cover every database graph).
+  /// The shared layered prefilter (profiles cover every indexed graph).
   const Prefilter& prefilter() const { return *prefilter_; }
 
  private:
@@ -51,14 +52,15 @@ class ShardView {
 };
 
 /// Splits [0, index.num_graphs()) into `num_shards` contiguous ranges whose
-/// sizes differ by at most one, and owns the shared Prefilter (profiles are
-/// per database graph, so one instance serves every shard). The database and
-/// index must outlive the partitioning.
+/// sizes differ by at most one. The index and prefilter are borrowed — the
+/// owner (GbdaService, or a dynamic-corpus Snapshot) must keep both alive
+/// and must hand in a prefilter whose profiles cover exactly the indexed
+/// graphs.
 class IndexShards {
  public:
   /// `num_shards` is clamped to [1, max(1, num_graphs)] so no shard is
-  /// empty (except when the database itself is empty).
-  IndexShards(const GraphDatabase* db, const GbdaIndex* index,
+  /// empty (except when the index itself is empty).
+  IndexShards(const GbdaIndex* index, const Prefilter* prefilter,
               size_t num_shards);
 
   size_t num_shards() const { return shards_.size(); }
@@ -67,7 +69,6 @@ class IndexShards {
 
  private:
   size_t num_graphs_;
-  Prefilter prefilter_;
   std::vector<ShardView> shards_;
 };
 

@@ -1,0 +1,52 @@
+/// \file parallel_scan.h
+/// The shared fan-out/merge core of the serving layer: every (query, shard)
+/// pair becomes one pool task running core ScanRange, and per-shard partials
+/// are concatenated in shard order — bit-identical to the serial scan
+/// (docs/ARCHITECTURE.md, "Serving layer"). GbdaService runs it against a
+/// frozen database; DynamicGbdaService runs it against the dense corpus of
+/// an immutable snapshot. Everything referenced by ParallelScanEnv is
+/// borrowed and must stay alive for the duration of the call.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/span.h"
+#include "common/thread_pool.h"
+#include "core/gbda_search.h"
+#include "service/index_shards.h"
+
+namespace gbda {
+
+/// top_k sentinel: keep every match (threshold mode).
+inline constexpr size_t kScanAllMatches = static_cast<size_t>(-1);
+
+/// Borrowed execution environment of one batch scan.
+struct ParallelScanEnv {
+  ThreadPool* pool;
+  const IndexShards* shards;
+  const GbdaIndex* index;
+  CorpusRef corpus;
+  /// One PosteriorEngine replica per pool worker plus a trailing spare
+  /// (size == pool->size() + 1). The spare serves threads that are not
+  /// workers of `pool` — including workers of OTHER pools, which
+  /// ThreadPool::CurrentWorkerIndex reports as kNotAWorker so they can
+  /// never alias a replica owned by one of this pool's workers.
+  const std::vector<std::unique_ptr<PosteriorEngine>>* engines;
+};
+
+/// Fans all (query, shard) pairs onto the pool and merges deterministically.
+/// top_k == kScanAllMatches keeps every match; otherwise each shard and the
+/// final merge truncate to top_k under SearchMatchRankBefore. Each result's
+/// `seconds` is that query's latency from batch submission to its last
+/// shard completing.
+Result<std::vector<SearchResult>> ParallelScanBatch(const ParallelScanEnv& env,
+                                                    Span<Graph> queries,
+                                                    const SearchOptions& options,
+                                                    bool apply_gamma,
+                                                    size_t top_k);
+
+}  // namespace gbda

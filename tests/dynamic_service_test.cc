@@ -1,0 +1,426 @@
+#include "service/dynamic_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gbda_search.h"
+#include "datagen/dataset_profiles.h"
+#include "service/gbda_service.h"
+
+namespace gbda {
+namespace {
+
+// A frozen rebuild of the dynamic corpus: exactly the live graphs in stable
+// id order, dictionaries copied, indexed from scratch. Heap-held because
+// GbdaService keeps pointers into `db`.
+struct Reference {
+  GraphDatabase db;
+  std::unique_ptr<GbdaIndex> index;
+  std::unique_ptr<GbdaService> service;
+  std::vector<size_t> live_ids;  // reference dense id -> dynamic stable id
+};
+
+std::unique_ptr<Reference> MakeReference(const DynamicGbdaService& dyn,
+                                         const GbdaIndexOptions& index_options,
+                                         const ServiceOptions& service_options) {
+  auto ref = std::make_unique<Reference>();
+  ref->live_ids = dyn.db().LiveIds();
+  ref->db.vertex_labels() = dyn.db().vertex_labels();
+  ref->db.edge_labels() = dyn.db().edge_labels();
+  for (size_t id : ref->live_ids) ref->db.Add(dyn.db().graph(id));
+  Result<GbdaIndex> index = GbdaIndex::Build(ref->db, index_options);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  if (!index.ok()) return nullptr;
+  ref->index = std::make_unique<GbdaIndex>(std::move(*index));
+  Result<std::unique_ptr<GbdaService>> service =
+      GbdaService::Create(&ref->db, ref->index.get(), service_options);
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  if (!service.ok()) return nullptr;
+  ref->service = std::move(*service);
+  return ref;
+}
+
+// The acceptance contract: match set, ordering, exact phi doubles, GBDs and
+// both scan counters must be bit-identical, with reference dense ids mapped
+// through live_ids back to the dynamic service's stable ids.
+void ExpectBitIdentical(const SearchResult& ref, const SearchResult& dyn,
+                        const std::vector<size_t>& live_ids,
+                        const std::string& label) {
+  ASSERT_EQ(ref.matches.size(), dyn.matches.size()) << label;
+  for (size_t i = 0; i < ref.matches.size(); ++i) {
+    ASSERT_LT(ref.matches[i].graph_id, live_ids.size()) << label;
+    EXPECT_EQ(live_ids[ref.matches[i].graph_id], dyn.matches[i].graph_id)
+        << label << " match " << i;
+    EXPECT_EQ(ref.matches[i].phi_score, dyn.matches[i].phi_score)
+        << label << " match " << i;
+    EXPECT_EQ(ref.matches[i].gbd, dyn.matches[i].gbd) << label << " match " << i;
+  }
+  EXPECT_EQ(ref.candidates_evaluated, dyn.candidates_evaluated) << label;
+  EXPECT_EQ(ref.prefiltered_out, dyn.prefiltered_out) << label;
+}
+
+class DynamicServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetProfile profile = FingerprintProfile(0.02);
+    profile.seed = 42;
+    Result<GeneratedDataset> ds = GenerateDataset(profile);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new GeneratedDataset(std::move(*ds));
+    ASSERT_GE(dataset_->db.size(), 10u);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static GbdaIndexOptions IndexOptions() {
+    GbdaIndexOptions options;
+    options.tau_max = 10;
+    options.gbd_prior.num_sample_pairs = 500;
+    return options;
+  }
+
+  /// Initial corpus: the first `initial` dataset graphs, full dictionaries.
+  static GraphDatabase InitialDb(size_t initial) {
+    GraphDatabase db;
+    db.vertex_labels() = dataset_->db.vertex_labels();
+    db.edge_labels() = dataset_->db.edge_labels();
+    for (size_t i = 0; i < initial && i < dataset_->db.size(); ++i) {
+      db.Add(dataset_->db.graph(i));
+    }
+    return db;
+  }
+
+  static GeneratedDataset* dataset_;
+};
+
+GeneratedDataset* DynamicServiceTest::dataset_ = nullptr;
+
+TEST_F(DynamicServiceTest, RandomizedInterleavingMatchesFreshBuild) {
+  const GbdaIndexOptions index_options = IndexOptions();
+  const size_t initial = dataset_->db.size() * 3 / 5;
+  for (size_t shards : {1u, 2u, 7u}) {
+    DynamicServiceOptions options;
+    options.service.num_threads = 3;
+    options.service.num_shards = shards;
+    options.gbd_refit_fraction = 0.0;  // strict: refit at every commit
+    Result<std::unique_ptr<DynamicGbdaService>> created =
+        DynamicGbdaService::Create(InitialDb(initial), index_options, options);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    DynamicGbdaService& dyn = **created;
+
+    Rng rng(1000 + shards);
+    size_t next_pool_graph = initial;  // dataset graphs not yet added
+    for (int step = 0; step < 8; ++step) {
+      // One random mutation: add 1-3 held-back graphs or remove 1-2 live
+      // ids (keeping enough corpus for the prior fit).
+      const std::vector<size_t> live = dyn.db().LiveIds();
+      const bool can_add = next_pool_graph < dataset_->db.size();
+      const bool do_add = can_add && (live.size() <= 5 || rng.Bernoulli(0.6));
+      if (!do_add && live.size() <= 5) continue;  // keep the prior fit-able
+      if (do_add) {
+        std::vector<Graph> batch;
+        const size_t count = 1 + static_cast<size_t>(rng.UniformInt(0, 2));
+        for (size_t i = 0; i < count && next_pool_graph < dataset_->db.size();
+             ++i) {
+          batch.push_back(dataset_->db.graph(next_pool_graph++));
+        }
+        Result<std::vector<size_t>> added = dyn.AddGraphs(std::move(batch));
+        ASSERT_TRUE(added.ok()) << added.status().ToString();
+      } else {
+        const size_t count = 1 + static_cast<size_t>(rng.UniformInt(0, 1));
+        std::vector<size_t> picks;
+        for (size_t i : rng.SampleWithoutReplacement(
+                 live.size(), std::min(count, live.size() - 4))) {
+          picks.push_back(live[i]);
+        }
+        if (picks.empty()) continue;
+        ASSERT_TRUE(dyn.RemoveGraphs(picks).ok());
+      }
+
+      // Checkpoint: a from-scratch rebuild over the final corpus must agree
+      // bit-for-bit on every variant / prefilter combination.
+      std::unique_ptr<Reference> ref =
+          MakeReference(dyn, index_options, options.service);
+      ASSERT_NE(ref, nullptr);
+      EXPECT_EQ(ref->live_ids.size(), dyn.num_live());
+      for (GbdaVariant variant :
+           {GbdaVariant::kStandard, GbdaVariant::kAverageSize,
+            GbdaVariant::kWeightedGbd}) {
+        for (bool prefilter : {false, true}) {
+          SearchOptions opts;
+          opts.tau_hat = 6;
+          opts.gamma = 0.4;
+          opts.variant = variant;
+          opts.use_prefilter = prefilter;
+          for (size_t q = 0; q < 2 && q < dataset_->queries.size(); ++q) {
+            const std::string label =
+                "shards=" + std::to_string(shards) + " step=" +
+                std::to_string(step) + " variant=" +
+                std::to_string(static_cast<int>(variant)) + " prefilter=" +
+                std::to_string(prefilter) + " query=" + std::to_string(q);
+            Result<SearchResult> expect =
+                ref->service->Query(dataset_->queries[q], opts);
+            Result<SearchResult> got = dyn.Query(dataset_->queries[q], opts);
+            ASSERT_TRUE(expect.ok()) << label;
+            ASSERT_TRUE(got.ok()) << got.status().ToString() << " " << label;
+            ExpectBitIdentical(*expect, *got, ref->live_ids, label);
+
+            Result<SearchResult> expect_topk =
+                ref->service->QueryTopK(dataset_->queries[q], 5, opts);
+            Result<SearchResult> got_topk =
+                dyn.QueryTopK(dataset_->queries[q], 5, opts);
+            ASSERT_TRUE(expect_topk.ok()) << label;
+            ASSERT_TRUE(got_topk.ok()) << label;
+            ExpectBitIdentical(*expect_topk, *got_topk, ref->live_ids,
+                               "topk " + label);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DynamicServiceTest, StableIdsSurviveMutations) {
+  const GbdaIndexOptions index_options = IndexOptions();
+  DynamicServiceOptions options;
+  options.service.num_threads = 2;
+  Result<std::unique_ptr<DynamicGbdaService>> created =
+      DynamicGbdaService::Create(InitialDb(6), index_options, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  DynamicGbdaService& dyn = **created;
+
+  // A distinctive graph: fresh labels shared with nothing else, so it alone
+  // has GBD 0 against itself.
+  const LabelId v = dyn.InternVertexLabel("dyn-unique-v");
+  const LabelId e = dyn.InternEdgeLabel("dyn-unique-e");
+  Graph unique;
+  unique.AddVertex(v);
+  unique.AddVertex(v);
+  unique.AddVertex(v);
+  ASSERT_TRUE(unique.AddEdge(0, 1, e).ok());
+  ASSERT_TRUE(unique.AddEdge(1, 2, e).ok());
+  Result<size_t> id = dyn.AddGraph(unique);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(*id, 6u);
+
+  SearchOptions opts;
+  opts.tau_hat = 5;
+  Result<SearchResult> top = dyn.QueryTopK(unique, 1, opts);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  ASSERT_EQ(top->matches.size(), 1u);
+  EXPECT_EQ(top->matches[0].graph_id, *id);
+  EXPECT_EQ(top->matches[0].gbd, 0);
+
+  // Mutations elsewhere leave the stable id addressing the same graph.
+  ASSERT_TRUE(dyn.RemoveGraphs({0, 3}).ok());
+  Result<size_t> other = dyn.AddGraph(dataset_->db.graph(0));
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(*other, 7u);
+  top = dyn.QueryTopK(unique, 1, opts);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->matches.size(), 1u);
+  EXPECT_EQ(top->matches[0].graph_id, *id);
+
+  // Removing the graph retires the id for good.
+  ASSERT_TRUE(dyn.RemoveGraphs({*id}).ok());
+  top = dyn.QueryTopK(unique, 1, opts);
+  ASSERT_TRUE(top.ok());
+  if (!top->matches.empty()) {
+    EXPECT_NE(top->matches[0].graph_id, *id);
+  }
+  EXPECT_EQ(dyn.RemoveGraphs({*id}).code(), StatusCode::kNotFound);
+}
+
+TEST_F(DynamicServiceTest, StalenessPolicyDefersRefits) {
+  const GbdaIndexOptions index_options = IndexOptions();
+  DynamicServiceOptions options;
+  options.service.num_threads = 2;
+  options.gbd_refit_fraction = 0.5;
+  Result<std::unique_ptr<DynamicGbdaService>> created =
+      DynamicGbdaService::Create(InitialDb(8), index_options, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  DynamicGbdaService& dyn = **created;
+  EXPECT_EQ(dyn.dynamic_stats().gbd_refits, 0u);
+  EXPECT_EQ(dyn.snapshot_info().gbd_staleness, 0u);
+
+  // One add: 1/9 <= 0.5, the commit publishes with a stale prior.
+  ASSERT_TRUE(dyn.AddGraph(dataset_->db.graph(8)).ok());
+  EXPECT_EQ(dyn.dynamic_stats().gbd_refits, 0u);
+  EXPECT_EQ(dyn.snapshot_info().gbd_staleness, 1u);
+  // Queries still serve against the stale-prior snapshot.
+  SearchOptions opts;
+  opts.tau_hat = 5;
+  ASSERT_TRUE(dyn.Query(dataset_->queries[0], opts).ok());
+
+  // Keep mutating until drift crosses the fraction; the refit must fire and
+  // reset the staleness counter.
+  for (size_t i = 9; i < 14 && i < dataset_->db.size(); ++i) {
+    ASSERT_TRUE(dyn.AddGraph(dataset_->db.graph(i)).ok());
+  }
+  ASSERT_TRUE(dyn.RemoveGraphs({0, 1, 2}).ok());
+  EXPECT_GE(dyn.dynamic_stats().gbd_refits, 1u);
+  EXPECT_EQ(dyn.snapshot_info().gbd_staleness, 0u);
+
+  // Flush bypasses the threshold: a below-threshold drift is fit away on
+  // demand. One add leaves staleness 1 (far below 0.5 of the corpus) ...
+  if (14 < dataset_->db.size()) {
+    const uint64_t refits = dyn.dynamic_stats().gbd_refits;
+    ASSERT_TRUE(dyn.AddGraph(dataset_->db.graph(14)).ok());
+    EXPECT_EQ(dyn.snapshot_info().gbd_staleness, 1u);
+    // ... and Flush forces the refit the policy deferred.
+    ASSERT_TRUE(dyn.Flush().ok());
+    EXPECT_EQ(dyn.snapshot_info().gbd_staleness, 0u);
+    EXPECT_EQ(dyn.dynamic_stats().gbd_refits, refits + 1);
+  }
+}
+
+TEST_F(DynamicServiceTest, ValidatesMutations) {
+  const GbdaIndexOptions index_options = IndexOptions();
+  Result<std::unique_ptr<DynamicGbdaService>> created =
+      DynamicGbdaService::Create(InitialDb(5), index_options);
+  ASSERT_TRUE(created.ok());
+  DynamicGbdaService& dyn = **created;
+  const uint64_t generation = dyn.snapshot_info().generation;
+
+  // Unknown label ids are rejected before anything mutates.
+  Graph bad;
+  bad.AddVertex(static_cast<LabelId>(dyn.db().vertex_labels().size() + 10));
+  EXPECT_EQ(dyn.AddGraph(bad).status().code(), StatusCode::kInvalidArgument);
+
+  // Invalid removals are rejected as a whole.
+  EXPECT_FALSE(dyn.RemoveGraphs({99}).ok());
+  EXPECT_FALSE(dyn.RemoveGraphs({0, 0}).ok());
+
+  // No failed mutation published a snapshot.
+  EXPECT_EQ(dyn.snapshot_info().generation, generation);
+  EXPECT_EQ(dyn.num_live(), 5u);
+
+  // Initial corpora must be tombstone-free and fit-able.
+  GraphDatabase tombstoned = InitialDb(5);
+  ASSERT_TRUE(tombstoned.RemoveGraphs({1}).ok());
+  EXPECT_FALSE(
+      DynamicGbdaService::Create(std::move(tombstoned), index_options).ok());
+
+  // Flush succeeds only when the forced refit could actually run: on a
+  // corpus mutated down to one live graph the snapshot still publishes,
+  // but the stale prior is surfaced as an error.
+  ASSERT_TRUE(dyn.RemoveGraphs({0, 1, 2, 3}).ok());
+  EXPECT_EQ(dyn.num_live(), 1u);
+  EXPECT_GT(dyn.snapshot_info().gbd_staleness, 0u);
+  Status flushed = dyn.Flush();
+  ASSERT_FALSE(flushed.ok());
+  EXPECT_EQ(flushed.code(), StatusCode::kFailedPrecondition);
+  EXPECT_GT(dyn.dynamic_stats().gbd_refit_failures, 0u);
+  // Queries still serve against the (stale-prior) published snapshot.
+  SearchOptions opts;
+  opts.tau_hat = 5;
+  EXPECT_TRUE(dyn.Query(dataset_->queries[0], opts).ok());
+}
+
+TEST_F(DynamicServiceTest, InternedLabelsExtendTheModelUniverse) {
+  const GbdaIndexOptions index_options = IndexOptions();
+  DynamicServiceOptions options;
+  options.service.num_threads = 2;
+  Result<std::unique_ptr<DynamicGbdaService>> created =
+      DynamicGbdaService::Create(InitialDb(6), index_options, options);
+  ASSERT_TRUE(created.ok());
+  DynamicGbdaService& dyn = **created;
+
+  const LabelId v = dyn.InternVertexLabel("rare-metal");
+  Graph g;
+  g.AddVertex(v);
+  g.AddVertex(v);
+  ASSERT_TRUE(g.AddEdge(0, 1, kVirtualLabel + 1).ok());
+  ASSERT_TRUE(dyn.AddGraph(g).ok());
+
+  // A fresh build over the final corpus (with the grown dictionaries) must
+  // still agree bit-for-bit: the commit refreshed |L_V| for the model.
+  std::unique_ptr<Reference> ref =
+      MakeReference(dyn, index_options, options.service);
+  ASSERT_NE(ref, nullptr);
+  SearchOptions opts;
+  opts.tau_hat = 6;
+  opts.gamma = 0.3;
+  Result<SearchResult> expect = ref->service->Query(dataset_->queries[0], opts);
+  Result<SearchResult> got = dyn.Query(dataset_->queries[0], opts);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok());
+  ExpectBitIdentical(*expect, *got, ref->live_ids, "interned label");
+}
+
+TEST_F(DynamicServiceTest, ConcurrentQueriesAndMutationsStayConsistent) {
+  const GbdaIndexOptions index_options = IndexOptions();
+  DynamicServiceOptions options;
+  options.service.num_threads = 3;
+  options.service.num_shards = 5;
+  const size_t initial = dataset_->db.size() / 2;
+  Result<std::unique_ptr<DynamicGbdaService>> created =
+      DynamicGbdaService::Create(InitialDb(initial), index_options, options);
+  ASSERT_TRUE(created.ok());
+  DynamicGbdaService& dyn = **created;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&dyn, &done, &failures, r]() {
+      SearchOptions opts;
+      opts.tau_hat = 5;
+      opts.gamma = 0.3;
+      opts.use_prefilter = (r % 2) == 0;
+      size_t qi = static_cast<size_t>(r);
+      while (!done.load(std::memory_order_relaxed)) {
+        const Graph& query =
+            dataset_->queries[qi++ % dataset_->queries.size()];
+        Result<SearchResult> res = dyn.Query(query, opts);
+        if (!res.ok()) {
+          ++failures;
+          continue;
+        }
+        // Every result must be internally consistent with SOME generation:
+        // ids ascending (the serial order contract) and scores finite.
+        for (size_t i = 0; i < res->matches.size(); ++i) {
+          if (i > 0 &&
+              res->matches[i].graph_id <= res->matches[i - 1].graph_id) {
+            ++failures;
+          }
+          if (!std::isfinite(res->matches[i].phi_score)) ++failures;
+        }
+      }
+    });
+  }
+
+  // Writer: interleave adds and removes through ~20 commits.
+  size_t next = initial;
+  Rng rng(77);
+  for (int step = 0; step < 20; ++step) {
+    if (next < dataset_->db.size() && rng.Bernoulli(0.6)) {
+      ASSERT_TRUE(dyn.AddGraph(dataset_->db.graph(next++)).ok());
+    } else {
+      const std::vector<size_t> live = dyn.db().LiveIds();
+      if (live.size() > 6) {
+        const size_t pick =
+            live[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(live.size()) - 1))];
+        ASSERT_TRUE(dyn.RemoveGraphs({pick}).ok());
+      }
+    }
+  }
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(dyn.dynamic_stats().snapshots_published, 20u);
+  EXPECT_GT(dyn.stats().queries_served, 0u);
+}
+
+}  // namespace
+}  // namespace gbda

@@ -66,8 +66,9 @@ GbdaIndex* GbdaServiceTest::index_ = nullptr;
 GbdaSearch* GbdaServiceTest::serial_ = nullptr;
 
 TEST_F(GbdaServiceTest, ShardRangesTileTheDatabase) {
+  Prefilter prefilter(&dataset_->db);
   for (size_t shards : {1u, 2u, 7u}) {
-    IndexShards partition(&dataset_->db, index_, shards);
+    IndexShards partition(index_, &prefilter, shards);
     ASSERT_EQ(partition.num_shards(), shards);
     size_t expected_begin = 0;
     for (size_t s = 0; s < partition.num_shards(); ++s) {
@@ -195,6 +196,75 @@ TEST_F(GbdaServiceTest, OversubscribedShardCountIsClamped) {
   ASSERT_TRUE(serial.ok());
   ASSERT_TRUE(sharded.ok());
   ExpectSameResult(*serial, *sharded, "clamped shards");
+}
+
+TEST_F(GbdaServiceTest, RejectsDbIndexMismatchBothDirections) {
+  // A database one graph short of the index — the "stale SaveToFile
+  // artifact" scenario in both directions.
+  GraphDatabase smaller;
+  smaller.vertex_labels() = dataset_->db.vertex_labels();
+  smaller.edge_labels() = dataset_->db.edge_labels();
+  for (size_t i = 0; i + 1 < dataset_->db.size(); ++i) {
+    smaller.Add(dataset_->db.graph(i));
+  }
+  GbdaIndexOptions options;
+  options.tau_max = 10;
+  options.gbd_prior.num_sample_pairs = 500;
+  Result<GbdaIndex> smaller_index = GbdaIndex::Build(smaller, options);
+  ASSERT_TRUE(smaller_index.ok());
+
+  SearchOptions opts;
+  opts.tau_hat = 5;
+
+  // Index larger than the database.
+  {
+    auto service = GbdaService::Create(&smaller, index_);
+    ASSERT_FALSE(service.ok());
+    EXPECT_EQ(service.status().code(), StatusCode::kFailedPrecondition);
+    auto search = GbdaSearch::Create(&smaller, index_);
+    ASSERT_FALSE(search.ok());
+    EXPECT_EQ(search.status().code(), StatusCode::kFailedPrecondition);
+    // The unchecked constructor must still fail closed at query time,
+    // before any out-of-bounds branch access.
+    GbdaSearch raw(&smaller, index_);
+    Result<SearchResult> r = raw.Query(dataset_->queries[0], opts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  }
+  // Index smaller than the database.
+  {
+    auto service = GbdaService::Create(&dataset_->db, &*smaller_index);
+    ASSERT_FALSE(service.ok());
+    EXPECT_EQ(service.status().code(), StatusCode::kFailedPrecondition);
+    auto search = GbdaSearch::Create(&dataset_->db, &*smaller_index);
+    ASSERT_FALSE(search.ok());
+    GbdaService raw(&dataset_->db, &*smaller_index, ServiceOptions{2, 2});
+    Result<SearchResult> r = raw.Query(dataset_->queries[0], opts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  }
+  // Matching pairs pass the checked factories.
+  {
+    auto service = GbdaService::Create(&dataset_->db, index_);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    Result<SearchResult> r = (*service)->Query(dataset_->queries[0], opts);
+    EXPECT_TRUE(r.ok());
+    auto search = GbdaSearch::Create(&smaller, &*smaller_index);
+    EXPECT_TRUE(search.ok()) << search.status().ToString();
+  }
+  // A consistently tombstoned pair is rejected too: the frozen scan would
+  // evaluate retired slots as empty multisets and could return removed
+  // graphs as matches — mutable corpora belong to DynamicGbdaService.
+  {
+    ASSERT_TRUE(smaller.RemoveGraphs({0}).ok());
+    ASSERT_TRUE(smaller_index->RemoveGraphs({0}).ok());
+    auto search = GbdaSearch::Create(&smaller, &*smaller_index);
+    ASSERT_FALSE(search.ok());
+    EXPECT_EQ(search.status().code(), StatusCode::kFailedPrecondition);
+    auto service = GbdaService::Create(&smaller, &*smaller_index);
+    ASSERT_FALSE(service.ok());
+    EXPECT_EQ(service.status().code(), StatusCode::kFailedPrecondition);
+  }
 }
 
 TEST_F(GbdaServiceTest, RejectsTauBeyondIndex) {

@@ -68,6 +68,73 @@ TEST(GraphDatabaseTest, MemoryGrowsWithContent) {
   EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
 }
 
+TEST(GraphDatabaseTest, RemoveGraphsTombstonesInPlace) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  GraphDatabase db = std::move(p.db);
+  db.Add(p.g1);
+  db.Add(p.g2);
+  db.Add(p.g1);
+  EXPECT_FALSE(db.has_tombstones());
+  EXPECT_EQ(db.num_live(), 3u);
+
+  ASSERT_TRUE(db.RemoveGraphs({1}).ok());
+  EXPECT_TRUE(db.has_tombstones());
+  EXPECT_EQ(db.size(), 3u);  // slots stay dense; ids are stable
+  EXPECT_EQ(db.num_live(), 2u);
+  EXPECT_TRUE(db.is_live(0));
+  EXPECT_FALSE(db.is_live(1));
+  EXPECT_TRUE(db.is_live(2));
+  EXPECT_EQ(db.LiveIds(), (std::vector<size_t>{0, 2}));
+
+  // Stats and MaxVertices see only the live graphs (g2, the 4-vertex graph,
+  // is gone).
+  EXPECT_EQ(db.Stats().num_graphs, 2u);
+  EXPECT_EQ(db.MaxVertices(), 3u);
+
+  // Adding after a removal appends a live graph under a fresh stable id.
+  EXPECT_EQ(db.Add(p.g2), 3u);
+  EXPECT_TRUE(db.is_live(3));
+  EXPECT_EQ(db.num_live(), 3u);
+  EXPECT_EQ(db.MaxVertices(), 4u);
+}
+
+TEST(GraphDatabaseTest, RemoveGraphsValidatesAndIsAtomic) {
+  testutil::PaperGraphs p = testutil::MakePaperGraphs();
+  GraphDatabase db = std::move(p.db);
+  db.Add(p.g1);
+  db.Add(p.g2);
+
+  // Out of range: nothing removed.
+  EXPECT_EQ(db.RemoveGraphs({0, 7}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.num_live(), 2u);
+  // Duplicate in one call: nothing removed.
+  EXPECT_EQ(db.RemoveGraphs({1, 1}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.num_live(), 2u);
+  // Double removal across calls.
+  ASSERT_TRUE(db.RemoveGraphs({1}).ok());
+  EXPECT_EQ(db.RemoveGraphs({1}).code(), StatusCode::kNotFound);
+  // Mixed valid/invalid stays atomic: 0 must survive the failed call.
+  EXPECT_FALSE(db.RemoveGraphs({0, 1}).ok());
+  EXPECT_TRUE(db.is_live(0));
+}
+
+TEST(GraphDatabaseTest, GraphReferencesSurviveAppends) {
+  // The dynamic serving layer publishes snapshots holding Graph pointers
+  // while the writer appends; deque storage must keep them valid.
+  GraphDatabase db;
+  Rng rng(21);
+  GeneratorOptions opts;
+  opts.num_vertices = 12;
+  db.Add(*GenerateConnectedGraph(opts, &rng));
+  const Graph* first = &db.graph(0);
+  const size_t vertices = first->num_vertices();
+  const size_t edges = first->num_edges();
+  for (int i = 0; i < 500; ++i) db.Add(*GenerateConnectedGraph(opts, &rng));
+  EXPECT_EQ(first, &db.graph(0));
+  EXPECT_EQ(first->num_vertices(), vertices);
+  EXPECT_EQ(first->num_edges(), edges);
+}
+
 TEST(GraphDatabaseTest, SharedDictionariesAcrossGraphs) {
   GraphDatabase db;
   const LabelId c = db.vertex_labels().Intern("C");

@@ -2,12 +2,40 @@
 
 #include <fstream>
 
+#include "common/serialize.h"
 #include "core/gbda_index.h"
 #include "core/gbda_search.h"
 #include "datagen/dataset_profiles.h"
+#include "graph/generators.h"
 
 namespace gbda {
 namespace {
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A syntactically valid index header (magic..avg_vertices), ready for a
+// hostile body. Field order mirrors GbdaIndex::SaveToFile.
+BinaryWriter ValidHeader(int64_t tau_max = 5) {
+  BinaryWriter w;
+  w.PutU32(0x47424441);  // magic
+  w.PutU32(2);           // version
+  w.PutI64(tau_max);
+  w.PutU64(500);       // sample pairs
+  w.PutU64(1234);      // seed
+  w.PutDouble(1e-12);  // probability floor
+  w.PutI64(3);         // GMM components
+  w.PutI64(200);       // GMM iterations
+  w.PutDouble(1e-7);   // GMM tolerance
+  w.PutDouble(0.25);   // GMM stddev floor
+  w.PutU64(42);        // GMM seed
+  w.PutI64(3);         // |L_V|
+  w.PutI64(2);         // |L_E|
+  w.PutDouble(4.0);
+  return w;
+}
 
 class IndexIoTest : public ::testing::Test {
  protected:
@@ -31,6 +59,11 @@ TEST_F(IndexIoTest, SaveLoadRoundTripPreservesQueries) {
   GbdaIndexOptions options;
   options.tau_max = 8;
   options.gbd_prior.num_sample_pairs = 1000;
+  // Non-default prior knobs so the options round-trip check is meaningful.
+  options.gbd_prior.probability_floor = 1e-10;
+  options.gbd_prior.gmm.num_components = 2;
+  options.gbd_prior.gmm.stddev_floor = 0.5;
+  options.gbd_prior.gmm.seed = 7;
   Result<GbdaIndex> built = GbdaIndex::Build(dataset_->db, options);
   ASSERT_TRUE(built.ok()) << built.status().ToString();
 
@@ -43,6 +76,22 @@ TEST_F(IndexIoTest, SaveLoadRoundTripPreservesQueries) {
   EXPECT_EQ(loaded->tau_max(), built->tau_max());
   EXPECT_EQ(loaded->num_vertex_labels(), built->num_vertex_labels());
   EXPECT_DOUBLE_EQ(loaded->avg_vertices(), built->avg_vertices());
+  // v2 format: the full prior options round-trip, so an incremental
+  // RefitGbdPrior on the loaded artifact runs Build's exact arithmetic.
+  EXPECT_EQ(loaded->options().gbd_prior.num_sample_pairs,
+            built->options().gbd_prior.num_sample_pairs);
+  EXPECT_EQ(loaded->options().gbd_prior.probability_floor,
+            built->options().gbd_prior.probability_floor);
+  EXPECT_EQ(loaded->options().gbd_prior.gmm.num_components,
+            built->options().gbd_prior.gmm.num_components);
+  EXPECT_EQ(loaded->options().gbd_prior.gmm.max_iterations,
+            built->options().gbd_prior.gmm.max_iterations);
+  EXPECT_EQ(loaded->options().gbd_prior.gmm.tolerance,
+            built->options().gbd_prior.gmm.tolerance);
+  EXPECT_EQ(loaded->options().gbd_prior.gmm.stddev_floor,
+            built->options().gbd_prior.gmm.stddev_floor);
+  EXPECT_EQ(loaded->options().gbd_prior.gmm.seed,
+            built->options().gbd_prior.gmm.seed);
   for (size_t i = 0; i < built->num_graphs(); ++i) {
     EXPECT_EQ(loaded->branches(i), built->branches(i)) << "graph " << i;
   }
@@ -98,6 +147,194 @@ TEST_F(IndexIoTest, LoadRejectsTruncatedIndex) {
   out.close();
 
   EXPECT_FALSE(GbdaIndex::LoadFromFile(path).ok());
+}
+
+TEST_F(IndexIoTest, LoadRejectsUnsupportedVersion) {
+  BinaryWriter w;
+  w.PutU32(0x47424441);
+  w.PutU32(999);
+  const std::string path = ::testing::TempDir() + "/gbda_bad_version.bin";
+  WriteFile(path, w.buffer());
+  Result<GbdaIndex> r = GbdaIndex::LoadFromFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(IndexIoTest, LoadRejectsImplausibleTau) {
+  // Negative, and too large to ever evaluate: lazy GED-prior rows cost
+  // O(tau^2) memory / O(tau^3+) time, so an unbounded hostile tau_max would
+  // turn the first query into an OOM or a hang.
+  for (int64_t hostile : {int64_t{-3}, int64_t{5000}, int64_t{1} << 40}) {
+    BinaryWriter w = ValidHeader(/*tau_max=*/hostile);
+    w.PutU64(0);  // num_graphs
+    const std::string path = ::testing::TempDir() + "/gbda_bad_tau.bin";
+    WriteFile(path, w.buffer());
+    EXPECT_FALSE(GbdaIndex::LoadFromFile(path).ok()) << "tau=" << hostile;
+  }
+}
+
+TEST_F(IndexIoTest, LoadRejectsAbsurdGraphCount) {
+  // A 70-odd-byte file claiming ~2^63 graphs used to reach
+  // branches_.resize(num_graphs) and demand gigabytes before the first
+  // per-graph read could fail. The count must be validated against the
+  // bytes actually remaining.
+  for (uint64_t hostile : {~uint64_t{0}, uint64_t{1} << 62,
+                           uint64_t{1} << 32, uint64_t{100000}}) {
+    BinaryWriter w = ValidHeader();
+    w.PutU64(hostile);
+    const std::string path = ::testing::TempDir() + "/gbda_absurd_count.bin";
+    WriteFile(path, w.buffer());
+    Result<GbdaIndex> r = GbdaIndex::LoadFromFile(path);
+    ASSERT_FALSE(r.ok()) << "num_graphs=" << hostile;
+    EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  }
+}
+
+TEST_F(IndexIoTest, LoadRejectsAbsurdBranchCount) {
+  // One graph whose branch count claims more records than the file holds.
+  for (uint64_t hostile : {~uint64_t{0}, uint64_t{1} << 61, uint64_t{4096}}) {
+    BinaryWriter w = ValidHeader();
+    w.PutU64(1);        // num_graphs
+    w.PutU64(hostile);  // branch count of graph 0
+    const std::string path = ::testing::TempDir() + "/gbda_absurd_branch.bin";
+    WriteFile(path, w.buffer());
+    Result<GbdaIndex> r = GbdaIndex::LoadFromFile(path);
+    ASSERT_FALSE(r.ok()) << "count=" << hostile;
+    EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  }
+}
+
+TEST_F(IndexIoTest, LoadRejectsInconsistentEmbeddedPriorHeader) {
+  // Both headers pass their independent plausibility checks, but the GED
+  // prior claims tau_max = 3 while the index admits tau_hat up to 5 — the
+  // table would silently return zero mass for tau in (3, 5].
+  BinaryWriter w = ValidHeader(/*tau_max=*/5);
+  w.PutU64(0);  // num_graphs
+  // Minimal GbdPrior blob: pairs, floor, one GMM component, empty tables.
+  w.PutU64(10);
+  w.PutDouble(1e-12);
+  w.PutU64(1);
+  w.PutDouble(1.0);  // weight
+  w.PutDouble(0.0);  // mean
+  w.PutDouble(1.0);  // stddev
+  w.PutPodVector<double>({});
+  w.PutPodVector<size_t>({});
+  // GedPriorTable blob with a disagreeing tau_max.
+  w.PutI64(3);  // |L_V| (matches)
+  w.PutI64(2);  // |L_E| (matches)
+  w.PutI64(3);  // tau_max (index header says 5)
+  w.PutU64(0);  // no cached rows
+  const std::string path = ::testing::TempDir() + "/gbda_prior_mismatch.bin";
+  WriteFile(path, w.buffer());
+  Result<GbdaIndex> r = GbdaIndex::LoadFromFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexIoTest, LoadRejectsTrailingBytes) {
+  GbdaIndexOptions options;
+  options.tau_max = 5;
+  options.gbd_prior.num_sample_pairs = 500;
+  Result<GbdaIndex> built = GbdaIndex::Build(dataset_->db, options);
+  ASSERT_TRUE(built.ok());
+  const std::string path = ::testing::TempDir() + "/gbda_trailing.bin";
+  ASSERT_TRUE(built->SaveToFile(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  data.append("junk");
+  WriteFile(path, data);
+  EXPECT_FALSE(GbdaIndex::LoadFromFile(path).ok());
+}
+
+TEST_F(IndexIoTest, EveryTruncationPrefixFailsCleanly) {
+  // Exhaustive truncation sweep over a small real index: no prefix of a
+  // valid file may load, crash, or over-allocate. Uses a hand-built tiny
+  // database so the sweep stays a few thousand parses.
+  GraphDatabase tiny;
+  tiny.vertex_labels().InternNumbered(3);
+  tiny.edge_labels().InternNumbered(2);
+  Rng rng(7);
+  for (size_t i = 0; i < 4; ++i) {
+    GeneratorOptions gen;
+    gen.num_vertices = 5 + i;
+    gen.extra_edges = 3;
+    gen.num_vertex_labels = 3;
+    gen.num_edge_labels = 2;
+    Result<Graph> g = GenerateConnectedGraph(gen, &rng);
+    ASSERT_TRUE(g.ok());
+    tiny.Add(std::move(*g));
+  }
+  GbdaIndexOptions options;
+  options.tau_max = 3;
+  options.gbd_prior.num_sample_pairs = 10;
+  Result<GbdaIndex> built = GbdaIndex::Build(tiny, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const std::string path = ::testing::TempDir() + "/gbda_prefix.bin";
+  ASSERT_TRUE(built->SaveToFile(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_TRUE(GbdaIndex::LoadFromFile(path).ok());
+  for (size_t len = 0; len < data.size(); ++len) {
+    WriteFile(path, data.substr(0, len));
+    EXPECT_FALSE(GbdaIndex::LoadFromFile(path).ok()) << "prefix " << len;
+  }
+}
+
+TEST_F(IndexIoTest, IndexRemoveGraphsIsAtomicOnInvalidBatch) {
+  GbdaIndexOptions options;
+  options.tau_max = 4;
+  options.gbd_prior.num_sample_pairs = 200;
+  Result<GbdaIndex> built = GbdaIndex::Build(dataset_->db, options);
+  ASSERT_TRUE(built.ok());
+  const size_t live_before = built->num_live();
+  const double avg_before = built->avg_vertices();
+
+  // Duplicate id in one batch: the whole call must be a no-op.
+  EXPECT_EQ(built->RemoveGraphs({1, 1}).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(built->is_live(1));
+  EXPECT_EQ(built->num_live(), live_before);
+  EXPECT_EQ(built->avg_vertices(), avg_before);
+  EXPECT_EQ(built->gbd_staleness(), 0u);
+  // Mixed valid/invalid: graph 0 must survive the failed call.
+  EXPECT_FALSE(built->RemoveGraphs({0, live_before + 10}).ok());
+  EXPECT_TRUE(built->is_live(0));
+  EXPECT_EQ(built->num_live(), live_before);
+}
+
+TEST_F(IndexIoTest, SaveRejectsTombstonedIndex) {
+  GbdaIndexOptions options;
+  options.tau_max = 4;
+  options.gbd_prior.num_sample_pairs = 200;
+  Result<GbdaIndex> built = GbdaIndex::Build(dataset_->db, options);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built->RemoveGraphs({0}).ok());
+  const std::string path = ::testing::TempDir() + "/gbda_tombstoned.bin";
+  Status saved = built->SaveToFile(path);
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IndexIoTest, SaveRejectsStalePrior) {
+  // The format has no staleness field; persisting a drifted Lambda2 would
+  // come back as gbd_staleness() == 0 and defeat every refit policy.
+  GbdaIndexOptions options;
+  options.tau_max = 4;
+  options.gbd_prior.num_sample_pairs = 200;
+  Result<GbdaIndex> built = GbdaIndex::Build(dataset_->db, options);
+  ASSERT_TRUE(built.ok());
+  built->AddGraph(dataset_->db.graph(0));
+  ASSERT_EQ(built->gbd_staleness(), 1u);
+  const std::string path = ::testing::TempDir() + "/gbda_stale.bin";
+  Status saved = built->SaveToFile(path);
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.code(), StatusCode::kFailedPrecondition);
+  // A refit clears the drift and the artifact becomes persistable again.
+  ASSERT_TRUE(built->RefitGbdPrior().ok());
+  EXPECT_TRUE(built->SaveToFile(path).ok());
 }
 
 TEST_F(IndexIoTest, BuildRejectsEmptyDatabase) {

@@ -53,6 +53,45 @@ TEST(SerializeTest, TruncatedVectorFails) {
   EXPECT_FALSE(r.GetPodVector<double>().ok());
 }
 
+TEST(SerializeTest, HostileStringLengthDoesNotWrap) {
+  // A length prefix near UINT64_MAX used to wrap the pos_ + len bounds
+  // check, letting the read run past the buffer and corrupting pos_.
+  for (uint64_t hostile :
+       {~uint64_t{0}, ~uint64_t{0} - 7, uint64_t{1} << 63}) {
+    BinaryWriter w;
+    w.PutU64(hostile);
+    w.PutU32(0xABABABAB);  // a few real bytes after the lying prefix
+    BinaryReader r(w.buffer());
+    Result<std::string> s = r.GetString();
+    ASSERT_FALSE(s.ok()) << "len=" << hostile;
+    EXPECT_EQ(s.status().code(), StatusCode::kOutOfRange);
+    // The reader must stay usable at a sane position after the failure.
+    EXPECT_EQ(r.position(), 8u);
+    EXPECT_EQ(*r.GetU32(), 0xABABABABu);
+  }
+}
+
+TEST(SerializeTest, HostileVectorLengthDoesNotWrapByteCount) {
+  // With sizeof(double) == 8, a count of 2^61 + 1 makes count * 8 wrap to 8
+  // in uint64: the old byte-count check passed and the decoder tried to
+  // allocate 2^61 elements. The count itself must be validated.
+  BinaryWriter w;
+  w.PutU64((uint64_t{1} << 61) + 1);
+  w.PutDouble(1.0);  // the 8 bytes the wrapped count claimed to need
+  BinaryReader r(w.buffer());
+  Result<std::vector<double>> v = r.GetPodVector<double>();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, OversizedVectorCountFails) {
+  // A plausible-looking but too-large count must fail before allocating.
+  BinaryWriter w;
+  w.PutU64(uint64_t{1} << 40);
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(r.GetPodVector<uint32_t>().ok());
+}
+
 TEST(SerializeTest, EmptyBufferAtEnd) {
   BinaryReader r("");
   EXPECT_TRUE(r.AtEnd());
