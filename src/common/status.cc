@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -18,6 +18,10 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kNotSupported,
+  /// Stored data failed an integrity check (CRC mismatch, torn write). The
+  /// artifact is corrupt, not merely malformed — retrying the read will not
+  /// help; restore from a replica or rebuild.
+  kDataLoss,
 };
 
 /// Outcome of a fallible operation: a code plus a human-readable message.
@@ -53,6 +57,9 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -24,20 +24,113 @@ BranchMultiset ExtractBranches(const Graph& g) {
   return branches;
 }
 
-size_t BranchIntersectionSize(const BranchMultiset& a, const BranchMultiset& b) {
+namespace {
+
+/// Three-way lexicographic comparison of two ascending label runs — the
+/// exact order of std::vector<LabelId>::operator<.
+inline int CompareLabels(const LabelId* a, size_t na, const LabelId* b,
+                         size_t nb) {
+  const size_t n = std::min(na, nb);
+  for (size_t k = 0; k < n; ++k) {
+    if (a[k] != b[k]) return a[k] < b[k] ? -1 : 1;
+  }
+  if (na != nb) return na < nb ? -1 : 1;
+  return 0;
+}
+
+/// One branch presented as raw pointers, so the merge loops below are
+/// backing-agnostic after a single per-multiset dispatch. Branch order is
+/// (root, labels) — exactly Branch::operator< — for every accessor pair, so
+/// every backing combination counts intersections bit-identically.
+struct RawBranch {
+  LabelId root;
+  const LabelId* labels;
+  size_t num_labels;
+};
+
+struct OwnedAccess {
+  const Branch* branches;
+  inline RawBranch Get(size_t i) const {
+    const Branch& b = branches[i];
+    return RawBranch{b.root, b.edge_labels.data(), b.edge_labels.size()};
+  }
+};
+
+struct FlatAccess {
+  const uint32_t* roots;
+  const uint64_t* offsets;
+  const LabelId* pool;
+  inline RawBranch Get(size_t i) const {
+    return RawBranch{roots[i], pool + offsets[i],
+                     static_cast<size_t>(offsets[i + 1] - offsets[i])};
+  }
+};
+
+/// The two-pointer merge, monomorphised per backing pair. Root labels
+/// resolve most steps (one integer compare); the label runs are touched
+/// only on root ties. The current branch of each side is cached so one
+/// merge step re-reads only the side it advanced.
+template <typename AccessA, typename AccessB>
+size_t MergeCount(const AccessA& a, size_t na, const AccessB& b, size_t nb) {
   size_t i = 0, j = 0, common = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (b[j] < a[i]) {
-      ++j;
+  RawBranch ba = a.Get(0);
+  RawBranch bb = b.Get(0);
+  for (;;) {
+    int cmp;
+    if (ba.root != bb.root) {
+      cmp = ba.root < bb.root ? -1 : 1;
     } else {
+      cmp = CompareLabels(ba.labels, ba.num_labels, bb.labels, bb.num_labels);
+    }
+    if (cmp == 0) {
       ++common;
       ++i;
       ++j;
+      if (i == na || j == nb) break;
+      ba = a.Get(i);
+      bb = b.Get(j);
+    } else if (cmp < 0) {
+      if (++i == na) break;
+      ba = a.Get(i);
+    } else {
+      if (++j == nb) break;
+      bb = b.Get(j);
     }
   }
   return common;
+}
+
+template <typename AccessA>
+size_t MergeCountRight(const AccessA& a, size_t na, const BranchSetRef& b) {
+  if (b.size() == 0) return 0;
+  if (b.owned() != nullptr) {
+    return MergeCount(a, na, OwnedAccess{b.owned()->data()}, b.size());
+  }
+  return MergeCount(
+      a, na,
+      FlatAccess{b.flat_roots(), b.flat_label_offsets(), b.flat_label_pool()},
+      b.size());
+}
+
+}  // namespace
+
+size_t BranchIntersectionSize(const BranchSetRef& a, const BranchSetRef& b) {
+  if (a.size() == 0) return 0;
+  if (a.owned() != nullptr) {
+    return MergeCountRight(OwnedAccess{a.owned()->data()}, a.size(), b);
+  }
+  return MergeCountRight(
+      FlatAccess{a.flat_roots(), a.flat_label_offsets(), a.flat_label_pool()},
+      a.size(), b);
+}
+
+// The owned/owned overload is the same merge through OwnedAccess — one
+// implementation to keep, so the order used here can never drift from the
+// one the mapped-artifact path uses (the bit-identity guarantee of
+// docs/ARCHITECTURE.md, "Storage engine").
+size_t BranchIntersectionSize(const BranchMultiset& a,
+                              const BranchMultiset& b) {
+  return BranchIntersectionSize(BranchSetRef(a), BranchSetRef(b));
 }
 
 size_t Gbd(const Graph& g1, const Graph& g2) {
@@ -50,6 +143,15 @@ size_t GbdFromBranches(const BranchMultiset& b1, const BranchMultiset& b2) {
 }
 
 double Vgbd(const BranchMultiset& b1, const BranchMultiset& b2, double w) {
+  const double max_size = static_cast<double>(std::max(b1.size(), b2.size()));
+  return max_size - w * static_cast<double>(BranchIntersectionSize(b1, b2));
+}
+
+size_t GbdFromBranches(const BranchSetRef& b1, const BranchSetRef& b2) {
+  return std::max(b1.size(), b2.size()) - BranchIntersectionSize(b1, b2);
+}
+
+double Vgbd(const BranchSetRef& b1, const BranchSetRef& b2, double w) {
   const double max_size = static_cast<double>(std::max(b1.size(), b2.size()));
   return max_size - w * static_cast<double>(BranchIntersectionSize(b1, b2));
 }

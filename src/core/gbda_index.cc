@@ -6,16 +6,31 @@
 #include <set>
 #include <sstream>
 
+#include "common/crc32.h"
 #include "common/serialize.h"
 #include "common/timer.h"
 
 namespace gbda {
 namespace {
 
-constexpr uint32_t kIndexMagic = 0x47424441;  // "GBDA"
 // v2 persists the full GbdPriorOptions (GMM fit knobs + probability floor),
 // so RefitGbdPrior on a loaded index runs the exact arithmetic Build would.
 constexpr uint32_t kIndexVersion = 2;
+
+// Integrity footer appended after the v2 payload: per-section CRC32 sums
+// over the byte ranges [0, header_end), [header_end, branches_end),
+// [branches_end, gbd_end), [gbd_end, ged_end). The read side is backward
+// compatible — a footer-less payload (pre-footer writer) still loads — but
+// when the footer is present every checksum must verify, so a flipped bit
+// anywhere in the artifact is caught at load time instead of surfacing as a
+// silently wrong query result.
+constexpr uint32_t kFooterMagic = 0x47424346;  // "GBCF"
+constexpr uint32_t kFooterSectionCount = 4;
+static_assert(kIndexV2FooterBytes ==
+                  2 * sizeof(uint32_t) + kFooterSectionCount * sizeof(uint32_t),
+              "exported footer size must match the footer layout");
+const char* const kFooterSectionNames[kFooterSectionCount] = {
+    "header", "branches", "gbd_prior", "ged_prior"};
 
 // Plausibility bounds for on-disk header fields. A hostile file can claim
 // any value; these only need to admit every index this library can build.
@@ -105,6 +120,39 @@ Result<GbdaIndex> GbdaIndex::Build(const GraphDatabase& db,
   index.ged_prior_->EagerBuild(sizes);
   index.costs_.ged_prior_seconds = timer.Seconds();
   index.costs_.ged_prior_bytes = index.ged_prior_->MemoryBytes();
+  return index;
+}
+
+Result<GbdaIndex> GbdaIndex::FromParts(const GbdaIndexOptions& options,
+                                       int64_t num_vertex_labels,
+                                       int64_t num_edge_labels,
+                                       std::vector<BranchMultiset> branches,
+                                       GbdPrior gbd_prior,
+                                       GedPriorTable ged_prior) {
+  Status header_ok = ValidatePersistedIndexHeader(
+      options, num_vertex_labels, num_edge_labels, /*avg_vertices=*/0.0);
+  if (!header_ok.ok()) {
+    return Status::InvalidArgument("index from parts: " + header_ok.message());
+  }
+  if (ged_prior.tau_max() != options.tau_max ||
+      ged_prior.num_vertex_labels() != num_vertex_labels ||
+      ged_prior.num_edge_labels() != num_edge_labels) {
+    return Status::InvalidArgument(
+        "index from parts: GED prior header disagrees with the index header");
+  }
+  GbdaIndex index;
+  index.options_ = options;
+  index.num_vertex_labels_ = num_vertex_labels;
+  index.num_edge_labels_ = num_edge_labels;
+  index.branches_.reserve(branches.size());
+  for (BranchMultiset& ms : branches) {
+    index.vertex_sum_ += static_cast<double>(ms.size());
+    index.branches_.push_back(
+        std::make_shared<const BranchMultiset>(std::move(ms)));
+  }
+  index.num_live_ = index.branches_.size();
+  index.gbd_prior_ = std::make_shared<const GbdPrior>(std::move(gbd_prior));
+  index.ged_prior_ = std::make_shared<GedPriorTable>(std::move(ged_prior));
   return index;
 }
 
@@ -204,7 +252,7 @@ Status GbdaIndex::SaveToFile(const std::string& path) const {
         "before persisting");
   }
   BinaryWriter writer;
-  writer.PutU32(kIndexMagic);
+  writer.PutU32(kIndexV2Magic);
   writer.PutU32(kIndexVersion);
   writer.PutI64(options_.tau_max);
   writer.PutU64(options_.gbd_prior.num_sample_pairs);
@@ -220,6 +268,7 @@ Status GbdaIndex::SaveToFile(const std::string& path) const {
   writer.PutI64(num_vertex_labels_);
   writer.PutI64(num_edge_labels_);
   writer.PutDouble(avg_vertices());
+  const size_t header_end = writer.buffer().size();
   writer.PutU64(branches_.size());
   for (const auto& ms_ptr : branches_) {
     const BranchMultiset& ms = *ms_ptr;
@@ -229,8 +278,26 @@ Status GbdaIndex::SaveToFile(const std::string& path) const {
       writer.PutPodVector(b.edge_labels);
     }
   }
+  const size_t branches_end = writer.buffer().size();
   gbd_prior_->Serialize(&writer);
+  const size_t gbd_end = writer.buffer().size();
   ged_prior_->Serialize(&writer);
+  const size_t ged_end = writer.buffer().size();
+
+  // Integrity footer: one CRC32 per section (header / branches / priors).
+  // Compatibility is one-way by design: this loader accepts both footered
+  // and footer-less v2 payloads, but pre-footer builds reject a footered
+  // artifact as "trailing bytes" — re-reading new artifacts with old
+  // binaries requires stripping the last kIndexV2FooterBytes.
+  const char* bytes = writer.buffer().data();
+  const uint32_t crcs[kFooterSectionCount] = {
+      Crc32(bytes, header_end),
+      Crc32(bytes + header_end, branches_end - header_end),
+      Crc32(bytes + branches_end, gbd_end - branches_end),
+      Crc32(bytes + gbd_end, ged_end - gbd_end)};
+  writer.PutU32(kFooterMagic);
+  writer.PutU32(kFooterSectionCount);
+  for (uint32_t crc : crcs) writer.PutU32(crc);
 
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open for writing: " + path);
@@ -240,39 +307,71 @@ Status GbdaIndex::SaveToFile(const std::string& path) const {
   return Status::OK();
 }
 
+Status ValidatePersistedIndexHeader(const GbdaIndexOptions& options,
+                                    int64_t num_vertex_labels,
+                                    int64_t num_edge_labels,
+                                    double avg_vertices) {
+  if (options.tau_max < 0 || options.tau_max > kMaxPlausibleTau) {
+    return Status::InvalidArgument("implausible tau_max");
+  }
+  // Bounded like tau_max: the field feeds a later RefitGbdPrior, and an
+  // absurd pair budget would make the fit enumerate every corpus pair.
+  if (options.gbd_prior.num_sample_pairs > (uint64_t{1} << 32)) {
+    return Status::InvalidArgument("implausible sample pairs");
+  }
+  const GmmFitOptions& gmm = options.gbd_prior.gmm;
+  if (!std::isfinite(options.gbd_prior.probability_floor) ||
+      options.gbd_prior.probability_floor < 0.0 || gmm.num_components < 1 ||
+      gmm.num_components > kMaxPlausibleComponents || gmm.max_iterations < 1 ||
+      gmm.max_iterations > kMaxPlausibleIterations ||
+      !std::isfinite(gmm.tolerance) || gmm.tolerance < 0.0 ||
+      !std::isfinite(gmm.stddev_floor) || gmm.stddev_floor <= 0.0) {
+    return Status::InvalidArgument("implausible prior options");
+  }
+  if (num_vertex_labels < 1 || num_vertex_labels > kMaxPlausibleLabels ||
+      num_edge_labels < 1 || num_edge_labels > kMaxPlausibleLabels) {
+    return Status::InvalidArgument("implausible label universe");
+  }
+  if (!std::isfinite(avg_vertices) || avg_vertices < 0.0) {
+    return Status::InvalidArgument("implausible avg_vertices");
+  }
+  return Status::OK();
+}
+
 Result<GbdaIndex> GbdaIndex::LoadFromFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open for reading: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
   const std::string data = buf.str();
-  BinaryReader reader(data);
+  BinaryReader reader(data, path);
+  // Every structural complaint names the artifact and the byte offset of
+  // the offending record (BinaryReader's own failures already do).
+  const auto fail = [&reader](const std::string& what) {
+    return Status::InvalidArgument(
+        reader.Describe("index load: " + what, reader.position()));
+  };
 
   Result<uint32_t> magic = reader.GetU32();
   if (!magic.ok()) return magic.status();
-  if (*magic != kIndexMagic) {
+  if (*magic != kIndexV2Magic) {
     return Status::InvalidArgument("not a GBDA index file: " + path);
   }
   Result<uint32_t> version = reader.GetU32();
   if (!version.ok()) return version.status();
   if (*version != kIndexVersion) {
-    return Status::NotSupported("unsupported index version");
+    return Status::NotSupported(
+        "unsupported index version " + std::to_string(*version) + " in " +
+        path + " (this build reads v2 streams; v3 arenas open through "
+        "GbdaIndexView)");
   }
 
   GbdaIndex index;
   Result<int64_t> tau_max = reader.GetI64();
   if (!tau_max.ok()) return tau_max.status();
-  if (*tau_max < 0 || *tau_max > kMaxPlausibleTau) {
-    return Status::InvalidArgument("index load: implausible tau_max");
-  }
   index.options_.tau_max = *tau_max;
   Result<uint64_t> pairs = reader.GetU64();
   if (!pairs.ok()) return pairs.status();
-  // Bounded like tau_max: the field feeds a later RefitGbdPrior, and an
-  // absurd pair budget would make the fit enumerate every corpus pair.
-  if (*pairs > (uint64_t{1} << 32)) {
-    return Status::InvalidArgument("index load: implausible sample pairs");
-  }
   index.options_.gbd_prior.num_sample_pairs = *pairs;
   Result<uint64_t> seed = reader.GetU64();
   if (!seed.ok()) return seed.status();
@@ -289,11 +388,11 @@ Result<GbdaIndex> GbdaIndex::LoadFromFile(const std::string& path) {
   if (!sd_floor.ok()) return sd_floor.status();
   Result<uint64_t> gmm_seed = reader.GetU64();
   if (!gmm_seed.ok()) return gmm_seed.status();
-  if (!std::isfinite(*prob_floor) || *prob_floor < 0.0 || *ncomp < 1 ||
-      *ncomp > kMaxPlausibleComponents || *iters < 1 ||
-      *iters > kMaxPlausibleIterations || !std::isfinite(*tol) || *tol < 0.0 ||
-      !std::isfinite(*sd_floor) || *sd_floor <= 0.0) {
-    return Status::InvalidArgument("index load: implausible prior options");
+  if (*ncomp < 1 || *ncomp > kMaxPlausibleComponents || *iters < 1 ||
+      *iters > kMaxPlausibleIterations) {
+    // Validated before the narrowing casts below; everything else funnels
+    // through ValidatePersistedIndexHeader once the fields are assembled.
+    return fail("implausible prior options");
   }
   index.options_.gbd_prior.probability_floor = *prob_floor;
   index.options_.gbd_prior.gmm.num_components = static_cast<int>(*ncomp);
@@ -305,17 +404,15 @@ Result<GbdaIndex> GbdaIndex::LoadFromFile(const std::string& path) {
   if (!lv.ok()) return lv.status();
   Result<int64_t> le = reader.GetI64();
   if (!le.ok()) return le.status();
-  if (*lv < 1 || *lv > kMaxPlausibleLabels || *le < 1 ||
-      *le > kMaxPlausibleLabels) {
-    return Status::InvalidArgument("index load: implausible label universe");
-  }
   index.num_vertex_labels_ = *lv;
   index.num_edge_labels_ = *le;
   Result<double> avg_v = reader.GetDouble();
   if (!avg_v.ok()) return avg_v.status();
-  if (!std::isfinite(*avg_v) || *avg_v < 0.0) {
-    return Status::InvalidArgument("index load: implausible avg_vertices");
-  }
+  Status header_ok = ValidatePersistedIndexHeader(
+      index.options_, index.num_vertex_labels_, index.num_edge_labels_,
+      *avg_v);
+  if (!header_ok.ok()) return fail(header_ok.message());
+  const size_t header_end = reader.position();
 
   Result<uint64_t> num_graphs = reader.GetU64();
   if (!num_graphs.ok()) return num_graphs.status();
@@ -323,14 +420,19 @@ Result<GbdaIndex> GbdaIndex::LoadFromFile(const std::string& path) {
   // exceeding remaining/8 cannot be honest. Checking BEFORE resize keeps a
   // hostile 16-byte file from demanding gigabytes.
   if (*num_graphs > reader.remaining() / kMinGraphRecordBytes) {
-    return Status::OutOfRange("index load: graph count exceeds file size");
+    return Status::OutOfRange(reader.Describe(
+        "index load: graph count exceeds file size", header_end));
   }
   index.branches_.reserve(static_cast<size_t>(*num_graphs));
   for (uint64_t i = 0; i < *num_graphs; ++i) {
+    const size_t graph_at = reader.position();
     Result<uint64_t> count = reader.GetU64();
     if (!count.ok()) return count.status();
     if (*count > reader.remaining() / kMinBranchRecordBytes) {
-      return Status::OutOfRange("index load: branch count exceeds file size");
+      return Status::OutOfRange(reader.Describe(
+          "index load: branch count of graph " + std::to_string(i) +
+              " exceeds file size",
+          graph_at));
     }
     BranchMultiset ms;
     ms.resize(static_cast<size_t>(*count));
@@ -347,10 +449,12 @@ Result<GbdaIndex> GbdaIndex::LoadFromFile(const std::string& path) {
         std::make_shared<const BranchMultiset>(std::move(ms)));
   }
   index.num_live_ = index.branches_.size();
+  const size_t branches_end = reader.position();
 
   Result<GbdPrior> prior = GbdPrior::Deserialize(&reader);
   if (!prior.ok()) return prior.status();
   index.gbd_prior_ = std::make_shared<const GbdPrior>(std::move(*prior));
+  const size_t gbd_end = reader.position();
   Result<GedPriorTable> ged = GedPriorTable::Deserialize(&reader);
   if (!ged.ok()) return ged.status();
   // The embedded prior carries its own header; a crafted file could pass
@@ -360,18 +464,45 @@ Result<GbdaIndex> GbdaIndex::LoadFromFile(const std::string& path) {
   if (ged->tau_max() != index.options_.tau_max ||
       ged->num_vertex_labels() != index.num_vertex_labels_ ||
       ged->num_edge_labels() != index.num_edge_labels_) {
-    return Status::InvalidArgument(
-        "index load: GED prior header disagrees with the index header");
+    return fail("GED prior header disagrees with the index header");
   }
   index.ged_prior_ = std::make_shared<GedPriorTable>(std::move(*ged));
-  if (!reader.AtEnd()) {
-    return Status::InvalidArgument("index load: trailing bytes after index");
+  const size_t ged_end = reader.position();
+
+  // Optional integrity footer (see SaveToFile). Footer-less payloads load
+  // for backward compatibility; anything else trailing is rejected, and a
+  // present footer must verify section by section.
+  if (reader.remaining() == 0) return index;
+  if (reader.remaining() != kIndexV2FooterBytes) {
+    return fail("trailing bytes after index");
+  }
+  Result<uint32_t> footer_magic = reader.GetU32();
+  if (!footer_magic.ok()) return footer_magic.status();
+  if (*footer_magic != kFooterMagic) return fail("trailing bytes after index");
+  Result<uint32_t> footer_sections = reader.GetU32();
+  if (!footer_sections.ok()) return footer_sections.status();
+  if (*footer_sections != kFooterSectionCount) {
+    return fail("unexpected footer section count");
+  }
+  const size_t bounds[kFooterSectionCount + 1] = {0, header_end, branches_end,
+                                                  gbd_end, ged_end};
+  for (size_t s = 0; s < kFooterSectionCount; ++s) {
+    Result<uint32_t> stored = reader.GetU32();
+    if (!stored.ok()) return stored.status();
+    const uint32_t actual =
+        Crc32(data.data() + bounds[s], bounds[s + 1] - bounds[s]);
+    if (actual != *stored) {
+      return Status::DataLoss(reader.Describe(
+          "index load: CRC32 mismatch in section '" +
+              std::string(kFooterSectionNames[s]) + "'",
+          bounds[s]));
+    }
   }
   return index;
 }
 
 Status ValidateIndexForDatabase(const GraphDatabase& db,
-                                const GbdaIndex& index) {
+                                const IndexReader& index) {
   if (index.num_graphs() != db.size()) {
     return Status::FailedPrecondition(
         "index/database mismatch: index covers " +
@@ -389,7 +520,7 @@ Status ValidateIndexForDatabase(const GraphDatabase& db,
         "serve a mutated corpus — use DynamicGbdaService");
   }
   for (size_t id = 0; id < db.size(); ++id) {
-    if (index.branches(id).size() != db.graph(id).num_vertices()) {
+    if (index.branch_set(id).size() != db.graph(id).num_vertices()) {
       return Status::FailedPrecondition(
           "index/database mismatch: branch multiset of graph " +
           std::to_string(id) + " does not match the stored graph");

@@ -29,6 +29,7 @@
 #include "core/branch.h"
 #include "core/gbd_prior.h"
 #include "core/ged_prior.h"
+#include "core/index_reader.h"
 #include "graph/graph_database.h"
 
 namespace gbda {
@@ -67,6 +68,15 @@ struct OfflineCosts {
 /// The branch multiset of a tombstoned slot (see GbdaIndex::RemoveGraphs).
 inline const BranchMultiset kEmptyBranchMultiset{};
 
+/// First word of every v2 stream artifact ("GBDA" in little-endian bytes).
+/// Exported so tooling (gbda_indexctl) routes artifacts by magic with the
+/// loader's own constant rather than a copy that could drift.
+inline constexpr uint32_t kIndexV2Magic = 0x47424441;
+/// Byte size of the v2 integrity footer appended by SaveToFile (footer
+/// magic + section count + one CRC32 per section). LoadFromFile accepts
+/// payloads without it (pre-footer artifacts) but verifies it when present.
+inline constexpr size_t kIndexV2FooterBytes = 6 * sizeof(uint32_t);
+
 /// The offline artifact of GBDA: precomputed branch multisets for every
 /// database graph (Section III requires them stored with the graphs), the
 /// GMM prior of GBDs (Lambda2) and the Jeffreys prior of GEDs (Lambda3).
@@ -74,7 +84,10 @@ inline const BranchMultiset kEmptyBranchMultiset{};
 ///
 /// Copying an index is cheap and shallow: the branch multisets and both
 /// priors are immutable (or internally synchronized) shared artifacts.
-class GbdaIndex {
+///
+/// GbdaIndex is the owning implementation of the IndexReader scan contract;
+/// the zero-copy GbdaIndexView (storage/index_view.h) is the other.
+class GbdaIndex : public IndexReader {
  public:
   /// Runs the offline stage over `db`. The database must not contain
   /// tombstones (use the dynamic serving layer for mutable corpora) and must
@@ -82,28 +95,49 @@ class GbdaIndex {
   static Result<GbdaIndex> Build(const GraphDatabase& db,
                                  const GbdaIndexOptions& options);
 
+  /// Assembles an index from already-decoded artifact parts — the storage
+  /// engine's v3 -> v2 materialization path (storage/index_view.h). Performs
+  /// the same cross-checks LoadFromFile runs on a v2 stream: plausible
+  /// header fields and a GED-prior header that agrees with the index header.
+  /// The assembled index reports gbd_staleness() == 0, like any loaded
+  /// artifact.
+  static Result<GbdaIndex> FromParts(const GbdaIndexOptions& options,
+                                     int64_t num_vertex_labels,
+                                     int64_t num_edge_labels,
+                                     std::vector<BranchMultiset> branches,
+                                     GbdPrior gbd_prior,
+                                     GedPriorTable ged_prior);
+
   const BranchMultiset& branches(size_t graph_id) const {
     return branches_[graph_id] ? *branches_[graph_id] : kEmptyBranchMultiset;
   }
-  size_t num_graphs() const { return branches_.size(); }
+  size_t num_graphs() const override { return branches_.size(); }
 
-  const GbdPrior& gbd_prior() const { return *gbd_prior_; }
+  BranchSetRef branch_set(size_t graph_id) const override {
+    return branches_[graph_id] ? BranchSetRef(*branches_[graph_id])
+                               : BranchSetRef();
+  }
+
+  const GbdPrior& gbd_prior() const override { return *gbd_prior_; }
   GedPriorTable& ged_prior() { return *ged_prior_; }
   const GedPriorTable& ged_prior() const { return *ged_prior_; }
+  GedPriorTable* mutable_ged_prior() const override {
+    return ged_prior_.get();
+  }
 
-  int64_t tau_max() const { return options_.tau_max; }
-  int64_t num_vertex_labels() const { return num_vertex_labels_; }
-  int64_t num_edge_labels() const { return num_edge_labels_; }
+  int64_t tau_max() const override { return options_.tau_max; }
+  int64_t num_vertex_labels() const override { return num_vertex_labels_; }
+  int64_t num_edge_labels() const override { return num_edge_labels_; }
 
   /// Mean vertex count over live database graphs (used by the GBDA-V1
   /// variant).
-  double avg_vertices() const {
+  double avg_vertices() const override {
     return num_live_ == 0 ? 0.0
                           : vertex_sum_ / static_cast<double>(num_live_);
   }
 
   const OfflineCosts& costs() const { return costs_; }
-  const GbdaIndexOptions& options() const { return options_; }
+  const GbdaIndexOptions& options() const override { return options_; }
 
   // -- Incremental maintenance (docs/ARCHITECTURE.md, "Dynamic corpus") ----
 
@@ -121,10 +155,10 @@ class GbdaIndex {
   bool is_live(size_t id) const {
     return id < branches_.size() && branches_[id] != nullptr;
   }
-  size_t num_live() const { return num_live_; }
+  size_t num_live() const override { return num_live_; }
 
   /// Mutations (adds + removes) since Lambda2 was last fit.
-  size_t gbd_staleness() const { return gbd_staleness_; }
+  size_t gbd_staleness() const override { return gbd_staleness_; }
   /// Staleness relative to the live corpus size — the drift measure of the
   /// refit policy (DynamicServiceOptions::gbd_refit_fraction).
   double GbdStalenessFraction() const {
@@ -180,6 +214,18 @@ class GbdaIndex {
 /// (GbdaSearch, GbdaService, DynamicGbdaService): an index built over a
 /// different database generation — e.g. a stale SaveToFile artifact — would
 /// otherwise drive out-of-bounds branch and prefilter lookups during scans.
-Status ValidateIndexForDatabase(const GraphDatabase& db, const GbdaIndex& index);
+/// Accepts any IndexReader, so a mapped v3 artifact is checked the same way
+/// as a decoded index.
+Status ValidateIndexForDatabase(const GraphDatabase& db,
+                                const IndexReader& index);
+
+/// Shared plausibility validation of persisted index header fields, used by
+/// both the v2 stream loader (LoadFromFile) and the v3 arena loader
+/// (storage/index_view.cc). A hostile artifact can claim any value; these
+/// bounds only need to admit every index this library can build.
+Status ValidatePersistedIndexHeader(const GbdaIndexOptions& options,
+                                    int64_t num_vertex_labels,
+                                    int64_t num_edge_labels,
+                                    double avg_vertices);
 
 }  // namespace gbda

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "common/timer.h"
 
@@ -27,7 +28,7 @@ void SortTopK(std::vector<SearchMatch>* matches, size_t k) {
 Result<ScanContext> PrepareScan(const Graph& query,
                                 const SearchOptions& options, bool apply_gamma,
                                 const CorpusRef& corpus,
-                                const GbdaIndex& index) {
+                                const IndexReader& index) {
   if (options.tau_hat < 0 || options.tau_hat > index.tau_max()) {
     return Status::InvalidArgument(
         "tau_hat outside the range supported by this index");
@@ -49,6 +50,22 @@ Result<ScanContext> PrepareScan(const Graph& query,
   ctx.options = options;
   ctx.apply_gamma = apply_gamma;
   ctx.query_branches = ExtractBranches(query);
+  // Flatten the query multiset once per query (see ScanContext::query_ref):
+  // same (root, labels) content, so the intersection count — and every
+  // score derived from it — is unchanged.
+  const size_t query_size = ctx.query_branches.size();
+  ctx.query_roots.resize(query_size);
+  ctx.query_offsets.assign(query_size + 1, 0);
+  for (size_t i = 0; i < query_size; ++i) {
+    const Branch& b = ctx.query_branches[i];
+    ctx.query_roots[i] = b.root;
+    ctx.query_pool.insert(ctx.query_pool.end(), b.edge_labels.begin(),
+                          b.edge_labels.end());
+    ctx.query_offsets[i + 1] = ctx.query_pool.size();
+  }
+  ctx.query_ref = BranchSetRef(ctx.query_roots.data(),
+                               ctx.query_offsets.data(),
+                               ctx.query_pool.data(), query_size);
   if (options.use_prefilter) ctx.query_profile = BuildFilterProfile(query);
 
   // GBDA-V1 replaces the pair-specific |V'1| by a database average estimated
@@ -70,10 +87,11 @@ Result<ScanContext> PrepareScan(const Graph& query,
   return ctx;
 }
 
-Status ScanRange(const ScanContext& ctx, const GbdaIndex& index,
+Status ScanRange(const ScanContext& ctx, const IndexReader& index,
                  const Prefilter* prefilter, size_t begin, size_t end,
                  PosteriorEngine* posterior, SearchResult* result) {
   const SearchOptions& options = ctx.options;
+  const BranchSetRef& query_branches = ctx.query_ref;
   const size_t range = end - begin;
   // Only the no-gamma, no-prefilter scan has a known match count (every
   // candidate); under the gamma cut or the prefilter the accepted set is
@@ -84,52 +102,76 @@ Status ScanRange(const ScanContext& ctx, const GbdaIndex& index,
           ? range
           : std::min<size_t>(range, 64);
   result->matches.reserve(result->matches.size() + expected);
+  // Scan-local Phi cache. tau_hat is fixed for the whole scan, so (v, phi)
+  // keys the posterior value; a database scan repeats the same few hundred
+  // pairs thousands of times, and answering repeats here — without the
+  // engine's mutex + global-map round trip — is what keeps the per-candidate
+  // cost near the branch intersection itself. Pure memoisation of a
+  // deterministic function: results stay bit-identical, per shard and
+  // serially (the engine's own cross-query memo is unchanged).
+  std::unordered_map<uint64_t, double> local_phi;
   for (size_t id = begin; id < end; ++id) {
     if (options.use_prefilter &&
         !prefilter->Passes(ctx.query_profile, id, options.tau_hat)) {
       ++result->prefiltered_out;
       continue;
     }
-    const BranchMultiset& g_branches = index.branches(id);
+    const BranchSetRef g_branches = index.branch_set(id);
     ++result->candidates_evaluated;
 
     int64_t phi;
     if (options.variant == GbdaVariant::kWeightedGbd) {
-      const double vgbd = Vgbd(ctx.query_branches, g_branches, options.vgbd_w);
+      const double vgbd = Vgbd(query_branches, g_branches, options.vgbd_w);
       phi = std::max<int64_t>(0, static_cast<int64_t>(std::llround(vgbd)));
     } else {
-      phi = static_cast<int64_t>(
-          GbdFromBranches(ctx.query_branches, g_branches));
+      phi = static_cast<int64_t>(GbdFromBranches(query_branches, g_branches));
     }
 
     const int64_t v =
         options.variant == GbdaVariant::kAverageSize
             ? ctx.v1_size
             : static_cast<int64_t>(
-                  std::max(ctx.query_branches.size(), g_branches.size()));
+                  std::max(query_branches.size(), g_branches.size()));
 
-    Result<double> phi_score = posterior->Phi(v, phi, options.tau_hat);
-    if (!phi_score.ok()) return phi_score.status();
-    if (!ctx.apply_gamma || *phi_score >= options.gamma) {
-      result->matches.push_back(SearchMatch{id, *phi_score, phi});
+    // v is bounded by vertex counts (LabelId-sized) so it always fits its
+    // key half; phi normally is too, but the kWeightedGbd variant rounds
+    // max_size - w * common with a caller-supplied w, which an extreme
+    // weight can push past 32 bits — such pairs bypass the cache rather
+    // than collide in it.
+    double score;
+    const bool cacheable = phi <= INT64_C(0xFFFFFFFF);
+    const uint64_t key =
+        (static_cast<uint64_t>(v) << 32) | static_cast<uint64_t>(phi);
+    const auto cached =
+        cacheable ? local_phi.find(key) : local_phi.end();
+    if (cacheable && cached != local_phi.end()) {
+      score = cached->second;
+    } else {
+      Result<double> phi_score = posterior->Phi(v, phi, options.tau_hat);
+      if (!phi_score.ok()) return phi_score.status();
+      score = *phi_score;
+      if (cacheable) local_phi.emplace(key, score);
+    }
+    if (!ctx.apply_gamma || score >= options.gamma) {
+      result->matches.push_back(SearchMatch{id, score, phi});
     }
   }
   return Status::OK();
 }
 
-Result<std::unique_ptr<GbdaSearch>> GbdaSearch::Create(const GraphDatabase* db,
-                                                       GbdaIndex* index) {
+Result<std::unique_ptr<GbdaSearch>> GbdaSearch::Create(
+    const GraphDatabase* db, const IndexReader* index) {
   Status agree = ValidateIndexForDatabase(*db, *index);
   if (!agree.ok()) return agree;
   return std::make_unique<GbdaSearch>(db, index);
 }
 
-GbdaSearch::GbdaSearch(const GraphDatabase* db, GbdaIndex* index)
+GbdaSearch::GbdaSearch(const GraphDatabase* db, const IndexReader* index)
     : db_(db),
       index_(index),
       posterior_(index->num_vertex_labels(), index->num_edge_labels(),
-                 index->tau_max(), &index->ged_prior(), &index->gbd_prior()),
-      prefilter_(db) {}
+                 index->tau_max(), index->mutable_ged_prior(),
+                 &index->gbd_prior()) {}
 
 Result<SearchResult> GbdaSearch::Scan(const Graph& query,
                                       const SearchOptions& options,
@@ -145,8 +187,17 @@ Result<SearchResult> GbdaSearch::Scan(const Graph& query,
   Result<ScanContext> ctx =
       PrepareScan(query, options, apply_gamma, CorpusRef(db_), *index_);
   if (!ctx.ok()) return ctx.status();
+  // Touch prefilter_ only on the use_prefilter branch: a non-prefiltered
+  // query reading the pointer while another thread's call_once is
+  // constructing it would be an unsynchronized read.
+  const Prefilter* prefilter = nullptr;
+  if (options.use_prefilter) {
+    std::call_once(prefilter_once_,
+                   [this] { prefilter_ = std::make_unique<Prefilter>(db_); });
+    prefilter = prefilter_.get();
+  }
   SearchResult result;
-  Status scan = ScanRange(*ctx, *index_, &prefilter_, 0, db_->size(),
+  Status scan = ScanRange(*ctx, *index_, prefilter, 0, db_->size(),
                           &posterior_, &result);
   if (!scan.ok()) return scan;
   result.seconds = timer.Seconds();

@@ -13,11 +13,17 @@
 /// contiguous id range), so the serving layer (src/service/gbda_service.h)
 /// can fan the same arithmetic out over shards and stay bit-identical to
 /// the serial scan; see docs/ARCHITECTURE.md, "Serving layer".
+///
+/// Both halves consume the index through the IndexReader contract
+/// (core/index_reader.h), so a decoded GbdaIndex and a mapped v3 artifact
+/// (storage/index_view.h) serve queries through one code path with
+/// bit-identical results.
 
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -102,13 +108,35 @@ class CorpusRef {
 };
 
 /// Per-query state shared by every candidate evaluation of one query:
-/// the query's branch multiset, its filter profile (when the prefilter is
-/// on) and the GBDA-V1 database-average size estimate. Computed once by
-/// PrepareScan, then read-only — safe to share across shard workers.
+/// the query's branch multiset (plus its flattened form, see below), its
+/// filter profile (when the prefilter is on) and the GBDA-V1
+/// database-average size estimate. Computed once by PrepareScan, then
+/// read-only — safe to share across shard workers.
 struct ScanContext {
+  /// Move-only: query_ref points into this context's own buffers, so an
+  /// implicit copy would silently alias the source's heap storage. Moves
+  /// are safe — the vectors keep their heap buffers, so the ref stays
+  /// valid across moves (PrepareScan's return path relies on that).
+  ScanContext() = default;
+  ScanContext(ScanContext&&) = default;
+  ScanContext& operator=(ScanContext&&) = default;
+  ScanContext(const ScanContext&) = delete;
+  ScanContext& operator=(const ScanContext&) = delete;
+
   SearchOptions options;
   bool apply_gamma = true;
   BranchMultiset query_branches;
+  /// query_branches flattened into contiguous arrays (the layout a mapped
+  /// candidate already has), so the merge loop walks flat root arrays on
+  /// both sides for every one of the O(corpus * |q|) comparisons. Built
+  /// once per query here rather than per (query, shard) task.
+  std::vector<uint32_t> query_roots;
+  std::vector<uint64_t> query_offsets;  // query_branches.size() + 1 entries
+  std::vector<LabelId> query_pool;
+  /// The flat view over the three arrays above (valid across moves, see
+  /// the class comment).
+  BranchSetRef query_ref;
+
   FilterProfile query_profile;
   int64_t v1_size = 0;  // only meaningful for GbdaVariant::kAverageSize
 };
@@ -121,7 +149,7 @@ struct ScanContext {
 Result<ScanContext> PrepareScan(const Graph& query,
                                 const SearchOptions& options, bool apply_gamma,
                                 const CorpusRef& corpus,
-                                const GbdaIndex& index);
+                                const IndexReader& index);
 
 /// Evaluates candidates with ids in [begin, end), appending accepted
 /// matches to result->matches (in ascending id order) and accumulating
@@ -130,7 +158,7 @@ Result<ScanContext> PrepareScan(const Graph& query,
 /// ctx.options.use_prefilter is false. Thread-compatible: concurrent calls
 /// are safe when each uses its own `posterior` and `result` (the index,
 /// prefilter and ctx are only read).
-Status ScanRange(const ScanContext& ctx, const GbdaIndex& index,
+Status ScanRange(const ScanContext& ctx, const IndexReader& index,
                  const Prefilter* prefilter, size_t begin, size_t end,
                  PosteriorEngine* posterior, SearchResult* result);
 
@@ -143,15 +171,16 @@ class GbdaSearch {
   /// Checked construction: fails when `index` does not agree with `db`
   /// (graph counts and per-graph branch sizes), e.g. a stale LoadFromFile
   /// artifact. Prefer this over the raw constructor whenever the index
-  /// provenance is not statically known.
+  /// provenance is not statically known. Accepts any IndexReader — a
+  /// decoded GbdaIndex or a mapped GbdaIndexView.
   static Result<std::unique_ptr<GbdaSearch>> Create(const GraphDatabase* db,
-                                                    GbdaIndex* index);
+                                                    const IndexReader* index);
 
   /// `db` and `index` must outlive the search object. The index must have
   /// been built over exactly this database (Create enforces this; the raw
   /// constructor defers the check to query time, where PrepareScan rejects
   /// a size mismatch before any out-of-bounds access can happen).
-  GbdaSearch(const GraphDatabase* db, GbdaIndex* index);
+  GbdaSearch(const GraphDatabase* db, const IndexReader* index);
 
   /// Runs one similarity query. Fails when options.tau_hat exceeds the
   /// index's tau_max.
@@ -173,9 +202,15 @@ class GbdaSearch {
                             bool apply_gamma);
 
   const GraphDatabase* db_;
-  GbdaIndex* index_;
+  const IndexReader* index_;
   PosteriorEngine posterior_;
-  Prefilter prefilter_;
+  /// Built on the first prefiltered query: profile extraction is O(corpus)
+  /// and cold-start sensitive (bench/bench_coldstart.cc), so queries that
+  /// never enable the prefilter never pay for it. call_once keeps
+  /// concurrent Query calls as safe as they were with the eager member
+  /// (the engine is internally synchronized already).
+  std::once_flag prefilter_once_;
+  std::unique_ptr<Prefilter> prefilter_;
 };
 
 }  // namespace gbda

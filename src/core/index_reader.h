@@ -1,0 +1,68 @@
+/// \file index_reader.h
+/// The read surface of a GBDA index — the contract the online scan
+/// (PrepareScan / ScanRange), the posterior-engine construction and the
+/// serving layer consume. Two implementations exist:
+///
+///   - GbdaIndex (core/gbda_index.h): the decoded, heap-owning index the
+///     offline stage builds and the dynamic corpus maintains incrementally;
+///   - GbdaIndexView (storage/index_view.h): a non-owning view over a mapped
+///     v3 arena artifact that serves branch multisets in place, with zero
+///     deserialization (docs/ARCHITECTURE.md, "Storage engine").
+///
+/// Everything downstream of the offline stage — GbdaSearch, GbdaService,
+/// DynamicGbdaService snapshots, IndexShards — speaks this interface, so an
+/// owned index and a mapped artifact are interchangeable and bit-identical
+/// in query results. Implementations must be internally synchronized for
+/// concurrent readers (branch data immutable; GedPriorTable locks its lazy
+/// row cache).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/branch.h"
+
+namespace gbda {
+
+class GbdPrior;
+class GedPriorTable;
+struct GbdaIndexOptions;
+
+class IndexReader {
+ public:
+  virtual ~IndexReader() = default;
+
+  /// Total id slots (dense scan range is [0, num_graphs())).
+  virtual size_t num_graphs() const = 0;
+  /// Live (non-tombstoned) slots; frozen consumers require
+  /// num_live() == num_graphs().
+  virtual size_t num_live() const = 0;
+  /// Mutations absorbed since Lambda2 was last fit (always 0 for persisted
+  /// artifacts: both formats refuse to encode a drifted prior).
+  virtual size_t gbd_staleness() const = 0;
+
+  /// The branch multiset of graph `id` as a non-owning view; empty for a
+  /// tombstoned slot. Valid while the index outlives the ref.
+  virtual BranchSetRef branch_set(size_t id) const = 0;
+
+  /// The offline-stage options this index was built with (persisted by both
+  /// artifact formats so a converted or reloaded index refits Lambda2 with
+  /// Build's exact arithmetic).
+  virtual const GbdaIndexOptions& options() const = 0;
+
+  virtual int64_t tau_max() const = 0;
+  virtual int64_t num_vertex_labels() const = 0;
+  virtual int64_t num_edge_labels() const = 0;
+  /// Mean vertex count over live graphs (the GBDA-V1 size estimate's
+  /// database-level analogue; persisted in both formats).
+  virtual double avg_vertices() const = 0;
+
+  /// The GMM prior of GBD values (Lambda2). Immutable and shared.
+  virtual const GbdPrior& gbd_prior() const = 0;
+  /// The Jeffreys prior table (Lambda3). Non-const because rows build
+  /// lazily at query time; the table is internally synchronized, so handing
+  /// it to concurrent PosteriorEngine replicas is safe.
+  virtual GedPriorTable* mutable_ged_prior() const = 0;
+};
+
+}  // namespace gbda

@@ -112,7 +112,6 @@ void DynamicGbdaService::Republish(bool force_refit) {
                                  ? pool_.size()
                                  : options_.service.num_shards;
   snap->shards = std::make_unique<IndexShards>(snap->index.get(),
-                                               snap->prefilter.get(),
                                                shard_count);
 
   // Engine replicas memoise posterior values that depend only on the two
@@ -121,7 +120,7 @@ void DynamicGbdaService::Republish(bool force_refit) {
   // new prior objects (kept alive by the snapshot's index).
   std::shared_ptr<const Snapshot> prev = LoadSnapshot();
   if (prev && &prev->index->gbd_prior() == &snap->index->gbd_prior() &&
-      &prev->index->ged_prior() == &snap->index->ged_prior()) {
+      prev->index->mutable_ged_prior() == snap->index->mutable_ged_prior()) {
     snap->engines = prev->engines;
   } else {
     auto engines =
@@ -130,7 +129,7 @@ void DynamicGbdaService::Republish(bool force_refit) {
     for (size_t i = 0; i < pool_.size() + 1; ++i) {
       engines->push_back(std::make_unique<PosteriorEngine>(
           snap->index->num_vertex_labels(), snap->index->num_edge_labels(),
-          snap->index->tau_max(), &snap->index->ged_prior(),
+          snap->index->tau_max(), snap->index->mutable_ged_prior(),
           &snap->index->gbd_prior()));
     }
     snap->engines = std::move(engines);
@@ -237,7 +236,8 @@ Result<std::vector<SearchResult>> DynamicGbdaService::RunBatchOn(
     const SearchOptions& options, bool apply_gamma, size_t top_k) {
   WallTimer timer;
   ParallelScanEnv env{&pool_, snap->shards.get(), snap->index.get(),
-                      CorpusRef(&snap->graphs), snap->engines.get()};
+                      snap->prefilter.get(), CorpusRef(&snap->graphs),
+                      snap->engines.get()};
   Result<std::vector<SearchResult>> results =
       ParallelScanBatch(env, queries, options, apply_gamma, top_k);
   if (!results.ok()) return results;

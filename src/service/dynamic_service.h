@@ -151,7 +151,11 @@ class DynamicGbdaService {
     uint64_t generation = 0;
     std::vector<size_t> stable_ids;       // dense position -> stable id
     std::vector<const Graph*> graphs;     // dense; deque-stable pointers
-    std::shared_ptr<GbdaIndex> index;     // dense CompactView
+    /// The generation's branch store, held through the IndexReader scan
+    /// contract: today always an owned dense CompactView, but any reader —
+    /// e.g. a mapped GbdaIndexView over a v3 artifact — satisfies the
+    /// serving path (docs/ARCHITECTURE.md, "Storage engine").
+    std::shared_ptr<const IndexReader> index;
     std::shared_ptr<const Prefilter> prefilter;
     std::unique_ptr<IndexShards> shards;
     /// One engine per pool worker + spare; shared with the previous

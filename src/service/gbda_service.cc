@@ -21,19 +21,19 @@ void AccumulateServiceStats(const std::vector<SearchResult>& results,
 }
 
 Result<std::unique_ptr<GbdaService>> GbdaService::Create(
-    const GraphDatabase* db, GbdaIndex* index, const ServiceOptions& options) {
+    const GraphDatabase* db, const IndexReader* index,
+    const ServiceOptions& options) {
   Status agree = ValidateIndexForDatabase(*db, *index);
   if (!agree.ok()) return agree;
   return std::make_unique<GbdaService>(db, index, options);
 }
 
-GbdaService::GbdaService(const GraphDatabase* db, GbdaIndex* index,
+GbdaService::GbdaService(const GraphDatabase* db, const IndexReader* index,
                          const ServiceOptions& options)
     : db_(db),
       index_(index),
       pool_(options.num_threads),
-      prefilter_(db),
-      shards_(index, &prefilter_,
+      shards_(index,
               options.num_shards == 0 ? pool_.size() : options.num_shards) {
   // One engine per worker plus a spare for non-pool threads; replicas share
   // the index's thread-safe priors (see the file comment).
@@ -41,8 +41,15 @@ GbdaService::GbdaService(const GraphDatabase* db, GbdaIndex* index,
   for (size_t i = 0; i < pool_.size() + 1; ++i) {
     engines_.push_back(std::make_unique<PosteriorEngine>(
         index_->num_vertex_labels(), index_->num_edge_labels(),
-        index_->tau_max(), &index_->ged_prior(), &index_->gbd_prior()));
+        index_->tau_max(), index_->mutable_ged_prior(),
+        &index_->gbd_prior()));
   }
+}
+
+const Prefilter* GbdaService::EnsurePrefilter() {
+  std::call_once(prefilter_once_,
+                 [this] { prefilter_ = std::make_unique<Prefilter>(db_); });
+  return prefilter_.get();
 }
 
 Result<std::vector<SearchResult>> GbdaService::RunBatch(
@@ -56,7 +63,10 @@ Result<std::vector<SearchResult>> GbdaService::RunBatch(
         "database is tombstoned: the frozen scan cannot serve a mutated "
         "corpus — use DynamicGbdaService");
   }
-  ParallelScanEnv env{&pool_, &shards_, index_, CorpusRef(db_), &engines_};
+  const Prefilter* prefilter =
+      options.use_prefilter ? EnsurePrefilter() : nullptr;
+  ParallelScanEnv env{&pool_, &shards_, index_, prefilter, CorpusRef(db_),
+                      &engines_};
   Result<std::vector<SearchResult>> results =
       ParallelScanBatch(env, queries, options, apply_gamma, top_k);
   if (!results.ok()) return results;

@@ -70,11 +70,14 @@ struct ServiceStats {
 void AccumulateServiceStats(const std::vector<SearchResult>& results,
                             double wall_seconds, ServiceStats* stats);
 
-/// Concurrent sharded query engine over a prebuilt GbdaIndex. Thread-safe:
-/// concurrent public calls are allowed (they share the pool and the
-/// per-worker engines; statistics are mutex-guarded). `db` and `index`
-/// must outlive the service and the index must have been built over
-/// exactly this database.
+/// Concurrent sharded query engine over a prebuilt index. The index is
+/// consumed through the IndexReader contract (core/index_reader.h), so the
+/// service serves equally from a decoded GbdaIndex and from a zero-copy
+/// GbdaIndexView over a mapped v3 artifact (storage/index_view.h) — results
+/// are bit-identical either way. Thread-safe: concurrent public calls are
+/// allowed (they share the pool and the per-worker engines; statistics are
+/// mutex-guarded). `db` and `index` must outlive the service and the index
+/// must have been built over exactly this database.
 class GbdaService {
  public:
   /// Checked construction: fails when `index` does not agree with `db`
@@ -82,13 +85,13 @@ class GbdaService {
   /// artifact — an undetected mismatch would drive out-of-bounds branch and
   /// prefilter lookups in the shard scans.
   static Result<std::unique_ptr<GbdaService>> Create(
-      const GraphDatabase* db, GbdaIndex* index,
+      const GraphDatabase* db, const IndexReader* index,
       const ServiceOptions& options = ServiceOptions());
 
   /// Raw constructor; Create enforces db/index agreement up front, the raw
   /// path defers it to query time (PrepareScan rejects a size mismatch
   /// before any out-of-bounds access can happen).
-  GbdaService(const GraphDatabase* db, GbdaIndex* index,
+  GbdaService(const GraphDatabase* db, const IndexReader* index,
               const ServiceOptions& options = ServiceOptions());
 
   /// Threshold query, bit-identical to GbdaSearch::Query (matches in
@@ -125,10 +128,18 @@ class GbdaService {
                                              const SearchOptions& options,
                                              bool apply_gamma, size_t top_k);
 
+  /// The layered prefilter, built on the first batch that enables it:
+  /// profile extraction is O(corpus) and cold-start sensitive (the mapped
+  /// v3 serving path opens in microseconds; an eager prefilter would put a
+  /// corpus-sized decode right back into startup). Thread-safe via
+  /// call_once; returns a stable pointer.
+  const Prefilter* EnsurePrefilter();
+
   const GraphDatabase* db_;
-  GbdaIndex* index_;
+  const IndexReader* index_;
   ThreadPool pool_;  // before shards_: the shard default is one per worker
-  Prefilter prefilter_;
+  std::once_flag prefilter_once_;
+  std::unique_ptr<Prefilter> prefilter_;
   IndexShards shards_;
   std::vector<std::unique_ptr<PosteriorEngine>> engines_;
 

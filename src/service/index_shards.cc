@@ -4,8 +4,7 @@
 
 namespace gbda {
 
-IndexShards::IndexShards(const GbdaIndex* index, const Prefilter* prefilter,
-                         size_t num_shards)
+IndexShards::IndexShards(const IndexReader* index, size_t num_shards)
     : num_graphs_(index->num_graphs()) {
   const size_t n = num_graphs_;
   num_shards = std::max<size_t>(1, std::min(num_shards, std::max<size_t>(1, n)));
@@ -15,7 +14,7 @@ IndexShards::IndexShards(const GbdaIndex* index, const Prefilter* prefilter,
     // [s*n/S, (s+1)*n/S), which tiles [0, n) with sizes differing by <= 1.
     const size_t begin = s * n / num_shards;
     const size_t end = (s + 1) * n / num_shards;
-    shards_.emplace_back(s, begin, end, index, prefilter);
+    shards_.emplace_back(s, begin, end, index);
   }
 }
 

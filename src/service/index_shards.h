@@ -1,11 +1,12 @@
 /// \file index_shards.h
 /// Static partitioning of a GbdaIndex for shard-parallel scans. Graph ids
 /// are split into contiguous, near-equal ranges; each ShardView bundles the
-/// id range with read-only views of the branch store and the shared layered
-/// Prefilter, which is all a worker needs to run core ScanRange over its
-/// slice. Because shards are contiguous and ascending, concatenating
-/// per-shard results in shard order reproduces the serial scan's id order
-/// exactly — the determinism contract of the serving layer
+/// id range with a read-only view of the branch store, which is all a
+/// worker needs to run core ScanRange over its slice (the per-batch
+/// Prefilter travels in ParallelScanEnv — it may be built lazily by the
+/// owner, after the shards). Because shards are contiguous and ascending,
+/// concatenating per-shard results in shard order reproduces the serial
+/// scan's id order exactly — the determinism contract of the serving layer
 /// (docs/ARCHITECTURE.md, "Serving layer").
 
 #pragma once
@@ -15,23 +16,19 @@
 #include <vector>
 
 #include "core/gbda_index.h"
-#include "core/prefilter.h"
 
 namespace gbda {
 
-/// Read-only view of one shard: the contiguous id range plus accessors into
-/// the shared index artifacts. Ids are positions in the partitioned index
+/// Read-only view of one shard: the contiguous id range plus an accessor
+/// into the shared index. Ids are positions in the partitioned index
 /// (absolute database ids for a frozen database, dense live positions for a
-/// dynamic snapshot).
+/// dynamic snapshot). The index is consumed through the IndexReader contract,
+/// so shards partition a decoded GbdaIndex and a mapped v3 artifact alike.
 class ShardView {
  public:
-  ShardView(size_t shard_id, size_t begin, size_t end, const GbdaIndex* index,
-            const Prefilter* prefilter)
-      : shard_id_(shard_id),
-        begin_(begin),
-        end_(end),
-        index_(index),
-        prefilter_(prefilter) {}
+  ShardView(size_t shard_id, size_t begin, size_t end,
+            const IndexReader* index)
+      : shard_id_(shard_id), begin_(begin), end_(end), index_(index) {}
 
   size_t shard_id() const { return shard_id_; }
   size_t begin() const { return begin_; }
@@ -39,29 +36,23 @@ class ShardView {
   size_t size() const { return end_ - begin_; }
 
   /// The shared branch store; scan with core ScanRange over [begin, end).
-  const GbdaIndex& index() const { return *index_; }
-  /// The shared layered prefilter (profiles cover every indexed graph).
-  const Prefilter& prefilter() const { return *prefilter_; }
+  const IndexReader& index() const { return *index_; }
 
  private:
   size_t shard_id_;
   size_t begin_;
   size_t end_;
-  const GbdaIndex* index_;
-  const Prefilter* prefilter_;
+  const IndexReader* index_;
 };
 
 /// Splits [0, index.num_graphs()) into `num_shards` contiguous ranges whose
-/// sizes differ by at most one. The index and prefilter are borrowed — the
-/// owner (GbdaService, or a dynamic-corpus Snapshot) must keep both alive
-/// and must hand in a prefilter whose profiles cover exactly the indexed
-/// graphs.
+/// sizes differ by at most one. The index is borrowed — the owner
+/// (GbdaService, or a dynamic-corpus Snapshot) must keep it alive.
 class IndexShards {
  public:
   /// `num_shards` is clamped to [1, max(1, num_graphs)] so no shard is
   /// empty (except when the index itself is empty).
-  IndexShards(const GbdaIndex* index, const Prefilter* prefilter,
-              size_t num_shards);
+  IndexShards(const IndexReader* index, size_t num_shards);
 
   size_t num_shards() const { return shards_.size(); }
   size_t num_graphs() const { return num_graphs_; }

@@ -59,7 +59,7 @@ Result<std::vector<SearchResult>> ParallelScanBatch(const ParallelScanEnv& env,
                                         ? env.engines->back().get()
                                         : (*env.engines)[worker].get();
           SearchResult partial;
-          Status status = ScanRange(job->ctx, view.index(), &view.prefilter(),
+          Status status = ScanRange(job->ctx, view.index(), env.prefilter,
                                     view.begin(), view.end(), engine, &partial);
           // Local truncation keeps the merge O(S * k): any global top-k
           // match is also in its own shard's top-k.

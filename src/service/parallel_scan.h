@@ -17,6 +17,7 @@
 #include "common/span.h"
 #include "common/thread_pool.h"
 #include "core/gbda_search.h"
+#include "core/prefilter.h"
 #include "service/index_shards.h"
 
 namespace gbda {
@@ -28,7 +29,11 @@ inline constexpr size_t kScanAllMatches = static_cast<size_t>(-1);
 struct ParallelScanEnv {
   ThreadPool* pool;
   const IndexShards* shards;
-  const GbdaIndex* index;
+  const IndexReader* index;
+  /// The layered prefilter for this batch; may be null when no query in
+  /// the batch enables it (core ScanRange only dereferences it under
+  /// SearchOptions::use_prefilter), so owners can build it lazily.
+  const Prefilter* prefilter;
   CorpusRef corpus;
   /// One PosteriorEngine replica per pool worker plus a trailing spare
   /// (size == pool->size() + 1). The spare serves threads that are not

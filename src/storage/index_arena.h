@@ -1,0 +1,146 @@
+/// \file index_arena.h
+/// The v3 index artifact: a single relocatable arena of offset-based tables
+/// designed to be mmap'ed and queried in place (docs/ARCHITECTURE.md,
+/// "Storage engine"). Where the v2 stream interleaves per-graph records —
+/// forcing a full decode with one heap allocation per branch — v3 lays the
+/// same state out as four flat arrays plus two small prior blobs:
+///
+///   offset 0                                    (all integers little-endian)
+///   +--------------------------------------------------------------+
+///   | magic 'GBA3' | version 3 | endian tag | section count        |
+///   | file_bytes u64 | meta_crc u32 | reserved u32                 |
+///   +-- meta block (covered by meta_crc) --------------------------+
+///   | tau_max, GbdPriorOptions fields, seed, |L_V|, |L_E|,         |
+///   | avg_vertices, num_graphs, total_branches, total_labels       |
+///   | section table: 6 x {id, reserved, offset u64, length u64,    |
+///   |                     crc32, reserved}                         |
+///   +-- sections, each offset 64-byte aligned, zero-padded --------+
+///   | 1 branch_start  u64[num_graphs + 1]   graph -> branch range  |
+///   | 2 roots         u32[total_branches]   branch root labels     |
+///   | 3 label_start   u64[total_branches+1] branch -> label range  |
+///   | 4 labels        u32[total_labels]     ascending edge labels  |
+///   | 5 gbd_prior     serialized GbdPrior blob (Lambda2)           |
+///   | 6 ged_prior     serialized GedPriorTable blob (Lambda3)      |
+///   +--------------------------------------------------------------+
+///
+/// Graph g's branch multiset is branches [branch_start[g], branch_start[g+1])
+/// and branch b's edge labels are labels [label_start[b], label_start[b+1]) —
+/// exactly the flat backing BranchSetRef (core/branch.h) reads in place, so
+/// opening an artifact costs header validation plus the (small) prior
+/// decodes, never a per-branch allocation. Offsets are file-absolute and the
+/// arena is position-independent: any base address works.
+///
+/// Contract (also documented in docs/ARCHITECTURE.md):
+///   - little-endian only; the endian tag makes a foreign-order artifact
+///     fail loudly at open instead of decoding garbage;
+///   - section offsets are 64-byte aligned, so casting the mapped bytes to
+///     u32/u64 arrays is valid on every supported platform and rows start
+///     cache-line aligned;
+///   - every section carries a CRC32 (common/crc32.h); structural offset
+///     validation always runs at open, checksum verification is opt-in
+///     (it touches every page, which defeats lazy faulting on the serving
+///     path — tooling and `gbda_indexctl verify` turn it on).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/gbda_index.h"  // GbdaIndexOptions, IndexReader, header checks
+
+namespace gbda {
+
+// -- Format constants --------------------------------------------------------
+
+inline constexpr uint32_t kArenaMagic = 0x33414247;  // "GBA3"
+inline constexpr uint32_t kArenaVersion = 3;
+/// Written as 0x01020304; a big-endian writer would produce 0x04030201.
+inline constexpr uint32_t kArenaEndianTag = 0x01020304;
+inline constexpr uint32_t kArenaSectionCount = 6;
+inline constexpr size_t kArenaSectionAlign = 64;
+
+/// Section ids, required to appear in the table in exactly this order.
+enum ArenaSectionId : uint32_t {
+  kSecBranchStart = 1,
+  kSecRoots = 2,
+  kSecLabelStart = 3,
+  kSecLabels = 4,
+  kSecGbdPrior = 5,
+  kSecGedPrior = 6,
+};
+
+/// Human-readable section name ("branch_start", ...), for diagnostics.
+const char* ArenaSectionName(uint32_t id);
+
+/// Fixed byte ranges of the header (kept explicit so tooling in other
+/// languages can parse the preamble without this library).
+inline constexpr size_t kArenaPreambleBytes = 32;  // magic..reserved
+inline constexpr size_t kArenaMetaScalarBytes = 15 * 8;
+inline constexpr size_t kArenaSectionEntryBytes = 32;
+inline constexpr size_t kArenaHeaderBytes =
+    kArenaPreambleBytes + kArenaMetaScalarBytes +
+    kArenaSectionCount * kArenaSectionEntryBytes;
+
+// -- Parsed header -----------------------------------------------------------
+
+struct ArenaSectionInfo {
+  uint32_t id = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t crc32 = 0;
+};
+
+/// Everything the fixed header states about an artifact; the `inspect`
+/// payload of gbda_indexctl and the first validation stage of
+/// GbdaIndexView::Open.
+struct ArenaInfo {
+  uint32_t version = 0;
+  uint64_t file_bytes = 0;
+  GbdaIndexOptions options;
+  int64_t num_vertex_labels = 0;
+  int64_t num_edge_labels = 0;
+  double avg_vertices = 0.0;
+  uint64_t num_graphs = 0;
+  uint64_t total_branches = 0;
+  uint64_t total_labels = 0;
+  std::vector<ArenaSectionInfo> sections;
+};
+
+// -- Building / inspecting ---------------------------------------------------
+
+/// Serializes `index` (any IndexReader — a decoded GbdaIndex or another
+/// mapped view) into a v3 arena. Fails on tombstoned indexes and, mirroring
+/// the v2 writer, on a stale Lambda2 (the format carries no staleness) —
+/// except for the empty index, whose prior is vacuously unfittable and is
+/// persisted as-is.
+Result<std::string> BuildArena(const IndexReader& index);
+
+/// BuildArena + atomic-ish write (whole buffer, single ofstream).
+Status WriteArenaFile(const IndexReader& index, const std::string& path);
+
+/// Parses and validates the fixed header of `data` (a whole mapped
+/// artifact): magic/version/endianness, meta CRC, header plausibility
+/// (core ValidatePersistedIndexHeader), and the section table's structural
+/// invariants (canonical order, 64-byte alignment, in-bounds, lengths
+/// consistent with the graph/branch/label counts). Does NOT touch section
+/// payloads.
+Result<ArenaInfo> ParseArenaHeader(std::string_view data,
+                                   const std::string& source);
+
+/// Validates the two offset tables: branch_start and label_start must start
+/// at 0, be nondecreasing, and end at total_branches / total_labels. This is
+/// the serving-safety check — it is what makes unchecked per-branch access
+/// through BranchSetRef in-bounds — so GbdaIndexView runs it at every open.
+/// O(total_branches) sequential reads of the two (small) offset sections.
+Status ValidateArenaOffsets(std::string_view data, const ArenaInfo& info,
+                            const std::string& source);
+
+/// Verifies every section's CRC32 against the table. Reads every byte —
+/// tooling-grade (gbda_indexctl verify), opt-in on the serving path where
+/// it would defeat lazy page faulting.
+Status VerifyArenaChecksums(std::string_view data, const ArenaInfo& info,
+                            const std::string& source);
+
+}  // namespace gbda

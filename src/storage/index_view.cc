@@ -1,0 +1,125 @@
+#include "storage/index_view.h"
+
+#include <string_view>
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace gbda {
+
+Result<GbdaIndexView> GbdaIndexView::Open(const std::string& path,
+                                          const OpenOptions& open_options) {
+  Result<MappedFile> mapped =
+      MappedFile::OpenReadOnly(path, open_options.prefetch);
+  if (!mapped.ok()) return mapped.status();
+  const std::string_view data(mapped->data(), mapped->size());
+
+  Result<ArenaInfo> info = ParseArenaHeader(data, path);
+  if (!info.ok()) return info.status();
+  // Serving safety: after this check every branch_set() access derived from
+  // the offset tables is in-bounds, so the scan can read unchecked.
+  Status offsets_ok = ValidateArenaOffsets(data, *info, path);
+  if (!offsets_ok.ok()) return offsets_ok;
+  if (open_options.verify_checksums) {
+    Status crc_ok = VerifyArenaChecksums(data, *info, path);
+    if (!crc_ok.ok()) return crc_ok;
+  }
+
+  GbdaIndexView view;
+  view.options_ = info->options;
+  view.num_vertex_labels_ = info->num_vertex_labels;
+  view.num_edge_labels_ = info->num_edge_labels;
+  view.avg_vertices_ = info->avg_vertices;
+  view.num_graphs_ = static_cast<size_t>(info->num_graphs);
+  view.total_branches_ = info->total_branches;
+  view.total_labels_ = info->total_labels;
+
+  // The format guarantees 64-byte aligned section offsets, so these casts
+  // yield properly aligned typed arrays.
+  const char* base = data.data();
+  view.branch_start_ = reinterpret_cast<const uint64_t*>(
+      base + info->sections[0].offset);
+  view.roots_ =
+      reinterpret_cast<const uint32_t*>(base + info->sections[1].offset);
+  view.label_start_ = reinterpret_cast<const uint64_t*>(
+      base + info->sections[2].offset);
+  view.labels_ =
+      reinterpret_cast<const LabelId*>(base + info->sections[3].offset);
+
+  // The prior blobs are the only decoded state: both are small (a GMM plus
+  // probability tables, and the cached Lambda3 rows), and GedPriorTable is
+  // inherently mutable — rows for unseen sizes build lazily at query time.
+  {
+    const ArenaSectionInfo& sec = info->sections[4];
+    BinaryReader reader(data.substr(static_cast<size_t>(sec.offset),
+                                    static_cast<size_t>(sec.length)),
+                        path + " [gbd_prior]");
+    Result<GbdPrior> prior = GbdPrior::Deserialize(&reader);
+    if (!prior.ok()) return prior.status();
+    if (!reader.AtEnd()) {
+      return Status::InvalidArgument(
+          reader.DescribeHere("trailing bytes after GBD prior section"));
+    }
+    view.gbd_prior_ = std::make_shared<const GbdPrior>(std::move(*prior));
+  }
+  {
+    const ArenaSectionInfo& sec = info->sections[5];
+    BinaryReader reader(data.substr(static_cast<size_t>(sec.offset),
+                                    static_cast<size_t>(sec.length)),
+                        path + " [ged_prior]");
+    Result<GedPriorTable> ged = GedPriorTable::Deserialize(&reader);
+    if (!ged.ok()) return ged.status();
+    if (!reader.AtEnd()) {
+      return Status::InvalidArgument(
+          reader.DescribeHere("trailing bytes after GED prior section"));
+    }
+    // Same cross-check as the v2 loader: both headers pass their own
+    // plausibility checks, but they must also agree with each other.
+    if (ged->tau_max() != view.options_.tau_max ||
+        ged->num_vertex_labels() != view.num_vertex_labels_ ||
+        ged->num_edge_labels() != view.num_edge_labels_) {
+      return Status::InvalidArgument(
+          "index arena: GED prior header disagrees with the arena header in " +
+          path);
+    }
+    view.ged_prior_ = std::make_shared<GedPriorTable>(std::move(*ged));
+  }
+
+  view.file_ = std::move(*mapped);
+  return view;
+}
+
+Result<GbdaIndex> GbdaIndexView::Materialize() const {
+  std::vector<BranchMultiset> branches;
+  branches.reserve(num_graphs_);
+  for (size_t g = 0; g < num_graphs_; ++g) {
+    const BranchSetRef set = branch_set(g);
+    BranchMultiset ms;
+    ms.resize(set.size());
+    for (size_t b = 0; b < set.size(); ++b) {
+      ms[b].root = set.root(b);
+      const Span<const LabelId> labels = set.edge_labels(b);
+      ms[b].edge_labels.assign(labels.begin(), labels.end());
+    }
+    branches.push_back(std::move(ms));
+  }
+  // Re-decode the priors rather than copying: GedPriorTable is move-only
+  // (it owns a row-cache lock), and a fresh decode of the same bytes is
+  // bit-identical to what Open produced — including the cached-row set, so
+  // a v3 -> v2 -> v3 roundtrip preserves the artifact's warm rows.
+  BinaryWriter gbd_blob;
+  gbd_prior_->Serialize(&gbd_blob);
+  BinaryReader gbd_reader(gbd_blob.buffer(), path() + " [gbd_prior]");
+  Result<GbdPrior> gbd = GbdPrior::Deserialize(&gbd_reader);
+  if (!gbd.ok()) return gbd.status();
+  BinaryWriter ged_blob;
+  ged_prior_->Serialize(&ged_blob);
+  BinaryReader ged_reader(ged_blob.buffer(), path() + " [ged_prior]");
+  Result<GedPriorTable> ged = GedPriorTable::Deserialize(&ged_reader);
+  if (!ged.ok()) return ged.status();
+  return GbdaIndex::FromParts(options_, num_vertex_labels_, num_edge_labels_,
+                              std::move(branches), std::move(*gbd),
+                              std::move(*ged));
+}
+
+}  // namespace gbda

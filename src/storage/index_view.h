@@ -1,0 +1,118 @@
+/// \file index_view.h
+/// GbdaIndexView: a non-owning, zero-deserialization implementation of the
+/// IndexReader scan contract over a mapped v3 arena artifact
+/// (storage/index_arena.h; docs/ARCHITECTURE.md, "Storage engine").
+///
+/// Open() maps the file, validates the header and the two offset tables
+/// (the check that makes unchecked per-branch access in-bounds), and
+/// decodes only the two small prior blobs — the branch arena, which
+/// dominates artifact size, is served in place through BranchSetRef. Cold
+/// start is therefore O(header + offsets + priors) instead of the v2
+/// loader's O(total branches) decode with one heap allocation per branch,
+/// and concurrent replicas mapping the same artifact share its pages
+/// through the OS page cache (bench/bench_coldstart.cc quantifies both).
+///
+/// Queries through a view are bit-identical to queries through the decoded
+/// GbdaIndex of the same artifact (tests/index_view_equivalence_test.cc):
+/// GbdaSearch, GbdaService and DynamicGbdaService snapshots consume the
+/// IndexReader interface, so the view plugs into all of them unchanged.
+///
+/// Lifetime: the view owns its mapping; BranchSetRefs handed out by
+/// branch_set() and the priors returned by gbd_prior()/mutable_ged_prior()
+/// are valid while the view lives. A service serving from a view must keep
+/// it alive for as long as the service (exactly the contract an owned
+/// GbdaIndex already has); snapshot generations pin it via shared_ptr.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/gbda_index.h"
+#include "storage/index_arena.h"
+#include "storage/mapped_file.h"
+
+namespace gbda {
+
+class GbdaIndexView : public IndexReader {
+ public:
+  struct OpenOptions {
+    /// Verify every section's CRC32 at open. Reads every byte of the
+    /// artifact — right for tooling (gbda_indexctl verify) and one-shot
+    /// batch jobs, wasteful on the serving path where it defeats lazy page
+    /// faulting. Structural validation (header CRC, offset-table
+    /// monotonicity and bounds) always runs regardless.
+    bool verify_checksums = false;
+    /// Advise the kernel to fault the whole artifact in (MADV_WILLNEED).
+    bool prefetch = true;
+  };
+
+  /// Maps and validates `path`. The returned view is self-contained and
+  /// movable; moving does not invalidate pointers into the mapping. (Two
+  /// overloads rather than a default argument: the in-class default would
+  /// need OpenOptions complete before the enclosing class is.)
+  static Result<GbdaIndexView> Open(const std::string& path,
+                                    const OpenOptions& options);
+  static Result<GbdaIndexView> Open(const std::string& path) {
+    return Open(path, OpenOptions());
+  }
+
+  // -- IndexReader -----------------------------------------------------------
+  size_t num_graphs() const override { return num_graphs_; }
+  size_t num_live() const override { return num_graphs_; }
+  /// Persisted artifacts never encode a drifted Lambda2 (both writers
+  /// refuse), so a view is always fresh.
+  size_t gbd_staleness() const override { return 0; }
+  BranchSetRef branch_set(size_t id) const override {
+    const uint64_t first = branch_start_[id];
+    return BranchSetRef(roots_ + first, label_start_ + first, labels_,
+                        static_cast<size_t>(branch_start_[id + 1] - first));
+  }
+  const GbdaIndexOptions& options() const override { return options_; }
+  int64_t tau_max() const override { return options_.tau_max; }
+  int64_t num_vertex_labels() const override { return num_vertex_labels_; }
+  int64_t num_edge_labels() const override { return num_edge_labels_; }
+  double avg_vertices() const override { return avg_vertices_; }
+  const GbdPrior& gbd_prior() const override { return *gbd_prior_; }
+  GedPriorTable* mutable_ged_prior() const override {
+    return ged_prior_.get();
+  }
+
+  // -- View-specific ---------------------------------------------------------
+  const std::string& path() const { return file_.path(); }
+  size_t file_bytes() const { return file_.size(); }
+  uint64_t total_branches() const { return total_branches_; }
+  uint64_t total_labels() const { return total_labels_; }
+
+  /// Decodes the mapped arena into an owning GbdaIndex — the v3 -> v2
+  /// conversion path of gbda_indexctl, and an escape hatch for callers that
+  /// need incremental maintenance (AddGraph/RemoveGraphs) on top of a
+  /// mapped artifact. The result answers queries bit-identically to this
+  /// view.
+  Result<GbdaIndex> Materialize() const;
+
+ private:
+  GbdaIndexView() = default;
+
+  MappedFile file_;
+  GbdaIndexOptions options_;
+  int64_t num_vertex_labels_ = 1;
+  int64_t num_edge_labels_ = 1;
+  double avg_vertices_ = 0.0;
+  size_t num_graphs_ = 0;
+  uint64_t total_branches_ = 0;
+  uint64_t total_labels_ = 0;
+  /// Typed pointers into the mapping (64-byte aligned by the format).
+  const uint64_t* branch_start_ = nullptr;
+  const uint32_t* roots_ = nullptr;
+  const uint64_t* label_start_ = nullptr;
+  const LabelId* labels_ = nullptr;
+  /// Decoded prior blobs. shared_ptr so PosteriorEngine replicas handed out
+  /// by a snapshot stay valid across view moves; GedPriorTable grows rows
+  /// lazily under its own lock, exactly as in the owned index.
+  std::shared_ptr<const GbdPrior> gbd_prior_;
+  std::shared_ptr<GedPriorTable> ged_prior_;
+};
+
+}  // namespace gbda

@@ -1,0 +1,89 @@
+#include "storage/mapped_file.h"
+
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace gbda {
+
+#ifndef _WIN32
+
+Result<MappedFile> MappedFile::OpenReadOnly(const std::string& path,
+                                            bool prefetch) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open for mapping: " + path + " (" +
+                           std::strerror(errno) + ")");
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat: " + path + " (" +
+                           std::strerror(err) + ")");
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot map empty file: " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping pins the file contents independently of the descriptor.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::IOError("mmap failed: " + path + " (" +
+                           std::strerror(errno) + ")");
+  }
+  if (prefetch) {
+    // Best effort: a failed advise only loses readahead, never correctness.
+    (void)::madvise(addr, size, MADV_WILLNEED);
+  }
+  MappedFile file;
+  file.addr_ = addr;
+  file.size_ = size;
+  file.path_ = path;
+  return file;
+}
+
+void MappedFile::Reset() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+  addr_ = nullptr;
+  size_ = 0;
+  path_.clear();
+}
+
+#else  // _WIN32
+
+Result<MappedFile> MappedFile::OpenReadOnly(const std::string& path, bool) {
+  return Status::NotSupported("memory-mapped artifacts require mmap: " + path);
+}
+
+void MappedFile::Reset() {
+  addr_ = nullptr;
+  size_ = 0;
+  path_.clear();
+}
+
+#endif
+
+MappedFile::~MappedFile() { Reset(); }
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+}  // namespace gbda

@@ -66,9 +66,8 @@ GbdaIndex* GbdaServiceTest::index_ = nullptr;
 GbdaSearch* GbdaServiceTest::serial_ = nullptr;
 
 TEST_F(GbdaServiceTest, ShardRangesTileTheDatabase) {
-  Prefilter prefilter(&dataset_->db);
   for (size_t shards : {1u, 2u, 7u}) {
-    IndexShards partition(index_, &prefilter, shards);
+    IndexShards partition(index_, shards);
     ASSERT_EQ(partition.num_shards(), shards);
     size_t expected_begin = 0;
     for (size_t s = 0; s < partition.num_shards(); ++s) {

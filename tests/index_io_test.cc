@@ -248,10 +248,15 @@ TEST_F(IndexIoTest, LoadRejectsTrailingBytes) {
   EXPECT_FALSE(GbdaIndex::LoadFromFile(path).ok());
 }
 
+// The v2 integrity footer: magic + section count + 4 section CRCs.
+// (footer size exported by gbda_index.h as kIndexV2FooterBytes)
+
 TEST_F(IndexIoTest, EveryTruncationPrefixFailsCleanly) {
   // Exhaustive truncation sweep over a small real index: no prefix of a
-  // valid file may load, crash, or over-allocate. Uses a hand-built tiny
-  // database so the sweep stays a few thousand parses.
+  // valid file may load, crash, or over-allocate — except the one prefix
+  // that strips exactly the integrity footer, which loads by design (the
+  // backward-compatibility window for footer-less pre-CRC artifacts). Uses
+  // a hand-built tiny database so the sweep stays a few thousand parses.
   GraphDatabase tiny;
   tiny.vertex_labels().InternNumbered(3);
   tiny.edge_labels().InternNumbered(2);
@@ -278,10 +283,90 @@ TEST_F(IndexIoTest, EveryTruncationPrefixFailsCleanly) {
                    std::istreambuf_iterator<char>());
   in.close();
   ASSERT_TRUE(GbdaIndex::LoadFromFile(path).ok());
+  ASSERT_GT(data.size(), kIndexV2FooterBytes);
+  const size_t payload = data.size() - kIndexV2FooterBytes;
   for (size_t len = 0; len < data.size(); ++len) {
     WriteFile(path, data.substr(0, len));
-    EXPECT_FALSE(GbdaIndex::LoadFromFile(path).ok()) << "prefix " << len;
+    if (len == payload) {
+      EXPECT_TRUE(GbdaIndex::LoadFromFile(path).ok())
+          << "footer-less payload must stay loadable (compat window)";
+    } else {
+      EXPECT_FALSE(GbdaIndex::LoadFromFile(path).ok()) << "prefix " << len;
+    }
   }
+}
+
+TEST_F(IndexIoTest, FooterCatchesSingleBitFlips) {
+  // Regression for the CRC32 footer: a single flipped bit anywhere in the
+  // payload must be rejected as DataLoss, with the message naming the
+  // artifact. Sampled offsets cover all four sections.
+  GbdaIndexOptions options;
+  options.tau_max = 4;
+  options.gbd_prior.num_sample_pairs = 200;
+  Result<GbdaIndex> built = GbdaIndex::Build(dataset_->db, options);
+  ASSERT_TRUE(built.ok());
+  const std::string path = ::testing::TempDir() + "/gbda_bitflip.bin";
+  ASSERT_TRUE(built->SaveToFile(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(data.size(), kIndexV2FooterBytes);
+  const size_t payload = data.size() - kIndexV2FooterBytes;
+  // ~17 offsets spread over the payload, plus the first/last payload byte.
+  std::vector<size_t> offsets = {0, payload - 1};
+  for (size_t k = 1; k < 16; ++k) offsets.push_back(k * payload / 16);
+  for (size_t off : offsets) {
+    std::string corrupt = data;
+    corrupt[off] = static_cast<char>(corrupt[off] ^ 0x10);
+    WriteFile(path, corrupt);
+    Result<GbdaIndex> r = GbdaIndex::LoadFromFile(path);
+    ASSERT_FALSE(r.ok()) << "flip at byte " << off << " not caught";
+    // Structural validation may reject the flip first (e.g. a corrupted
+    // length word); when it reaches the footer the code is DataLoss and the
+    // message names artifact and section.
+    if (r.status().code() == StatusCode::kDataLoss) {
+      EXPECT_NE(r.status().message().find(path), std::string::npos);
+      EXPECT_NE(r.status().message().find("section"), std::string::npos);
+    }
+  }
+}
+
+TEST_F(IndexIoTest, DecodeErrorsNameFileAndOffset) {
+  // Corrupt-artifact triage is actionable only when the failure names the
+  // file and the byte offset of the bad record.
+  GbdaIndexOptions options;
+  options.tau_max = 4;
+  options.gbd_prior.num_sample_pairs = 200;
+  Result<GbdaIndex> built = GbdaIndex::Build(dataset_->db, options);
+  ASSERT_TRUE(built.ok());
+  const std::string path = ::testing::TempDir() + "/gbda_err_context.bin";
+  ASSERT_TRUE(built->SaveToFile(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  // Truncation mid-record: the reader's own message carries the context.
+  WriteFile(path, data.substr(0, 40));
+  Result<GbdaIndex> truncated = GbdaIndex::LoadFromFile(path);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find(path), std::string::npos)
+      << truncated.status().message();
+  EXPECT_NE(truncated.status().message().find("at byte"), std::string::npos)
+      << truncated.status().message();
+
+  // A hostile branch count: the loader's structural message carries it too.
+  BinaryWriter w = ValidHeader();
+  w.PutU64(1);              // num_graphs
+  w.PutU64(~uint64_t{0});   // branch count of graph 0
+  WriteFile(path, w.buffer());
+  Result<GbdaIndex> hostile = GbdaIndex::LoadFromFile(path);
+  ASSERT_FALSE(hostile.ok());
+  EXPECT_NE(hostile.status().message().find(path), std::string::npos)
+      << hostile.status().message();
+  EXPECT_NE(hostile.status().message().find("at byte"), std::string::npos)
+      << hostile.status().message();
 }
 
 TEST_F(IndexIoTest, IndexRemoveGraphsIsAtomicOnInvalidBatch) {
