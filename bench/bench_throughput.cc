@@ -6,10 +6,19 @@
 // results are checked bit-identical against the serial engine so the numbers
 // can never come from a diverging concurrent path.
 //
+// --top-k=N switches to the pruned-vs-exhaustive ranking sweep
+// (docs/BENCHMARKS.md, "Pruned top-k sweep"): every config runs QueryTopKBatch
+// twice — top-k early termination armed and disarmed — and reports both walls
+// plus the prune speedup. The built-in gate hard-fails unless BOTH runs of
+// EVERY config are bit-identical to the exhaustive serial QueryTopK
+// (matches, ordering, deterministic counters), so a reported speedup can
+// never come from a result-changing prune.
+//
 // Typical runs:
 //   bench_throughput                                   # default sweep
 //   bench_throughput --threads=1,4 --batches=8         # acceptance check
 //   bench_throughput --threads=2 --batches=4 --queries=8 --scale=0.03  # CI
+//   bench_throughput --threads=2 --top-k=10            # CI pruning gate
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +52,7 @@ struct Flags {
   bool prefilter = false;
   size_t sample_pairs = 2000;
   uint64_t seed = 0;  // 0 = profile default
+  size_t top_k = 0;   // 0 = threshold sweep; N > 0 = pruned top-k sweep
 };
 
 std::vector<size_t> ParseSizeList(const std::string& csv) {
@@ -84,12 +94,14 @@ Flags ParseFlags(int argc, char** argv) {
       flags.sample_pairs = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
     } else if (ParseFlagValue(argv[i], "--seed", &v)) {
       flags.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlagValue(argv[i], "--top-k", &v)) {
+      flags.top_k = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nflags: --threads=CSV --batches=CSV "
                    "--queries=N --profile=fingerprint|aids|grec|aasd "
                    "--scale=F --shards=N --tau=N --gamma=F --prefilter=0|1 "
-                   "--pairs=N --seed=N\n",
+                   "--pairs=N --seed=N --top-k=N\n",
                    argv[i]);
       std::exit(2);
     }
@@ -156,6 +168,139 @@ int main(int argc, char** argv) {
   search_options.tau_hat = flags.tau_hat;
   search_options.gamma = flags.gamma;
   search_options.use_prefilter = flags.prefilter;
+
+  if (flags.top_k > 0) {
+    // ---- Pruned top-k sweep (docs/BENCHMARKS.md, "Pruned top-k sweep") ----
+    SearchOptions pruned_options = search_options;
+    pruned_options.topk_early_termination = true;
+    SearchOptions exhaustive_options = search_options;
+    exhaustive_options.topk_early_termination = false;
+
+    // Exhaustive serial reference: the source of truth every config (both
+    // pruned and exhaustive runs) must reproduce bit-identically.
+    std::vector<SearchResult> serial_results;
+    serial_results.reserve(queries.size());
+    double serial_wall;
+    {
+      GbdaSearch serial(&dataset->db, &*index);
+      WallTimer timer;
+      for (const Graph& query : queries) {
+        Result<SearchResult> r =
+            serial.QueryTopK(query, flags.top_k, exhaustive_options);
+        if (!r.ok()) {
+          std::fprintf(stderr, "serial top-k query: %s\n",
+                       r.status().ToString().c_str());
+          return 1;
+        }
+        serial_results.push_back(std::move(*r));
+      }
+      serial_wall = timer.Seconds();
+    }
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"bench_throughput\",\n");
+    std::printf("  \"mode\": \"topk_prune_sweep\",\n");
+    std::printf("  \"profile\": \"%s\",\n", flags.profile.c_str());
+    std::printf("  \"scale\": %g,\n", flags.scale);
+    std::printf("  \"db_graphs\": %zu,\n", dataset->db.size());
+    std::printf("  \"queries\": %zu,\n", queries.size());
+    std::printf("  \"top_k\": %zu,\n", flags.top_k);
+    std::printf("  \"tau_hat\": %lld,\n",
+                static_cast<long long>(flags.tau_hat));
+    std::printf("  \"prefilter\": %s,\n", flags.prefilter ? "true" : "false");
+    std::printf("  \"hardware_concurrency\": %u,\n",
+                std::thread::hardware_concurrency());
+    std::printf("  \"serial_exhaustive\": {\"wall_seconds\": %.6f},\n",
+                serial_wall);
+    std::printf("  \"configs\": [\n");
+
+    bool first_config = true;
+    for (size_t threads : flags.threads) {
+      for (size_t batch_size : flags.batch_sizes) {
+        ServiceOptions service_options;
+        service_options.num_threads = threads;
+        service_options.num_shards = flags.shards;
+        GbdaService service(&dataset->db, &*index, service_options);
+
+        // One full pass over the query stream; returns the wall time and
+        // keeps every result for the equivalence gate below.
+        auto run_pass = [&](const SearchOptions& opts, double* wall,
+                            std::vector<SearchResult>* all) -> bool {
+          service.ResetStats();
+          all->clear();
+          all->reserve(queries.size());
+          WallTimer timer;
+          for (size_t begin = 0; begin < queries.size(); begin += batch_size) {
+            const size_t count = std::min(batch_size, queries.size() - begin);
+            Result<std::vector<SearchResult>> batch = service.QueryTopKBatch(
+                Span<Graph>(queries.data() + begin, count), flags.top_k, opts);
+            if (!batch.ok()) {
+              std::fprintf(stderr, "config (%zu threads, batch %zu): %s\n",
+                           threads, batch_size,
+                           batch.status().ToString().c_str());
+              return false;
+            }
+            for (SearchResult& r : *batch) all->push_back(std::move(r));
+          }
+          *wall = timer.Seconds();
+          return true;
+        };
+
+        double pruned_wall = 0.0, exhaustive_wall = 0.0, warmup_wall = 0.0;
+        std::vector<SearchResult> pruned_results, exhaustive_results;
+        // Untimed warm-up, with pruning ARMED: it triggers every lazy
+        // one-off both passes depend on — per-worker Lambda1 calculators
+        // and Phi memos, the service's O(corpus) prefilter-profile build,
+        // and the suffix-max bound tables — so the timed walls below
+        // measure steady-state serving for both modes rather than whichever
+        // pass happened to touch a cold cache first.
+        if (!run_pass(pruned_options, &warmup_wall, &pruned_results)) {
+          return 1;
+        }
+        if (!run_pass(exhaustive_options, &exhaustive_wall,
+                      &exhaustive_results)) {
+          return 1;
+        }
+        if (!run_pass(pruned_options, &pruned_wall, &pruned_results)) return 1;
+        const ServiceStats pruned_stats = service.stats();
+
+        // Equivalence gate: BOTH runs must reproduce the exhaustive serial
+        // ranking bit-identically before any speedup is reported.
+        for (size_t i = 0; i < queries.size(); ++i) {
+          if (!SameMatches(serial_results[i], pruned_results[i]) ||
+              !SameMatches(serial_results[i], exhaustive_results[i])) {
+            std::fprintf(stderr,
+                         "EQUIVALENCE FAILURE: config (%zu threads, batch "
+                         "%zu) query %zu diverges from the exhaustive serial "
+                         "top-k scan\n",
+                         threads, batch_size, i);
+            return 1;
+          }
+        }
+
+        std::printf(
+            "%s    {\"threads\": %zu, \"shards\": %zu, \"batch_size\": %zu, "
+            "\"pruned_wall_seconds\": %.6f, \"exhaustive_wall_seconds\": %.6f, "
+            "\"prune_speedup\": %.3f, \"qps\": %.2f, "
+            "\"mean_latency_seconds\": %.6f, \"candidates_evaluated\": %zu, "
+            "\"pruned_by_bound\": %zu, \"speedup_vs_serial_exhaustive\": %.3f}",
+            first_config ? "" : ",\n", threads, service.num_shards(),
+            batch_size, pruned_wall, exhaustive_wall,
+            pruned_wall > 0 ? exhaustive_wall / pruned_wall : 0.0,
+            pruned_wall > 0
+                ? static_cast<double>(queries.size()) / pruned_wall
+                : 0.0,
+            pruned_stats.MeanLatencySeconds(),
+            pruned_stats.candidates_evaluated, pruned_stats.pruned_by_bound,
+            pruned_wall > 0 ? serial_wall / pruned_wall : 0.0);
+        first_config = false;
+      }
+    }
+    std::printf("\n  ],\n");
+    std::printf("  \"equivalence_ok\": true\n");
+    std::printf("}\n");
+    return 0;
+  }
 
   // Serial reference: one engine, one query at a time — the pre-service
   // code path, also the source of truth for the equivalence check.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <queue>
 #include <unordered_map>
 
 #include "common/timer.h"
@@ -66,7 +67,16 @@ Result<ScanContext> PrepareScan(const Graph& query,
   ctx.query_ref = BranchSetRef(ctx.query_roots.data(),
                                ctx.query_offsets.data(),
                                ctx.query_pool.data(), query_size);
-  if (options.use_prefilter) ctx.query_profile = BuildFilterProfile(query);
+  // Ranking scans that may arm early termination build the profile even
+  // without the prefilter: the pruning bound sharpens its GBD lower bound
+  // through it whenever candidate profiles are available (see ScanRange).
+  // A disarmed ranking scan (topk_early_termination off, or no bounds
+  // passed) never reads it, so it skips the build.
+  if (options.use_prefilter ||
+      (!apply_gamma && options.topk_early_termination)) {
+    // Reuses the branches extracted above instead of a second pass.
+    ctx.query_profile = BuildFilterProfile(query, ctx.query_branches);
+  }
 
   // GBDA-V1 replaces the pair-specific |V'1| by a database average estimated
   // from alpha sampled graphs. Sampled once per query so every shard of the
@@ -89,10 +99,66 @@ Result<ScanContext> PrepareScan(const Graph& query,
 
 Status ScanRange(const ScanContext& ctx, const IndexReader& index,
                  const Prefilter* prefilter, size_t begin, size_t end,
-                 PosteriorEngine* posterior, SearchResult* result) {
+                 PosteriorEngine* posterior, SearchResult* result,
+                 ScanBounds* bounds) {
   const SearchOptions& options = ctx.options;
   const BranchSetRef& query_branches = ctx.query_ref;
   const size_t range = end - begin;
+  // Early termination applies only to ranking scans (every candidate is a
+  // match, so the k-th best match is a pruning witness); a threshold scan
+  // must score every surviving candidate. The ctx flag is part of the
+  // guard: a context prepared with topk_early_termination off skipped the
+  // query-profile build, and arming tier 2 against that empty profile
+  // would prune unsoundly.
+  const bool prune = bounds != nullptr && !ctx.apply_gamma &&
+                     bounds->k() > 0 && ctx.options.topk_early_termination;
+  // The k best (phi_score, gbd) pairs appended by THIS call under the
+  // SearchMatchRankBefore order (ids never matter: pruning tests are
+  // strictly-worse only), root = local k-th best. Keeping gbd alongside phi
+  // lets the bound prune through the tie-break too — essential when the
+  // k-th best phi_score is exactly 0 (more ranks requested than candidates
+  // with posterior mass), where a phi-only threshold could never prune.
+  // Only full heaps yield witnesses, so a shard with fewer than k
+  // candidates simply never prunes locally.
+  struct Witness {
+    double phi;
+    int64_t gbd;
+  };
+  // "Ranks before" on (phi desc, gbd asc); priority_queue's root is then
+  // the worst retained witness, i.e. the local k-th best.
+  const auto witness_rank_before = [](const Witness& a, const Witness& b) {
+    if (a.phi != b.phi) return a.phi > b.phi;
+    return a.gbd < b.gbd;
+  };
+  std::priority_queue<Witness, std::vector<Witness>,
+                      decltype(witness_rank_before)>
+      local_topk(witness_rank_before);
+  // Scan-local copies of the per-size Phi suffix-max tables, so the
+  // per-candidate bound check never takes an engine mutex round trip (same
+  // reasoning as local_phi below). Tables are tiny: min(v, 2 * tau_hat) + 1
+  // doubles. Keyed by extended size v; owns the storage the per-size
+  // arrays below point into (node-based map: stable value addresses).
+  std::unordered_map<int64_t, std::vector<double>> local_suffix_max;
+  // Everything tier 1 needs is determined by the candidate's multiset size
+  // alone (the query side is fixed), so it is computed once per distinct
+  // size and the per-candidate check collapses to two array loads and two
+  // compares. tier1_lb[s] == -1 marks an uncomputed slot; a size whose
+  // extended v < 1 (empty query AND candidate) gets ub = +inf / table =
+  // nullptr, i.e. never prunes and skips tier 2, exactly matching the
+  // exhaustive scan's evaluation (which fails identically either way).
+  std::vector<int64_t> tier1_lb;
+  std::vector<double> tier1_ub;
+  std::vector<const std::vector<double>*> table_by_size;
+  // Tier-2 cut per size: the largest common-branch count that still proves
+  // "strictly worse" (kCapUnset = not yet derived, -1 = nothing provable).
+  // Valid only for the witness it was derived from; witnesses only improve
+  // (tighten), so a stale cap is sound — it merely prunes less — and the
+  // cache is invalidated whenever the witness moves.
+  constexpr int64_t kCapUnset = std::numeric_limits<int64_t>::min();
+  std::vector<int64_t> tier2_cap;
+  double last_kth_phi = -1.0;
+  int64_t last_kth_gbd = -1;
+  double last_shared = -std::numeric_limits<double>::infinity();
   // Only the no-gamma, no-prefilter scan has a known match count (every
   // candidate); under the gamma cut or the prefilter the accepted set is
   // small in real workloads, so a modest reservation avoids the early
@@ -117,7 +183,136 @@ Status ScanRange(const ScanContext& ctx, const IndexReader& index,
       continue;
     }
     const BranchSetRef g_branches = index.branch_set(id);
+    // Deterministic by design: pruned candidates still count, so this
+    // counter stays bit-identical to the exhaustive scan (see SearchResult).
     ++result->candidates_evaluated;
+
+    if (prune) {
+      const bool local_full = local_topk.size() >= bounds->k();
+      const double shared_phi = bounds->threshold();
+      if (local_full || shared_phi >= 0.0) {
+        const size_t g_size = g_branches.size();
+        const int64_t max_size = static_cast<int64_t>(
+            std::max(query_branches.size(), g_size));
+        // The candidate's phi can only land at or above the phi_lb derived
+        // from a common-branch UPPER bound: GBD (and, for w >= 0, the
+        // rounded VGBD — llround is monotone) decreases as the common
+        // count grows. phi_lb also bounds the ranking's gbd field directly
+        // (the scan stores the variant phi there), so one quantity serves
+        // both the suffix-max lookup and the tie-break test.
+        const auto phi_lower = [&](int64_t common_ub) -> int64_t {
+          if (options.variant == GbdaVariant::kWeightedGbd) {
+            const double vgbd_lb =
+                options.vgbd_w >= 0.0
+                    ? static_cast<double>(max_size) - options.vgbd_w *
+                          static_cast<double>(common_ub)
+                    : static_cast<double>(max_size);
+            return std::max<int64_t>(
+                0, static_cast<int64_t>(std::llround(vgbd_lb)));
+          }
+          return max_size - common_ub;
+        };
+        if (g_size >= tier1_lb.size()) {
+          tier1_lb.resize(g_size + 1, -1);
+          tier1_ub.resize(g_size + 1, 0.0);
+          table_by_size.resize(g_size + 1, nullptr);
+          tier2_cap.resize(g_size + 1, kCapUnset);
+        }
+        const double kth_phi = local_full ? local_topk.top().phi : -1.0;
+        const int64_t kth_gbd = local_full ? local_topk.top().gbd : -1;
+        if (kth_phi != last_kth_phi || kth_gbd != last_kth_gbd ||
+            shared_phi != last_shared) {
+          std::fill(tier2_cap.begin(), tier2_cap.end(), kCapUnset);
+          last_kth_phi = kth_phi;
+          last_kth_gbd = kth_gbd;
+          last_shared = shared_phi;
+        }
+        if (tier1_lb[g_size] < 0) {
+          // First candidate of this size: v is exact from sizes alone.
+          const int64_t v = options.variant == GbdaVariant::kAverageSize
+                                ? ctx.v1_size
+                                : max_size;
+          if (v >= 1) {
+            auto table_it = local_suffix_max.find(v);
+            if (table_it == local_suffix_max.end()) {
+              Result<std::vector<double>> table =
+                  posterior->PhiSuffixMax(v, options.tau_hat);
+              if (!table.ok()) return table.status();
+              table_it = local_suffix_max.emplace(v, std::move(*table)).first;
+            }
+            const std::vector<double>& suffix_max = table_it->second;
+            table_by_size[g_size] = &suffix_max;
+            // Tier 1: the common count never exceeds the smaller multiset.
+            const int64_t lb = phi_lower(static_cast<int64_t>(
+                std::min(query_branches.size(), g_size)));
+            tier1_lb[g_size] = lb;
+            tier1_ub[g_size] = static_cast<size_t>(lb) < suffix_max.size()
+                                   ? suffix_max[static_cast<size_t>(lb)]
+                                   : 0.0;  // past Phi's support: exact zero
+          } else {
+            tier1_lb[g_size] = std::numeric_limits<int64_t>::max();
+            tier1_ub[g_size] = std::numeric_limits<double>::infinity();
+          }
+        }
+        // True when the candidate provably ranks strictly after a witness
+        // of k matches under SearchMatchRankBefore: its best reachable
+        // phi_score is strictly below a witness phi, or ties the local
+        // witness while its gbd can only be strictly larger. Ties in both
+        // must be evaluated — the id tie-break is not bounded.
+        const auto strictly_worse = [&](double phi_ub, int64_t phi_lb) {
+          if (phi_ub < shared_phi) return true;
+          if (!local_full) return false;
+          const Witness& kth = local_topk.top();
+          return phi_ub < kth.phi ||
+                 (phi_ub == kth.phi && phi_lb > kth.gbd);
+        };
+        // Tier 1 costs two array loads; tier 2 a capped fingerprint merge,
+        // still far cheaper than the full branch merge + posterior it
+        // stands in for.
+        bool pruned = strictly_worse(tier1_ub[g_size], tier1_lb[g_size]);
+        if (!pruned && prefilter != nullptr &&
+            table_by_size[g_size] != nullptr) {
+          const FilterProfile& g_profile = prefilter->profile(id);
+          if (options.variant == GbdaVariant::kWeightedGbd) {
+            // VGBD's rounding makes the phi_lb <-> common-cap inversion
+            // fiddly; take the exact counting merge instead.
+            const std::vector<double>& suffix_max = *table_by_size[g_size];
+            const int64_t lb2 = phi_lower(
+                CommonBranchUpperBound(ctx.query_profile, g_profile));
+            const double ub2 = static_cast<size_t>(lb2) < suffix_max.size()
+                                   ? suffix_max[static_cast<size_t>(lb2)]
+                                   : 0.0;
+            pruned = strictly_worse(ub2, lb2);
+          } else {
+            // phi_lb = max_size - common exactly, and strictly_worse is
+            // monotone in phi_lb (the suffix max is non-increasing), so
+            // "prune" is equivalent to common <= cap for the per-size cut
+            // below — decidable by an early-exiting capped merge.
+            int64_t cap = tier2_cap[g_size];
+            if (cap == kCapUnset) {
+              const std::vector<double>& suffix_max = *table_by_size[g_size];
+              // Tier 1 failed at tier1_lb, so the cut lies strictly above.
+              int64_t p = tier1_lb[g_size] + 1;
+              while (p <= max_size) {
+                const double ub = static_cast<size_t>(p) < suffix_max.size()
+                                      ? suffix_max[static_cast<size_t>(p)]
+                                      : 0.0;
+                if (strictly_worse(ub, p)) break;
+                ++p;
+              }
+              cap = p > max_size ? -1 : max_size - p;
+              tier2_cap[g_size] = cap;
+            }
+            pruned = cap >= 0 && CommonBranchUpperBoundAtMost(
+                                     ctx.query_profile, g_profile, cap);
+          }
+        }
+        if (pruned) {
+          ++result->pruned_by_bound;
+          continue;
+        }
+      }
+    }
 
     int64_t phi;
     if (options.variant == GbdaVariant::kWeightedGbd) {
@@ -154,6 +349,25 @@ Status ScanRange(const ScanContext& ctx, const IndexReader& index,
     }
     if (!ctx.apply_gamma || score >= options.gamma) {
       result->matches.push_back(SearchMatch{id, score, phi});
+      if (prune) {
+        // Fold the match into the local top-k and publish the k-th-best
+        // phi whenever the full heap's root improves — one shard's strong
+        // hits then prune the other shards' tails through the shared
+        // bound. (Only phi is shared: a two-field witness would need a
+        // 16-byte atomic to stay tear-free; the local heap keeps the full
+        // (phi, gbd) pair for the tie-break test.)
+        const Witness candidate{score, phi};
+        if (local_topk.size() < bounds->k()) {
+          local_topk.push(candidate);
+          if (local_topk.size() == bounds->k()) {
+            bounds->Publish(local_topk.top().phi);
+          }
+        } else if (witness_rank_before(candidate, local_topk.top())) {
+          local_topk.pop();
+          local_topk.push(candidate);
+          bounds->Publish(local_topk.top().phi);
+        }
+      }
     }
   }
   return Status::OK();
@@ -175,7 +389,7 @@ GbdaSearch::GbdaSearch(const GraphDatabase* db, const IndexReader* index)
 
 Result<SearchResult> GbdaSearch::Scan(const Graph& query,
                                       const SearchOptions& options,
-                                      bool apply_gamma) {
+                                      bool apply_gamma, size_t top_k) {
   WallTimer timer;
   // Retired db slots would otherwise still be scanned (their index entries
   // are intact); PrepareScan catches the tombstoned-index direction.
@@ -190,15 +404,26 @@ Result<SearchResult> GbdaSearch::Scan(const Graph& query,
   // Touch prefilter_ only on the use_prefilter branch: a non-prefiltered
   // query reading the pointer while another thread's call_once is
   // constructing it would be an unsynchronized read.
+  //
+  // k >= corpus can never prune (no k strictly-better matches exist), so
+  // such scans skip the heap bookkeeping entirely and run exhaustively.
+  const bool early_terminate = !apply_gamma && top_k != kScanAllMatches &&
+                               top_k < db_->size() &&
+                               options.topk_early_termination;
+  // Armed ranking scans build the prefilter too: its profiles sharpen the
+  // early-termination bound (see ScanRange) even when the pass/fail layer
+  // stays off — one lazy O(corpus) build, amortized across all queries.
   const Prefilter* prefilter = nullptr;
-  if (options.use_prefilter) {
+  if (options.use_prefilter || early_terminate) {
     std::call_once(prefilter_once_,
                    [this] { prefilter_ = std::make_unique<Prefilter>(db_); });
     prefilter = prefilter_.get();
   }
   SearchResult result;
+  ScanBounds bounds(top_k);
   Status scan = ScanRange(*ctx, *index_, prefilter, 0, db_->size(),
-                          &posterior_, &result);
+                          &posterior_, &result,
+                          early_terminate ? &bounds : nullptr);
   if (!scan.ok()) return scan;
   result.seconds = timer.Seconds();
   return result;
@@ -211,7 +436,14 @@ Result<SearchResult> GbdaSearch::Query(const Graph& query,
 
 Result<SearchResult> GbdaSearch::QueryTopK(const Graph& query, size_t k,
                                            const SearchOptions& options) {
-  Result<SearchResult> scan = Scan(query, options, /*apply_gamma=*/false);
+  // k == 0 asks for an empty ranking: defined as an empty result, decided
+  // here at the API boundary so no scan runs (see kScanAllMatches).
+  if (k == 0) return SearchResult{};
+  // Clamp below the sentinel (as the service layers do) so an oversized k
+  // cannot disarm the ranking sort; a scan never yields more matches than
+  // the database has graphs, so the clamp is behavior-free.
+  k = std::min(k, db_->size());
+  Result<SearchResult> scan = Scan(query, options, /*apply_gamma=*/false, k);
   if (!scan.ok()) return scan.status();
   SearchResult result = std::move(*scan);
   SortTopK(&result.matches, k);

@@ -21,7 +21,9 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -58,6 +60,16 @@ struct SearchOptions {
   /// provable GED > tau_hat are skipped, so no true match is lost while
   /// spurious accepts of provably-far graphs disappear.
   bool use_prefilter = false;
+  /// Top-k queries only: skip a candidate's branch intersection and
+  /// posterior evaluation when a sound Phi upper bound (a cheap GBD lower
+  /// bound pushed through PosteriorEngine::PhiSuffixMax) is STRICTLY below
+  /// the running k-th-best phi_score. Bit-identical to the exhaustive scan —
+  /// matches, ordering, tie-breaks and the candidates/prefilter counters all
+  /// stay unchanged; only SearchResult::pruned_by_bound (and wall time)
+  /// varies. Set false to force the exhaustive reference scan, e.g. for
+  /// equivalence testing (tests/topk_prune_equivalence_test.cc). Ignored by
+  /// threshold queries, which must score every surviving candidate.
+  bool topk_early_termination = true;
 };
 
 /// One accepted graph.
@@ -74,16 +86,75 @@ bool SearchMatchRankBefore(const SearchMatch& a, const SearchMatch& b);
 
 /// Sorts the best k matches to the front under SearchMatchRankBefore and
 /// truncates to k (std::partial_sort; the whole vector is sorted when
-/// k >= size).
+/// k >= size, and k == 0 truncates to nothing).
 void SortTopK(std::vector<SearchMatch>* matches, size_t k);
+
+/// `top_k` sentinel for the scan pipeline: keep every match (threshold
+/// mode, no ranking truncation). Distinct from k == 0, which is a valid
+/// top-k request for an EMPTY ranking: QueryTopK(k = 0) is defined to
+/// return an empty result (not an error) and is short-circuited at the API
+/// boundary — no scan runs, so it cannot ride the SortTopK resize path or
+/// the early-termination heap. Oversized k values are clamped below the
+/// sentinel by the service layers, so SIZE_MAX never aliases it.
+inline constexpr size_t kScanAllMatches = static_cast<size_t>(-1);
+
+/// Shared early-termination state of one top-k scan: one instance per
+/// query, shared by every shard worker scanning that query
+/// (service/parallel_scan.cc), or used alone by the serial scan. Workers
+/// publish "k evaluated matches of this query all have phi_score >= t"
+/// witnesses — the root of a full local heap — and read the best witness
+/// published by ANY worker, so one shard's strong hits prune the other
+/// shards' tails. Relaxed atomics suffice: the published double itself
+/// carries the guarantee (it is monotonically raised via CAS-max and never
+/// orders any other memory), and a stale read only weakens pruning, never
+/// correctness. Pruning compares a sound per-candidate Phi UPPER bound
+/// against the threshold and skips only on STRICTLY-worse, so candidates
+/// tying at the bound are always evaluated and the surviving set always
+/// contains the exact top-k under SearchMatchRankBefore.
+class ScanBounds {
+ public:
+  explicit ScanBounds(size_t k) : k_(k) {}
+
+  size_t k() const { return k_; }
+
+  /// The best published k-th-best phi_score; -infinity until some worker
+  /// has seen k matches.
+  double threshold() const {
+    return shared_phi_.load(std::memory_order_relaxed);
+  }
+
+  /// Raises the shared threshold to `kth_best_phi` if it improves it.
+  void Publish(double kth_best_phi) {
+    double current = shared_phi_.load(std::memory_order_relaxed);
+    while (kth_best_phi > current &&
+           !shared_phi_.compare_exchange_weak(current, kth_best_phi,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  size_t k_;
+  std::atomic<double> shared_phi_{
+      -std::numeric_limits<double>::infinity()};
+};
 
 /// Outcome of one query.
 struct SearchResult {
   std::vector<SearchMatch> matches;
   double seconds = 0.0;
+  /// Candidates admitted past the prefilter. Deterministic — top-k early
+  /// termination does NOT change this counter (pruned candidates still
+  /// count), so it stays bit-identical across exhaustive, pruned, serial
+  /// and sharded scans.
   size_t candidates_evaluated = 0;
   /// Candidates removed by the prefilter (0 when it is disabled).
   size_t prefiltered_out = 0;
+  /// Candidates whose branch intersection + posterior evaluation the top-k
+  /// early-termination bound skipped (subset of candidates_evaluated; 0 for
+  /// threshold queries and exhaustive scans). Timing-dependent under
+  /// sharding — the shared threshold tightens in worker order — so it is
+  /// excluded from the bit-identity contract.
+  size_t pruned_by_bound = 0;
 };
 
 /// A dense read-only view of the corpus a scan runs over: either a whole
@@ -137,6 +208,10 @@ struct ScanContext {
   /// the class comment).
   BranchSetRef query_ref;
 
+  /// Built when the prefilter is on, and for every ranking scan
+  /// (apply_gamma == false): the top-k early-termination bound reads the
+  /// query's vertex-label multiset through it when candidate profiles are
+  /// available.
   FilterProfile query_profile;
   int64_t v1_size = 0;  // only meaningful for GbdaVariant::kAverageSize
 };
@@ -155,12 +230,32 @@ Result<ScanContext> PrepareScan(const Graph& query,
 /// matches to result->matches (in ascending id order) and accumulating
 /// candidates_evaluated / prefiltered_out, so per-shard results sum to the
 /// serial scan's counters. `prefilter` may be null when
-/// ctx.options.use_prefilter is false. Thread-compatible: concurrent calls
-/// are safe when each uses its own `posterior` and `result` (the index,
-/// prefilter and ctx are only read).
+/// ctx.options.use_prefilter is false; when non-null its profiles also
+/// sharpen the early-termination bound below, independent of
+/// use_prefilter (the dynamic serving path always has them at hand).
+/// Thread-compatible: concurrent calls are safe when each uses its own
+/// `posterior` and `result` (the index, prefilter and ctx are only read;
+/// `bounds` is internally synchronized).
+///
+/// `bounds` non-null enables top-k early termination on a ranking scan
+/// (ctx.apply_gamma == false, bounds->k() >= 1; any other configuration
+/// scans exhaustively): the call keeps a bounded heap of the k best
+/// (phi_score, gbd) pairs it has appended under SearchMatchRankBefore, and
+/// skips a candidate — counting it in pruned_by_bound instead of scoring
+/// it — when the candidate provably ranks strictly after that witness (or
+/// after the cross-shard phi witness in bounds->threshold()). The proof
+/// pushes a GBD lower bound — from multiset sizes (tier 1, O(1)), then
+/// from profile branch-fingerprint intersections when `prefilter` is
+/// non-null (tier 2, capped early-exit merge) — through
+/// PosteriorEngine::PhiSuffixMax; a tie in the bounded phi falls through
+/// to the gbd tie-break, so pruning stays live even when the k-th best
+/// phi_score is exactly 0. Every skip is provably outside the query's
+/// global top-k, so downstream SortTopK truncation reproduces the
+/// exhaustive ranking bit-identically (see ScanBounds).
 Status ScanRange(const ScanContext& ctx, const IndexReader& index,
                  const Prefilter* prefilter, size_t begin, size_t end,
-                 PosteriorEngine* posterior, SearchResult* result);
+                 PosteriorEngine* posterior, SearchResult* result,
+                 ScanBounds* bounds = nullptr);
 
 /// The online stage of GBDA (Algorithm 1, Steps 2-4): per database graph,
 /// compute GBD from precomputed branches, evaluate the posterior
@@ -189,7 +284,10 @@ class GbdaSearch {
   /// Top-k variant: the k database graphs with the highest posterior
   /// Pr[GED <= tau_hat | GBD], ignoring the gamma threshold (ties broken by
   /// smaller GBD, then id). Useful when the caller wants a ranking rather
-  /// than a yes/no set.
+  /// than a yes/no set. k == 0 returns an empty result without scanning
+  /// (see kScanAllMatches for the sentinel/zero distinction). Runs the
+  /// early-terminated scan unless options.topk_early_termination is off —
+  /// bit-identical either way.
   Result<SearchResult> QueryTopK(const Graph& query, size_t k,
                                  const SearchOptions& options);
 
@@ -198,8 +296,12 @@ class GbdaSearch {
 
  private:
   /// Shared scan: evaluates Phi for every (or every surviving) candidate.
+  /// `top_k` != kScanAllMatches arms early termination on ranking scans
+  /// (when options.topk_early_termination is set); the result is still the
+  /// full untruncated match list — QueryTopK sorts and truncates it.
   Result<SearchResult> Scan(const Graph& query, const SearchOptions& options,
-                            bool apply_gamma);
+                            bool apply_gamma,
+                            size_t top_k = kScanAllMatches);
 
   const GraphDatabase* db_;
   const IndexReader* index_;

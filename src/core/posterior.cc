@@ -1,5 +1,7 @@
 #include "core/posterior.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace gbda {
@@ -27,17 +29,7 @@ const Lambda1Calculator& PosteriorEngine::CalculatorFor(int64_t v) {
   return *it->second;
 }
 
-Result<double> PosteriorEngine::Phi(int64_t v, int64_t phi, int64_t tau_hat) {
-  if (tau_hat < 0 || tau_hat > tau_max_) {
-    return Status::InvalidArgument(
-        StrFormat("tau_hat %lld outside the index's [0, %lld] range; rebuild "
-                  "the index with a larger tau_max",
-                  static_cast<long long>(tau_hat),
-                  static_cast<long long>(tau_max_)));
-  }
-  if (v < 1) return Status::InvalidArgument("extended size v must be >= 1");
-
-  std::lock_guard<std::mutex> lock(mutex_);
+double PosteriorEngine::PhiLocked(int64_t v, int64_t phi, int64_t tau_hat) {
   const auto key = std::make_tuple(v, phi, tau_hat);
   auto memo_it = phi_memo_.find(key);
   if (memo_it != phi_memo_.end()) {
@@ -58,6 +50,63 @@ Result<double> PosteriorEngine::Phi(int64_t v, int64_t phi, int64_t tau_hat) {
   }
   phi_memo_.emplace(key, total);
   return total;
+}
+
+namespace {
+
+Status ValidatePhiArgs(int64_t v, int64_t tau_hat, int64_t tau_max) {
+  if (tau_hat < 0 || tau_hat > tau_max) {
+    return Status::InvalidArgument(
+        StrFormat("tau_hat %lld outside the index's [0, %lld] range; rebuild "
+                  "the index with a larger tau_max",
+                  static_cast<long long>(tau_hat),
+                  static_cast<long long>(tau_max)));
+  }
+  if (v < 1) return Status::InvalidArgument("extended size v must be >= 1");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> PosteriorEngine::Phi(int64_t v, int64_t phi, int64_t tau_hat) {
+  Status valid = ValidatePhiArgs(v, tau_hat, tau_max_);
+  if (!valid.ok()) return valid;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return PhiLocked(v, phi, tau_hat);
+}
+
+Result<std::vector<double>> PosteriorEngine::PhiSuffixMax(int64_t v,
+                                                          int64_t tau_hat) {
+  Status valid = ValidatePhiArgs(v, tau_hat, tau_max_);
+  if (!valid.ok()) return valid;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto key = std::make_pair(v, tau_hat);
+  auto it = suffix_max_memo_.find(key);
+  if (it == suffix_max_memo_.end()) {
+    // Phi's support in phi ends at cap (see the header comment): Omega3 is a
+    // Binomial(r, .) pmf with r <= min(2 * tau_hat, v), identically zero past
+    // its support, so every Phi beyond cap is exactly 0.0.
+    const int64_t cap = std::min<int64_t>(v, 2 * tau_hat);
+    std::vector<double> table(static_cast<size_t>(cap + 1), 0.0);
+    for (int64_t phi = 0; phi <= cap; ++phi) {
+      table[static_cast<size_t>(phi)] = PhiLocked(v, phi, tau_hat);
+    }
+    for (int64_t phi = cap - 1; phi >= 0; --phi) {
+      table[static_cast<size_t>(phi)] = std::max(
+          table[static_cast<size_t>(phi)], table[static_cast<size_t>(phi + 1)]);
+    }
+    it = suffix_max_memo_.emplace(key, std::move(table)).first;
+  }
+  return it->second;
+}
+
+Result<double> PosteriorEngine::PhiUpperBound(int64_t v, int64_t phi_lower,
+                                              int64_t tau_hat) {
+  Result<std::vector<double>> table = PhiSuffixMax(v, tau_hat);
+  if (!table.ok()) return table.status();
+  if (phi_lower < 0) phi_lower = 0;
+  if (static_cast<size_t>(phi_lower) >= table->size()) return 0.0;
+  return (*table)[static_cast<size_t>(phi_lower)];
 }
 
 }  // namespace gbda

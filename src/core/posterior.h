@@ -14,6 +14,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "core/gbd_prior.h"
 #include "core/ged_prior.h"
@@ -43,12 +45,33 @@ class PosteriorEngine {
   /// tau_hat > tau_max.
   Result<double> Phi(int64_t v, int64_t phi, int64_t tau_hat);
 
+  /// Monotone pruning hook for top-k early termination (docs/ARCHITECTURE.md,
+  /// "Serving layer"). Phi is not monotone in phi (the GMM prior Lambda2 in
+  /// the denominator can dip), so the sound majorant is the suffix maximum:
+  /// returns T with T[p] = max over phi' in [p, cap] of Phi(v, phi', tau_hat),
+  /// cap = min(v, 2 * tau_hat). Phi(v, phi', tau_hat) == 0.0 exactly for
+  /// phi' > cap — a GED <= tau_hat perturbation touches r <= min(2*tau_hat, v)
+  /// branches and Omega3 (a Binomial(r, .) pmf) is identically zero past its
+  /// support — so for ANY achievable phi >= p,
+  ///   Phi(v, phi, tau_hat) <= (p <= cap ? T[p] : 0.0).
+  /// The table entries are this engine's own memoised Phi doubles, so the
+  /// inequality holds exactly (not just up to rounding) against the values a
+  /// scan computes. Memoised per (v, tau_hat); the (cap + 1)-entry build also
+  /// warms the Phi memo, costing one Column per phi only on first use.
+  Result<std::vector<double>> PhiSuffixMax(int64_t v, int64_t tau_hat);
+
+  /// Scalar convenience form: max over phi >= phi_lower of
+  /// Phi(v, phi, tau_hat), i.e. PhiSuffixMax clamped to 0 past the support.
+  Result<double> PhiUpperBound(int64_t v, int64_t phi_lower, int64_t tau_hat);
+
   int64_t tau_max() const { return tau_max_; }
   size_t memo_hits() const { return memo_hits_; }
   size_t memo_misses() const { return memo_misses_; }
 
  private:
   const Lambda1Calculator& CalculatorFor(int64_t v);
+  /// Phi compute + memo; caller holds mutex_ and has validated (v, tau_hat).
+  double PhiLocked(int64_t v, int64_t phi, int64_t tau_hat);
 
   int64_t num_vertex_labels_;
   int64_t num_edge_labels_;
@@ -60,6 +83,8 @@ class PosteriorEngine {
   std::map<int64_t, std::unique_ptr<Lambda1Calculator>> calculators_;
   // Key: (v, phi, tau_hat) packed.
   std::map<std::tuple<int64_t, int64_t, int64_t>, double> phi_memo_;
+  // (v, tau_hat) -> suffix-max table over phi in [0, min(v, 2*tau_hat)].
+  std::map<std::pair<int64_t, int64_t>, std::vector<double>> suffix_max_memo_;
   size_t memo_hits_ = 0;
   size_t memo_misses_ = 0;
 };

@@ -23,9 +23,27 @@ int64_t SortedMultisetDistance(const std::vector<LabelId>& a,
   return static_cast<int64_t>(std::max(a.size(), b.size()) - common);
 }
 
+// FNV-1a over the branch's root label and ascending edge-label multiset.
+// Deterministic and content-only, so isomorphic branches (Definition 3)
+// always collide — the property CommonBranchUpperBound's admissibility
+// rests on.
+uint64_t BranchFingerprint(LabelId root,
+                           const std::vector<LabelId>& edge_labels) {
+  uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  // +1 keeps label id 0 from hashing like "no label".
+  mix(static_cast<uint64_t>(root) + 1);
+  for (LabelId label : edge_labels) mix(static_cast<uint64_t>(label) + 1);
+  return h;
+}
+
 }  // namespace
 
-FilterProfile BuildFilterProfile(const Graph& g) {
+FilterProfile BuildFilterProfile(const Graph& g,
+                                 const BranchMultiset& branches) {
   FilterProfile p;
   p.num_vertices = static_cast<int64_t>(g.num_vertices());
   p.num_edges = static_cast<int64_t>(g.num_edges());
@@ -39,7 +57,61 @@ FilterProfile BuildFilterProfile(const Graph& g) {
     p.edge_labels.push_back(e.label);
   }
   std::sort(p.edge_labels.begin(), p.edge_labels.end());
+  p.branch_keys.reserve(branches.size());
+  for (const Branch& branch : branches) {
+    p.branch_keys.push_back(BranchFingerprint(branch.root, branch.edge_labels));
+  }
+  std::sort(p.branch_keys.begin(), p.branch_keys.end());
   return p;
+}
+
+FilterProfile BuildFilterProfile(const Graph& g) {
+  return BuildFilterProfile(g, ExtractBranches(g));
+}
+
+int64_t CommonBranchUpperBound(const FilterProfile& a,
+                               const FilterProfile& b) {
+  size_t i = 0, j = 0, common = 0;
+  const std::vector<uint64_t>& ka = a.branch_keys;
+  const std::vector<uint64_t>& kb = b.branch_keys;
+  while (i < ka.size() && j < kb.size()) {
+    if (ka[i] < kb[j]) {
+      ++i;
+    } else if (ka[i] > kb[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return static_cast<int64_t>(common);
+}
+
+bool CommonBranchUpperBoundAtMost(const FilterProfile& a,
+                                  const FilterProfile& b, int64_t cap) {
+  if (cap < 0) return false;
+  const std::vector<uint64_t>& ka = a.branch_keys;
+  const std::vector<uint64_t>& kb = b.branch_keys;
+  size_t i = 0, j = 0;
+  int64_t common = 0;
+  while (i < ka.size() && j < kb.size()) {
+    // The intersection can still grow by at most min(tails).
+    const int64_t possible =
+        common + static_cast<int64_t>(
+                     std::min(ka.size() - i, kb.size() - j));
+    if (possible <= cap) return true;
+    if (ka[i] < kb[j]) {
+      ++i;
+    } else if (ka[i] > kb[j]) {
+      ++j;
+    } else {
+      if (++common > cap) return false;
+      ++i;
+      ++j;
+    }
+  }
+  return common <= cap;
 }
 
 int64_t FilterLowerBound(const FilterProfile& a, const FilterProfile& b) {
@@ -91,7 +163,8 @@ size_t Prefilter::MemoryBytes() const {
   for (const auto& p : profiles_) {
     bytes += sizeof(FilterProfile) +
              p->vertex_labels.capacity() * sizeof(LabelId) +
-             p->edge_labels.capacity() * sizeof(LabelId);
+             p->edge_labels.capacity() * sizeof(LabelId) +
+             p->branch_keys.capacity() * sizeof(uint64_t);
   }
   return bytes;
 }

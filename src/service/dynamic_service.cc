@@ -270,6 +270,14 @@ Result<SearchResult> DynamicGbdaService::Query(const Graph& query,
 Result<SearchResult> DynamicGbdaService::QueryTopK(const Graph& query,
                                                    size_t k,
                                                    const SearchOptions& options) {
+  // k == 0: defined-empty ranking, decided at the API boundary — no
+  // snapshot scan runs (the query still counts as served).
+  if (k == 0) {
+    std::vector<SearchResult> empty(1);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    AccumulateServiceStats(empty, 0.0, &stats_);
+    return SearchResult{};
+  }
   std::shared_ptr<const Snapshot> snap = LoadSnapshot();
   // Clamp exactly as GbdaService does, against THIS snapshot's corpus, so an
   // oversized k cannot collide with the kScanAllMatches sentinel.
@@ -278,6 +286,26 @@ Result<SearchResult> DynamicGbdaService::QueryTopK(const Graph& query,
       snap, Span<Graph>(&query, 1), options, /*apply_gamma=*/false, k);
   if (!batch.ok()) return batch.status();
   return std::move((*batch)[0]);
+}
+
+Result<std::vector<SearchResult>> DynamicGbdaService::QueryTopKBatch(
+    Span<Graph> queries, size_t k, const SearchOptions& options) {
+  if (k == 0) {
+    std::vector<SearchResult> empty(queries.size());
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    AccumulateServiceStats(empty, 0.0, &stats_);
+    ++stats_.batches_served;
+    return empty;
+  }
+  std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  k = std::min(k, snap->index->num_graphs());
+  Result<std::vector<SearchResult>> batch =
+      RunBatchOn(snap, queries, options, /*apply_gamma=*/false, k);
+  if (batch.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches_served;
+  }
+  return batch;
 }
 
 Result<std::vector<SearchResult>> DynamicGbdaService::QueryBatch(

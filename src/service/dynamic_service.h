@@ -122,10 +122,22 @@ class DynamicGbdaService {
   // -- Queries (against one consistent snapshot; ids are stable ids) ------
 
   Result<SearchResult> Query(const Graph& query, const SearchOptions& options);
+  /// Top-k ranking over the pinned snapshot. Runs the early-terminated
+  /// scan — the snapshot's prefilter profiles always sharpen the pruning
+  /// bound, independent of options.use_prefilter — unless
+  /// options.topk_early_termination is off; bit-identical either way.
+  /// k == 0 is a defined-empty result (API-boundary decision, no scan; see
+  /// core/gbda_search.h on kScanAllMatches vs k == 0).
   Result<SearchResult> QueryTopK(const Graph& query, size_t k,
                                  const SearchOptions& options);
   Result<std::vector<SearchResult>> QueryBatch(Span<Graph> queries,
                                                const SearchOptions& options);
+  /// Batched top-k rankings, all against ONE pinned snapshot;
+  /// results[i] is bit-identical to QueryTopK(queries[i], k, options)
+  /// against that same snapshot.
+  Result<std::vector<SearchResult>> QueryTopKBatch(Span<Graph> queries,
+                                                   size_t k,
+                                                   const SearchOptions& options);
 
   // -- Introspection -------------------------------------------------------
 

@@ -14,6 +14,7 @@ void AccumulateServiceStats(const std::vector<SearchResult>& results,
   for (const SearchResult& r : results) {
     stats->candidates_evaluated += r.candidates_evaluated;
     stats->prefiltered_out += r.prefiltered_out;
+    stats->pruned_by_bound += r.pruned_by_bound;
     stats->matches_returned += r.matches.size();
     stats->total_latency_seconds += r.seconds;
   }
@@ -63,8 +64,17 @@ Result<std::vector<SearchResult>> GbdaService::RunBatch(
         "database is tombstoned: the frozen scan cannot serve a mutated "
         "corpus — use DynamicGbdaService");
   }
+  // Profiles are also the early-termination bound's teeth (ScanRange
+  // sharpens its GBD lower bound through them without ever consulting
+  // Passes), so an armed ranking scan builds them even when the prefilter
+  // itself is off — one lazy O(corpus) build, amortized across all
+  // queries. Mirrors ParallelScanBatch's arming condition exactly (incl.
+  // k >= corpus, which never prunes), so the build never runs unread.
+  const bool pruned_ranking = top_k != kScanAllMatches && !apply_gamma &&
+                              top_k < shards_.num_graphs() &&
+                              options.topk_early_termination;
   const Prefilter* prefilter =
-      options.use_prefilter ? EnsurePrefilter() : nullptr;
+      options.use_prefilter || pruned_ranking ? EnsurePrefilter() : nullptr;
   ParallelScanEnv env{&pool_, &shards_, index_, prefilter, CorpusRef(db_),
                       &engines_};
   Result<std::vector<SearchResult>> results =
@@ -89,6 +99,15 @@ Result<SearchResult> GbdaService::Query(const Graph& query,
 
 Result<SearchResult> GbdaService::QueryTopK(const Graph& query, size_t k,
                                             const SearchOptions& options) {
+  // k == 0 is a valid request for an empty ranking, decided here at the
+  // API boundary: no scan runs (the query still counts as served). See
+  // core/gbda_search.h on the kScanAllMatches sentinel vs k == 0.
+  if (k == 0) {
+    std::vector<SearchResult> empty(1);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    AccumulateServiceStats(empty, 0.0, &stats_);
+    return SearchResult{};
+  }
   // Clamp so an oversized k (notably SIZE_MAX) cannot collide with the
   // kScanAllMatches sentinel and skip the ranking sort; a scan never yields
   // more matches than the database has graphs, so the clamp is behavior-free.
@@ -103,6 +122,26 @@ Result<std::vector<SearchResult>> GbdaService::QueryBatch(
     Span<Graph> queries, const SearchOptions& options) {
   Result<std::vector<SearchResult>> batch =
       RunBatch(queries, options, /*apply_gamma=*/true, kScanAllMatches);
+  if (batch.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches_served;
+  }
+  return batch;
+}
+
+Result<std::vector<SearchResult>> GbdaService::QueryTopKBatch(
+    Span<Graph> queries, size_t k, const SearchOptions& options) {
+  if (k == 0) {
+    // Defined-empty rankings for the whole batch, no scan (see QueryTopK).
+    std::vector<SearchResult> empty(queries.size());
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    AccumulateServiceStats(empty, 0.0, &stats_);
+    ++stats_.batches_served;
+    return empty;
+  }
+  k = std::min(k, shards_.num_graphs());
+  Result<std::vector<SearchResult>> batch =
+      RunBatch(queries, options, /*apply_gamma=*/false, k);
   if (batch.ok()) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.batches_served;

@@ -41,11 +41,16 @@ struct ServiceOptions {
 };
 
 /// Aggregate serving statistics since construction (or ResetStats).
+/// All fields are guarded by the owning service's stats mutex — concurrent
+/// client threads may call Query/QueryBatch/stats() freely.
 struct ServiceStats {
   size_t queries_served = 0;
-  size_t batches_served = 0;  // QueryBatch calls
+  size_t batches_served = 0;  // QueryBatch / QueryTopKBatch calls
   size_t candidates_evaluated = 0;
   size_t prefiltered_out = 0;
+  /// Posterior evaluations skipped by top-k early termination (subset of
+  /// candidates_evaluated; see SearchResult::pruned_by_bound).
+  size_t pruned_by_bound = 0;
   size_t matches_returned = 0;
   /// Sum of per-query latencies (submission to last-shard completion).
   double total_latency_seconds = 0.0;
@@ -57,11 +62,21 @@ struct ServiceStats {
                                : total_latency_seconds /
                                      static_cast<double>(queries_served);
   }
+  /// Served-query throughput. The denominator is clamped to the timer's
+  /// plausible resolution so a fast batch whose wall time rounds to zero
+  /// (sub-tick) still reports a finite, nonzero QPS instead of 0 — by
+  /// construction nonzero whenever queries_served > 0.
   double QueriesPerSecond() const {
-    return total_wall_seconds <= 0.0
-               ? 0.0
-               : static_cast<double>(queries_served) / total_wall_seconds;
+    if (queries_served == 0) return 0.0;
+    const double wall = total_wall_seconds > kMinWallSeconds
+                            ? total_wall_seconds
+                            : kMinWallSeconds;
+    return static_cast<double>(queries_served) / wall;
   }
+
+  /// Denominator clamp for QueriesPerSecond: one nanosecond, below any
+  /// steady_clock tick a served query could take.
+  static constexpr double kMinWallSeconds = 1e-9;
 };
 
 /// Folds one batch's results into the aggregate counters (shared by
@@ -100,7 +115,12 @@ class GbdaService {
 
   /// Top-k ranking, bit-identical to GbdaSearch::QueryTopK including the
   /// (phi_score desc, gbd asc, id asc) tie-breaking. Each shard truncates
-  /// to its local top-k before the global merge re-ranks.
+  /// to its local top-k before the global merge re-ranks. Runs the
+  /// early-terminated scan (shards share the running k-th-best bound)
+  /// unless options.topk_early_termination is off — results are identical
+  /// either way. k == 0 is defined as an empty result (validated here at
+  /// the API boundary, no scan runs; see core/gbda_search.h on the
+  /// kScanAllMatches sentinel vs k == 0).
   Result<SearchResult> QueryTopK(const Graph& query, size_t k,
                                  const SearchOptions& options);
 
@@ -112,6 +132,13 @@ class GbdaService {
   /// posterior-domain errors, which are query-global).
   Result<std::vector<SearchResult>> QueryBatch(Span<Graph> queries,
                                                const SearchOptions& options);
+
+  /// Batched top-k rankings with the same in-flight fan-out as QueryBatch;
+  /// results[i] is bit-identical to QueryTopK(queries[i], k, options).
+  /// Each query job carries its own shard-shared pruning bound.
+  Result<std::vector<SearchResult>> QueryTopKBatch(Span<Graph> queries,
+                                                   size_t k,
+                                                   const SearchOptions& options);
 
   size_t num_threads() const { return pool_.size(); }
   size_t num_shards() const { return shards_.num_shards(); }

@@ -17,6 +17,14 @@ Result<std::vector<SearchResult>> ParallelScanBatch(const ParallelScanEnv& env,
   const size_t num_queries = queries.size();
   const size_t num_shards = env.shards->num_shards();
 
+  // One ScanBounds per query job when early termination is armed: the
+  // bound is a per-query property (the k-th best of THIS query's matches),
+  // shared across that query's shard tasks, never across queries. k >=
+  // corpus can never prune, so it skips the bookkeeping.
+  const bool early_terminate =
+      !apply_gamma && top_k != kScanAllMatches &&
+      top_k < env.shards->num_graphs() && options.topk_early_termination;
+
   struct QueryJob {
     ScanContext ctx;
     std::vector<SearchResult> partials;
@@ -25,6 +33,8 @@ Result<std::vector<SearchResult>> ParallelScanBatch(const ParallelScanEnv& env,
     // constructor initialization (P0883 fixed the default in C++20).
     std::atomic<size_t> shards_left{0};
     double latency_seconds = 0.0;
+    /// Shard-shared pruning state; null when scanning exhaustively.
+    std::unique_ptr<ScanBounds> bounds;
   };
   std::vector<std::unique_ptr<QueryJob>> jobs;
   jobs.reserve(num_queries);
@@ -37,6 +47,7 @@ Result<std::vector<SearchResult>> ParallelScanBatch(const ParallelScanEnv& env,
     job->partials.resize(num_shards);
     job->statuses.resize(num_shards);
     job->shards_left.store(num_shards, std::memory_order_relaxed);
+    if (early_terminate) job->bounds = std::make_unique<ScanBounds>(top_k);
     jobs.push_back(std::move(job));
   }
 
@@ -60,7 +71,8 @@ Result<std::vector<SearchResult>> ParallelScanBatch(const ParallelScanEnv& env,
                                         : (*env.engines)[worker].get();
           SearchResult partial;
           Status status = ScanRange(job->ctx, view.index(), env.prefilter,
-                                    view.begin(), view.end(), engine, &partial);
+                                    view.begin(), view.end(), engine, &partial,
+                                    job->bounds.get());
           // Local truncation keeps the merge O(S * k): any global top-k
           // match is also in its own shard's top-k.
           if (status.ok() && top_k != kScanAllMatches) {
@@ -120,6 +132,7 @@ Result<std::vector<SearchResult>> ParallelScanBatch(const ParallelScanEnv& env,
                             partial.matches.end());
       merged.candidates_evaluated += partial.candidates_evaluated;
       merged.prefiltered_out += partial.prefiltered_out;
+      merged.pruned_by_bound += partial.pruned_by_bound;
     }
     if (top_k != kScanAllMatches) SortTopK(&merged.matches, top_k);
     merged.seconds = job->latency_seconds;

@@ -22,8 +22,9 @@
 
 namespace gbda {
 
-/// top_k sentinel: keep every match (threshold mode).
-inline constexpr size_t kScanAllMatches = static_cast<size_t>(-1);
+// The top_k sentinel kScanAllMatches lives next to the scan pipeline in
+// core/gbda_search.h (included above), which also documents the sentinel
+// vs k == 0 distinction.
 
 /// Borrowed execution environment of one batch scan.
 struct ParallelScanEnv {
@@ -48,6 +49,15 @@ struct ParallelScanEnv {
 /// final merge truncate to top_k under SearchMatchRankBefore. Each result's
 /// `seconds` is that query's latency from batch submission to its last
 /// shard completing.
+///
+/// Ranking calls (apply_gamma == false with a real top_k) run with top-k
+/// early termination unless options.topk_early_termination is off: each
+/// query job owns one ScanBounds, shared by that query's shard tasks
+/// through ParallelScanEnv's fan-out, so the k-th-best phi_score witnessed
+/// by any shard prunes the other shards' tails via a relaxed atomic. The
+/// merged output stays bit-identical to the exhaustive scan — only
+/// SearchResult::pruned_by_bound and timing vary (see core/gbda_search.h,
+/// ScanBounds).
 Result<std::vector<SearchResult>> ParallelScanBatch(const ParallelScanEnv& env,
                                                     Span<Graph> queries,
                                                     const SearchOptions& options,

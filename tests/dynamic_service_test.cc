@@ -240,6 +240,70 @@ TEST_F(DynamicServiceTest, StableIdsSurviveMutations) {
   EXPECT_EQ(dyn.RemoveGraphs({*id}).code(), StatusCode::kNotFound);
 }
 
+TEST_F(DynamicServiceTest, TauZeroAndTopKZeroOnSnapshotPath) {
+  const GbdaIndexOptions index_options = IndexOptions();
+  DynamicServiceOptions options;
+  options.service.num_threads = 2;
+  options.service.num_shards = 3;
+  Result<std::unique_ptr<DynamicGbdaService>> created =
+      DynamicGbdaService::Create(InitialDb(dataset_->db.size()),
+                                 index_options, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  DynamicGbdaService& dyn = **created;
+
+  // tau_hat = 0 against the snapshot: only GBD-0 candidates carry
+  // posterior mass, with and without the prefilter layer.
+  const Graph query = dataset_->db.graph(0);
+  for (bool prefilter : {false, true}) {
+    SearchOptions opts;
+    opts.tau_hat = 0;
+    opts.gamma = 0.5;
+    opts.use_prefilter = prefilter;
+    Result<SearchResult> r = dyn.Query(query, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_FALSE(r->matches.empty());
+    bool found_self = false;
+    for (const SearchMatch& m : r->matches) {
+      EXPECT_EQ(m.gbd, 0);
+      EXPECT_GT(m.phi_score, 0.0);
+      found_self |= m.graph_id == 0;
+    }
+    EXPECT_TRUE(found_self);
+    // Pruned and exhaustive rankings agree at the tau boundary (the
+    // snapshot path always sharpens the bound through its profiles).
+    SearchOptions exhaustive = opts;
+    exhaustive.topk_early_termination = false;
+    Result<SearchResult> pruned = dyn.QueryTopK(query, 3, opts);
+    Result<SearchResult> reference = dyn.QueryTopK(query, 3, exhaustive);
+    ASSERT_TRUE(pruned.ok());
+    ASSERT_TRUE(reference.ok());
+    ASSERT_EQ(pruned->matches.size(), reference->matches.size());
+    for (size_t i = 0; i < pruned->matches.size(); ++i) {
+      EXPECT_EQ(pruned->matches[i].graph_id, reference->matches[i].graph_id);
+      EXPECT_EQ(pruned->matches[i].phi_score,
+                reference->matches[i].phi_score);
+    }
+  }
+
+  // k = 0: the defined-empty ranking, still counted as served.
+  dyn.ResetStats();
+  SearchOptions opts;
+  opts.tau_hat = 5;
+  Result<SearchResult> empty = dyn.QueryTopK(query, 0, opts);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->matches.empty());
+  EXPECT_EQ(empty->candidates_evaluated, 0u);
+  Result<std::vector<SearchResult>> batch =
+      dyn.QueryTopKBatch(Span<Graph>(&query, 1), 0, opts);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_TRUE((*batch)[0].matches.empty());
+  const ServiceStats stats = dyn.stats();
+  EXPECT_EQ(stats.queries_served, 2u);
+  EXPECT_EQ(stats.batches_served, 1u);
+  EXPECT_EQ(stats.candidates_evaluated, 0u);
+}
+
 TEST_F(DynamicServiceTest, StalenessPolicyDefersRefits) {
   const GbdaIndexOptions index_options = IndexOptions();
   DynamicServiceOptions options;

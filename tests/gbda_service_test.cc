@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include "core/gbda_search.h"
@@ -263,6 +264,131 @@ TEST_F(GbdaServiceTest, RejectsDbIndexMismatchBothDirections) {
     auto service = GbdaService::Create(&smaller, &*smaller_index);
     ASSERT_FALSE(service.ok());
     EXPECT_EQ(service.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_F(GbdaServiceTest, StatsExactUnderConcurrentClients) {
+  // Regression for the ServiceStats synchronization contract: concurrent
+  // client threads mixing Query and QueryBatch must leave exact aggregate
+  // counters (a lost update would show up as a short count; under TSan the
+  // unsynchronized writes themselves would be flagged).
+  GbdaService service(&dataset_->db, index_, ServiceOptions{3, 4});
+  SearchOptions opts;
+  opts.tau_hat = 5;
+  opts.gamma = 0.5;
+  constexpr size_t kClients = 6;
+  constexpr size_t kQueriesPerClient = 4;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, &service, &opts, c] {
+      for (size_t i = 0; i < kQueriesPerClient; ++i) {
+        const Graph& q =
+            dataset_->queries[(c + i) % dataset_->queries.size()];
+        ASSERT_TRUE(service.Query(q, opts).ok());
+      }
+      ASSERT_TRUE(
+          service
+              .QueryBatch(Span<Graph>(dataset_->queries.data(), 2), opts)
+              .ok());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const ServiceStats stats = service.stats();
+  const size_t expected_queries = kClients * (kQueriesPerClient + 2);
+  EXPECT_EQ(stats.queries_served, expected_queries);
+  EXPECT_EQ(stats.batches_served, kClients);
+  EXPECT_EQ(stats.candidates_evaluated, expected_queries * dataset_->db.size());
+  EXPECT_GT(stats.total_latency_seconds, 0.0);
+  EXPECT_GT(stats.total_wall_seconds, 0.0);
+}
+
+TEST(ServiceStatsTest, QueriesPerSecondClampsSubTickWalls) {
+  // A nonzero-query batch whose wall time rounds to a sub-tick 0.0 must
+  // still report a nonzero QPS (the denominator is clamped, not the
+  // result zeroed).
+  ServiceStats stats;
+  stats.queries_served = 5;
+  stats.total_wall_seconds = 0.0;
+  EXPECT_GT(stats.QueriesPerSecond(), 0.0);
+  // No queries served stays 0 regardless of wall time.
+  ServiceStats idle;
+  idle.total_wall_seconds = 1.0;
+  EXPECT_EQ(idle.QueriesPerSecond(), 0.0);
+  // Normal walls are unaffected by the clamp.
+  ServiceStats normal;
+  normal.queries_served = 10;
+  normal.total_wall_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(normal.QueriesPerSecond(), 5.0);
+}
+
+TEST_F(GbdaServiceTest, TopKZeroIsDefinedEmptyAndCounted) {
+  GbdaService service(&dataset_->db, index_, ServiceOptions{2, 2});
+  SearchOptions opts;
+  opts.tau_hat = 5;
+  Result<SearchResult> r = service.QueryTopK(dataset_->queries[0], 0, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->matches.empty());
+  EXPECT_EQ(r->candidates_evaluated, 0u);
+  EXPECT_EQ(r->pruned_by_bound, 0u);
+  // The API-boundary decision short-circuits before option validation, so
+  // even an out-of-range tau_hat yields the defined empty ranking.
+  SearchOptions bad_tau;
+  bad_tau.tau_hat = index_->tau_max() + 1;
+  EXPECT_TRUE(service.QueryTopK(dataset_->queries[0], 0, bad_tau).ok());
+  Result<std::vector<SearchResult>> batch =
+      service.QueryTopKBatch(dataset_->queries, 0, opts);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), dataset_->queries.size());
+  for (const SearchResult& b : *batch) EXPECT_TRUE(b.matches.empty());
+  // The served queries are still accounted for.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries_served, 2 + dataset_->queries.size());
+  EXPECT_EQ(stats.batches_served, 1u);
+  EXPECT_EQ(stats.candidates_evaluated, 0u);
+}
+
+TEST_F(GbdaServiceTest, TauZeroServesExactBranchDuplicatesOnly) {
+  // tau_hat = 0 end-to-end: Lambda1(0, phi) = [phi == 0], so only
+  // candidates with GBD 0 carry posterior mass and survive the gamma cut —
+  // with and without the prefilter (Passes at tau 0 keeps exactly the
+  // profiles with lower bound 0), serially and sharded.
+  const Graph query = dataset_->db.graph(0);
+  for (bool prefilter : {false, true}) {
+    SearchOptions opts;
+    opts.tau_hat = 0;
+    opts.gamma = 0.5;
+    opts.use_prefilter = prefilter;
+    Result<SearchResult> serial = serial_->Query(query, opts);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    ASSERT_FALSE(serial->matches.empty());
+    bool found_self = false;
+    for (const SearchMatch& m : serial->matches) {
+      EXPECT_EQ(m.gbd, 0) << "prefilter=" << prefilter;
+      EXPECT_GT(m.phi_score, 0.0);
+      found_self |= m.graph_id == 0;
+    }
+    EXPECT_TRUE(found_self);
+    for (size_t shards : {1u, 2u, 7u}) {
+      GbdaService service(&dataset_->db, index_, ServiceOptions{2, shards});
+      Result<SearchResult> sharded = service.Query(query, opts);
+      ASSERT_TRUE(sharded.ok());
+      ExpectSameResult(*serial, *sharded,
+                       "tau0 prefilter=" + std::to_string(prefilter) +
+                           " shards=" + std::to_string(shards));
+      // The ranking path at the tau boundary: pruned top-k must equal the
+      // exhaustive ranking here too.
+      SearchOptions exhaustive = opts;
+      exhaustive.topk_early_termination = false;
+      Result<SearchResult> top_pruned = service.QueryTopK(query, 5, opts);
+      Result<SearchResult> top_exhaustive =
+          service.QueryTopK(query, 5, exhaustive);
+      ASSERT_TRUE(top_pruned.ok());
+      ASSERT_TRUE(top_exhaustive.ok());
+      ExpectSameResult(*top_exhaustive, *top_pruned,
+                       "tau0 topk prefilter=" + std::to_string(prefilter) +
+                           " shards=" + std::to_string(shards));
+    }
   }
 }
 

@@ -117,6 +117,34 @@ TEST_F(PrefilterFixture, RemovesCrossFamilyCandidates) {
   EXPECT_LT(candidates.size(), dataset_->db.size());
 }
 
+TEST_F(PrefilterFixture, TauZeroKeepsExactProfileMatchesOnly) {
+  // The tau_hat = 0 boundary: Passes keeps exactly the graphs whose
+  // admissible lower bound is 0 — a graph is always its own candidate, and
+  // any profile difference (size or label multiset) is disqualifying.
+  for (size_t id : {size_t{0}, dataset_->db.size() / 2}) {
+    const FilterProfile self = BuildFilterProfile(dataset_->db.graph(id));
+    EXPECT_TRUE(prefilter_->Passes(self, id, 0));
+    const std::vector<size_t> candidates =
+        prefilter_->Candidates(dataset_->db.graph(id), 0);
+    std::set<size_t> surviving(candidates.begin(), candidates.end());
+    EXPECT_TRUE(surviving.count(id));
+    for (size_t g : candidates) {
+      EXPECT_EQ(FilterLowerBound(self, BuildFilterProfile(dataset_->db.graph(g))),
+                0)
+          << "graph " << g;
+    }
+  }
+  // Cross-family pairs have marker-forced label distance > 0, so they can
+  // never pass at tau 0.
+  const FilterProfile query_profile =
+      BuildFilterProfile(dataset_->queries[0]);
+  for (size_t g = 0; g < dataset_->db.size(); ++g) {
+    if (dataset_->graph_family[g] != dataset_->query_family[0]) {
+      EXPECT_FALSE(prefilter_->Passes(query_profile, g, 0)) << "graph " << g;
+    }
+  }
+}
+
 TEST_F(PrefilterFixture, MonotoneInTau) {
   const std::vector<size_t> tight =
       prefilter_->Candidates(dataset_->queries[0], 2);

@@ -152,11 +152,64 @@ TEST_F(GbdaSearchTest, TopKReturnsRankedPrefix) {
 }
 
 TEST_F(GbdaSearchTest, TopKZeroIsEmpty) {
+  // k = 0 is the defined-empty ranking (decided at the API boundary, no
+  // scan; see kScanAllMatches in gbda_search.h) — not an error, and not
+  // the kScanAllMatches sentinel.
   SearchOptions opts;
   opts.tau_hat = 5;
   Result<SearchResult> r = search_->QueryTopK(dataset_->queries[0], 0, opts);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->matches.empty());
+  EXPECT_EQ(r->candidates_evaluated, 0u);
+  EXPECT_EQ(r->pruned_by_bound, 0u);
+}
+
+TEST_F(GbdaSearchTest, TauZeroQueryEndToEnd) {
+  // The tau_hat = 0 boundary of the posterior: Lambda1(0, phi) is the
+  // indicator [phi == 0], so only GBD-0 candidates carry posterior mass —
+  // with and without the prefilter (Passes at tau 0), and identically
+  // through the ranking path.
+  const Graph query = dataset_->db.graph(0);
+  std::vector<SearchResult> results;
+  for (bool prefilter : {false, true}) {
+    SearchOptions opts;
+    opts.tau_hat = 0;
+    opts.gamma = 0.5;
+    opts.use_prefilter = prefilter;
+    Result<SearchResult> r = search_->Query(query, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_FALSE(r->matches.empty()) << "prefilter=" << prefilter;
+    bool found_self = false;
+    for (const SearchMatch& m : r->matches) {
+      EXPECT_EQ(m.gbd, 0);
+      EXPECT_GT(m.phi_score, 0.0);
+      found_self |= m.graph_id == 0;
+    }
+    EXPECT_TRUE(found_self);
+    results.push_back(std::move(*r));
+  }
+  // The prefilter is sound at tau 0: same accepted set either way.
+  ASSERT_EQ(results[0].matches.size(), results[1].matches.size());
+  for (size_t i = 0; i < results[0].matches.size(); ++i) {
+    EXPECT_EQ(results[0].matches[i].graph_id, results[1].matches[i].graph_id);
+    EXPECT_EQ(results[0].matches[i].phi_score,
+              results[1].matches[i].phi_score);
+  }
+  // Ranking at the boundary: pruned top-k equals the exhaustive ranking.
+  SearchOptions pruned;
+  pruned.tau_hat = 0;
+  SearchOptions exhaustive = pruned;
+  exhaustive.topk_early_termination = false;
+  Result<SearchResult> a = search_->QueryTopK(query, 5, pruned);
+  Result<SearchResult> b = search_->QueryTopK(query, 5, exhaustive);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->matches.size(), b->matches.size());
+  for (size_t i = 0; i < a->matches.size(); ++i) {
+    EXPECT_EQ(a->matches[i].graph_id, b->matches[i].graph_id);
+    EXPECT_EQ(a->matches[i].phi_score, b->matches[i].phi_score);
+    EXPECT_EQ(a->matches[i].gbd, b->matches[i].gbd);
+  }
 }
 
 TEST_F(GbdaSearchTest, TopKWithOversizedKReturnsWholeDatabase) {
