@@ -1,0 +1,131 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace gbda::net {
+
+Result<GbdaClient> GbdaClient::Connect(const std::string& host,
+                                       uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("client: bad host address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + err);
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  GbdaClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+void GbdaClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status GbdaClient::SendBytes(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client: not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> GbdaClient::ReadFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("client: not connected");
+  for (;;) {
+    Result<std::optional<Frame>> next = decoder_.Next();
+    if (!next.ok()) return next.status();
+    if (next->has_value()) return std::move(**next);
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::IOError("client: connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Status GbdaClient::Ping(uint64_t request_id) {
+  PingRequest req;
+  req.request_id = request_id;
+  GBDA_RETURN_IF_ERROR(SendBytes(EncodePingRequest(req)));
+  Result<Frame> frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type != MessageType::kPingResponse) {
+    return Status::Internal("client: unexpected response type to ping");
+  }
+  Result<PingResponse> resp = DecodePingResponse(frame->payload);
+  if (!resp.ok()) return resp.status();
+  if (resp->request_id != request_id) {
+    return Status::Internal("client: ping response id mismatch");
+  }
+  return Status::OK();
+}
+
+Result<TopKResponse> GbdaClient::QueryTopK(const TopKRequest& request) {
+  GBDA_RETURN_IF_ERROR(SendBytes(EncodeTopKRequest(request)));
+  Result<Frame> frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type != MessageType::kTopKResponse) {
+    return Status::Internal("client: unexpected response type to top-k");
+  }
+  return DecodeTopKResponse(frame->payload);
+}
+
+Result<MutateResponse> GbdaClient::Mutate(const MutateRequest& request) {
+  GBDA_RETURN_IF_ERROR(SendBytes(EncodeMutateRequest(request)));
+  Result<Frame> frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type != MessageType::kMutateResponse) {
+    return Status::Internal("client: unexpected response type to mutate");
+  }
+  return DecodeMutateResponse(frame->payload);
+}
+
+Result<StatsResponse> GbdaClient::Stats(uint64_t request_id) {
+  StatsRequest req;
+  req.request_id = request_id;
+  GBDA_RETURN_IF_ERROR(SendBytes(EncodeStatsRequest(req)));
+  Result<Frame> frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type != MessageType::kStatsResponse) {
+    return Status::Internal("client: unexpected response type to stats");
+  }
+  return DecodeStatsResponse(frame->payload);
+}
+
+}  // namespace gbda::net

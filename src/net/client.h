@@ -1,0 +1,65 @@
+/// \file client.h
+/// Blocking TCP client for the gbda_serverd wire protocol (net/codec.h).
+/// One connection per client; calls are synchronous request/response. Not
+/// thread-safe for concurrent calls on one instance — the load generator
+/// (bench/bench_loadgen.cc) splits send and receive across two threads via
+/// the raw SendBytes/ReadFrame surface instead, matching request ids.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "net/codec.h"
+
+namespace gbda::net {
+
+class GbdaClient {
+ public:
+  GbdaClient() = default;
+  ~GbdaClient() { Close(); }
+  GbdaClient(GbdaClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+    decoder_ = std::move(other.decoder_);
+  }
+  GbdaClient& operator=(GbdaClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+      decoder_ = std::move(other.decoder_);
+    }
+    return *this;
+  }
+  GbdaClient(const GbdaClient&) = delete;
+  GbdaClient& operator=(const GbdaClient&) = delete;
+
+  /// Connects to an IPv4 address ("127.0.0.1") and port.
+  static Result<GbdaClient> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // -- Synchronous request/response ----------------------------------------
+
+  Status Ping(uint64_t request_id = 0);
+  Result<TopKResponse> QueryTopK(const TopKRequest& request);
+  Result<MutateResponse> Mutate(const MutateRequest& request);
+  Result<StatsResponse> Stats(uint64_t request_id = 0);
+
+  // -- Raw surface (protocol tests, pipelined load generation) -------------
+
+  /// Writes raw bytes to the socket (MSG_NOSIGNAL — a dead peer returns an
+  /// error, never raises SIGPIPE).
+  Status SendBytes(const std::string& bytes);
+  /// Blocks until one complete frame arrives (or the peer closes / the
+  /// stream is malformed).
+  Result<Frame> ReadFrame();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace gbda::net

@@ -1,0 +1,244 @@
+/// \file codec.h
+/// Wire protocol of the network serving front-end (docs/ARCHITECTURE.md,
+/// "Network serving"). Every message travels in one length-prefixed frame:
+///
+///   offset size field
+///        0    4 magic        0x41444247 ("GBDA" on the wire, little-endian)
+///        4    4 version      kWireVersion; bumped on incompatible change
+///        8    4 type         MessageType
+///       12    8 payload_len  bytes following the header, <= kMaxPayloadBytes
+///       20    4 payload_crc  CRC-32 (common/crc32.h) of the payload bytes
+///       24    - payload      BinaryWriter-encoded message body
+///
+/// Framing errors (bad magic/version/type, oversized or wrapping lengths,
+/// CRC mismatch) are unrecoverable for a byte stream — there is no resync
+/// point — so FrameDecoder returns an error and the connection must be
+/// closed. Payload decode errors (a well-framed but malformed body) leave
+/// the stream synchronized; the server answers WireStatus::kInvalidRequest
+/// and keeps the connection. Every Decode* rejects trailing bytes, hostile
+/// element counts and out-of-domain enum values, in the same style as the
+/// artifact decode hardening of core/gbda_index.cc (the sweep lives in
+/// tests/net_codec_test.cc).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serialize.h"
+#include "core/gbda_search.h"
+#include "graph/graph.h"
+
+namespace gbda::net {
+
+inline constexpr uint32_t kWireMagic = 0x41444247;  // "GBDA"
+inline constexpr uint32_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 24;
+/// Upper bound on a single payload; a declared length above this is treated
+/// as hostile (the bound exists so a corrupt length can never drive a huge
+/// allocation, mirroring BinaryReader's element-count checks).
+inline constexpr uint64_t kMaxPayloadBytes = 32ull << 20;
+
+enum class MessageType : uint32_t {
+  kPingRequest = 1,
+  kPingResponse = 2,
+  kTopKRequest = 3,
+  kTopKResponse = 4,
+  kMutateRequest = 5,
+  kMutateResponse = 6,
+  kStatsRequest = 7,
+  kStatsResponse = 8,
+};
+inline constexpr uint32_t kMaxMessageType =
+    static_cast<uint32_t>(MessageType::kStatsResponse);
+
+/// Typed outcome carried by every response. kOverloaded and
+/// kDeadlineExceeded are the admission-control rejections: the request was
+/// understood but not served (queue bound hit, or the request expired in
+/// the queue), and the client may retry with backoff.
+enum class WireStatus : uint32_t {
+  kOk = 0,
+  kInvalidRequest = 1,
+  kOverloaded = 2,
+  kDeadlineExceeded = 3,
+  kUnsupported = 4,
+  kInternal = 5,
+  kShuttingDown = 6,
+};
+inline constexpr uint32_t kMaxWireStatus =
+    static_cast<uint32_t>(WireStatus::kShuttingDown);
+
+const char* WireStatusName(WireStatus status);
+
+/// One decoded frame: the type tag and the raw (CRC-verified) payload.
+struct Frame {
+  MessageType type = MessageType::kPingRequest;
+  std::string payload;
+};
+
+/// Frames `payload` under `type` (header + CRC; the payload is not
+/// interpreted).
+std::string EncodeFrame(MessageType type, std::string_view payload);
+
+/// Incremental frame parser over a TCP byte stream. Feed bytes as they
+/// arrive; Next() yields complete frames in order. One decoder per
+/// connection — it owns the partial-frame buffer.
+class FrameDecoder {
+ public:
+  void Feed(const char* data, size_t size);
+
+  /// The next complete frame; std::nullopt when more bytes are needed; a
+  /// non-OK status when the stream is malformed (close the connection — a
+  /// byte stream past a framing error cannot be resynchronized).
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by a returned frame.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Message bodies. Encode* returns a complete frame (header included);
+// Decode* consumes a Frame's payload and rejects malformed or trailing
+// bytes.
+// ---------------------------------------------------------------------------
+
+struct PingRequest {
+  uint64_t request_id = 0;
+};
+struct PingResponse {
+  uint64_t request_id = 0;
+};
+
+/// Top-k query request. `deadline_ms` is the client's total queueing+serving
+/// budget starting at server admission; 0 means the server default. The
+/// query graph's label ids must come from the served corpus's dictionaries
+/// (see MutationOp::kInternVertexLabel for the dynamic path).
+struct TopKRequest {
+  uint64_t request_id = 0;
+  uint64_t k = 0;
+  uint64_t deadline_ms = 0;
+  SearchOptions options;
+  Graph query;
+};
+
+struct TopKResponse {
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  std::string message;  // empty on kOk
+  /// Snapshot generation the query was served against (0 for a frozen
+  /// backend): the consistency token of the dynamic soak contract — every
+  /// response is attributable to one published corpus generation.
+  uint64_t generation = 0;
+  uint64_t candidates_evaluated = 0;
+  uint64_t prefiltered_out = 0;
+  uint64_t pruned_by_bound = 0;
+  /// Time spent queued before execution and size of the micro-batch this
+  /// query was coalesced into (observability for the adaptive batcher).
+  uint64_t queue_micros = 0;
+  uint64_t batch_size = 0;
+  std::vector<SearchMatch> matches;
+};
+
+enum class MutationOp : uint32_t {
+  kAddGraphs = 1,
+  kRemoveGraphs = 2,
+  kInternVertexLabel = 3,
+  kInternEdgeLabel = 4,
+  kFlush = 5,
+};
+inline constexpr uint32_t kMaxMutationOp =
+    static_cast<uint32_t>(MutationOp::kFlush);
+
+/// Corpus mutation request (dynamic backend only; a frozen server answers
+/// kUnsupported). Exactly the DynamicGbdaService mutation API over the
+/// wire: graphs for kAddGraphs, stable ids for kRemoveGraphs, a label name
+/// for the intern ops.
+struct MutateRequest {
+  uint64_t request_id = 0;
+  MutationOp op = MutationOp::kFlush;
+  uint64_t deadline_ms = 0;
+  std::vector<Graph> graphs;
+  std::vector<uint64_t> ids;
+  std::string label;
+};
+
+struct MutateResponse {
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  /// Generation published by this commit (intern ops report the current
+  /// generation — they take effect at the next commit).
+  uint64_t generation = 0;
+  std::vector<uint64_t> assigned_ids;  // kAddGraphs
+  uint64_t label_id = 0;               // intern ops
+};
+
+struct StatsRequest {
+  uint64_t request_id = 0;
+};
+
+/// Server-side counters (tools/gbda_serverd exposes them over the wire and
+/// prints them at shutdown). batch_size_histogram[i] counts executed query
+/// micro-batches of size i+1 — the acceptance signal that the adaptive
+/// batcher actually coalesces under load.
+struct WireServerStats {
+  uint64_t connections_opened = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t decode_errors = 0;
+  uint64_t requests_accepted = 0;
+  uint64_t rejected_overloaded = 0;
+  uint64_t rejected_deadline = 0;
+  uint64_t rejected_invalid = 0;
+  uint64_t responses_sent = 0;
+  uint64_t batches_executed = 0;
+  uint64_t queue_depth_peak = 0;
+  std::vector<uint64_t> batch_size_histogram;
+};
+
+struct StatsResponse {
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  WireServerStats stats;
+};
+
+// -- Component codecs (shared by the message codecs; exposed for tests) ----
+
+void EncodeGraph(const Graph& g, BinaryWriter* writer);
+/// Rebuilds the graph through the mutating Graph API, so structurally
+/// invalid payloads (dangling endpoints, self-loops, duplicate edges) are
+/// rejected with the API's own validation.
+Result<Graph> DecodeGraph(BinaryReader* reader);
+
+void EncodeSearchOptions(const SearchOptions& options, BinaryWriter* writer);
+Result<SearchOptions> DecodeSearchOptions(BinaryReader* reader);
+
+// -- Message codecs ---------------------------------------------------------
+
+std::string EncodePingRequest(const PingRequest& msg);
+std::string EncodePingResponse(const PingResponse& msg);
+std::string EncodeTopKRequest(const TopKRequest& msg);
+std::string EncodeTopKResponse(const TopKResponse& msg);
+std::string EncodeMutateRequest(const MutateRequest& msg);
+std::string EncodeMutateResponse(const MutateResponse& msg);
+std::string EncodeStatsRequest(const StatsRequest& msg);
+std::string EncodeStatsResponse(const StatsResponse& msg);
+
+Result<PingRequest> DecodePingRequest(std::string_view payload);
+Result<PingResponse> DecodePingResponse(std::string_view payload);
+Result<TopKRequest> DecodeTopKRequest(std::string_view payload);
+Result<TopKResponse> DecodeTopKResponse(std::string_view payload);
+Result<MutateRequest> DecodeMutateRequest(std::string_view payload);
+Result<MutateResponse> DecodeMutateResponse(std::string_view payload);
+Result<StatsRequest> DecodeStatsRequest(std::string_view payload);
+Result<StatsResponse> DecodeStatsResponse(std::string_view payload);
+
+}  // namespace gbda::net

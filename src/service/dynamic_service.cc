@@ -160,15 +160,29 @@ DynamicGbdaService::LoadSnapshot() const {
   return std::atomic_load(&snapshot_);
 }
 
-Result<size_t> DynamicGbdaService::AddGraph(Graph g) {
-  Result<std::vector<size_t>> ids = AddGraphs({std::move(g)});
+namespace {
+
+/// Fills the caller's generation token from the just-published snapshot.
+/// Callers hold write_mutex_, so the loaded snapshot is exactly the one
+/// their Republish stored (no later commit can have intervened).
+void ReportPublished(const SnapshotInfo& info, SnapshotInfo* published) {
+  if (published != nullptr) *published = info;
+}
+
+}  // namespace
+
+Result<size_t> DynamicGbdaService::AddGraph(Graph g, SnapshotInfo* published) {
+  Result<std::vector<size_t>> ids = AddGraphs({std::move(g)}, published);
   if (!ids.ok()) return ids.status();
   return (*ids)[0];
 }
 
 Result<std::vector<size_t>> DynamicGbdaService::AddGraphs(
-    std::vector<Graph> graphs) {
-  if (graphs.empty()) return std::vector<size_t>{};
+    std::vector<Graph> graphs, SnapshotInfo* published) {
+  if (graphs.empty()) {
+    ReportPublished(snapshot_info(), published);  // no commit, current gen
+    return std::vector<size_t>{};
+  }
   std::lock_guard<std::mutex> lock(write_mutex_);
   for (const Graph& g : graphs) {
     Status labels = ValidateLabels(g);
@@ -189,11 +203,16 @@ Result<std::vector<size_t>> DynamicGbdaService::AddGraphs(
     dynamic_stats_.graphs_added += ids.size();
   }
   Republish();
+  ReportPublished(snapshot_info(), published);
   return ids;
 }
 
-Status DynamicGbdaService::RemoveGraphs(const std::vector<size_t>& ids) {
-  if (ids.empty()) return Status::OK();
+Status DynamicGbdaService::RemoveGraphs(const std::vector<size_t>& ids,
+                                        SnapshotInfo* published) {
+  if (ids.empty()) {
+    ReportPublished(snapshot_info(), published);
+    return Status::OK();
+  }
   std::lock_guard<std::mutex> lock(write_mutex_);
   Status removed = db_.RemoveGraphs(ids);
   if (!removed.ok()) return removed;  // validated up front: no-op on failure
@@ -204,6 +223,7 @@ Status DynamicGbdaService::RemoveGraphs(const std::vector<size_t>& ids) {
     dynamic_stats_.graphs_removed += ids.size();
   }
   Republish();
+  ReportPublished(snapshot_info(), published);
   return Status::OK();
 }
 
@@ -217,9 +237,10 @@ LabelId DynamicGbdaService::InternEdgeLabel(const std::string& name) {
   return db_.edge_labels().Intern(name);
 }
 
-Status DynamicGbdaService::Flush() {
+Status DynamicGbdaService::Flush(SnapshotInfo* published) {
   std::lock_guard<std::mutex> lock(write_mutex_);
   Republish(/*force_refit=*/true);
+  ReportPublished(snapshot_info(), published);
   // The snapshot is published either way (availability), but a caller
   // flushing to guarantee a fresh Lambda2 must hear when the refit could
   // not run (degenerate corpus or fit failure).
@@ -289,7 +310,14 @@ Result<SearchResult> DynamicGbdaService::QueryTopK(const Graph& query,
 }
 
 Result<std::vector<SearchResult>> DynamicGbdaService::QueryTopKBatch(
-    Span<Graph> queries, size_t k, const SearchOptions& options) {
+    Span<Graph> queries, size_t k, const SearchOptions& options,
+    SnapshotInfo* served) {
+  std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  if (served != nullptr) {
+    served->generation = snap->generation;
+    served->num_live = snap->index->num_graphs();
+    served->gbd_staleness = snap->index->gbd_staleness();
+  }
   if (k == 0) {
     std::vector<SearchResult> empty(queries.size());
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -297,7 +325,6 @@ Result<std::vector<SearchResult>> DynamicGbdaService::QueryTopKBatch(
     ++stats_.batches_served;
     return empty;
   }
-  std::shared_ptr<const Snapshot> snap = LoadSnapshot();
   k = std::min(k, snap->index->num_graphs());
   Result<std::vector<SearchResult>> batch =
       RunBatchOn(snap, queries, options, /*apply_gamma=*/false, k);

@@ -101,12 +101,19 @@ class DynamicGbdaService {
 
   /// Adds a graph (label ids must come from this corpus's dictionaries, see
   /// InternVertexLabel/InternEdgeLabel) and returns its stable id.
-  Result<size_t> AddGraph(Graph g);
+  /// Mutations optionally report the snapshot generation their commit
+  /// published (`published` non-null): captured under the write lock, so it
+  /// is exactly this commit's generation even with concurrent mutators —
+  /// the handoff token the network front-end (src/net/server.h) returns to
+  /// clients so every mutation is attributable to one published snapshot.
+  Result<size_t> AddGraph(Graph g, SnapshotInfo* published = nullptr);
   /// Adds a batch under one commit — one snapshot swap for the whole batch.
-  Result<std::vector<size_t>> AddGraphs(std::vector<Graph> graphs);
+  Result<std::vector<size_t>> AddGraphs(std::vector<Graph> graphs,
+                                        SnapshotInfo* published = nullptr);
   /// Retires graphs by stable id. Fails as a no-op when any id is unknown,
   /// already removed, or duplicated.
-  Status RemoveGraphs(const std::vector<size_t>& ids);
+  Status RemoveGraphs(const std::vector<size_t>& ids,
+                      SnapshotInfo* published = nullptr);
   /// Interns a label for use by later AddGraph calls. The enlarged label
   /// universe |L_V| / |L_E| (Eq. 33) takes effect at the next commit (or
   /// Flush) unless the index options pin explicit model label counts.
@@ -117,7 +124,8 @@ class DynamicGbdaService {
   /// threshold is bypassed). Fails — with the snapshot still published —
   /// when the refit could not run (fewer than two live graphs, or the fit
   /// itself failed), so success guarantees a drift-free prior.
-  Status Flush();
+  /// `published` reports the published generation even on failure.
+  Status Flush(SnapshotInfo* published = nullptr);
 
   // -- Queries (against one consistent snapshot; ids are stable ids) ------
 
@@ -134,10 +142,15 @@ class DynamicGbdaService {
                                                const SearchOptions& options);
   /// Batched top-k rankings, all against ONE pinned snapshot;
   /// results[i] is bit-identical to QueryTopK(queries[i], k, options)
-  /// against that same snapshot.
-  Result<std::vector<SearchResult>> QueryTopKBatch(Span<Graph> queries,
-                                                   size_t k,
-                                                   const SearchOptions& options);
+  /// against that same snapshot. `served` (non-null) reports the pinned
+  /// snapshot's identity — the batch handoff hook the network front-end
+  /// uses to stamp every co-batched response with the generation it was
+  /// served against (filled on success and failure; also for k == 0, where
+  /// no scan runs but the result is still attributed to the current
+  /// generation).
+  Result<std::vector<SearchResult>> QueryTopKBatch(
+      Span<Graph> queries, size_t k, const SearchOptions& options,
+      SnapshotInfo* served = nullptr);
 
   // -- Introspection -------------------------------------------------------
 

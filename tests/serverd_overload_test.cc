@@ -1,0 +1,263 @@
+// Backpressure, deadline and failure-mode battery for the serving
+// front-end. The admin drain gate (PauseDraining/ResumeDraining) opens
+// deterministic windows: with workers parked, admission behavior past the
+// queue bound, deadline accounting and shutdown draining are all exactly
+// observable instead of racy.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/gbda_index.h"
+#include "datagen/dataset_profiles.h"
+#include "net/client.h"
+#include "service/gbda_service.h"
+
+namespace gbda::net {
+namespace {
+
+/// Shared frozen backend (built once); each test starts its own server so
+/// the counters it asserts on start from zero.
+class ServerdOverloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetProfile profile = AidsProfile(0.02);
+    Result<GeneratedDataset> dataset = GenerateDataset(profile);
+    ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+    dataset_ = new GeneratedDataset(std::move(*dataset));
+
+    GbdaIndexOptions index_options;
+    index_options.tau_max = 10;
+    index_options.gbd_prior.num_sample_pairs = 500;
+    index_options.model_vertex_labels =
+        static_cast<int64_t>(profile.num_vertex_labels);
+    index_options.model_edge_labels =
+        static_cast<int64_t>(profile.num_edge_labels);
+    Result<GbdaIndex> index = GbdaIndex::Build(dataset_->db, index_options);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = new GbdaIndex(std::move(*index));
+
+    ServiceOptions service_options;
+    service_options.num_threads = 2;
+    Result<std::unique_ptr<GbdaService>> service =
+        GbdaService::Create(&dataset_->db, index_, service_options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    service_ = service->release();
+  }
+
+  static void TearDownTestSuite() {
+    delete service_;
+    delete index_;
+    delete dataset_;
+    service_ = nullptr;
+    index_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static std::unique_ptr<GbdaServer> MustServe(const ServerConfig& config) {
+    Result<std::unique_ptr<GbdaServer>> server =
+        GbdaServer::Serve(service_, config);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return server.ok() ? std::move(*server) : nullptr;
+  }
+
+  static std::string EncodedQuery(uint64_t request_id,
+                                  uint64_t deadline_ms = 0) {
+    TopKRequest req;
+    req.request_id = request_id;
+    req.k = 5;
+    req.deadline_ms = deadline_ms;
+    req.options.tau_hat = 5;
+    req.options.gamma = 0.5;
+    req.query = dataset_->queries[0];
+    return EncodeTopKRequest(req);
+  }
+
+  static GeneratedDataset* dataset_;
+  static GbdaIndex* index_;
+  static GbdaService* service_;
+};
+
+GeneratedDataset* ServerdOverloadTest::dataset_ = nullptr;
+GbdaIndex* ServerdOverloadTest::index_ = nullptr;
+GbdaService* ServerdOverloadTest::service_ = nullptr;
+
+TEST_F(ServerdOverloadTest, PastTheQueueBoundRequestsAnswerTypedOverloaded) {
+  ServerConfig config;
+  config.max_queue = 2;
+  config.max_batch = 4;
+  std::unique_ptr<GbdaServer> server = MustServe(config);
+  ASSERT_NE(server, nullptr);
+  server->PauseDraining();
+
+  Result<GbdaClient> client = GbdaClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Pipeline 10 identical requests with workers parked: the first two fill
+  // the queue, the other eight must bounce with kOverloaded immediately.
+  std::string pipelined;
+  for (uint64_t id = 1; id <= 10; ++id) pipelined += EncodedQuery(id);
+  ASSERT_TRUE(client->SendBytes(pipelined).ok());
+
+  std::vector<uint64_t> overloaded_ids;
+  for (int i = 0; i < 8; ++i) {
+    Result<Frame> frame = client->ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_EQ(frame->type, MessageType::kTopKResponse);
+    Result<TopKResponse> resp = DecodeTopKResponse(frame->payload);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->status, WireStatus::kOverloaded) << resp->message;
+    overloaded_ids.push_back(resp->request_id);
+  }
+  // Rejections preserve request ids (FIFO per connection): exactly 3..10.
+  for (size_t i = 0; i < overloaded_ids.size(); ++i) {
+    EXPECT_EQ(overloaded_ids[i], i + 3);
+  }
+
+  // Releasing the gate executes the two admitted requests as ONE coalesced
+  // batch (same batch key, both already queued).
+  server->ResumeDraining();
+  for (uint64_t expected_id = 1; expected_id <= 2; ++expected_id) {
+    Result<Frame> frame = client->ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    Result<TopKResponse> resp = DecodeTopKResponse(frame->payload);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status, WireStatus::kOk) << resp->message;
+    EXPECT_EQ(resp->request_id, expected_id);
+    EXPECT_EQ(resp->batch_size, 2u);
+    EXPECT_FALSE(resp->matches.empty());
+  }
+
+  const WireServerStats stats = server->stats();
+  EXPECT_EQ(stats.rejected_overloaded, 8u);
+  EXPECT_EQ(stats.requests_accepted, 2u);
+  EXPECT_EQ(stats.queue_depth_peak, 2u);
+  ASSERT_GE(stats.batch_size_histogram.size(), 2u);
+  EXPECT_EQ(stats.batch_size_histogram[1], 1u);  // one batch of size 2
+}
+
+TEST_F(ServerdOverloadTest, ExpiredRequestsAnswerDeadlineExceededUnexecuted) {
+  ServerConfig config;
+  config.max_queue = 16;
+  std::unique_ptr<GbdaServer> server = MustServe(config);
+  ASSERT_NE(server, nullptr);
+  server->PauseDraining();
+
+  Result<GbdaClient> client = GbdaClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string pipelined;
+  for (uint64_t id = 1; id <= 3; ++id) pipelined += EncodedQuery(id, 1);
+  ASSERT_TRUE(client->SendBytes(pipelined).ok());
+  // Admitted with a 1 ms deadline; parked well past it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server->ResumeDraining();
+
+  for (int i = 0; i < 3; ++i) {
+    Result<Frame> frame = client->ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    Result<TopKResponse> resp = DecodeTopKResponse(frame->payload);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status, WireStatus::kDeadlineExceeded) << resp->message;
+    // The response accounts for the time the request actually queued.
+    EXPECT_GE(resp->queue_micros, 10000u);
+    EXPECT_TRUE(resp->matches.empty());
+  }
+  const WireServerStats stats = server->stats();
+  EXPECT_EQ(stats.rejected_deadline, 3u);
+  EXPECT_EQ(stats.batches_executed, 0u);  // nothing was executed
+}
+
+TEST_F(ServerdOverloadTest, MidResponseDisconnectsDoNotKillTheServer) {
+  ServerConfig config;
+  std::unique_ptr<GbdaServer> server = MustServe(config);
+  ASSERT_NE(server, nullptr);
+
+  // Clients that fire requests and vanish without reading the responses:
+  // the server's writes hit dead sockets (EPIPE territory — fatal unless
+  // sends suppress SIGPIPE).
+  for (int round = 0; round < 10; ++round) {
+    Result<GbdaClient> client =
+        GbdaClient::Connect("127.0.0.1", server->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    std::string pipelined;
+    for (uint64_t id = 1; id <= 4; ++id) pipelined += EncodedQuery(id);
+    ASSERT_TRUE(client->SendBytes(pipelined).ok());
+    client->Close();  // gone before any response is written
+  }
+
+  // The process survived and the server still serves.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Result<GbdaClient> alive = GbdaClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(alive.ok()) << alive.status().ToString();
+  EXPECT_TRUE(alive->Ping(7).ok());
+  Result<StatsResponse> stats = alive->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->stats.connections_closed, 10u);
+}
+
+TEST_F(ServerdOverloadTest, ShutdownAnswersEveryAdmittedRequest) {
+  ServerConfig config;
+  config.max_queue = 16;
+  std::unique_ptr<GbdaServer> server = MustServe(config);
+  ASSERT_NE(server, nullptr);
+  server->PauseDraining();
+
+  Result<GbdaClient> client = GbdaClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string pipelined;
+  for (uint64_t id = 1; id <= 4; ++id) pipelined += EncodedQuery(id);
+  ASSERT_TRUE(client->SendBytes(pipelined).ok());
+  // Give the I/O thread time to admit all four before the shutdown.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Graceful shutdown overrides the admin pause: the admitted requests are
+  // drained, executed and their responses flushed before sockets close.
+  server->Shutdown();
+
+  int ok_responses = 0;
+  for (int i = 0; i < 4; ++i) {
+    Result<Frame> frame = client->ReadFrame();
+    ASSERT_TRUE(frame.ok())
+        << "response " << i << " dropped at shutdown: "
+        << frame.status().ToString();
+    Result<TopKResponse> resp = DecodeTopKResponse(frame->payload);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status, WireStatus::kOk) << resp->message;
+    ++ok_responses;
+  }
+  EXPECT_EQ(ok_responses, 4);
+  // And the connection then closes cleanly.
+  Result<Frame> eof = client->ReadFrame();
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST_F(ServerdOverloadTest, RequestsAfterShutdownBeginsAnswerShuttingDown) {
+  ServerConfig config;
+  std::unique_ptr<GbdaServer> server = MustServe(config);
+  ASSERT_NE(server, nullptr);
+  Result<GbdaClient> client = GbdaClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(client->Ping(1).ok());
+  server->Shutdown();
+  // The socket is closed once the flush ends; a request now either fails
+  // at the transport or (if it raced the close) answers kShuttingDown.
+  Status sent = client->SendBytes(EncodedQuery(2));
+  if (sent.ok()) {
+    Result<Frame> frame = client->ReadFrame();
+    if (frame.ok()) {
+      Result<TopKResponse> resp = DecodeTopKResponse(frame->payload);
+      ASSERT_TRUE(resp.ok());
+      EXPECT_EQ(resp->status, WireStatus::kShuttingDown);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gbda::net

@@ -1,0 +1,249 @@
+// Dynamic-corpus soak over the network front-end: concurrent query clients
+// race a wire-driven mutator (AddGraphs / RemoveGraphs / intern / Flush)
+// against one GbdaServer over a DynamicGbdaService. The invariants under
+// churn:
+//   - nothing is dropped — every query response is a typed kOk (the queue
+//     bound is sized above the offered load, so backpressure never fires);
+//   - every response is attributable to ONE published snapshot: its
+//     generation is a generation some mutation commit (or the initial
+//     publish) reported, and every matched id was live in exactly that
+//     generation's corpus.
+// The mutator reconstructs the generation -> live-id-set history purely
+// from MutateResponse generations and assigned_ids, i.e. from what a real
+// remote client could observe.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/dataset_profiles.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/dynamic_service.h"
+
+namespace gbda::net {
+namespace {
+
+TEST(ServerdSoakTest, ChurningCorpusServesOnlyPublishedSnapshots) {
+  DatasetProfile profile = AidsProfile(0.05);
+  Result<GeneratedDataset> dataset = GenerateDataset(profile);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  const size_t initial_corpus = dataset->db.size();
+  std::vector<Graph> queries = dataset->queries;
+  ASSERT_GE(queries.size(), 2u);
+
+  GbdaIndexOptions index_options;
+  index_options.tau_max = 10;
+  index_options.gbd_prior.num_sample_pairs = 500;
+  index_options.model_vertex_labels =
+      static_cast<int64_t>(profile.num_vertex_labels);
+  index_options.model_edge_labels =
+      static_cast<int64_t>(profile.num_edge_labels);
+
+  DynamicServiceOptions dyn_options;
+  dyn_options.service.num_threads = 2;
+  Result<std::unique_ptr<DynamicGbdaService>> service =
+      DynamicGbdaService::Create(std::move(dataset->db), index_options,
+                                 dyn_options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  ServerConfig config;
+  config.max_queue = 1024;  // soak must never trip backpressure
+  config.max_batch = 8;
+  config.default_deadline_ms = 60000;
+  config.num_workers = 2;
+  Result<std::unique_ptr<GbdaServer>> server =
+      GbdaServer::Serve(service->get(), config);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const uint16_t port = (*server)->port();
+
+  // Generation history, reconstructed from the wire by the mutator.
+  // Generation 1 is the initial publish: stable ids 0..N-1.
+  std::map<uint64_t, std::set<uint64_t>> live_at;
+  {
+    std::set<uint64_t> initial;
+    for (size_t i = 0; i < initial_corpus; ++i) initial.insert(i);
+    live_at[1] = std::move(initial);
+  }
+
+  std::atomic<bool> mutations_done{false};
+  std::string mutator_failure;
+
+  std::thread mutator([&] {
+    Result<GbdaClient> client = GbdaClient::Connect("127.0.0.1", port);
+    if (!client.ok()) {
+      mutator_failure = client.status().ToString();
+      mutations_done.store(true);
+      return;
+    }
+    std::set<uint64_t> live = live_at.at(1);
+    // Ids whose removal is deferred two commits, so queries overlap both
+    // the add and the remove of the same graphs.
+    std::vector<std::vector<uint64_t>> removal_backlog;
+    uint64_t next_request_id = 1000;
+    for (int iter = 0; iter < 12; ++iter) {
+      MutateRequest add;
+      add.request_id = next_request_id++;
+      add.op = MutationOp::kAddGraphs;
+      add.graphs.push_back(queries[iter % queries.size()]);
+      add.graphs.push_back(queries[(iter + 1) % queries.size()]);
+      Result<MutateResponse> added = client->Mutate(add);
+      if (!added.ok() || added->status != WireStatus::kOk ||
+          added->assigned_ids.size() != add.graphs.size()) {
+        mutator_failure = "AddGraphs iter " + std::to_string(iter) + ": " +
+                          (added.ok() ? added->message
+                                      : added.status().ToString());
+        break;
+      }
+      for (uint64_t id : added->assigned_ids) live.insert(id);
+      live_at[added->generation] = live;
+      removal_backlog.push_back(added->assigned_ids);
+
+      if (removal_backlog.size() > 2) {
+        MutateRequest remove;
+        remove.request_id = next_request_id++;
+        remove.op = MutationOp::kRemoveGraphs;
+        remove.ids = removal_backlog.front();
+        removal_backlog.erase(removal_backlog.begin());
+        Result<MutateResponse> removed = client->Mutate(remove);
+        if (!removed.ok() || removed->status != WireStatus::kOk) {
+          mutator_failure = "RemoveGraphs iter " + std::to_string(iter) +
+                            ": " +
+                            (removed.ok() ? removed->message
+                                          : removed.status().ToString());
+          break;
+        }
+        for (uint64_t id : remove.ids) live.erase(id);
+        live_at[removed->generation] = live;
+      }
+
+      if (iter == 5) {
+        // Intern a label (no commit: generation must not change the live
+        // set) and force a Flush publish.
+        MutateRequest intern;
+        intern.request_id = next_request_id++;
+        intern.op = MutationOp::kInternVertexLabel;
+        intern.label = "soak-label";
+        Result<MutateResponse> interned = client->Mutate(intern);
+        if (!interned.ok() || interned->status != WireStatus::kOk) {
+          mutator_failure = "InternVertexLabel failed";
+          break;
+        }
+        MutateRequest flush;
+        flush.request_id = next_request_id++;
+        flush.op = MutationOp::kFlush;
+        Result<MutateResponse> flushed = client->Mutate(flush);
+        if (!flushed.ok()) {
+          mutator_failure = "Flush transport failed";
+          break;
+        }
+        // Flush publishes without mutating: same live set, maybe new gen.
+        live_at[flushed->generation] = live;
+      }
+    }
+    mutations_done.store(true);
+  });
+
+  // Query clients race the mutator and record what they observed; the
+  // attribution check runs after every thread joined (live_at is complete
+  // and immutable by then).
+  struct Observation {
+    uint64_t generation = 0;
+    std::vector<uint64_t> ids;
+  };
+  constexpr size_t kQueryThreads = 3;
+  std::vector<std::vector<Observation>> observed(kQueryThreads);
+  std::vector<std::string> query_failures(kQueryThreads);
+  std::vector<std::thread> query_threads;
+  for (size_t t = 0; t < kQueryThreads; ++t) {
+    query_threads.emplace_back([&, t] {
+      Result<GbdaClient> client = GbdaClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        query_failures[t] = client.status().ToString();
+        return;
+      }
+      uint64_t request_id = 1;
+      size_t qi = t;
+      // Keep querying until the mutator finishes, then a few more rounds so
+      // the final generations are observed too.
+      int rounds_after_done = 4;
+      while (rounds_after_done > 0) {
+        if (mutations_done.load()) --rounds_after_done;
+        TopKRequest req;
+        req.request_id = request_id++;
+        req.k = 50;
+        req.options.tau_hat = 5;
+        req.options.gamma = 0.5;
+        req.query = queries[qi++ % queries.size()];
+        Result<TopKResponse> resp = client->QueryTopK(req);
+        if (!resp.ok()) {
+          query_failures[t] = resp.status().ToString();
+          return;
+        }
+        if (resp->status != WireStatus::kOk) {
+          query_failures[t] =
+              "query dropped: status " +
+              std::to_string(static_cast<uint32_t>(resp->status)) + " " +
+              resp->message;
+          return;
+        }
+        Observation obs;
+        obs.generation = resp->generation;
+        for (const SearchMatch& m : resp->matches) {
+          obs.ids.push_back(static_cast<uint64_t>(m.graph_id));
+        }
+        observed[t].push_back(std::move(obs));
+      }
+    });
+  }
+
+  mutator.join();
+  for (std::thread& qt : query_threads) qt.join();
+  (*server)->Shutdown();
+
+  ASSERT_TRUE(mutator_failure.empty()) << mutator_failure;
+  for (size_t t = 0; t < kQueryThreads; ++t) {
+    ASSERT_TRUE(query_failures[t].empty()) << query_failures[t];
+    ASSERT_FALSE(observed[t].empty());
+  }
+
+  // Attribution: every observed generation was published, and every match
+  // was live in that exact generation.
+  size_t total = 0;
+  std::set<uint64_t> generations_seen;
+  for (size_t t = 0; t < kQueryThreads; ++t) {
+    for (const Observation& obs : observed[t]) {
+      ++total;
+      auto it = live_at.find(obs.generation);
+      ASSERT_TRUE(it != live_at.end())
+          << "response served against unpublished generation "
+          << obs.generation;
+      generations_seen.insert(obs.generation);
+      for (uint64_t id : obs.ids) {
+        EXPECT_TRUE(it->second.count(id))
+            << "generation " << obs.generation << " served id " << id
+            << " which was not live in that snapshot";
+      }
+    }
+  }
+  // The soak actually exercised churn: multiple distinct generations were
+  // served and the corpus both grew and shrank along the way.
+  EXPECT_GT(generations_seen.size(), 1u);
+  EXPECT_GT(live_at.size(), 10u);
+  EXPECT_GT(total, 20u);
+
+  const WireServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.rejected_overloaded, 0u);
+  EXPECT_EQ(stats.rejected_deadline, 0u);
+  EXPECT_EQ(stats.decode_errors, 0u);
+}
+
+}  // namespace
+}  // namespace gbda::net

@@ -1,0 +1,274 @@
+// gbda_serverd — the network serving front-end (docs/ARCHITECTURE.md,
+// "Network serving"). A thin main around net/server.h: loads or generates a
+// corpus, builds the offline index, starts a GbdaServer (frozen GbdaService
+// by default, DynamicGbdaService with --dynamic=1) and serves the binary
+// protocol of net/codec.h until SIGINT/SIGTERM or --duration elapses.
+//
+//   gbda_serverd [--profile=aids|fingerprint|grec|aasd] [--scale=F]
+//                [--db=<transactions.txt>]       # instead of a profile
+//                [--dynamic=0|1] [--port=N] [--port-file=<path>]
+//                [--bind=ADDR] [--tau-max=N] [--pairs=N] [--seed=N]
+//                [--threads=N] [--shards=N] [--workers=N]
+//                [--max-batch=N] [--max-linger-micros=N] [--max-queue=N]
+//                [--duration=SECONDS]            # 0 = run until signalled
+//
+// With --port=0 (the default) the kernel picks an ephemeral port; scripts
+// read it from --port-file (written atomically after the listener is bound —
+// the handshake the CI smoke uses). On shutdown the server counters are
+// printed as one JSON object on stdout, batch-size histogram included.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/gbda_index.h"
+#include "datagen/dataset_profiles.h"
+#include "graph/graph_io.h"
+#include "net/server.h"
+#include "service/dynamic_service.h"
+#include "service/gbda_service.h"
+
+using namespace gbda;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+bool FlagValue(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+struct Flags {
+  std::string profile = "aids";
+  double scale = 0.05;
+  std::string db_path;
+  bool dynamic = false;
+  uint16_t port = 0;
+  std::string port_file;
+  std::string bind = "127.0.0.1";
+  int64_t tau_max = 10;
+  size_t sample_pairs = 2000;
+  uint64_t seed = 0;
+  size_t threads = 0;
+  size_t shards = 0;
+  net::ServerConfig server;
+  double duration = 0.0;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gbda_serverd [--profile=aids|fingerprint|grec|aasd] "
+      "[--scale=F]\n"
+      "                    [--db=<transactions.txt>] [--dynamic=0|1]\n"
+      "                    [--port=N] [--port-file=<path>] [--bind=ADDR]\n"
+      "                    [--tau-max=N] [--pairs=N] [--seed=N]\n"
+      "                    [--threads=N] [--shards=N] [--workers=N]\n"
+      "                    [--max-batch=N] [--max-linger-micros=N]\n"
+      "                    [--max-queue=N] [--duration=SECONDS]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "gbda_serverd: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<DatasetProfile> ProfileByName(const std::string& name, double scale) {
+  if (name == "aids") return AidsProfile(scale);
+  if (name == "fingerprint") return FingerprintProfile(scale);
+  if (name == "grec") return GrecProfile(scale);
+  if (name == "aasd") return AasdProfile(scale);
+  return Status::InvalidArgument("unknown profile: " + name);
+}
+
+void PrintStats(const net::WireServerStats& s) {
+  std::printf("{\n");
+  std::printf("  \"tool\": \"gbda_serverd\",\n");
+  std::printf("  \"connections_opened\": %llu,\n",
+              static_cast<unsigned long long>(s.connections_opened));
+  std::printf("  \"connections_closed\": %llu,\n",
+              static_cast<unsigned long long>(s.connections_closed));
+  std::printf("  \"frames_received\": %llu,\n",
+              static_cast<unsigned long long>(s.frames_received));
+  std::printf("  \"decode_errors\": %llu,\n",
+              static_cast<unsigned long long>(s.decode_errors));
+  std::printf("  \"requests_accepted\": %llu,\n",
+              static_cast<unsigned long long>(s.requests_accepted));
+  std::printf("  \"rejected_overloaded\": %llu,\n",
+              static_cast<unsigned long long>(s.rejected_overloaded));
+  std::printf("  \"rejected_deadline\": %llu,\n",
+              static_cast<unsigned long long>(s.rejected_deadline));
+  std::printf("  \"rejected_invalid\": %llu,\n",
+              static_cast<unsigned long long>(s.rejected_invalid));
+  std::printf("  \"responses_sent\": %llu,\n",
+              static_cast<unsigned long long>(s.responses_sent));
+  std::printf("  \"batches_executed\": %llu,\n",
+              static_cast<unsigned long long>(s.batches_executed));
+  std::printf("  \"queue_depth_peak\": %llu,\n",
+              static_cast<unsigned long long>(s.queue_depth_peak));
+  std::printf("  \"batch_size_histogram\": [");
+  for (size_t i = 0; i < s.batch_size_histogram.size(); ++i) {
+    std::printf("%s%llu", i == 0 ? "" : ", ",
+                static_cast<unsigned long long>(s.batch_size_histogram[i]));
+  }
+  std::printf("]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (FlagValue(argv[i], "--profile", &v)) {
+      flags.profile = v;
+    } else if (FlagValue(argv[i], "--scale", &v)) {
+      flags.scale = std::strtod(v.c_str(), nullptr);
+    } else if (FlagValue(argv[i], "--db", &v)) {
+      flags.db_path = v;
+    } else if (FlagValue(argv[i], "--dynamic", &v)) {
+      flags.dynamic = v != "0" && v != "false";
+    } else if (FlagValue(argv[i], "--port", &v)) {
+      flags.port = static_cast<uint16_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (FlagValue(argv[i], "--port-file", &v)) {
+      flags.port_file = v;
+    } else if (FlagValue(argv[i], "--bind", &v)) {
+      flags.bind = v;
+    } else if (FlagValue(argv[i], "--tau-max", &v)) {
+      flags.tau_max = std::strtoll(v.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--pairs", &v)) {
+      flags.sample_pairs =
+          static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (FlagValue(argv[i], "--seed", &v)) {
+      flags.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--threads", &v)) {
+      flags.threads = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (FlagValue(argv[i], "--shards", &v)) {
+      flags.shards = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (FlagValue(argv[i], "--workers", &v)) {
+      flags.server.num_workers =
+          static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (FlagValue(argv[i], "--max-batch", &v)) {
+      flags.server.max_batch =
+          static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (FlagValue(argv[i], "--max-linger-micros", &v)) {
+      flags.server.max_linger_micros = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--max-queue", &v)) {
+      flags.server.max_queue =
+          static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (FlagValue(argv[i], "--duration", &v)) {
+      flags.duration = std::strtod(v.c_str(), nullptr);
+    } else {
+      return Usage();
+    }
+  }
+
+  // ---- The corpus: a transaction file or a generated Table III profile ----
+  GraphDatabase db;
+  GbdaIndexOptions index_options;
+  index_options.tau_max = flags.tau_max;
+  index_options.gbd_prior.num_sample_pairs = flags.sample_pairs;
+  if (!flags.db_path.empty()) {
+    Result<GraphDatabase> loaded = ReadTransactionFile(flags.db_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    db = std::move(*loaded);
+  } else {
+    Result<DatasetProfile> profile = ProfileByName(flags.profile, flags.scale);
+    if (!profile.ok()) return Fail(profile.status());
+    if (flags.seed != 0) profile->seed = flags.seed;
+    Result<GeneratedDataset> dataset = GenerateDataset(*profile);
+    if (!dataset.ok()) return Fail(dataset.status());
+    db = std::move(dataset->db);
+    index_options.model_vertex_labels =
+        static_cast<int64_t>(profile->num_vertex_labels);
+    index_options.model_edge_labels =
+        static_cast<int64_t>(profile->num_edge_labels);
+  }
+  std::fprintf(stderr, "gbda_serverd: corpus ready (%zu graphs)\n", db.size());
+
+  flags.server.bind_address = flags.bind;
+  flags.server.port = flags.port;
+
+  ServiceOptions service_options;
+  service_options.num_threads = flags.threads;
+  service_options.num_shards = flags.shards;
+
+  // ---- Offline stage + backend + server ----------------------------------
+  // Frozen path keeps index + service alive for the server lifetime.
+  std::unique_ptr<GbdaIndex> index;
+  std::unique_ptr<GbdaService> frozen;
+  std::unique_ptr<DynamicGbdaService> dynamic;
+  std::unique_ptr<net::GbdaServer> server;
+  if (flags.dynamic) {
+    DynamicServiceOptions dyn_options;
+    dyn_options.service = service_options;
+    Result<std::unique_ptr<DynamicGbdaService>> created =
+        DynamicGbdaService::Create(std::move(db), index_options, dyn_options);
+    if (!created.ok()) return Fail(created.status());
+    dynamic = std::move(*created);
+    Result<std::unique_ptr<net::GbdaServer>> started =
+        net::GbdaServer::Serve(dynamic.get(), flags.server);
+    if (!started.ok()) return Fail(started.status());
+    server = std::move(*started);
+  } else {
+    Result<GbdaIndex> built = GbdaIndex::Build(db, index_options);
+    if (!built.ok()) return Fail(built.status());
+    index = std::make_unique<GbdaIndex>(std::move(*built));
+    Result<std::unique_ptr<GbdaService>> created =
+        GbdaService::Create(&db, index.get(), service_options);
+    if (!created.ok()) return Fail(created.status());
+    frozen = std::move(*created);
+    Result<std::unique_ptr<net::GbdaServer>> started =
+        net::GbdaServer::Serve(frozen.get(), flags.server);
+    if (!started.ok()) return Fail(started.status());
+    server = std::move(*started);
+  }
+
+  std::fprintf(stderr, "gbda_serverd: listening on %s:%u (%s backend)\n",
+               flags.bind.c_str(), server->port(),
+               flags.dynamic ? "dynamic" : "frozen");
+  if (!flags.port_file.empty()) {
+    // Written atomically (tmp + rename) so a poller never reads a partial
+    // port number.
+    const std::string tmp = flags.port_file + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(Status::IOError("cannot write port file: " + tmp));
+    }
+    std::fprintf(f, "%u\n", server->port());
+    std::fclose(f);
+    if (std::rename(tmp.c_str(), flags.port_file.c_str()) != 0) {
+      return Fail(Status::IOError("cannot rename port file into place"));
+    }
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  const auto start = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (flags.duration > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed >= flags.duration) break;
+    }
+  }
+
+  server->Shutdown();
+  PrintStats(server->stats());
+  return 0;
+}
