@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <type_traits>
 #include <vector>
 
 namespace gbda {
@@ -16,8 +17,12 @@ class Span {
  public:
   constexpr Span() = default;
   constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
-  /// Implicit from a vector (the common call site).
-  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+  /// Implicit from a vector (the common call site). The element type is
+  /// cv-stripped so Span<const T> accepts a vector<T> — vector<const T>
+  /// itself is ill-formed, and merely naming it (e.g. during overload
+  /// resolution against a Span<const T> parameter) is a hard error.
+  Span(const std::vector<std::remove_cv_t<T>>& v)
+      : data_(v.data()), size_(v.size()) {}
 
   constexpr const T* data() const { return data_; }
   constexpr size_t size() const { return size_; }

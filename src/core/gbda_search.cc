@@ -70,10 +70,13 @@ Result<ScanContext> PrepareScan(const Graph& query,
   // Ranking scans that may arm early termination build the profile even
   // without the prefilter: the pruning bound sharpens its GBD lower bound
   // through it whenever candidate profiles are available (see ScanRange).
-  // A disarmed ranking scan (topk_early_termination off, or no bounds
-  // passed) never reads it, so it skips the build.
+  // Approximate ranking scans always need it — the proximity-graph
+  // navigation keys off the profile's sorted branch fingerprints. A
+  // disarmed exhaustive ranking scan (topk_early_termination off, or no
+  // bounds passed) never reads it, so it skips the build.
   if (options.use_prefilter ||
-      (!apply_gamma && options.topk_early_termination)) {
+      (!apply_gamma &&
+       (options.topk_early_termination || options.approximate))) {
     // Reuses the branches extracted above instead of a second pass.
     ctx.query_profile = BuildFilterProfile(query, ctx.query_branches);
   }
@@ -97,13 +100,40 @@ Result<ScanContext> PrepareScan(const Graph& query,
   return ctx;
 }
 
-Status ScanRange(const ScanContext& ctx, const IndexReader& index,
-                 const Prefilter* prefilter, size_t begin, size_t end,
-                 PosteriorEngine* posterior, SearchResult* result,
-                 ScanBounds* bounds) {
+namespace {
+
+/// The two id sequences the shared evaluation loop runs over: a contiguous
+/// [begin, begin + count) range (ScanRange) and an explicit candidate list
+/// (ScanCandidateList, the verification half of approximate mode). Both are
+/// trivial index adapters so the loop below compiles to the same code the
+/// plain range scan had.
+struct ContiguousIds {
+  size_t begin;
+  size_t count;
+  size_t size() const { return count; }
+  size_t operator[](size_t i) const { return begin + i; }
+};
+
+struct ListedIds {
+  const uint32_t* ids;
+  size_t count;
+  size_t size() const { return count; }
+  size_t operator[](size_t i) const { return ids[i]; }
+};
+
+/// One evaluation loop for both entry points: candidate admission, the
+/// two-tier early-termination bound, the branch-merge + posterior scoring
+/// and the witness bookkeeping are shared verbatim, so a match appended for
+/// id X is bit-identical whichever sequence listed X — the property
+/// approximate mode's "subset with exact scores" contract rests on.
+template <typename IdSeq>
+Status ScanIdSequence(const ScanContext& ctx, const IndexReader& index,
+                      const Prefilter* prefilter, const IdSeq& id_seq,
+                      PosteriorEngine* posterior, SearchResult* result,
+                      ScanBounds* bounds) {
   const SearchOptions& options = ctx.options;
   const BranchSetRef& query_branches = ctx.query_ref;
-  const size_t range = end - begin;
+  const size_t range = id_seq.size();
   // Early termination applies only to ranking scans (every candidate is a
   // match, so the k-th best match is a pruning witness); a threshold scan
   // must score every surviving candidate. The ctx flag is part of the
@@ -176,7 +206,8 @@ Status ScanRange(const ScanContext& ctx, const IndexReader& index,
   // deterministic function: results stay bit-identical, per shard and
   // serially (the engine's own cross-query memo is unchanged).
   std::unordered_map<uint64_t, double> local_phi;
-  for (size_t id = begin; id < end; ++id) {
+  for (size_t i = 0; i < range; ++i) {
+    const size_t id = id_seq[i];
     if (options.use_prefilter &&
         !prefilter->Passes(ctx.query_profile, id, options.tau_hat)) {
       ++result->prefiltered_out;
@@ -314,6 +345,10 @@ Status ScanRange(const ScanContext& ctx, const IndexReader& index,
       }
     }
 
+    // Past every skip: this candidate pays the full branch merge +
+    // posterior below.
+    ++result->verified_count;
+
     int64_t phi;
     if (options.variant == GbdaVariant::kWeightedGbd) {
       const double vgbd = Vgbd(query_branches, g_branches, options.vgbd_w);
@@ -371,6 +406,37 @@ Status ScanRange(const ScanContext& ctx, const IndexReader& index,
     }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status ScanRange(const ScanContext& ctx, const IndexReader& index,
+                 const Prefilter* prefilter, size_t begin, size_t end,
+                 PosteriorEngine* posterior, SearchResult* result,
+                 ScanBounds* bounds) {
+  return ScanIdSequence(ctx, index, prefilter,
+                        ContiguousIds{begin, end - begin}, posterior, result,
+                        bounds);
+}
+
+Status ScanCandidateList(const ScanContext& ctx, const IndexReader& index,
+                         const Prefilter* prefilter,
+                         const std::vector<uint32_t>& ids,
+                         PosteriorEngine* posterior, SearchResult* result,
+                         ScanBounds* bounds) {
+  // The range scan's bounds are implicit in [0, num_graphs); a listed id is
+  // caller data (the navigator, or eventually a wire client), so check it
+  // before branch_set() would read out of bounds.
+  for (uint32_t id : ids) {
+    if (id >= index.num_graphs()) {
+      return Status::InvalidArgument(
+          "candidate id " + std::to_string(id) +
+          " out of range for index of " + std::to_string(index.num_graphs()) +
+          " graphs");
+    }
+  }
+  return ScanIdSequence(ctx, index, prefilter, ListedIds{ids.data(), ids.size()},
+                        posterior, result, bounds);
 }
 
 Result<std::unique_ptr<GbdaSearch>> GbdaSearch::Create(

@@ -70,6 +70,24 @@ struct SearchOptions {
   /// equivalence testing (tests/topk_prune_equivalence_test.cc). Ignored by
   /// threshold queries, which must score every surviving candidate.
   bool topk_early_termination = true;
+  /// Top-k queries only: navigate the proximity graph (src/ann) instead of
+  /// scanning every candidate, then verify each visited candidate with the
+  /// exact posterior arithmetic (ScanCandidateList). The result is a SUBSET
+  /// of the exhaustive top-k carrying bit-exact scores — candidates the
+  /// navigation never visits can be missed (the recall/latency trade-off,
+  /// gated by bench/bench_recall.cc), but a returned (phi, gbd) is never
+  /// fabricated. Ignored by threshold queries, which are defined over the
+  /// whole corpus, and by the serial GbdaSearch, which stays the exhaustive
+  /// ground-truth reference — the serving layers (GbdaService,
+  /// DynamicGbdaService) honor it. See docs/ARCHITECTURE.md, "Approximate
+  /// candidate navigation".
+  bool approximate = false;
+  /// Beam width of the approximate navigation (the priority-queue window of
+  /// the greedy search). Larger windows visit more candidates: recall and
+  /// cost both rise, and a window >= corpus size visits everything, making
+  /// the approximate ranking bit-identical to the exhaustive one. Clamped
+  /// up to k at query time so the window can always hold a full result.
+  size_t search_window_size = 64;
 };
 
 /// One accepted graph.
@@ -155,6 +173,17 @@ struct SearchResult {
   /// sharding — the shared threshold tightens in worker order — so it is
   /// excluded from the bit-identity contract.
   size_t pruned_by_bound = 0;
+  /// Approximate mode only: candidates the proximity-graph navigation
+  /// visited and handed to verification (0 for exhaustive scans). Like
+  /// pruned_by_bound it is a cost counter, excluded from the determinism
+  /// comparisons the equivalence gates run.
+  size_t candidates_visited = 0;
+  /// Candidates whose branch intersection + posterior were actually
+  /// computed (i.e. not skipped by the early-termination bound). Equals
+  /// candidates_evaluated - pruned_by_bound on every path; tracked
+  /// explicitly so approximate-mode verification cost is visible per query.
+  /// Timing-dependent under sharding, excluded from determinism gates.
+  size_t verified_count = 0;
 };
 
 /// A dense read-only view of the corpus a scan runs over: either a whole
@@ -256,6 +285,29 @@ Status ScanRange(const ScanContext& ctx, const IndexReader& index,
                  const Prefilter* prefilter, size_t begin, size_t end,
                  PosteriorEngine* posterior, SearchResult* result,
                  ScanBounds* bounds = nullptr);
+
+/// Evaluates exactly the candidates listed in `ids` (any order; ids must be
+/// distinct — a repeated id would append its match twice) with the SAME
+/// arithmetic as ScanRange — prefilter
+/// admission, branch-multiset GBD, posterior, variant handling — so a match
+/// this call appends is bit-identical to the one the exhaustive scan would
+/// append for that id. This is the verification half of approximate mode
+/// (src/ann navigates, this call scores); counters accumulate like
+/// ScanRange's, plus verified_count for candidates actually scored.
+///
+/// `bounds` non-null arms the same PR-5 admissible early termination as
+/// ScanRange (ranking scans only): a candidate provably ranking strictly
+/// after the k-th-best witness is counted in pruned_by_bound instead of
+/// scored. Skips are sound within the listed set — the surviving matches
+/// always contain the exact top-k OF THE LISTED CANDIDATES — so
+/// approximate-mode results stay a subset of the exhaustive ranking with
+/// exact scores. Thread-compatible under the same rules as ScanRange.
+/// Every id must be < index.num_graphs() (checked; out-of-range fails).
+Status ScanCandidateList(const ScanContext& ctx, const IndexReader& index,
+                         const Prefilter* prefilter,
+                         const std::vector<uint32_t>& ids,
+                         PosteriorEngine* posterior, SearchResult* result,
+                         ScanBounds* bounds = nullptr);
 
 /// The online stage of GBDA (Algorithm 1, Steps 2-4): per database graph,
 /// compute GBD from precomputed branches, evaluate the posterior

@@ -23,12 +23,12 @@ int64_t SortedMultisetDistance(const std::vector<LabelId>& a,
   return static_cast<int64_t>(std::max(a.size(), b.size()) - common);
 }
 
-// FNV-1a over the branch's root label and ascending edge-label multiset.
-// Deterministic and content-only, so isomorphic branches (Definition 3)
-// always collide — the property CommonBranchUpperBound's admissibility
-// rests on.
-uint64_t BranchFingerprint(LabelId root,
-                           const std::vector<LabelId>& edge_labels) {
+}  // namespace
+
+// FNV-1a over the branch's root label and ascending edge-label multiset
+// (see the header contract).
+uint64_t BranchFingerprint(LabelId root, const LabelId* edge_labels,
+                           size_t count) {
   uint64_t h = 14695981039346656037ull;
   const auto mix = [&h](uint64_t x) {
     h ^= x;
@@ -36,11 +36,16 @@ uint64_t BranchFingerprint(LabelId root,
   };
   // +1 keeps label id 0 from hashing like "no label".
   mix(static_cast<uint64_t>(root) + 1);
-  for (LabelId label : edge_labels) mix(static_cast<uint64_t>(label) + 1);
+  for (size_t i = 0; i < count; ++i) {
+    mix(static_cast<uint64_t>(edge_labels[i]) + 1);
+  }
   return h;
 }
 
-}  // namespace
+uint64_t BranchFingerprint(LabelId root,
+                           const std::vector<LabelId>& edge_labels) {
+  return BranchFingerprint(root, edge_labels.data(), edge_labels.size());
+}
 
 FilterProfile BuildFilterProfile(const Graph& g,
                                  const BranchMultiset& branches) {

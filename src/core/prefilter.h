@@ -39,6 +39,16 @@ struct FilterProfile {
   std::vector<uint64_t> branch_keys;
 };
 
+/// 64-bit FNV-1a fingerprint of one branch: the root label followed by the
+/// ascending edge-label multiset. Deterministic and content-only, so
+/// isomorphic branches (Definition 3) always hash equal — the property
+/// every admissible bound over branch_keys rests on. The raw-array overload
+/// exists so src/ann can fingerprint branches straight out of a mapped
+/// index's flat label pool without materializing Branch objects.
+uint64_t BranchFingerprint(LabelId root, const LabelId* edge_labels,
+                           size_t count);
+uint64_t BranchFingerprint(LabelId root, const std::vector<LabelId>& edge_labels);
+
 FilterProfile BuildFilterProfile(const Graph& g);
 
 /// As above, but fingerprints the caller's already-extracted branch

@@ -167,7 +167,9 @@ void EncodeSearchOptions(const SearchOptions& options, BinaryWriter* writer) {
   uint32_t flags = 0;
   if (options.use_prefilter) flags |= 1u;
   if (options.topk_early_termination) flags |= 2u;
+  if (options.approximate) flags |= 4u;
   writer->PutU32(flags);
+  writer->PutU64(options.search_window_size);
 }
 
 Result<SearchOptions> DecodeSearchOptions(BinaryReader* reader) {
@@ -187,12 +189,20 @@ Result<SearchOptions> DecodeSearchOptions(BinaryReader* reader) {
   GBDA_ASSIGN_OR_RETURN(options.seed, reader->GetU64());
   Result<uint32_t> flags = reader->GetU32();
   if (!flags.ok()) return flags.status();
-  if (*flags > 3u) {
+  if (*flags > 7u) {
     return Status::InvalidArgument(
         reader->DescribeHere("unknown search option flags"));
   }
   options.use_prefilter = (*flags & 1u) != 0;
   options.topk_early_termination = (*flags & 2u) != 0;
+  options.approximate = (*flags & 4u) != 0;
+  Result<uint64_t> window = reader->GetU64();
+  if (!window.ok()) return window.status();
+  if (*window == 0) {
+    return Status::InvalidArgument(
+        reader->DescribeHere("search window size must be >= 1"));
+  }
+  options.search_window_size = static_cast<size_t>(*window);
   return options;
 }
 
@@ -296,6 +306,8 @@ std::string EncodeTopKResponse(const TopKResponse& msg) {
   w.PutU64(msg.candidates_evaluated);
   w.PutU64(msg.prefiltered_out);
   w.PutU64(msg.pruned_by_bound);
+  w.PutU64(msg.candidates_visited);
+  w.PutU64(msg.verified_count);
   w.PutU64(msg.queue_micros);
   w.PutU64(msg.batch_size);
   EncodeMatches(msg.matches, &w);
@@ -312,6 +324,8 @@ Result<TopKResponse> DecodeTopKResponse(std::string_view payload) {
   GBDA_ASSIGN_OR_RETURN(msg.candidates_evaluated, r.GetU64());
   GBDA_ASSIGN_OR_RETURN(msg.prefiltered_out, r.GetU64());
   GBDA_ASSIGN_OR_RETURN(msg.pruned_by_bound, r.GetU64());
+  GBDA_ASSIGN_OR_RETURN(msg.candidates_visited, r.GetU64());
+  GBDA_ASSIGN_OR_RETURN(msg.verified_count, r.GetU64());
   GBDA_ASSIGN_OR_RETURN(msg.queue_micros, r.GetU64());
   GBDA_ASSIGN_OR_RETURN(msg.batch_size, r.GetU64());
   GBDA_ASSIGN_OR_RETURN(msg.matches, DecodeMatches(&r));

@@ -36,7 +36,9 @@
 namespace gbda::net {
 
 inline constexpr uint32_t kWireMagic = 0x41444247;  // "GBDA"
-inline constexpr uint32_t kWireVersion = 1;
+/// v2: SearchOptions carries the approximate flag + search_window_size, and
+/// TopKResponse the candidates_visited / verified_count cost counters.
+inline constexpr uint32_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 24;
 /// Upper bound on a single payload; a declared length above this is treated
 /// as hostile (the bound exists so a corrupt length can never drive a huge
@@ -140,6 +142,11 @@ struct TopKResponse {
   uint64_t candidates_evaluated = 0;
   uint64_t prefiltered_out = 0;
   uint64_t pruned_by_bound = 0;
+  /// Cost counters of approximate navigation (0 on exhaustive queries);
+  /// observability only, excluded from determinism comparisons like
+  /// pruned_by_bound (see core SearchResult).
+  uint64_t candidates_visited = 0;
+  uint64_t verified_count = 0;
   /// Time spent queued before execution and size of the micro-batch this
   /// query was coalesced into (observability for the adaptive batcher).
   uint64_t queue_micros = 0;

@@ -647,6 +647,8 @@ void GbdaServer::ExecuteTopKBatch(std::vector<Pending> batch) {
       resp.candidates_evaluated = r.candidates_evaluated;
       resp.prefiltered_out = r.prefiltered_out;
       resp.pruned_by_bound = r.pruned_by_bound;
+      resp.candidates_visited = r.candidates_visited;
+      resp.verified_count = r.verified_count;
       resp.matches = std::move(r.matches);
     } else {
       // The only batch-global failure modes are option validation and

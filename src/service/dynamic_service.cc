@@ -113,6 +113,7 @@ void DynamicGbdaService::Republish(bool force_refit) {
                                  : options_.service.num_shards;
   snap->shards = std::make_unique<IndexShards>(snap->index.get(),
                                                shard_count);
+  snap->ann = std::make_shared<AnnState>();
 
   // Engine replicas memoise posterior values that depend only on the two
   // priors, so when neither prior object changed the previous generation's
@@ -252,15 +253,47 @@ Status DynamicGbdaService::Flush(SnapshotInfo* published) {
   return Status::OK();
 }
 
+Status DynamicGbdaService::EnsureSnapshotAnn(const Snapshot& snap) const {
+  AnnState* state = snap.ann.get();
+  std::call_once(state->once, [this, &snap, state] {
+    // Built from the snapshot's own prefilter profiles: the dense ids the
+    // graph navigates are exactly this generation's corpus positions.
+    Result<AnnContext> ctx = AnnContext::Build(
+        FingerprintStore::FromPrefilter(*snap.prefilter),
+        options_.service.ann_build);
+    if (ctx.ok()) {
+      state->ctx = std::make_unique<const AnnContext>(std::move(*ctx));
+    } else {
+      state->status = ctx.status();
+    }
+  });
+  return state->status;
+}
+
+Status DynamicGbdaService::WarmAnnGraph() {
+  return EnsureSnapshotAnn(*LoadSnapshot());
+}
+
 Result<std::vector<SearchResult>> DynamicGbdaService::RunBatchOn(
     const std::shared_ptr<const Snapshot>& snap, Span<Graph> queries,
     const SearchOptions& options, bool apply_gamma, size_t top_k) {
   WallTimer timer;
+  // Same routing rule as GbdaService::RunBatch: approximate serves
+  // concrete-k rankings only, and the context (like everything else in the
+  // env) belongs to the pinned generation.
+  const bool approximate = options.approximate && !apply_gamma &&
+                           top_k != kScanAllMatches && top_k > 0;
+  if (approximate) {
+    Status ann_ok = EnsureSnapshotAnn(*snap);
+    if (!ann_ok.ok()) return ann_ok;
+  }
   ParallelScanEnv env{&pool_, snap->shards.get(), snap->index.get(),
                       snap->prefilter.get(), CorpusRef(&snap->graphs),
                       snap->engines.get()};
   Result<std::vector<SearchResult>> results =
-      ParallelScanBatch(env, queries, options, apply_gamma, top_k);
+      approximate
+          ? AnnScanBatch(env, *snap->ann->ctx, queries, options, top_k)
+          : ParallelScanBatch(env, queries, options, apply_gamma, top_k);
   if (!results.ok()) return results;
 
   for (SearchResult& r : *results) {

@@ -160,6 +160,15 @@ class DynamicGbdaService {
   /// Live graph count of the published generation.
   size_t num_live() const { return snapshot_info().num_live; }
 
+  /// Ensures the CURRENT snapshot's approximate-navigation context exists,
+  /// building it from the snapshot's prefilter with
+  /// ServiceOptions::ann_build (see GbdaService::WarmAnnGraph). Each
+  /// published generation owns its own lazily-built context — the corpus it
+  /// navigates is exactly that generation's — so a warm is per-generation:
+  /// the next commit starts cold again and the first approximate query
+  /// against it pays the build unless re-warmed.
+  Status WarmAnnGraph();
+
   /// Query-side counters, as in GbdaService.
   ServiceStats stats() const;
   /// Mutation-side counters.
@@ -172,6 +181,16 @@ class DynamicGbdaService {
   const GraphDatabase& db() const { return db_; }
 
  private:
+  /// Lazily-built approximate-navigation context of one snapshot. Shared
+  /// mutable state hanging off an otherwise-immutable generation: call_once
+  /// makes the build race-free, and a failed build is sticky (status) so
+  /// approximate queries report it instead of silently rescanning.
+  struct AnnState {
+    std::once_flag once;
+    std::unique_ptr<const AnnContext> ctx;
+    Status status;
+  };
+
   struct Snapshot {
     uint64_t generation = 0;
     std::vector<size_t> stable_ids;       // dense position -> stable id
@@ -186,6 +205,9 @@ class DynamicGbdaService {
     /// One engine per pool worker + spare; shared with the previous
     /// generation when both priors are unchanged (replicas stay warm).
     std::shared_ptr<std::vector<std::unique_ptr<PosteriorEngine>>> engines;
+    /// Built on the generation's first approximate query (or WarmAnnGraph);
+    /// never shared across generations, since the navigable corpus changed.
+    std::shared_ptr<AnnState> ann;
   };
 
   DynamicGbdaService(GraphDatabase db, GbdaIndex master,
@@ -203,6 +225,8 @@ class DynamicGbdaService {
   Result<std::vector<SearchResult>> RunBatchOn(
       const std::shared_ptr<const Snapshot>& snap, Span<Graph> queries,
       const SearchOptions& options, bool apply_gamma, size_t top_k);
+  /// Builds (at most once) the snapshot's AnnState; returns its status.
+  Status EnsureSnapshotAnn(const Snapshot& snap) const;
   std::shared_ptr<const Snapshot> LoadSnapshot() const;
 
   const GbdaIndexOptions index_options_;

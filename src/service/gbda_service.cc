@@ -15,6 +15,8 @@ void AccumulateServiceStats(const std::vector<SearchResult>& results,
     stats->candidates_evaluated += r.candidates_evaluated;
     stats->prefiltered_out += r.prefiltered_out;
     stats->pruned_by_bound += r.pruned_by_bound;
+    stats->candidates_visited += r.candidates_visited;
+    stats->verified_count += r.verified_count;
     stats->matches_returned += r.matches.size();
     stats->total_latency_seconds += r.seconds;
   }
@@ -33,6 +35,7 @@ GbdaService::GbdaService(const GraphDatabase* db, const IndexReader* index,
                          const ServiceOptions& options)
     : db_(db),
       index_(index),
+      ann_build_(options.ann_build),
       pool_(options.num_threads),
       shards_(index,
               options.num_shards == 0 ? pool_.size() : options.num_shards) {
@@ -51,6 +54,43 @@ const Prefilter* GbdaService::EnsurePrefilter() {
   std::call_once(prefilter_once_,
                  [this] { prefilter_ = std::make_unique<Prefilter>(db_); });
   return prefilter_.get();
+}
+
+Status GbdaService::WarmAnnGraph() {
+  std::call_once(ann_once_, [this] {
+    // The fingerprint store reuses the prefilter's per-graph sorted branch
+    // keys — the same keys the navigator compares against the query profile
+    // at search time, so build-time and query-time geometry agree.
+    Result<AnnContext> ctx = AnnContext::Build(
+        FingerprintStore::FromPrefilter(*EnsurePrefilter()), ann_build_);
+    if (ctx.ok()) {
+      ann_ = std::make_unique<const AnnContext>(std::move(*ctx));
+    } else {
+      ann_status_ = ctx.status();
+    }
+  });
+  return ann_status_;
+}
+
+Status GbdaService::AdoptAnnGraph(const ProximityGraphRef& graph) {
+  bool ran = false;
+  std::call_once(ann_once_, [this, &graph, &ran] {
+    ran = true;
+    Result<AnnContext> ctx = AnnContext::Adopt(
+        FingerprintStore::FromPrefilter(*EnsurePrefilter()), graph);
+    if (ctx.ok()) {
+      ann_ = std::make_unique<const AnnContext>(std::move(*ctx));
+    } else {
+      ann_status_ = ctx.status();
+    }
+  });
+  if (!ran) {
+    return Status::FailedPrecondition(
+        "AdoptAnnGraph: the approximate navigation context is already "
+        "initialised — adopt before the first approximate query or "
+        "WarmAnnGraph call");
+  }
+  return ann_status_;
 }
 
 Result<std::vector<SearchResult>> GbdaService::RunBatch(
@@ -73,12 +113,25 @@ Result<std::vector<SearchResult>> GbdaService::RunBatch(
   const bool pruned_ranking = top_k != kScanAllMatches && !apply_gamma &&
                               top_k < shards_.num_graphs() &&
                               options.topk_early_termination;
-  const Prefilter* prefilter =
-      options.use_prefilter || pruned_ranking ? EnsurePrefilter() : nullptr;
+  // Approximate navigation serves concrete-k rankings only: threshold
+  // queries are defined over the whole corpus, and a clamped k of 0 (empty
+  // corpus) already has a defined-empty exhaustive answer.
+  const bool approximate = options.approximate && !apply_gamma &&
+                           top_k != kScanAllMatches && top_k > 0;
+  const Prefilter* prefilter = options.use_prefilter || pruned_ranking ||
+                                       approximate
+                                   ? EnsurePrefilter()
+                                   : nullptr;
   ParallelScanEnv env{&pool_, &shards_, index_, prefilter, CorpusRef(db_),
                       &engines_};
+  if (approximate) {
+    Status warm = WarmAnnGraph();
+    if (!warm.ok()) return warm;
+  }
   Result<std::vector<SearchResult>> results =
-      ParallelScanBatch(env, queries, options, apply_gamma, top_k);
+      approximate
+          ? AnnScanBatch(env, *ann_, queries, options, top_k)
+          : ParallelScanBatch(env, queries, options, apply_gamma, top_k);
   if (!results.ok()) return results;
 
   const double wall = timer.Seconds();

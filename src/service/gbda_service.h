@@ -21,6 +21,7 @@
 #include <mutex>
 #include <vector>
 
+#include "ann/navigator.h"
 #include "common/result.h"
 #include "common/span.h"
 #include "common/thread_pool.h"
@@ -38,6 +39,10 @@ struct ServiceOptions {
   /// workers improves load balance on skewed databases; the result is
   /// identical for any shard count.
   size_t num_shards = 0;
+  /// Proximity-graph construction knobs for approximate mode, used when
+  /// the service builds its navigation graph (WarmAnnGraph, or lazily on
+  /// the first approximate query) rather than adopting a persisted one.
+  AnnBuildParams ann_build;
 };
 
 /// Aggregate serving statistics since construction (or ResetStats).
@@ -51,6 +56,12 @@ struct ServiceStats {
   /// Posterior evaluations skipped by top-k early termination (subset of
   /// candidates_evaluated; see SearchResult::pruned_by_bound).
   size_t pruned_by_bound = 0;
+  /// Nodes the approximate navigator visited (0 for exhaustive queries) and
+  /// candidates that paid the full verification tail. Cost observability,
+  /// like pruned_by_bound: excluded from determinism comparisons (see
+  /// SearchResult::candidates_visited / verified_count).
+  size_t candidates_visited = 0;
+  size_t verified_count = 0;
   size_t matches_returned = 0;
   /// Sum of per-query latencies (submission to last-shard completion).
   double total_latency_seconds = 0.0;
@@ -143,6 +154,27 @@ class GbdaService {
   size_t num_threads() const { return pool_.size(); }
   size_t num_shards() const { return shards_.num_shards(); }
 
+  // -- Approximate navigation ------------------------------------------------
+  // Ranking queries with options.approximate walk a proximity graph over
+  // branch-fingerprint similarity instead of scanning every shard, then
+  // verify the visited candidates exactly (ann/navigator.h): the result is
+  // a subset of the exhaustive top-k with bit-exact scores. The context is
+  // built at most once per service — lazily on the first approximate query,
+  // eagerly via WarmAnnGraph, or adopted from a mapped artifact.
+
+  /// Ensures the navigation context exists, building it with
+  /// ServiceOptions::ann_build when nothing was adopted. Idempotent;
+  /// returns the (sticky) build status. Call it at startup to keep the
+  /// O(corpus · degree · window) construction off the first query's latency.
+  Status WarmAnnGraph();
+
+  /// Adopts a prebuilt graph — typically GbdaIndexView::ann_graph() from a
+  /// v3 artifact written with one — instead of building. The referenced
+  /// storage must outlive the service, and the graph must cover exactly the
+  /// index's graphs. Fails (FailedPrecondition) once the context exists,
+  /// so adopt before the first approximate query or WarmAnnGraph call.
+  Status AdoptAnnGraph(const ProximityGraphRef& graph);
+
   /// Snapshot of the aggregate counters.
   ServiceStats stats() const;
   void ResetStats();
@@ -164,11 +196,19 @@ class GbdaService {
 
   const GraphDatabase* db_;
   const IndexReader* index_;
+  AnnBuildParams ann_build_;
   ThreadPool pool_;  // before shards_: the shard default is one per worker
   std::once_flag prefilter_once_;
   std::unique_ptr<Prefilter> prefilter_;
   IndexShards shards_;
   std::vector<std::unique_ptr<PosteriorEngine>> engines_;
+  /// Approximate-navigation context, initialised at most once (build or
+  /// adopt). A failed initialisation is sticky in ann_status_: every later
+  /// approximate query reports it rather than silently degrading to an
+  /// exhaustive scan the client did not ask to pay for.
+  std::once_flag ann_once_;
+  std::unique_ptr<const AnnContext> ann_;
+  Status ann_status_;
 
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;

@@ -133,10 +133,92 @@ Result<std::vector<SearchResult>> ParallelScanBatch(const ParallelScanEnv& env,
       merged.candidates_evaluated += partial.candidates_evaluated;
       merged.prefiltered_out += partial.prefiltered_out;
       merged.pruned_by_bound += partial.pruned_by_bound;
+      merged.candidates_visited += partial.candidates_visited;
+      merged.verified_count += partial.verified_count;
     }
     if (top_k != kScanAllMatches) SortTopK(&merged.matches, top_k);
     merged.seconds = job->latency_seconds;
     results.push_back(std::move(merged));
+  }
+  return results;
+}
+
+Result<std::vector<SearchResult>> AnnScanBatch(const ParallelScanEnv& env,
+                                               const AnnContext& ann,
+                                               Span<Graph> queries,
+                                               const SearchOptions& options,
+                                               size_t top_k) {
+  WallTimer timer;
+  const size_t num_queries = queries.size();
+
+  // One job per query: the navigator's beam walk is sequential by nature
+  // (each expansion depends on what the last one admitted), so parallelism
+  // here is across queries only. Verification cost per query is bounded by
+  // the window, which keeps single-query latency predictable.
+  struct QueryJob {
+    ScanContext ctx;
+    SearchResult result;
+    Status status;
+    double latency_seconds = 0.0;
+  };
+  std::vector<std::unique_ptr<QueryJob>> jobs;
+  jobs.reserve(num_queries);
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    Result<ScanContext> ctx = PrepareScan(queries[qi], options,
+                                          /*apply_gamma=*/false, env.corpus,
+                                          *env.index);
+    if (!ctx.ok()) return ctx.status();
+    auto job = std::make_unique<QueryJob>();
+    job->ctx = std::move(*ctx);
+    jobs.push_back(std::move(job));
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_queries);
+  try {
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      QueryJob* job = jobs[qi].get();
+      futures.push_back(env.pool->Submit([&env, &ann, job, top_k, &timer]() {
+        // Same replica-selection rule as the exhaustive fan-out (see
+        // ParallelScanBatch): pool workers own their slot, everything else
+        // shares the spare.
+        const size_t worker = env.pool->CurrentWorkerIndex();
+        PosteriorEngine* engine = worker == ThreadPool::kNotAWorker
+                                      ? env.engines->back().get()
+                                      : (*env.engines)[worker].get();
+        job->status = AnnSearchTopK(ann, job->ctx, *env.index, env.prefilter,
+                                    top_k, engine, &job->result);
+        job->latency_seconds = timer.Seconds();
+      }));
+    }
+  } catch (...) {
+    // Mirror ParallelScanBatch: enqueued tasks hold pointers into `jobs`
+    // and `timer`, so they must finish before the stack unwinds.
+    for (std::future<void>& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+      }
+    }
+    throw;
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  std::vector<SearchResult> results;
+  results.reserve(num_queries);
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    QueryJob* job = jobs[qi].get();
+    if (!job->status.ok()) return job->status;
+    job->result.seconds = job->latency_seconds;
+    results.push_back(std::move(job->result));
   }
   return results;
 }

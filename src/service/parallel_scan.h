@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "ann/navigator.h"
 #include "common/result.h"
 #include "common/span.h"
 #include "common/thread_pool.h"
@@ -63,5 +64,21 @@ Result<std::vector<SearchResult>> ParallelScanBatch(const ParallelScanEnv& env,
                                                     const SearchOptions& options,
                                                     bool apply_gamma,
                                                     size_t top_k);
+
+/// The approximate ranking fan-out: one pool task PER QUERY (not per
+/// shard) running ann/AnnSearchTopK over the whole corpus — beam
+/// navigation is a global walk, so sharding it would change which
+/// candidates it visits. `env.shards` is unused; `env.prefilter` plays its
+/// usual two roles inside the verification scan (admission when
+/// options.use_prefilter, bound sharpening when early termination is
+/// armed). top_k must be a real k (not 0, not kScanAllMatches) — callers
+/// route those to the exhaustive path. Returned matches are a subset of
+/// the exhaustive top-k with bit-exact scores; only the match SET is
+/// approximate (see ann/navigator.h).
+Result<std::vector<SearchResult>> AnnScanBatch(const ParallelScanEnv& env,
+                                               const AnnContext& ann,
+                                               Span<Graph> queries,
+                                               const SearchOptions& options,
+                                               size_t top_k);
 
 }  // namespace gbda

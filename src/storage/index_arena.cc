@@ -41,11 +41,14 @@ const char* ArenaSectionName(uint32_t id) {
       return "gbd_prior";
     case kSecGedPrior:
       return "ged_prior";
+    case kSecAnnGraph:
+      return "ann_graph";
   }
   return "unknown";
 }
 
-Result<std::string> BuildArena(const IndexReader& index) {
+Result<std::string> BuildArena(const IndexReader& index,
+                               const ProximityGraph* ann_graph) {
   const size_t num_graphs = index.num_graphs();
   if (index.num_live() != num_graphs) {
     return Status::FailedPrecondition(
@@ -89,13 +92,24 @@ Result<std::string> BuildArena(const IndexReader& index) {
   index.gbd_prior().Serialize(&gbd_blob);
   BinaryWriter ged_blob;
   index.mutable_ged_prior()->Serialize(&ged_blob);
+  std::string ann_blob;
+  if (ann_graph != nullptr) {
+    if (ann_graph->num_nodes() != num_graphs) {
+      return Status::FailedPrecondition(
+          "arena build: proximity graph covers " +
+          std::to_string(ann_graph->num_nodes()) +
+          " nodes but the index holds " + std::to_string(num_graphs) +
+          " graphs");
+    }
+    ann_blob = SerializeProximityGraph(*ann_graph);
+  }
 
   struct SectionBytes {
     uint32_t id;
     const char* data;
     uint64_t length;
   };
-  const SectionBytes sections[kArenaSectionCount] = {
+  std::vector<SectionBytes> sections = {
       {kSecBranchStart, reinterpret_cast<const char*>(branch_start.data()),
        branch_start.size() * sizeof(uint64_t)},
       {kSecRoots, reinterpret_cast<const char*>(roots.data()),
@@ -107,11 +121,16 @@ Result<std::string> BuildArena(const IndexReader& index) {
       {kSecGbdPrior, gbd_blob.buffer().data(), gbd_blob.buffer().size()},
       {kSecGedPrior, ged_blob.buffer().data(), ged_blob.buffer().size()},
   };
+  if (ann_graph != nullptr) {
+    sections.push_back({kSecAnnGraph, ann_blob.data(), ann_blob.size()});
+  }
+  const uint32_t section_count = static_cast<uint32_t>(sections.size());
+  const size_t header_bytes = ArenaHeaderBytes(section_count);
 
   // Lay out the sections: each starts 64-byte aligned after the header.
-  uint64_t offsets[kArenaSectionCount];
-  uint64_t cursor = AlignUp(kArenaHeaderBytes);
-  for (size_t s = 0; s < kArenaSectionCount; ++s) {
+  std::vector<uint64_t> offsets(section_count);
+  uint64_t cursor = AlignUp(header_bytes);
+  for (size_t s = 0; s < section_count; ++s) {
     offsets[s] = cursor;
     cursor = AlignUp(cursor + sections[s].length);
   }
@@ -135,7 +154,7 @@ Result<std::string> BuildArena(const IndexReader& index) {
   meta.PutU64(num_graphs);
   meta.PutU64(total_branches);
   meta.PutU64(labels.size());
-  for (size_t s = 0; s < kArenaSectionCount; ++s) {
+  for (size_t s = 0; s < section_count; ++s) {
     meta.PutU32(sections[s].id);
     meta.PutU32(0);  // reserved
     meta.PutU64(offsets[s]);
@@ -148,7 +167,7 @@ Result<std::string> BuildArena(const IndexReader& index) {
   header.PutU32(kArenaMagic);
   header.PutU32(kArenaVersion);
   header.PutU32(kArenaEndianTag);
-  header.PutU32(kArenaSectionCount);
+  header.PutU32(section_count);
   header.PutU64(file_bytes);
   header.PutU32(Crc32(meta.buffer().data(), meta.buffer().size()));
   header.PutU32(0);  // reserved
@@ -157,7 +176,7 @@ Result<std::string> BuildArena(const IndexReader& index) {
   arena.reserve(static_cast<size_t>(file_bytes));
   arena.append(header.buffer());
   arena.append(meta.buffer());
-  for (size_t s = 0; s < kArenaSectionCount; ++s) {
+  for (size_t s = 0; s < section_count; ++s) {
     arena.resize(static_cast<size_t>(offsets[s]), '\0');  // alignment pad
     if (sections[s].length > 0) {
       arena.append(sections[s].data, static_cast<size_t>(sections[s].length));
@@ -167,8 +186,9 @@ Result<std::string> BuildArena(const IndexReader& index) {
   return arena;
 }
 
-Status WriteArenaFile(const IndexReader& index, const std::string& path) {
-  Result<std::string> arena = BuildArena(index);
+Status WriteArenaFile(const IndexReader& index, const std::string& path,
+                      const ProximityGraph* ann_graph) {
+  Result<std::string> arena = BuildArena(index, ann_graph);
   if (!arena.ok()) return arena.status();
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open for writing: " + path);
@@ -179,8 +199,8 @@ Status WriteArenaFile(const IndexReader& index, const std::string& path) {
 
 Result<ArenaInfo> ParseArenaHeader(std::string_view data,
                                    const std::string& source) {
-  if (data.size() < kArenaHeaderBytes) {
-    return ArenaError(source, "file smaller than the fixed header");
+  if (data.size() < kArenaPreambleBytes) {
+    return ArenaError(source, "file smaller than the fixed preamble");
   }
   BinaryReader reader(data, source);
   ArenaInfo info;
@@ -200,8 +220,18 @@ Result<ArenaInfo> ParseArenaHeader(std::string_view data,
                       "endianness tag mismatch (artifact written on a "
                       "foreign-endian host)");
   }
-  if (*reader.GetU32() != kArenaSectionCount) {
+  // Variable since the ann_graph section landed: the mandatory six, plus
+  // any trailing optional sections (capped so a corrupt count cannot drive
+  // a huge table read). Pre-ann artifacts declare exactly six and parse
+  // unchanged.
+  const uint32_t section_count = *reader.GetU32();
+  if (section_count < kArenaSectionCount ||
+      section_count > kMaxArenaSectionCount) {
     return ArenaError(source, "unexpected section count");
+  }
+  const size_t header_bytes = ArenaHeaderBytes(section_count);
+  if (data.size() < header_bytes) {
+    return ArenaError(source, "file smaller than its declared header");
   }
   info.file_bytes = *reader.GetU64();
   if (info.file_bytes != data.size()) {
@@ -211,7 +241,7 @@ Result<ArenaInfo> ParseArenaHeader(std::string_view data,
   (void)*reader.GetU32();  // reserved
   const uint32_t actual_meta_crc =
       Crc32(data.data() + kArenaPreambleBytes,
-            kArenaHeaderBytes - kArenaPreambleBytes);
+            header_bytes - kArenaPreambleBytes);
   if (meta_crc != actual_meta_crc) {
     return Status::DataLoss("index arena: header CRC32 mismatch in " + source);
   }
@@ -259,9 +289,10 @@ Result<ArenaInfo> ParseArenaHeader(std::string_view data,
       0,
   };
 
-  info.sections.reserve(kArenaSectionCount);
-  uint64_t previous_end = kArenaHeaderBytes;
-  for (uint32_t s = 0; s < kArenaSectionCount; ++s) {
+  info.sections.reserve(section_count);
+  uint64_t previous_end = header_bytes;
+  uint32_t previous_id = 0;
+  for (uint32_t s = 0; s < section_count; ++s) {
     ArenaSectionInfo sec;
     sec.id = *reader.GetU32();
     (void)*reader.GetU32();  // reserved
@@ -269,9 +300,19 @@ Result<ArenaInfo> ParseArenaHeader(std::string_view data,
     sec.length = *reader.GetU64();
     sec.crc32 = *reader.GetU32();
     (void)*reader.GetU32();  // reserved
-    if (sec.id != s + 1) {
-      return ArenaError(source, "section table not in canonical order");
+    if (s < kArenaSectionCount) {
+      // Mandatory six: exactly ids 1..6 in order.
+      if (sec.id != s + 1) {
+        return ArenaError(source, "section table not in canonical order");
+      }
+    } else if (sec.id <= previous_id) {
+      // Trailing optional sections: strictly increasing ids (hence > 6).
+      // The id itself may be unknown to this build — it is structurally
+      // validated and recorded, then skipped by consumers.
+      return ArenaError(source,
+                        "trailing section ids not strictly increasing");
     }
+    previous_id = sec.id;
     if (sec.offset % kArenaSectionAlign != 0) {
       return ArenaError(source, std::string("section '") +
                                     ArenaSectionName(sec.id) +

@@ -7,12 +7,12 @@
 ///
 ///   offset 0                                    (all integers little-endian)
 ///   +--------------------------------------------------------------+
-///   | magic 'GBA3' | version 3 | endian tag | section count        |
+///   | magic 'GBA3' | version 3 | endian tag | section count N >= 6 |
 ///   | file_bytes u64 | meta_crc u32 | reserved u32                 |
 ///   +-- meta block (covered by meta_crc) --------------------------+
 ///   | tau_max, GbdPriorOptions fields, seed, |L_V|, |L_E|,         |
 ///   | avg_vertices, num_graphs, total_branches, total_labels       |
-///   | section table: 6 x {id, reserved, offset u64, length u64,    |
+///   | section table: N x {id, reserved, offset u64, length u64,    |
 ///   |                     crc32, reserved}                         |
 ///   +-- sections, each offset 64-byte aligned, zero-padded --------+
 ///   | 1 branch_start  u64[num_graphs + 1]   graph -> branch range  |
@@ -21,7 +21,18 @@
 ///   | 4 labels        u32[total_labels]     ascending edge labels  |
 ///   | 5 gbd_prior     serialized GbdPrior blob (Lambda2)           |
 ///   | 6 ged_prior     serialized GedPriorTable blob (Lambda3)      |
+///   | 7 ann_graph     optional proximity graph (ann/proximity_-    |
+///   |                 graph.h payload), mmap'd by approximate mode |
 ///   +--------------------------------------------------------------+
+///
+/// The first six sections are mandatory and canonical; trailing sections
+/// are OPTIONAL with strictly increasing ids. A reader structurally
+/// validates (and CRC-covers) every trailing section but SKIPS ids it does
+/// not know — forward compatibility: an artifact written by a newer build
+/// with an extra section still opens here, minus that section's feature.
+/// A known-id trailing section with an unreadable payload (e.g. an
+/// ann_graph from a future format revision) degrades the same way on the
+/// serving path instead of failing the open.
 ///
 /// Graph g's branch multiset is branches [branch_start[g], branch_start[g+1])
 /// and branch b's edge labels are labels [label_start[b], label_start[b+1]) —
@@ -47,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "ann/proximity_graph.h"
 #include "common/result.h"
 #include "core/gbda_index.h"  // GbdaIndexOptions, IndexReader, header checks
 
@@ -58,10 +70,17 @@ inline constexpr uint32_t kArenaMagic = 0x33414247;  // "GBA3"
 inline constexpr uint32_t kArenaVersion = 3;
 /// Written as 0x01020304; a big-endian writer would produce 0x04030201.
 inline constexpr uint32_t kArenaEndianTag = 0x01020304;
+/// The mandatory canonical sections every artifact carries (ids 1..6).
 inline constexpr uint32_t kArenaSectionCount = 6;
+/// Sanity cap on the declared section count: far above anything this
+/// format family will ever need, low enough that a corrupt count cannot
+/// drive a huge header allocation.
+inline constexpr uint32_t kMaxArenaSectionCount = 64;
 inline constexpr size_t kArenaSectionAlign = 64;
 
-/// Section ids, required to appear in the table in exactly this order.
+/// Section ids. Ids 1..6 are mandatory and appear in exactly this order;
+/// higher ids are optional trailing sections in strictly increasing order
+/// (unknown ones are skipped by readers — see the file comment).
 enum ArenaSectionId : uint32_t {
   kSecBranchStart = 1,
   kSecRoots = 2,
@@ -69,6 +88,10 @@ enum ArenaSectionId : uint32_t {
   kSecLabels = 4,
   kSecGbdPrior = 5,
   kSecGedPrior = 6,
+  /// Serialized proximity graph (SerializeProximityGraph payload) for
+  /// approximate candidate navigation; present only when the artifact was
+  /// built with one (gbda_indexctl build --ann / graph).
+  kSecAnnGraph = 7,
 };
 
 /// Human-readable section name ("branch_start", ...), for diagnostics.
@@ -79,9 +102,15 @@ const char* ArenaSectionName(uint32_t id);
 inline constexpr size_t kArenaPreambleBytes = 32;  // magic..reserved
 inline constexpr size_t kArenaMetaScalarBytes = 15 * 8;
 inline constexpr size_t kArenaSectionEntryBytes = 32;
-inline constexpr size_t kArenaHeaderBytes =
-    kArenaPreambleBytes + kArenaMetaScalarBytes +
-    kArenaSectionCount * kArenaSectionEntryBytes;
+/// Header size of an artifact declaring `section_count` sections: the
+/// preamble, the meta scalars, then one table entry per section.
+constexpr size_t ArenaHeaderBytes(uint32_t section_count) {
+  return kArenaPreambleBytes + kArenaMetaScalarBytes +
+         section_count * kArenaSectionEntryBytes;
+}
+/// Header size of a minimal (six-section) artifact — the smallest valid
+/// file, and the layout every pre-ann writer produced.
+inline constexpr size_t kArenaHeaderBytes = ArenaHeaderBytes(kArenaSectionCount);
 
 // -- Parsed header -----------------------------------------------------------
 
@@ -105,7 +134,19 @@ struct ArenaInfo {
   uint64_t num_graphs = 0;
   uint64_t total_branches = 0;
   uint64_t total_labels = 0;
+  /// Every table entry, canonical then trailing — including trailing
+  /// sections this build does not understand (so checksum verification
+  /// still covers them).
   std::vector<ArenaSectionInfo> sections;
+
+  /// The table entry with the given id, or nullptr when absent (optional
+  /// trailing sections; the canonical six are always sections[id - 1]).
+  const ArenaSectionInfo* FindSection(uint32_t id) const {
+    for (const ArenaSectionInfo& sec : sections) {
+      if (sec.id == id) return &sec;
+    }
+    return nullptr;
+  }
 };
 
 // -- Building / inspecting ---------------------------------------------------
@@ -114,18 +155,25 @@ struct ArenaInfo {
 /// mapped view) into a v3 arena. Fails on tombstoned indexes and, mirroring
 /// the v2 writer, on a stale Lambda2 (the format carries no staleness) —
 /// except for the empty index, whose prior is vacuously unfittable and is
-/// persisted as-is.
-Result<std::string> BuildArena(const IndexReader& index);
+/// persisted as-is. A non-null `ann_graph` (which must cover exactly
+/// index.num_graphs() nodes) is appended as the optional ann_graph section;
+/// null writes the minimal six-section artifact, byte-identical to what
+/// pre-ann builds produced.
+Result<std::string> BuildArena(const IndexReader& index,
+                               const ProximityGraph* ann_graph = nullptr);
 
 /// BuildArena + atomic-ish write (whole buffer, single ofstream).
-Status WriteArenaFile(const IndexReader& index, const std::string& path);
+Status WriteArenaFile(const IndexReader& index, const std::string& path,
+                      const ProximityGraph* ann_graph = nullptr);
 
 /// Parses and validates the fixed header of `data` (a whole mapped
 /// artifact): magic/version/endianness, meta CRC, header plausibility
 /// (core ValidatePersistedIndexHeader), and the section table's structural
-/// invariants (canonical order, 64-byte alignment, in-bounds, lengths
-/// consistent with the graph/branch/label counts). Does NOT touch section
-/// payloads.
+/// invariants (canonical order for the mandatory six, strictly increasing
+/// ids / 64-byte alignment / in-bounds for trailing sections, lengths
+/// consistent with the graph/branch/label counts). Unknown trailing
+/// sections pass — they are recorded in the table and otherwise skipped
+/// (forward compatibility). Does NOT touch section payloads.
 Result<ArenaInfo> ParseArenaHeader(std::string_view data,
                                    const std::string& source);
 

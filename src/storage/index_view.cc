@@ -85,6 +85,21 @@ Result<GbdaIndexView> GbdaIndexView::Open(const std::string& path,
     view.ged_prior_ = std::make_shared<GedPriorTable>(std::move(*ged));
   }
 
+  // Optional trailing section: the proximity graph for approximate
+  // navigation. A parse failure from a future payload revision
+  // (kNotSupported) degrades to "no graph" per the forward-compat contract;
+  // anything else is corruption and fails the open like any other section.
+  if (const ArenaSectionInfo* sec = info->FindSection(kSecAnnGraph)) {
+    Result<ProximityGraphRef> graph = ParseProximityGraphSection(
+        base + sec->offset, static_cast<size_t>(sec->length),
+        info->num_graphs, path + " [ann_graph]");
+    if (graph.ok()) {
+      view.ann_graph_ = *graph;
+    } else if (graph.status().code() != StatusCode::kNotSupported) {
+      return graph.status();
+    }
+  }
+
   view.file_ = std::move(*mapped);
   return view;
 }

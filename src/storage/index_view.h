@@ -85,11 +85,22 @@ class GbdaIndexView : public IndexReader {
   uint64_t total_branches() const { return total_branches_; }
   uint64_t total_labels() const { return total_labels_; }
 
+  /// Whether the artifact carries a readable proximity graph (optional
+  /// ann_graph section). False when the section is absent — or present but
+  /// written by a future format revision this build cannot read, in which
+  /// case Open degrades to exhaustive-only instead of failing (the
+  /// forward-compat contract in index_arena.h).
+  bool has_ann_graph() const { return ann_graph_.offsets != nullptr; }
+  /// The mapped proximity graph (empty ref unless has_ann_graph()). Valid
+  /// while the view lives; zero-copy, like branch_set().
+  const ProximityGraphRef& ann_graph() const { return ann_graph_; }
+
   /// Decodes the mapped arena into an owning GbdaIndex — the v3 -> v2
   /// conversion path of gbda_indexctl, and an escape hatch for callers that
   /// need incremental maintenance (AddGraph/RemoveGraphs) on top of a
   /// mapped artifact. The result answers queries bit-identically to this
-  /// view.
+  /// view. The ann_graph section, if any, is NOT carried over (GbdaIndex
+  /// has no slot for it; rebuild with gbda_indexctl graph when needed).
   Result<GbdaIndex> Materialize() const;
 
  private:
@@ -108,6 +119,9 @@ class GbdaIndexView : public IndexReader {
   const uint32_t* roots_ = nullptr;
   const uint64_t* label_start_ = nullptr;
   const LabelId* labels_ = nullptr;
+  /// Parsed at open when the optional ann_graph section is present and
+  /// readable; points into the mapping.
+  ProximityGraphRef ann_graph_;
   /// Decoded prior blobs. shared_ptr so PosteriorEngine replicas handed out
   /// by a snapshot stay valid across view moves; GedPriorTable grows rows
   /// lazily under its own lock, exactly as in the owned index.

@@ -1,0 +1,367 @@
+// The approximate-mode contract over both serving layers (GbdaService and
+// DynamicGbdaService): a ranking query with options.approximate returns a
+// SUBSET of the exhaustive ranking carrying bit-exact scores — never a
+// fabricated match — and with a window covering the corpus it is
+// bit-identical to the exhaustive top-k (the builder's reachability repair
+// makes that provable, not just empirical). Swept across the three paper
+// variants, shard counts and k values, plus the counter and routing rules
+// (threshold queries and k == 0 ignore the flag; candidates_visited /
+// verified_count are cost observability, populated in approximate mode and
+// zero / excluded elsewhere).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ann/proximity_graph.h"
+#include "core/gbda_index.h"
+#include "core/gbda_search.h"
+#include "datagen/dataset_profiles.h"
+#include "service/dynamic_service.h"
+#include "service/gbda_service.h"
+
+namespace gbda {
+namespace {
+
+void ExpectSameMatches(const SearchResult& expected, const SearchResult& got,
+                       const std::string& label) {
+  ASSERT_EQ(expected.matches.size(), got.matches.size()) << label;
+  for (size_t i = 0; i < expected.matches.size(); ++i) {
+    EXPECT_EQ(expected.matches[i].graph_id, got.matches[i].graph_id)
+        << label << " match " << i;
+    EXPECT_EQ(expected.matches[i].phi_score, got.matches[i].phi_score)
+        << label << " match " << i;
+    EXPECT_EQ(expected.matches[i].gbd, got.matches[i].gbd)
+        << label << " match " << i;
+  }
+}
+
+class AnnEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetProfile profile = AidsProfile(0.03);
+    profile.seed = 19;
+    Result<GeneratedDataset> ds = GenerateDataset(profile);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new GeneratedDataset(std::move(*ds));
+    ASSERT_GE(dataset_->db.size(), 16u);
+    ASSERT_GE(dataset_->queries.size(), 3u);
+
+    GbdaIndexOptions options;
+    options.tau_max = 8;
+    options.gbd_prior.num_sample_pairs = 500;
+    Result<GbdaIndex> index = GbdaIndex::Build(dataset_->db, options);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = new GbdaIndex(std::move(*index));
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete dataset_;
+    index_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static size_t CorpusSize() { return dataset_->db.size(); }
+
+  static Span<Graph> Queries() {
+    return Span<Graph>(dataset_->queries.data(),
+                       std::min<size_t>(dataset_->queries.size(), 4));
+  }
+
+  static GeneratedDataset* dataset_;
+  static GbdaIndex* index_;
+};
+
+GeneratedDataset* AnnEquivalenceTest::dataset_ = nullptr;
+GbdaIndex* AnnEquivalenceTest::index_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Full-window bit-identity: variants x shards x k
+// ---------------------------------------------------------------------------
+
+TEST_F(AnnEquivalenceTest, FullWindowMatchesExhaustiveAcrossTheBattery) {
+  for (size_t shards : {size_t{1}, size_t{3}}) {
+    ServiceOptions service_options;
+    service_options.num_threads = 3;
+    service_options.num_shards = shards;
+    GbdaService service(&dataset_->db, index_, service_options);
+    ASSERT_TRUE(service.WarmAnnGraph().ok());
+    for (GbdaVariant variant : {GbdaVariant::kStandard,
+                                GbdaVariant::kAverageSize,
+                                GbdaVariant::kWeightedGbd}) {
+      for (size_t k : {size_t{1}, size_t{5}, size_t{17}}) {
+        SearchOptions options;
+        options.tau_hat = 5;
+        options.variant = variant;
+        const std::string label = "shards=" + std::to_string(shards) +
+                                  " variant=" +
+                                  std::to_string(static_cast<int>(variant)) +
+                                  " k=" + std::to_string(k);
+        Result<std::vector<SearchResult>> exhaustive =
+            service.QueryTopKBatch(Queries(), k, options);
+        ASSERT_TRUE(exhaustive.ok()) << label << ": "
+                                     << exhaustive.status().ToString();
+
+        options.approximate = true;
+        options.search_window_size = CorpusSize();
+        Result<std::vector<SearchResult>> approx =
+            service.QueryTopKBatch(Queries(), k, options);
+        ASSERT_TRUE(approx.ok()) << label << ": "
+                                 << approx.status().ToString();
+        ASSERT_EQ(approx->size(), exhaustive->size());
+        for (size_t q = 0; q < approx->size(); ++q) {
+          ExpectSameMatches((*exhaustive)[q], (*approx)[q],
+                            label + " query " + std::to_string(q));
+          // A full window navigates the whole corpus, so the deterministic
+          // admission counter matches the exhaustive scan's too.
+          EXPECT_EQ((*approx)[q].candidates_evaluated,
+                    (*exhaustive)[q].candidates_evaluated)
+              << label;
+          EXPECT_EQ((*approx)[q].candidates_visited, CorpusSize()) << label;
+          EXPECT_EQ((*exhaustive)[q].candidates_visited, 0u) << label;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Small windows: subset with bit-exact scores, never fabrication
+// ---------------------------------------------------------------------------
+
+TEST_F(AnnEquivalenceTest, SmallWindowsReturnAnExactScoredSubset) {
+  GbdaService service(&dataset_->db, index_, ServiceOptions());
+  ASSERT_TRUE(service.WarmAnnGraph().ok());
+  SearchOptions options;
+  options.tau_hat = 5;
+
+  // One exhaustive FULL ranking per query (k = corpus) is the oracle every
+  // approximate match must appear in, score-for-score.
+  Result<std::vector<SearchResult>> full =
+      service.QueryTopKBatch(Queries(), CorpusSize(), options);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+  const size_t k = 10;
+  for (size_t window : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    options.approximate = true;
+    options.search_window_size = window;
+    Result<std::vector<SearchResult>> approx =
+        service.QueryTopKBatch(Queries(), k, options);
+    ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+    for (size_t q = 0; q < approx->size(); ++q) {
+      const SearchResult& result = (*approx)[q];
+      const std::string label =
+          "window=" + std::to_string(window) + " query=" + std::to_string(q);
+      EXPECT_LE(result.matches.size(), k) << label;
+      // Ordered under the one total ranking order every path uses.
+      EXPECT_TRUE(std::is_sorted(result.matches.begin(), result.matches.end(),
+                                 SearchMatchRankBefore))
+          << label;
+      std::unordered_map<size_t, const SearchMatch*> oracle;
+      for (const SearchMatch& m : (*full)[q].matches) {
+        oracle.emplace(m.graph_id, &m);
+      }
+      for (const SearchMatch& m : result.matches) {
+        auto it = oracle.find(m.graph_id);
+        ASSERT_NE(it, oracle.end())
+            << label << ": fabricated match id " << m.graph_id;
+        EXPECT_EQ(m.phi_score, it->second->phi_score) << label;
+        EXPECT_EQ(m.gbd, it->second->gbd) << label;
+      }
+      // Approximate runs are themselves deterministic.
+      Result<std::vector<SearchResult>> again =
+          service.QueryTopKBatch(Queries(), k, options);
+      ASSERT_TRUE(again.ok());
+      ExpectSameMatches(result, (*again)[q], label + " rerun");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counters: populated in approximate mode, zero and excluded elsewhere
+// ---------------------------------------------------------------------------
+
+TEST_F(AnnEquivalenceTest, CostCountersArePopulatedAndAggregated) {
+  GbdaService service(&dataset_->db, index_, ServiceOptions());
+  ASSERT_TRUE(service.WarmAnnGraph().ok());
+  SearchOptions options;
+  options.tau_hat = 5;
+
+  service.ResetStats();
+  Result<SearchResult> exhaustive =
+      service.QueryTopK(dataset_->queries[0], 5, options);
+  ASSERT_TRUE(exhaustive.ok());
+  EXPECT_EQ(exhaustive->candidates_visited, 0u);
+  EXPECT_EQ(exhaustive->verified_count,
+            exhaustive->candidates_evaluated - exhaustive->pruned_by_bound);
+  EXPECT_EQ(service.stats().candidates_visited, 0u);
+
+  options.approximate = true;
+  options.search_window_size = 8;
+  Result<SearchResult> approx =
+      service.QueryTopK(dataset_->queries[0], 5, options);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_GT(approx->candidates_visited, 0u);
+  EXPECT_GT(approx->verified_count, 0u);
+  EXPECT_LE(approx->verified_count, approx->candidates_visited);
+  EXPECT_GE(approx->candidates_visited, approx->matches.size());
+  EXPECT_EQ(approx->verified_count,
+            approx->candidates_evaluated - approx->pruned_by_bound);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.candidates_visited, approx->candidates_visited);
+  EXPECT_EQ(stats.verified_count,
+            exhaustive->verified_count + approx->verified_count);
+}
+
+// ---------------------------------------------------------------------------
+// Routing: which queries the flag applies to
+// ---------------------------------------------------------------------------
+
+TEST_F(AnnEquivalenceTest, ThresholdQueriesIgnoreTheFlag) {
+  GbdaService service(&dataset_->db, index_, ServiceOptions());
+  SearchOptions options;
+  options.tau_hat = 5;
+  options.gamma = 0.5;
+  Result<SearchResult> plain = service.Query(dataset_->queries[1], options);
+  ASSERT_TRUE(plain.ok());
+  options.approximate = true;
+  options.search_window_size = 2;
+  Result<SearchResult> flagged = service.Query(dataset_->queries[1], options);
+  ASSERT_TRUE(flagged.ok());
+  // Threshold semantics are defined over the whole corpus: identical match
+  // set, no navigation.
+  ExpectSameMatches(*plain, *flagged, "threshold");
+  EXPECT_EQ(flagged->candidates_visited, 0u);
+}
+
+TEST_F(AnnEquivalenceTest, DegenerateKValues) {
+  GbdaService service(&dataset_->db, index_, ServiceOptions());
+  SearchOptions options;
+  options.tau_hat = 5;
+  options.approximate = true;
+  // k == 0 is a defined-empty result; no navigation context is built.
+  Result<SearchResult> zero = service.QueryTopK(dataset_->queries[0], 0, options);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero->matches.empty());
+  // Oversized k clamps to the corpus; with a full window that is the whole
+  // exhaustive ranking.
+  options.search_window_size = CorpusSize();
+  Result<SearchResult> big =
+      service.QueryTopK(dataset_->queries[0], CorpusSize() + 7, options);
+  ASSERT_TRUE(big.ok());
+  SearchOptions exhaustive = options;
+  exhaustive.approximate = false;
+  Result<SearchResult> reference =
+      service.QueryTopK(dataset_->queries[0], CorpusSize() + 7, exhaustive);
+  ASSERT_TRUE(reference.ok());
+  ExpectSameMatches(*reference, *big, "oversized k");
+}
+
+TEST_F(AnnEquivalenceTest, WindowSmallerThanKIsClampedUp) {
+  GbdaService service(&dataset_->db, index_, ServiceOptions());
+  SearchOptions options;
+  options.tau_hat = 5;
+  options.approximate = true;
+  options.search_window_size = 1;  // < k: the navigator clamps to k
+  Result<SearchResult> result =
+      service.QueryTopK(dataset_->queries[2], 5, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->candidates_visited, result->matches.size());
+}
+
+// ---------------------------------------------------------------------------
+// Context lifecycle: lazy build, eager warm, adopt-before-first-use
+// ---------------------------------------------------------------------------
+
+TEST_F(AnnEquivalenceTest, LazyBuildAndAdoptAgree) {
+  SearchOptions options;
+  options.tau_hat = 5;
+  options.approximate = true;
+  options.search_window_size = 8;
+
+  // Lazy: the first approximate query builds the context in-line.
+  GbdaService lazy(&dataset_->db, index_, ServiceOptions());
+  Result<SearchResult> lazy_result =
+      lazy.QueryTopK(dataset_->queries[0], 5, options);
+  ASSERT_TRUE(lazy_result.ok()) << lazy_result.status().ToString();
+
+  // Adopt: a graph built with the same params navigates identically.
+  Result<ProximityGraph> graph = BuildProximityGraph(
+      FingerprintStore::FromIndex(*index_), ServiceOptions().ann_build);
+  ASSERT_TRUE(graph.ok());
+  GbdaService adopter(&dataset_->db, index_, ServiceOptions());
+  ASSERT_TRUE(adopter.AdoptAnnGraph(graph->ref()).ok());
+  Result<SearchResult> adopted_result =
+      adopter.QueryTopK(dataset_->queries[0], 5, options);
+  ASSERT_TRUE(adopted_result.ok());
+  ExpectSameMatches(*lazy_result, *adopted_result, "adopt vs lazy build");
+
+  // Once the context exists — built or adopted — adoption is rejected.
+  EXPECT_EQ(lazy.AdoptAnnGraph(graph->ref()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(adopter.AdoptAnnGraph(graph->ref()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// The dynamic serving layer
+// ---------------------------------------------------------------------------
+
+TEST_F(AnnEquivalenceTest, DynamicServiceHonorsApproximateMode) {
+  GraphDatabase db;
+  db.vertex_labels() = dataset_->db.vertex_labels();
+  db.edge_labels() = dataset_->db.edge_labels();
+  const size_t initial = CorpusSize() - 2;
+  for (size_t i = 0; i < initial; ++i) db.Add(dataset_->db.graph(i));
+
+  GbdaIndexOptions index_options;
+  index_options.tau_max = 8;
+  index_options.gbd_prior.num_sample_pairs = 500;
+  Result<std::unique_ptr<DynamicGbdaService>> created =
+      DynamicGbdaService::Create(std::move(db), index_options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  DynamicGbdaService& dyn = **created;
+  ASSERT_TRUE(dyn.WarmAnnGraph().ok());
+
+  SearchOptions options;
+  options.tau_hat = 5;
+  Result<std::vector<SearchResult>> exhaustive =
+      dyn.QueryTopKBatch(Queries(), 10, options);
+  ASSERT_TRUE(exhaustive.ok()) << exhaustive.status().ToString();
+
+  options.approximate = true;
+  options.search_window_size = initial;  // full window over the snapshot
+  Result<std::vector<SearchResult>> approx =
+      dyn.QueryTopKBatch(Queries(), 10, options);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  for (size_t q = 0; q < approx->size(); ++q) {
+    ExpectSameMatches((*exhaustive)[q], (*approx)[q],
+                      "dynamic query " + std::to_string(q));
+    EXPECT_GT((*approx)[q].candidates_visited, 0u);
+  }
+
+  // A mutation publishes a new generation whose context is rebuilt (cold):
+  // approximate queries against it still navigate the NEW corpus.
+  Result<size_t> added = dyn.AddGraph(dataset_->db.graph(initial));
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  ASSERT_TRUE(dyn.WarmAnnGraph().ok());
+  options.search_window_size = initial + 1;
+  Result<std::vector<SearchResult>> after =
+      dyn.QueryTopKBatch(Queries(), 10, options);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  SearchOptions exhaustive_after;
+  exhaustive_after.tau_hat = 5;
+  Result<std::vector<SearchResult>> reference =
+      dyn.QueryTopKBatch(Queries(), 10, exhaustive_after);
+  ASSERT_TRUE(reference.ok());
+  for (size_t q = 0; q < after->size(); ++q) {
+    ExpectSameMatches((*reference)[q], (*after)[q],
+                      "post-mutation query " + std::to_string(q));
+  }
+}
+
+}  // namespace
+}  // namespace gbda

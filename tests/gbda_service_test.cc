@@ -161,7 +161,7 @@ TEST_F(GbdaServiceTest, StatsAggregateAcrossCalls) {
   SearchOptions opts;
   opts.tau_hat = 5;
   opts.gamma = 0.5;
-  GbdaService service(&dataset_->db, index_, ServiceOptions{2, 4});
+  GbdaService service(&dataset_->db, index_, ServiceOptions{2, 4, {}});
   ASSERT_TRUE(service.Query(dataset_->queries[0], opts).ok());
   Result<std::vector<SearchResult>> batch =
       service.QueryBatch(dataset_->queries, opts);
@@ -238,7 +238,7 @@ TEST_F(GbdaServiceTest, RejectsDbIndexMismatchBothDirections) {
     EXPECT_EQ(service.status().code(), StatusCode::kFailedPrecondition);
     auto search = GbdaSearch::Create(&dataset_->db, &*smaller_index);
     ASSERT_FALSE(search.ok());
-    GbdaService raw(&dataset_->db, &*smaller_index, ServiceOptions{2, 2});
+    GbdaService raw(&dataset_->db, &*smaller_index, ServiceOptions{2, 2, {}});
     Result<SearchResult> r = raw.Query(dataset_->queries[0], opts);
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
@@ -272,7 +272,7 @@ TEST_F(GbdaServiceTest, StatsExactUnderConcurrentClients) {
   // client threads mixing Query and QueryBatch must leave exact aggregate
   // counters (a lost update would show up as a short count; under TSan the
   // unsynchronized writes themselves would be flagged).
-  GbdaService service(&dataset_->db, index_, ServiceOptions{3, 4});
+  GbdaService service(&dataset_->db, index_, ServiceOptions{3, 4, {}});
   SearchOptions opts;
   opts.tau_hat = 5;
   opts.gamma = 0.5;
@@ -323,7 +323,7 @@ TEST(ServiceStatsTest, QueriesPerSecondClampsSubTickWalls) {
 }
 
 TEST_F(GbdaServiceTest, TopKZeroIsDefinedEmptyAndCounted) {
-  GbdaService service(&dataset_->db, index_, ServiceOptions{2, 2});
+  GbdaService service(&dataset_->db, index_, ServiceOptions{2, 2, {}});
   SearchOptions opts;
   opts.tau_hat = 5;
   Result<SearchResult> r = service.QueryTopK(dataset_->queries[0], 0, opts);
@@ -370,7 +370,7 @@ TEST_F(GbdaServiceTest, TauZeroServesExactBranchDuplicatesOnly) {
     }
     EXPECT_TRUE(found_self);
     for (size_t shards : {1u, 2u, 7u}) {
-      GbdaService service(&dataset_->db, index_, ServiceOptions{2, shards});
+      GbdaService service(&dataset_->db, index_, ServiceOptions{2, shards, {}});
       Result<SearchResult> sharded = service.Query(query, opts);
       ASSERT_TRUE(sharded.ok());
       ExpectSameResult(*serial, *sharded,
@@ -393,7 +393,7 @@ TEST_F(GbdaServiceTest, TauZeroServesExactBranchDuplicatesOnly) {
 }
 
 TEST_F(GbdaServiceTest, RejectsTauBeyondIndex) {
-  GbdaService service(&dataset_->db, index_, ServiceOptions{2, 2});
+  GbdaService service(&dataset_->db, index_, ServiceOptions{2, 2, {}});
   SearchOptions opts;
   opts.tau_hat = index_->tau_max() + 1;
   EXPECT_FALSE(service.Query(dataset_->queries[0], opts).ok());

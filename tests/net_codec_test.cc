@@ -41,6 +41,8 @@ SearchOptions SampleOptions() {
   options.seed = 42;
   options.use_prefilter = true;
   options.topk_early_termination = true;
+  options.approximate = true;
+  options.search_window_size = 96;
   return options;
 }
 
@@ -62,6 +64,8 @@ TopKResponse SampleTopKResponse() {
   msg.candidates_evaluated = 100;
   msg.prefiltered_out = 40;
   msg.pruned_by_bound = 25;
+  msg.candidates_visited = 33;
+  msg.verified_count = 75;
   msg.queue_micros = 314;
   msg.batch_size = 4;
   msg.matches.push_back({3, 0.875, 2});
@@ -187,6 +191,9 @@ TEST(NetCodecTest, TopKRequestRoundTripPreservesEveryField) {
   EXPECT_EQ(decoded->options.use_prefilter, original.options.use_prefilter);
   EXPECT_EQ(decoded->options.topk_early_termination,
             original.options.topk_early_termination);
+  EXPECT_EQ(decoded->options.approximate, original.options.approximate);
+  EXPECT_EQ(decoded->options.search_window_size,
+            original.options.search_window_size);
   EXPECT_EQ(decoded->query.num_vertices(), original.query.num_vertices());
   EXPECT_EQ(decoded->query.num_edges(), original.query.num_edges());
   EXPECT_EQ(decoded->query.SortedEdges(), original.query.SortedEdges());
@@ -200,6 +207,8 @@ TEST(NetCodecTest, TopKResponseRoundTripPreservesMatchesBitExactly) {
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded->generation, original.generation);
   EXPECT_EQ(decoded->candidates_evaluated, original.candidates_evaluated);
+  EXPECT_EQ(decoded->candidates_visited, original.candidates_visited);
+  EXPECT_EQ(decoded->verified_count, original.verified_count);
   EXPECT_EQ(decoded->queue_micros, original.queue_micros);
   EXPECT_EQ(decoded->batch_size, original.batch_size);
   ASSERT_EQ(decoded->matches.size(), original.matches.size());
@@ -399,7 +408,28 @@ TEST(NetCodecTest, OutOfDomainSearchVariantAndFlagsAreRejected) {
 
   payload = (*frame)->payload;
   const size_t flags_at = variant_at + 4 + 8 + 8 + 8;
-  payload[flags_at] = 0x04;  // bit past the two defined flags
+  payload[flags_at] = 0x08;  // bit past the three defined flags
+  EXPECT_FALSE(DecodeTopKRequest(payload).ok());
+
+  // 0x04 IS defined (approximate mode, wire v2) and must decode.
+  payload = (*frame)->payload;
+  payload[flags_at] = 0x04;
+  Result<TopKRequest> approximate = DecodeTopKRequest(payload);
+  ASSERT_TRUE(approximate.ok()) << approximate.status().ToString();
+  EXPECT_TRUE(approximate->options.approximate);
+  EXPECT_FALSE(approximate->options.use_prefilter);
+}
+
+TEST(NetCodecTest, ZeroSearchWindowIsRejected) {
+  // A window of 0 could never hold a result; the decoder rejects it at the
+  // wire so the serving layers never see one.
+  const TopKRequest msg = SampleTopKRequest();
+  Result<std::optional<Frame>> frame = FeedOnce(EncodeTopKRequest(msg));
+  ASSERT_TRUE(frame.ok() && frame->has_value());
+  std::string payload = (*frame)->payload;
+  const size_t window_at = 24 + 8 + 8 + 4 + 8 + 8 + 8 + 4;
+  const uint64_t zero = 0;
+  std::memcpy(&payload[window_at], &zero, sizeof(zero));
   EXPECT_FALSE(DecodeTopKRequest(payload).ok());
 }
 

@@ -13,18 +13,30 @@
 //       magic. Queries through the converted artifact are bit-identical to
 //       queries through the source.
 //
+//   gbda_indexctl graph   --in=<v3 artifact> --out=<v3 artifact>
+//                         [--ann-degree=N] [--ann-window=N]
+//                         [--ann-alpha=F] [--ann-seed=N]
+//       Builds the proximity graph for approximate candidate navigation
+//       over the artifact's branch fingerprints and writes a copy carrying
+//       it as the optional ann_graph section (src/ann). The canonical
+//       sections are byte-identical to the input's, so exhaustive queries
+//       through the output are bit-identical to the input.
+//
 //   gbda_indexctl inspect <artifact>
-//       Prints a JSON summary (version, header fields, v3 section table).
+//       Prints a JSON summary (version, header fields, v3 section table,
+//       ann_graph details when present).
 //
 //   gbda_indexctl verify <artifact>
 //       Full integrity check: structural validation plus every CRC32
-//       (the v3 per-section sums, or the v2 footer). Exits non-zero on the
+//       (the v3 per-section sums — including trailing optional sections
+//       such as ann_graph — or the v2 footer). Exits non-zero on the
 //       first failure, printing the offending section and byte offset.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "ann/proximity_graph.h"
 #include "core/gbda_index.h"
 #include "graph/graph_io.h"
 #include "storage/index_arena.h"
@@ -41,7 +53,12 @@ int Usage() {
                " [--format=v3|v2]\n"
                "                        [--tau-max=N] [--sample-pairs=N]"
                " [--seed=N] [--eager-all-sizes]\n"
+               "                        [--ann] [--ann-degree=N]"
+               " [--ann-window=N] [--ann-alpha=F] [--ann-seed=N]\n"
                "  gbda_indexctl convert --in=<path> --out=<path> --to=v2|v3\n"
+               "  gbda_indexctl graph   --in=<v3 path> --out=<v3 path>"
+               " [--ann-degree=N] [--ann-window=N]\n"
+               "                        [--ann-alpha=F] [--ann-seed=N]\n"
                "  gbda_indexctl inspect <path>\n"
                "  gbda_indexctl verify  <path>\n");
   return 2;
@@ -89,9 +106,30 @@ Status WriteArtifact(const IndexReader& index, const std::string& format,
                                  " (expected v2 or v3)");
 }
 
+/// Parses the shared --ann-* knobs; returns false on an unrecognized flag.
+bool AnnFlagValue(const char* arg, AnnBuildParams* params) {
+  std::string v;
+  if (FlagValue(arg, "--ann-degree", &v)) {
+    params->graph_degree =
+        static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+  } else if (FlagValue(arg, "--ann-window", &v)) {
+    params->build_window =
+        static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+  } else if (FlagValue(arg, "--ann-alpha", &v)) {
+    params->alpha = std::strtod(v.c_str(), nullptr);
+  } else if (FlagValue(arg, "--ann-seed", &v)) {
+    params->seed = std::strtoull(v.c_str(), nullptr, 10);
+  } else {
+    return false;
+  }
+  return true;
+}
+
 int RunBuild(int argc, char** argv) {
   std::string db_path, out_path, format = "v3", v;
   GbdaIndexOptions options;
+  bool with_ann = false;
+  AnnBuildParams ann_params;
   for (int i = 2; i < argc; ++i) {
     if (FlagValue(argv[i], "--db", &v)) {
       db_path = v;
@@ -108,21 +146,82 @@ int RunBuild(int argc, char** argv) {
       options.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--eager-all-sizes") == 0) {
       options.eager_all_sizes = true;
+    } else if (std::strcmp(argv[i], "--ann") == 0) {
+      with_ann = true;
+    } else if (AnnFlagValue(argv[i], &ann_params)) {
+      with_ann = true;  // an --ann-* knob implies --ann
     } else {
       return Usage();
     }
   }
   if (db_path.empty() || out_path.empty()) return Usage();
+  if (with_ann && format != "v3") {
+    return Fail(Status::InvalidArgument(
+        "--ann requires --format=v3 (the v2 stream has no ann_graph "
+        "section)"));
+  }
 
   Result<GraphDatabase> db = ReadTransactionFile(db_path);
   if (!db.ok()) return Fail(db.status());
   Result<GbdaIndex> index = GbdaIndex::Build(*db, options);
   if (!index.ok()) return Fail(index.status());
+  if (with_ann) {
+    Result<ProximityGraph> graph =
+        BuildProximityGraph(FingerprintStore::FromIndex(*index), ann_params);
+    if (!graph.ok()) return Fail(graph.status());
+    Status written = WriteArenaFile(*index, out_path, &*graph);
+    if (!written.ok()) return Fail(written);
+    std::printf(
+        "built v3 artifact %s: %zu graphs, tau_max=%lld, ann_graph "
+        "(degree<=%u, %llu edges)\n",
+        out_path.c_str(), index->num_graphs(),
+        static_cast<long long>(index->tau_max()), graph->degree_bound,
+        static_cast<unsigned long long>(graph->neighbors.size()));
+    return 0;
+  }
   Status written = WriteArtifact(*index, format, out_path);
   if (!written.ok()) return Fail(written);
   std::printf("built %s artifact %s: %zu graphs, tau_max=%lld\n",
               format.c_str(), out_path.c_str(), index->num_graphs(),
               static_cast<long long>(index->tau_max()));
+  return 0;
+}
+
+int RunGraph(int argc, char** argv) {
+  std::string in_path, out_path, v;
+  AnnBuildParams ann_params;
+  for (int i = 2; i < argc; ++i) {
+    if (FlagValue(argv[i], "--in", &v)) {
+      in_path = v;
+    } else if (FlagValue(argv[i], "--out", &v)) {
+      out_path = v;
+    } else if (AnnFlagValue(argv[i], &ann_params)) {
+    } else {
+      return Usage();
+    }
+  }
+  if (in_path.empty() || out_path.empty()) return Usage();
+
+  Result<uint32_t> magic = ReadMagic(in_path);
+  if (!magic.ok()) return Fail(magic.status());
+  if (*magic != kArenaMagic) {
+    return Fail(Status::InvalidArgument(
+        "graph: input must be a v3 arena artifact (convert first): " +
+        in_path));
+  }
+  Result<GbdaIndexView> view = GbdaIndexView::Open(in_path);
+  if (!view.ok()) return Fail(view.status());
+  Result<ProximityGraph> graph =
+      BuildProximityGraph(FingerprintStore::FromIndex(*view), ann_params);
+  if (!graph.ok()) return Fail(graph.status());
+  Status written = WriteArenaFile(*view, out_path, &*graph);
+  if (!written.ok()) return Fail(written);
+  std::printf(
+      "wrote %s: %zu graphs with ann_graph (degree<=%u, %llu edges, "
+      "entry=%u)\n",
+      out_path.c_str(), view->num_graphs(), graph->degree_bound,
+      static_cast<unsigned long long>(graph->neighbors.size()),
+      graph->entry_point);
   return 0;
 }
 
@@ -222,7 +321,24 @@ int RunInspect(const std::string& path) {
         static_cast<unsigned long long>(sec.length), sec.crc32,
         s + 1 < info->sections.size() ? "," : "");
   }
-  std::printf("  ]\n}\n");
+  std::printf("  ]");
+  if (const ArenaSectionInfo* sec = info->FindSection(kSecAnnGraph)) {
+    Result<ProximityGraphRef> graph = ParseProximityGraphSection(
+        mapped->data() + sec->offset, static_cast<size_t>(sec->length),
+        info->num_graphs, path + " [ann_graph]");
+    if (graph.ok()) {
+      std::printf(
+          ",\n  \"ann_graph\": {\"nodes\": %llu, \"edges\": %llu, "
+          "\"degree_bound\": %u, \"entry_point\": %u}",
+          static_cast<unsigned long long>(graph->num_nodes),
+          static_cast<unsigned long long>(graph->num_edges),
+          graph->degree_bound, graph->entry_point);
+    } else {
+      std::printf(",\n  \"ann_graph\": {\"error\": \"%s\"}",
+                  graph.status().ToString().c_str());
+    }
+  }
+  std::printf("\n}\n");
   return 0;
 }
 
@@ -259,6 +375,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "build") return RunBuild(argc, argv);
   if (command == "convert") return RunConvert(argc, argv);
+  if (command == "graph") return RunGraph(argc, argv);
   if (command == "inspect" && argc == 3) return RunInspect(argv[2]);
   if (command == "verify" && argc == 3) return RunVerify(argv[2]);
   return Usage();

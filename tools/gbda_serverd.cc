@@ -10,7 +10,12 @@
 //                [--bind=ADDR] [--tau-max=N] [--pairs=N] [--seed=N]
 //                [--threads=N] [--shards=N] [--workers=N]
 //                [--max-batch=N] [--max-linger-micros=N] [--max-queue=N]
+//                [--approximate=0|1] [--ann-degree=N]
 //                [--duration=SECONDS]            # 0 = run until signalled
+//
+// --approximate=1 warms the backend's proximity graph at startup so the
+// first options.approximate query does not pay the build; approximate
+// requests are still opt-in per query through the wire SearchOptions.
 //
 // With --port=0 (the default) the kernel picks an ephemeral port; scripts
 // read it from --port-file (written atomically after the listener is bound —
@@ -61,6 +66,8 @@ struct Flags {
   uint64_t seed = 0;
   size_t threads = 0;
   size_t shards = 0;
+  bool approximate = false;
+  uint32_t ann_degree = 0;  // 0 keeps the AnnBuildParams default
   net::ServerConfig server;
   double duration = 0.0;
 };
@@ -75,7 +82,8 @@ int Usage() {
       "                    [--tau-max=N] [--pairs=N] [--seed=N]\n"
       "                    [--threads=N] [--shards=N] [--workers=N]\n"
       "                    [--max-batch=N] [--max-linger-micros=N]\n"
-      "                    [--max-queue=N] [--duration=SECONDS]\n");
+      "                    [--max-queue=N] [--approximate=0|1]\n"
+      "                    [--ann-degree=N] [--duration=SECONDS]\n");
   return 2;
 }
 
@@ -167,6 +175,11 @@ int main(int argc, char** argv) {
     } else if (FlagValue(argv[i], "--max-queue", &v)) {
       flags.server.max_queue =
           static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (FlagValue(argv[i], "--approximate", &v)) {
+      flags.approximate = v != "0" && v != "false";
+    } else if (FlagValue(argv[i], "--ann-degree", &v)) {
+      flags.ann_degree =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (FlagValue(argv[i], "--duration", &v)) {
       flags.duration = std::strtod(v.c_str(), nullptr);
     } else {
@@ -203,6 +216,9 @@ int main(int argc, char** argv) {
   ServiceOptions service_options;
   service_options.num_threads = flags.threads;
   service_options.num_shards = flags.shards;
+  if (flags.ann_degree != 0) {
+    service_options.ann_build.graph_degree = flags.ann_degree;
+  }
 
   // ---- Offline stage + backend + server ----------------------------------
   // Frozen path keeps index + service alive for the server lifetime.
@@ -217,6 +233,11 @@ int main(int argc, char** argv) {
         DynamicGbdaService::Create(std::move(db), index_options, dyn_options);
     if (!created.ok()) return Fail(created.status());
     dynamic = std::move(*created);
+    if (flags.approximate) {
+      Status warmed = dynamic->WarmAnnGraph();
+      if (!warmed.ok()) return Fail(warmed);
+      std::fprintf(stderr, "gbda_serverd: proximity graph warmed\n");
+    }
     Result<std::unique_ptr<net::GbdaServer>> started =
         net::GbdaServer::Serve(dynamic.get(), flags.server);
     if (!started.ok()) return Fail(started.status());
@@ -229,6 +250,11 @@ int main(int argc, char** argv) {
         GbdaService::Create(&db, index.get(), service_options);
     if (!created.ok()) return Fail(created.status());
     frozen = std::move(*created);
+    if (flags.approximate) {
+      Status warmed = frozen->WarmAnnGraph();
+      if (!warmed.ok()) return Fail(warmed);
+      std::fprintf(stderr, "gbda_serverd: proximity graph warmed\n");
+    }
     Result<std::unique_ptr<net::GbdaServer>> started =
         net::GbdaServer::Serve(frozen.get(), flags.server);
     if (!started.ok()) return Fail(started.status());
