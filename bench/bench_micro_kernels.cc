@@ -1,13 +1,19 @@
 // Google-benchmark microbenchmarks of the library's computational kernels:
 // branch extraction, GBD evaluation, Lambda1 columns, assignment solvers,
-// the seriation eigenvector, and exact A* GED.
+// the seriation eigenvector, exact A* GED, and the runtime-dispatched scan
+// kernels (scalar vs AVX2 side by side).
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "baselines/astar_ged.h"
 #include "baselines/graph_seriation.h"
 #include "baselines/greedy_sort_ged.h"
 #include "baselines/lsap_ged.h"
+#include "common/kernels.h"
 #include "common/rng.h"
 #include "core/branch.h"
 #include "core/lambda1.h"
@@ -108,6 +114,111 @@ void BM_LsapGedPair(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_LsapGedPair)->Range(16, 256)->Complexity();
+
+// -- Scan kernels (common/kernels.h): scalar vs AVX2 -------------------------
+//
+// Sorted ascending uint64 key arrays with a controlled overlap fraction —
+// the exact shape the tier-2 cut and the fp-exact scoring path feed the
+// kernels. Each benchmark registers once per implementation so `--bench`
+// output shows the two side by side on identical inputs.
+
+std::vector<uint64_t> SortedKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys(n);
+  uint64_t v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    v += 1 + (rng.NextUint64() % 64);
+    keys[i] = v;
+  }
+  return keys;
+}
+
+// Shares roughly half of `base`'s keys, interleaved with fresh ones.
+std::vector<uint64_t> OverlappingKeys(const std::vector<uint64_t>& base,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    keys.push_back(i % 2 == 0 ? base[i] : base[i] + 1 + (rng.NextUint64() % 32));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void BM_KernelIntersectCount(benchmark::State& state) {
+  const KernelImpl impl = static_cast<KernelImpl>(state.range(1));
+  if (impl == KernelImpl::kAvx2 && !CpuSupportsAvx2()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  const ScanKernels& kernels = GetScanKernels(impl);
+  state.SetLabel(kernels.name);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<uint64_t> a = SortedKeys(n, 21);
+  const std::vector<uint64_t> b = OverlappingKeys(a, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels.intersect_count(a.data(), a.size(), b.data(), b.size()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * n));
+}
+BENCHMARK(BM_KernelIntersectCount)
+    ->ArgsProduct({{64, 512, 4096, 32768},
+                   {static_cast<int64_t>(KernelImpl::kScalar),
+                    static_cast<int64_t>(KernelImpl::kAvx2)}});
+
+void BM_KernelIntersectAtMost(benchmark::State& state) {
+  const KernelImpl impl = static_cast<KernelImpl>(state.range(1));
+  if (impl == KernelImpl::kAvx2 && !CpuSupportsAvx2()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  const ScanKernels& kernels = GetScanKernels(impl);
+  state.SetLabel(kernels.name);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<uint64_t> a = SortedKeys(n, 23);
+  const std::vector<uint64_t> b = OverlappingKeys(a, 24);
+  // A cap around half the true intersection exercises the early exit the
+  // tier-2 cut lives on.
+  const int64_t cap =
+      kernels.intersect_count(a.data(), a.size(), b.data(), b.size()) / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels.intersect_at_most(
+        a.data(), a.size(), b.data(), b.size(), cap));
+  }
+}
+BENCHMARK(BM_KernelIntersectAtMost)
+    ->ArgsProduct({{64, 512, 4096, 32768},
+                   {static_cast<int64_t>(KernelImpl::kScalar),
+                    static_cast<int64_t>(KernelImpl::kAvx2)}});
+
+void BM_KernelTier1SizeBounds(benchmark::State& state) {
+  const KernelImpl impl = static_cast<KernelImpl>(state.range(1));
+  if (impl == KernelImpl::kAvx2 && !CpuSupportsAvx2()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  const ScanKernels& kernels = GetScanKernels(impl);
+  state.SetLabel(kernels.name);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(25);
+  std::vector<uint32_t> sizes(n);
+  for (uint32_t& s : sizes) s = 8 + (rng.NextUint64() % 120);
+  std::vector<uint32_t> out(n);
+  for (auto _ : state) {
+    kernels.tier1_size_bounds(sizes.data(), n, 64, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelTier1SizeBounds)
+    ->ArgsProduct({{128, 1024, 16384},
+                   {static_cast<int64_t>(KernelImpl::kScalar),
+                    static_cast<int64_t>(KernelImpl::kAvx2)}});
 
 void BM_ExactGedSmall(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/kernels.h"
 #include "common/timer.h"
 #include "core/gbda_index.h"
 #include "core/gbda_search.h"
@@ -53,7 +54,45 @@ struct Flags {
   size_t sample_pairs = 2000;
   uint64_t seed = 0;  // 0 = profile default
   size_t top_k = 0;   // 0 = threshold sweep; N > 0 = pruned top-k sweep
+  /// --kernels=CSV of auto|scalar|avx2. One entry pins the dispatch for the
+  /// whole bench; several run a serial side-by-side sweep first (with a
+  /// bit-identity gate across the modes) and then pin the first entry.
+  std::vector<KernelDispatch> kernels = {KernelDispatch::kAuto};
 };
+
+const char* DispatchName(KernelDispatch d) {
+  switch (d) {
+    case KernelDispatch::kAuto:
+      return "auto";
+    case KernelDispatch::kForceScalar:
+      return "scalar";
+    case KernelDispatch::kForceAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool ParseKernelList(const std::string& csv,
+                     std::vector<KernelDispatch>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string name = csv.substr(pos, comma - pos);
+    if (name == "auto") {
+      out->push_back(KernelDispatch::kAuto);
+    } else if (name == "scalar") {
+      out->push_back(KernelDispatch::kForceScalar);
+    } else if (name == "avx2") {
+      out->push_back(KernelDispatch::kForceAvx2);
+    } else {
+      return false;
+    }
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
 
 std::vector<size_t> ParseSizeList(const std::string& csv) {
   std::vector<size_t> out;
@@ -96,12 +135,18 @@ Flags ParseFlags(int argc, char** argv) {
       flags.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlagValue(argv[i], "--top-k", &v)) {
       flags.top_k = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (ParseFlagValue(argv[i], "--kernels", &v)) {
+      if (!ParseKernelList(v, &flags.kernels)) {
+        std::fprintf(stderr, "bad --kernels value %s (CSV of auto|scalar|avx2)\n",
+                     v.c_str());
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nflags: --threads=CSV --batches=CSV "
                    "--queries=N --profile=fingerprint|aids|grec|aasd "
                    "--scale=F --shards=N --tau=N --gamma=F --prefilter=0|1 "
-                   "--pairs=N --seed=N --top-k=N\n",
+                   "--pairs=N --seed=N --top-k=N --kernels=CSV\n",
                    argv[i]);
       std::exit(2);
     }
@@ -168,6 +213,69 @@ int main(int argc, char** argv) {
   search_options.tau_hat = flags.tau_hat;
   search_options.gamma = flags.gamma;
   search_options.use_prefilter = flags.prefilter;
+  // Everything downstream — serial references and service sweeps alike —
+  // runs under the first requested dispatch.
+  search_options.kernel_dispatch = flags.kernels.front();
+
+  // ---- Kernel-dispatch sweep (docs/BENCHMARKS.md, "Kernel sweep") ----
+  // With several --kernels entries, run the serial scan once per mode and
+  // gate every mode bit-identical against the first before reporting its
+  // wall — a reported scalar-vs-AVX2 delta can never come from diverging
+  // results. Emitted later as the "kernel_sweep" array of the JSON object.
+  std::string kernel_sweep_json;
+  if (flags.kernels.size() > 1) {
+    std::vector<SearchResult> reference;
+    for (size_t m = 0; m < flags.kernels.size(); ++m) {
+      SearchOptions opts = search_options;
+      opts.kernel_dispatch = flags.kernels[m];
+      GbdaSearch serial(&dataset->db, &*index);
+      std::vector<SearchResult> results;
+      results.reserve(queries.size());
+      double wall = 0.0;
+      // One untimed warm-up pass (lazy Lambda1/Phi/bound tables), then the
+      // timed pass.
+      for (int pass = 0; pass < 2; ++pass) {
+        results.clear();
+        WallTimer timer;
+        for (const Graph& query : queries) {
+          Result<SearchResult> r =
+              flags.top_k > 0 ? serial.QueryTopK(query, flags.top_k, opts)
+                              : serial.Query(query, opts);
+          if (!r.ok()) {
+            std::fprintf(stderr, "kernel sweep (%s): %s\n",
+                         DispatchName(flags.kernels[m]),
+                         r.status().ToString().c_str());
+            return 1;
+          }
+          results.push_back(std::move(*r));
+        }
+        wall = timer.Seconds();
+      }
+      if (m == 0) {
+        reference = std::move(results);
+      } else {
+        for (size_t i = 0; i < queries.size(); ++i) {
+          if (!SameMatches(reference[i], results[i])) {
+            std::fprintf(stderr,
+                         "KERNEL EQUIVALENCE FAILURE: dispatch %s diverges "
+                         "from %s on query %zu\n",
+                         DispatchName(flags.kernels[m]),
+                         DispatchName(flags.kernels[0]), i);
+            return 1;
+          }
+        }
+      }
+      char entry[256];
+      std::snprintf(entry, sizeof(entry),
+                    "%s    {\"requested\": \"%s\", \"resolved\": \"%s\", "
+                    "\"wall_seconds\": %.6f, \"qps\": %.2f}",
+                    m == 0 ? "" : ",\n", DispatchName(flags.kernels[m]),
+                    KernelImplName(ResolveKernels(flags.kernels[m])), wall,
+                    wall > 0 ? static_cast<double>(queries.size()) / wall
+                             : 0.0);
+      kernel_sweep_json += entry;
+    }
+  }
 
   if (flags.top_k > 0) {
     // ---- Pruned top-k sweep (docs/BENCHMARKS.md, "Pruned top-k sweep") ----
@@ -210,6 +318,12 @@ int main(int argc, char** argv) {
     std::printf("  \"prefilter\": %s,\n", flags.prefilter ? "true" : "false");
     std::printf("  \"hardware_concurrency\": %u,\n",
                 std::thread::hardware_concurrency());
+    std::printf("  \"kernels\": \"%s\",\n",
+                KernelImplName(ResolveKernels(flags.kernels.front())));
+    if (!kernel_sweep_json.empty()) {
+      std::printf("  \"kernel_sweep\": [\n%s\n  ],\n",
+                  kernel_sweep_json.c_str());
+    }
     std::printf("  \"serial_exhaustive\": {\"wall_seconds\": %.6f},\n",
                 serial_wall);
     std::printf("  \"configs\": [\n");
@@ -358,6 +472,12 @@ int main(int argc, char** argv) {
   std::printf("  \"prefilter\": %s,\n", flags.prefilter ? "true" : "false");
   std::printf("  \"hardware_concurrency\": %u,\n",
               std::thread::hardware_concurrency());
+  std::printf("  \"kernels\": \"%s\",\n",
+              KernelImplName(ResolveKernels(flags.kernels.front())));
+  if (!kernel_sweep_json.empty()) {
+    std::printf("  \"kernel_sweep\": [\n%s\n  ],\n",
+                kernel_sweep_json.c_str());
+  }
   std::printf("  \"equivalence_ok\": true,\n");
   std::printf("  \"serial\": {\"wall_seconds\": %.6f, \"qps\": %.2f},\n",
               serial_wall,

@@ -44,6 +44,18 @@ FingerprintStore FingerprintStore::FromIndex(const IndexReader& index) {
   FingerprintStore store;
   const size_t n = index.num_graphs();
   store.offsets_.assign(n + 1, 0);
+  // When the backing carries candidate columns (mapped v3 artifact or a
+  // materialised cache), the per-graph sorted fingerprints already exist in
+  // exactly the layout this store needs — copy the blob instead of
+  // recomputing every hash. Bit-identical by construction: the column is
+  // the same deterministic function of the branch data as the loop below.
+  const CandidateColumns columns = index.columns();
+  if (columns.present()) {
+    const uint64_t total = columns.fp_offsets[n];
+    store.pool_.assign(columns.fp_keys, columns.fp_keys + total);
+    store.offsets_.assign(columns.fp_offsets, columns.fp_offsets + n + 1);
+    return store;
+  }
   for (size_t id = 0; id < n; ++id) {
     const BranchSetRef branches = index.branch_set(id);
     const size_t begin = store.pool_.size();

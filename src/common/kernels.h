@@ -1,0 +1,104 @@
+/// \file kernels.h
+/// Runtime-dispatched scan kernels: the two batched primitives the online
+/// scan's hot loops reduce to once candidate data is laid out as columns
+/// (docs/ARCHITECTURE.md, "Scan kernels & column layout"):
+///
+///   (a) tier1_size_bounds — the batched tier-1 size bound |q - s_i| over a
+///       contiguous column of per-candidate branch counts;
+///   (b) intersect_count / intersect_at_most — multiset intersection
+///       counting over two ascending uint64 fingerprint-key arrays, plus
+///       its capped decision form (the tier-2 cut and, when the corpus
+///       certifies collision-freedom, the exact GBD intersection itself).
+///
+/// Two implementations exist behind one table: a scalar reference (the
+/// semantics every other path is gated against) and an AVX2 variant
+/// compiled in its own translation unit with -mavx2 (kernels_avx2.cc), so
+/// the rest of the library never emits AVX2 instructions. Dispatch is
+/// resolved at runtime from cpuid — never at compile time — and both
+/// implementations return bit-identical results on every input: the AVX2
+/// merge only accelerates pointer advancement; counting and early-exit
+/// decisions follow the same contract (tests/kernels_test.cc pins this
+/// with randomized property sweeps).
+///
+/// Overrides, strongest first:
+///   1. the GBDA_FORCE_SCALAR_KERNELS environment variable (any non-empty
+///      value except "0") forces scalar process-wide — the CI lever that
+///      keeps the fallback path green on AVX2 runners;
+///   2. SearchOptions::kernel_dispatch forces one implementation for a
+///      single scan (process-local; not wire-serialized);
+///   3. otherwise cpuid decides (AVX2 when the CPU supports it).
+/// Forcing AVX2 on hardware without it falls back to scalar rather than
+/// faulting, so "--kernels=avx2" sweeps degrade gracefully.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gbda {
+
+/// Caller-facing dispatch request (SearchOptions::kernel_dispatch, the
+/// bench --kernels flag). kAuto defers to cpuid + the environment override.
+enum class KernelDispatch : uint8_t {
+  kAuto = 0,
+  kForceScalar = 1,
+  kForceAvx2 = 2,
+};
+
+/// A resolved implementation choice.
+enum class KernelImpl : uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// True when the running CPU reports AVX2 via cpuid (and the OS saves the
+/// ymm state). Always false on non-x86 builds. Cached after the first call.
+bool CpuSupportsAvx2();
+
+/// True when GBDA_FORCE_SCALAR_KERNELS is set to a non-empty value other
+/// than "0". Read from the environment on every call (cheap relative to any
+/// scan) so tests can toggle it without process restarts.
+bool ScalarKernelsForcedByEnv();
+
+/// Resolves a dispatch request against the environment override and cpuid;
+/// see the file comment for the precedence order.
+KernelImpl ResolveKernels(KernelDispatch requested);
+
+const char* KernelImplName(KernelImpl impl);
+
+/// The dispatch table: one function pointer per kernel. All pointers are
+/// always non-null; unaligned inputs are fine (the arena's 64-byte column
+/// alignment is a throughput property, not a requirement).
+struct ScanKernels {
+  /// Multiset intersection count of two ascending uint64 key arrays:
+  /// sum over distinct keys of min(multiplicity_a, multiplicity_b).
+  /// Exactly CommonBranchUpperBound's arithmetic (core/prefilter.h).
+  int64_t (*intersect_count)(const uint64_t* a, size_t na, const uint64_t* b,
+                             size_t nb);
+  /// Decision form: true iff intersect_count(a, b) <= cap (cap < 0 is
+  /// always false). Early-exits in both directions like
+  /// CommonBranchUpperBoundAtMost; the decision — not the visit order — is
+  /// the contract, so the AVX2 variant may schedule its exits differently
+  /// and still return the identical boolean.
+  bool (*intersect_at_most)(const uint64_t* a, size_t na, const uint64_t* b,
+                            size_t nb, int64_t cap);
+  /// Batched tier-1 size bound: out_lb[i] = |query_size - sizes[i]| for
+  /// i in [0, n) — the GBD lower bound from multiset sizes alone
+  /// (GBD >= max(|B1|,|B2|) - min(|B1|,|B2|)). `out_lb` may not alias
+  /// `sizes`.
+  void (*tier1_size_bounds)(const uint32_t* sizes, size_t n,
+                            uint32_t query_size, uint32_t* out_lb);
+  const char* name;
+};
+
+/// The table for a resolved implementation. kAvx2 returns the scalar table
+/// when the AVX2 translation unit was compiled out (non-x86 toolchains).
+const ScanKernels& GetScanKernels(KernelImpl impl);
+
+namespace internal {
+/// Defined in kernels_avx2.cc: the AVX2 table, or nullptr when that TU was
+/// built without -mavx2 support.
+const ScanKernels* Avx2ScanKernels();
+}  // namespace internal
+
+}  // namespace gbda

@@ -156,6 +156,18 @@ Result<GbdaIndex> GbdaIndex::FromParts(const GbdaIndexOptions& options,
   return index;
 }
 
+CandidateColumns GbdaIndex::columns() const {
+  ColumnCache* cache = column_cache_.get();
+  std::lock_guard<std::mutex> lock(cache->mu);
+  if (!cache->built) {
+    cache->columns = BuildCandidateColumns(*this);
+    cache->built = true;
+  }
+  // The returned pointers outlive the lock: once built, the cache object is
+  // immutable — mutations swap in a whole new cache instead.
+  return cache->columns.View();
+}
+
 size_t GbdaIndex::AddGraph(const Graph& g) {
   branches_.push_back(
       std::make_shared<const BranchMultiset>(ExtractBranches(g)));
@@ -163,6 +175,7 @@ size_t GbdaIndex::AddGraph(const Graph& g) {
   vertex_sum_ += static_cast<double>(g.num_vertices());
   ++num_live_;
   ++gbd_staleness_;
+  column_cache_ = std::make_shared<ColumnCache>();
   return branches_.size() - 1;
 }
 
@@ -179,6 +192,7 @@ Status GbdaIndex::RemoveGraphs(const std::vector<size_t>& ids) {
     --num_live_;
     ++gbd_staleness_;
   }
+  column_cache_ = std::make_shared<ColumnCache>();
   return Status::OK();
 }
 

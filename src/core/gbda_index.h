@@ -22,11 +22,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "core/branch.h"
+#include "core/candidate_columns.h"
 #include "core/gbd_prior.h"
 #include "core/ged_prior.h"
 #include "core/index_reader.h"
@@ -118,6 +120,13 @@ class GbdaIndex : public IndexReader {
                                : BranchSetRef();
   }
 
+  /// The SoA candidate columns, materialised lazily from the branch
+  /// multisets on first use (BuildCandidateColumns) and cached. Safe for
+  /// concurrent readers; AddGraph / RemoveGraphs swap in a fresh cache, so
+  /// shallow copies taken earlier (CompactView snapshots, shard replicas)
+  /// keep reading the cache that matches THEIR branch data.
+  CandidateColumns columns() const override;
+
   const GbdPrior& gbd_prior() const override { return *gbd_prior_; }
   GedPriorTable& ged_prior() { return *ged_prior_; }
   const GedPriorTable& ged_prior() const { return *ged_prior_; }
@@ -195,6 +204,17 @@ class GbdaIndex : public IndexReader {
  private:
   GbdaIndex() = default;
 
+  /// Lazily built candidate columns. Held through shared_ptr and REPLACED
+  /// (never mutated in place) on branch mutations, preserving the class's
+  /// cheap-shallow-copy contract: a copy sharing the old cache object stays
+  /// internally consistent because its branches_ snapshot is the one the
+  /// cached columns were (or will be) built from.
+  struct ColumnCache {
+    std::mutex mu;
+    bool built = false;
+    OwnedCandidateColumns columns;
+  };
+
   GbdaIndexOptions options_;
   int64_t num_vertex_labels_ = 1;
   int64_t num_edge_labels_ = 1;
@@ -207,6 +227,7 @@ class GbdaIndex : public IndexReader {
   std::vector<std::shared_ptr<const BranchMultiset>> branches_;
   std::shared_ptr<const GbdPrior> gbd_prior_;
   std::shared_ptr<GedPriorTable> ged_prior_;
+  std::shared_ptr<ColumnCache> column_cache_ = std::make_shared<ColumnCache>();
   OfflineCosts costs_;
 };
 

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <queue>
 #include <unordered_map>
+#include <utility>
 
 #include "common/timer.h"
+#include "core/candidate_columns.h"
 
 namespace gbda {
 
@@ -67,6 +69,56 @@ Result<ScanContext> PrepareScan(const Graph& query,
   ctx.query_ref = BranchSetRef(ctx.query_roots.data(),
                                ctx.query_offsets.data(),
                                ctx.query_pool.data(), query_size);
+  // The query's sorted branch fingerprints: the query side of every kernel
+  // call the scan makes. Kept as (fp, branch) pairs through the sort so the
+  // audit below can map a colliding key back to its branch content.
+  std::vector<std::pair<uint64_t, uint32_t>> fp_idx(query_size);
+  for (size_t i = 0; i < query_size; ++i) {
+    const Span<const LabelId> labels = ctx.query_ref.edge_labels(i);
+    fp_idx[i] = {BranchFingerprint(ctx.query_roots[i], labels.data(),
+                                   labels.size()),
+                 static_cast<uint32_t>(i)};
+  }
+  std::sort(fp_idx.begin(), fp_idx.end());
+  ctx.query_fps.resize(query_size);
+  for (size_t i = 0; i < query_size; ++i) {
+    ctx.query_fps[i] = fp_idx[i].first;
+  }
+  // Query-side exactness audit (see ScanContext::fp_exact): with the corpus
+  // side already certified injective by the index's directory, fingerprint
+  // scoring is exact iff the query introduces no collision either — among
+  // its own branches, or against the directory representative of any
+  // fingerprint it shares with the corpus. Any failure just falls back to
+  // the exact branch merges; results are bit-identical either way.
+  const CandidateColumns columns = index.columns();
+  if (columns.exactness_certified() &&
+      options.variant != GbdaVariant::kWeightedGbd) {
+    ctx.fp_exact = true;
+    for (size_t i = 0; i < query_size && ctx.fp_exact; ++i) {
+      if (i > 0 && fp_idx[i].first == fp_idx[i - 1].first) {
+        // Duplicate key within the query: exact only if the contents agree
+        // (a true duplicate branch). Checking adjacent pairs covers the
+        // whole run, and the first pair already vetted this key against the
+        // directory.
+        ctx.fp_exact = SameBranchContent(ctx.query_ref, fp_idx[i].second,
+                                         ctx.query_ref, fp_idx[i - 1].second);
+        continue;
+      }
+      const uint64_t* end = columns.fp_unique + columns.num_distinct;
+      const uint64_t* it =
+          std::lower_bound(columns.fp_unique, end, fp_idx[i].first);
+      if (it != end && *it == fp_idx[i].first) {
+        // The corpus holds this key too; injectivity corpus-wide means ONE
+        // content compare against the representative settles every corpus
+        // branch with it.
+        const uint64_t rep = columns.fp_rep[it - columns.fp_unique];
+        ctx.fp_exact = SameBranchContent(
+            ctx.query_ref, fp_idx[i].second,
+            index.branch_set(static_cast<size_t>(rep >> 32)),
+            static_cast<size_t>(rep & 0xFFFFFFFFull));
+      }
+    }
+  }
   // Ranking scans that may arm early termination build the profile even
   // without the prefilter: the pruning bound sharpens its GBD lower bound
   // through it whenever candidate profiles are available (see ScanRange).
@@ -134,6 +186,17 @@ Status ScanIdSequence(const ScanContext& ctx, const IndexReader& index,
   const SearchOptions& options = ctx.options;
   const BranchSetRef& query_branches = ctx.query_ref;
   const size_t range = id_seq.size();
+  // Resolved once per scan call: the GBDA_FORCE_SCALAR_KERNELS environment
+  // override, then the per-scan knob, then cpuid (common/kernels.h). Both
+  // tables compute identical values, so everything downstream is
+  // bit-identical whichever is picked.
+  const ScanKernels& kernels =
+      GetScanKernels(ResolveKernels(options.kernel_dispatch));
+  const CandidateColumns columns = index.columns();
+  // Armed by PrepareScan's query-side audit; the column re-check guards a
+  // context paired with a different backing than it was prepared against
+  // (it can only disable, never wrongly enable).
+  const bool fp_exact = ctx.fp_exact && columns.exactness_certified();
   // Early termination applies only to ranking scans (every candidate is a
   // match, so the k-th best match is a pruning witness); a threshold scan
   // must score every surviving candidate. The ctx flag is part of the
@@ -206,57 +269,147 @@ Status ScanIdSequence(const ScanContext& ctx, const IndexReader& index,
   // deterministic function: results stay bit-identical, per shard and
   // serially (the engine's own cross-query memo is unchanged).
   std::unordered_map<uint64_t, double> local_phi;
-  for (size_t i = 0; i < range; ++i) {
-    const size_t id = id_seq[i];
-    if (options.use_prefilter &&
-        !prefilter->Passes(ctx.query_profile, id, options.tau_hat)) {
-      ++result->prefiltered_out;
-      continue;
-    }
-    const BranchSetRef g_branches = index.branch_set(id);
-    // Deterministic by design: pruned candidates still count, so this
-    // counter stays bit-identical to the exhaustive scan (see SearchResult).
-    ++result->candidates_evaluated;
 
+  // The candidate's phi can only land at or above the phi_lb derived from
+  // a common-branch UPPER bound: GBD (and, for w >= 0, the rounded VGBD —
+  // llround is monotone) decreases as the common count grows. phi_lb also
+  // bounds the ranking's gbd field directly (the scan stores the variant
+  // phi there), so one quantity serves both the suffix-max lookup and the
+  // tie-break test.
+  const auto phi_lower = [&](int64_t max_size, int64_t common_ub) -> int64_t {
+    if (options.variant == GbdaVariant::kWeightedGbd) {
+      const double vgbd_lb =
+          options.vgbd_w >= 0.0
+              ? static_cast<double>(max_size) -
+                    options.vgbd_w * static_cast<double>(common_ub)
+              : static_cast<double>(max_size);
+      return std::max<int64_t>(0,
+                               static_cast<int64_t>(std::llround(vgbd_lb)));
+    }
+    return max_size - common_ub;
+  };
+  // Candidate-side sorted fingerprint keys for the tier-2 cut: the column
+  // blob when the backing provides one (zero pointer chases), the
+  // prefilter profile otherwise. Tier 2 is live whenever either source
+  // exists — columns arm it even on scans that never built a Prefilter.
+  const bool have_fps = columns.present() || prefilter != nullptr;
+  const auto candidate_fps = [&](size_t id, size_t* n) -> const uint64_t* {
+    if (columns.present()) {
+      const uint64_t lo = columns.fp_offsets[id];
+      *n = static_cast<size_t>(columns.fp_offsets[id + 1] - lo);
+      return columns.fp_keys + lo;
+    }
+    const std::vector<uint64_t>& keys = prefilter->profile(id).branch_keys;
+    *n = keys.size();
+    return keys.data();
+  };
+  const uint64_t* query_keys = ctx.query_fps.data();
+  const size_t query_keys_n = ctx.query_fps.size();
+
+  // The scan runs in blocks: admission (stage A), then one batched bound
+  // evaluation against the block-frozen witness state (stage B), then
+  // scoring of the survivors (stage C). Freezing the witnesses for a block
+  // prunes a SUBSET of what per-candidate refresh would prune, and pruning
+  // only ever removes candidates provably outside the top-k, so the final
+  // ranking stays bit-identical (the same argument that makes the
+  // cross-shard witness — stale in exactly the same way — sound).
+  // candidates_evaluated / prefiltered_out are stage-A facts and keep
+  // their determinism contract; pruned_by_bound / verified_count move with
+  // the block boundary but were already excluded from the bit-identity
+  // gates (see SearchResult).
+  //
+  // Warm-up schedule: blocks double from 16 to 128. The witness only arms
+  // at a block boundary, so a fixed 128 would leave small corpora (or the
+  // head of any scan) entirely unpruned; starting small activates pruning
+  // within the first dozen-odd candidates while steady state still runs
+  // full-width batches. The schedule is a pure function of the iteration
+  // count — independent of dispatch and of the data — so it cannot perturb
+  // the bit-identity contract.
+  constexpr size_t kScanBlockMax = 128;
+  std::vector<size_t> blk_ids;
+  blk_ids.reserve(kScanBlockMax);
+  std::vector<uint32_t> blk_sizes(kScanBlockMax);
+  std::vector<uint32_t> blk_lb(kScanBlockMax);
+  std::vector<char> blk_keep(kScanBlockMax);
+
+  size_t block_size = 16;
+  for (size_t base = 0; base < range;
+       block_size = std::min(kScanBlockMax, block_size * 2)) {
+    const size_t block_begin = base;
+    const size_t block_end = std::min(range, base + block_size);
+    base = block_end;
+    // -- Stage A: admission ------------------------------------------------
+    blk_ids.clear();
+    for (size_t i = block_begin; i < block_end; ++i) {
+      const size_t id = id_seq[i];
+      if (options.use_prefilter &&
+          !prefilter->Passes(ctx.query_profile, id, options.tau_hat)) {
+        ++result->prefiltered_out;
+        continue;
+      }
+      // Deterministic by design: pruned candidates still count, so this
+      // counter stays bit-identical to the exhaustive scan (see
+      // SearchResult).
+      ++result->candidates_evaluated;
+      blk_ids.push_back(id);
+    }
+    if (blk_ids.empty()) continue;
+    const size_t admitted = blk_ids.size();
+
+    // -- Stage B: batched bounds under the block-frozen witness ------------
+    bool do_prune = false;
+    bool local_full = false;
+    double shared_phi = -std::numeric_limits<double>::infinity();
     if (prune) {
-      const bool local_full = local_topk.size() >= bounds->k();
-      const double shared_phi = bounds->threshold();
-      if (local_full || shared_phi >= 0.0) {
-        const size_t g_size = g_branches.size();
-        const int64_t max_size = static_cast<int64_t>(
-            std::max(query_branches.size(), g_size));
-        // The candidate's phi can only land at or above the phi_lb derived
-        // from a common-branch UPPER bound: GBD (and, for w >= 0, the
-        // rounded VGBD — llround is monotone) decreases as the common
-        // count grows. phi_lb also bounds the ranking's gbd field directly
-        // (the scan stores the variant phi there), so one quantity serves
-        // both the suffix-max lookup and the tie-break test.
-        const auto phi_lower = [&](int64_t common_ub) -> int64_t {
-          if (options.variant == GbdaVariant::kWeightedGbd) {
-            const double vgbd_lb =
-                options.vgbd_w >= 0.0
-                    ? static_cast<double>(max_size) - options.vgbd_w *
-                          static_cast<double>(common_ub)
-                    : static_cast<double>(max_size);
-            return std::max<int64_t>(
-                0, static_cast<int64_t>(std::llround(vgbd_lb)));
-          }
-          return max_size - common_ub;
-        };
+      local_full = local_topk.size() >= bounds->k();
+      shared_phi = bounds->threshold();
+      do_prune = local_full || shared_phi >= 0.0;
+    }
+    if (do_prune) {
+      for (size_t j = 0; j < admitted; ++j) {
+        blk_sizes[j] = columns.present()
+                           ? columns.sizes[blk_ids[j]]
+                           : static_cast<uint32_t>(
+                                 index.branch_set(blk_ids[j]).size());
+      }
+      // Tier 1 for the whole block in one kernel sweep: for non-weighted
+      // variants the bound is exactly |query size - candidate size|.
+      if (options.variant != GbdaVariant::kWeightedGbd) {
+        kernels.tier1_size_bounds(blk_sizes.data(), admitted,
+                                  static_cast<uint32_t>(query_branches.size()),
+                                  blk_lb.data());
+      }
+      const double kth_phi = local_full ? local_topk.top().phi : -1.0;
+      const int64_t kth_gbd = local_full ? local_topk.top().gbd : -1;
+      if (kth_phi != last_kth_phi || kth_gbd != last_kth_gbd ||
+          shared_phi != last_shared) {
+        std::fill(tier2_cap.begin(), tier2_cap.end(), kCapUnset);
+        last_kth_phi = kth_phi;
+        last_kth_gbd = kth_gbd;
+        last_shared = shared_phi;
+      }
+      // True when the candidate provably ranks strictly after a witness
+      // of k matches under SearchMatchRankBefore: its best reachable
+      // phi_score is strictly below a witness phi, or ties the local
+      // witness while its gbd can only be strictly larger. Ties in both
+      // must be evaluated — the id tie-break is not bounded.
+      const auto strictly_worse = [&](double phi_ub, int64_t phi_lb) {
+        if (phi_ub < shared_phi) return true;
+        if (!local_full) return false;
+        const Witness& kth = local_topk.top();
+        return phi_ub < kth.phi || (phi_ub == kth.phi && phi_lb > kth.gbd);
+      };
+      for (size_t j = 0; j < admitted; ++j) {
+        blk_keep[j] = 1;
+        const size_t id = blk_ids[j];
+        const size_t g_size = blk_sizes[j];
+        const int64_t max_size =
+            static_cast<int64_t>(std::max(query_branches.size(), g_size));
         if (g_size >= tier1_lb.size()) {
           tier1_lb.resize(g_size + 1, -1);
           tier1_ub.resize(g_size + 1, 0.0);
           table_by_size.resize(g_size + 1, nullptr);
           tier2_cap.resize(g_size + 1, kCapUnset);
-        }
-        const double kth_phi = local_full ? local_topk.top().phi : -1.0;
-        const int64_t kth_gbd = local_full ? local_topk.top().gbd : -1;
-        if (kth_phi != last_kth_phi || kth_gbd != last_kth_gbd ||
-            shared_phi != last_shared) {
-          std::fill(tier2_cap.begin(), tier2_cap.end(), kCapUnset);
-          last_kth_phi = kth_phi;
-          last_kth_gbd = kth_gbd;
-          last_shared = shared_phi;
         }
         if (tier1_lb[g_size] < 0) {
           // First candidate of this size: v is exact from sizes alone.
@@ -273,9 +426,15 @@ Status ScanIdSequence(const ScanContext& ctx, const IndexReader& index,
             }
             const std::vector<double>& suffix_max = table_it->second;
             table_by_size[g_size] = &suffix_max;
-            // Tier 1: the common count never exceeds the smaller multiset.
-            const int64_t lb = phi_lower(static_cast<int64_t>(
-                std::min(query_branches.size(), g_size)));
+            // Tier 1: the common count never exceeds the smaller multiset
+            // (the kernel sweep above already computed the non-weighted
+            // bound for this block).
+            const int64_t lb =
+                options.variant == GbdaVariant::kWeightedGbd
+                    ? phi_lower(max_size,
+                                static_cast<int64_t>(std::min(
+                                    query_branches.size(), g_size)))
+                    : static_cast<int64_t>(blk_lb[j]);
             tier1_lb[g_size] = lb;
             tier1_ub[g_size] = static_cast<size_t>(lb) < suffix_max.size()
                                    ? suffix_max[static_cast<size_t>(lb)]
@@ -285,31 +444,19 @@ Status ScanIdSequence(const ScanContext& ctx, const IndexReader& index,
             tier1_ub[g_size] = std::numeric_limits<double>::infinity();
           }
         }
-        // True when the candidate provably ranks strictly after a witness
-        // of k matches under SearchMatchRankBefore: its best reachable
-        // phi_score is strictly below a witness phi, or ties the local
-        // witness while its gbd can only be strictly larger. Ties in both
-        // must be evaluated — the id tie-break is not bounded.
-        const auto strictly_worse = [&](double phi_ub, int64_t phi_lb) {
-          if (phi_ub < shared_phi) return true;
-          if (!local_full) return false;
-          const Witness& kth = local_topk.top();
-          return phi_ub < kth.phi ||
-                 (phi_ub == kth.phi && phi_lb > kth.gbd);
-        };
-        // Tier 1 costs two array loads; tier 2 a capped fingerprint merge,
-        // still far cheaper than the full branch merge + posterior it
-        // stands in for.
+        // Tier 1 costs two array loads; tier 2 a capped kernel merge,
+        // still far cheaper than the full scoring it stands in for.
         bool pruned = strictly_worse(tier1_ub[g_size], tier1_lb[g_size]);
-        if (!pruned && prefilter != nullptr &&
-            table_by_size[g_size] != nullptr) {
-          const FilterProfile& g_profile = prefilter->profile(id);
+        if (!pruned && have_fps && table_by_size[g_size] != nullptr) {
+          size_t cn = 0;
+          const uint64_t* ck = candidate_fps(id, &cn);
           if (options.variant == GbdaVariant::kWeightedGbd) {
             // VGBD's rounding makes the phi_lb <-> common-cap inversion
             // fiddly; take the exact counting merge instead.
             const std::vector<double>& suffix_max = *table_by_size[g_size];
             const int64_t lb2 = phi_lower(
-                CommonBranchUpperBound(ctx.query_profile, g_profile));
+                max_size,
+                kernels.intersect_count(query_keys, query_keys_n, ck, cn));
             const double ub2 = static_cast<size_t>(lb2) < suffix_max.size()
                                    ? suffix_max[static_cast<size_t>(lb2)]
                                    : 0.0;
@@ -318,7 +465,7 @@ Status ScanIdSequence(const ScanContext& ctx, const IndexReader& index,
             // phi_lb = max_size - common exactly, and strictly_worse is
             // monotone in phi_lb (the suffix max is non-increasing), so
             // "prune" is equivalent to common <= cap for the per-size cut
-            // below — decidable by an early-exiting capped merge.
+            // below — decidable by an early-exiting capped kernel merge.
             int64_t cap = tier2_cap[g_size];
             if (cap == kCapUnset) {
               const std::vector<double>& suffix_max = *table_by_size[g_size];
@@ -334,73 +481,96 @@ Status ScanIdSequence(const ScanContext& ctx, const IndexReader& index,
               cap = p > max_size ? -1 : max_size - p;
               tier2_cap[g_size] = cap;
             }
-            pruned = cap >= 0 && CommonBranchUpperBoundAtMost(
-                                     ctx.query_profile, g_profile, cap);
+            pruned = cap >= 0 && kernels.intersect_at_most(
+                                     query_keys, query_keys_n, ck, cn, cap);
           }
         }
         if (pruned) {
           ++result->pruned_by_bound;
-          continue;
+          blk_keep[j] = 0;
         }
       }
     }
 
-    // Past every skip: this candidate pays the full branch merge +
-    // posterior below.
-    ++result->verified_count;
+    // -- Stage C: score the survivors --------------------------------------
+    for (size_t j = 0; j < admitted; ++j) {
+      if (do_prune && !blk_keep[j]) continue;
+      const size_t id = blk_ids[j];
+      // Past every skip: this candidate pays the full scoring below.
+      ++result->verified_count;
 
-    int64_t phi;
-    if (options.variant == GbdaVariant::kWeightedGbd) {
-      const double vgbd = Vgbd(query_branches, g_branches, options.vgbd_w);
-      phi = std::max<int64_t>(0, static_cast<int64_t>(std::llround(vgbd)));
-    } else {
-      phi = static_cast<int64_t>(GbdFromBranches(query_branches, g_branches));
-    }
+      int64_t phi;
+      size_t g_size;
+      if (fp_exact) {
+        // Exact fingerprint scoring (see ScanContext::fp_exact): under the
+        // certified-injective mapping the sorted-u64 intersection IS the
+        // branch-multiset intersection, so the lexicographic branch merge
+        // — and the candidate's branch arrays altogether — are never
+        // touched.
+        const uint64_t lo = columns.fp_offsets[id];
+        const size_t cn =
+            static_cast<size_t>(columns.fp_offsets[id + 1] - lo);
+        g_size = cn;
+        const int64_t common = kernels.intersect_count(
+            query_keys, query_keys_n, columns.fp_keys + lo, cn);
+        phi = static_cast<int64_t>(std::max(query_keys_n, cn)) - common;
+      } else {
+        const BranchSetRef g_branches = index.branch_set(id);
+        g_size = g_branches.size();
+        if (options.variant == GbdaVariant::kWeightedGbd) {
+          const double vgbd =
+              Vgbd(query_branches, g_branches, options.vgbd_w);
+          phi = std::max<int64_t>(0, static_cast<int64_t>(std::llround(vgbd)));
+        } else {
+          phi = static_cast<int64_t>(
+              GbdFromBranches(query_branches, g_branches));
+        }
+      }
 
-    const int64_t v =
-        options.variant == GbdaVariant::kAverageSize
-            ? ctx.v1_size
-            : static_cast<int64_t>(
-                  std::max(query_branches.size(), g_branches.size()));
+      const int64_t v =
+          options.variant == GbdaVariant::kAverageSize
+              ? ctx.v1_size
+              : static_cast<int64_t>(std::max(query_branches.size(), g_size));
 
-    // v is bounded by vertex counts (LabelId-sized) so it always fits its
-    // key half; phi normally is too, but the kWeightedGbd variant rounds
-    // max_size - w * common with a caller-supplied w, which an extreme
-    // weight can push past 32 bits — such pairs bypass the cache rather
-    // than collide in it.
-    double score;
-    const bool cacheable = phi <= INT64_C(0xFFFFFFFF);
-    const uint64_t key =
-        (static_cast<uint64_t>(v) << 32) | static_cast<uint64_t>(phi);
-    const auto cached =
-        cacheable ? local_phi.find(key) : local_phi.end();
-    if (cacheable && cached != local_phi.end()) {
-      score = cached->second;
-    } else {
-      Result<double> phi_score = posterior->Phi(v, phi, options.tau_hat);
-      if (!phi_score.ok()) return phi_score.status();
-      score = *phi_score;
-      if (cacheable) local_phi.emplace(key, score);
-    }
-    if (!ctx.apply_gamma || score >= options.gamma) {
-      result->matches.push_back(SearchMatch{id, score, phi});
-      if (prune) {
-        // Fold the match into the local top-k and publish the k-th-best
-        // phi whenever the full heap's root improves — one shard's strong
-        // hits then prune the other shards' tails through the shared
-        // bound. (Only phi is shared: a two-field witness would need a
-        // 16-byte atomic to stay tear-free; the local heap keeps the full
-        // (phi, gbd) pair for the tie-break test.)
-        const Witness candidate{score, phi};
-        if (local_topk.size() < bounds->k()) {
-          local_topk.push(candidate);
-          if (local_topk.size() == bounds->k()) {
+      // v is bounded by vertex counts (LabelId-sized) so it always fits its
+      // key half; phi normally is too, but the kWeightedGbd variant rounds
+      // max_size - w * common with a caller-supplied w, which an extreme
+      // weight can push past 32 bits — such pairs bypass the cache rather
+      // than collide in it.
+      double score;
+      const bool cacheable = phi <= INT64_C(0xFFFFFFFF);
+      const uint64_t key =
+          (static_cast<uint64_t>(v) << 32) | static_cast<uint64_t>(phi);
+      const auto cached = cacheable ? local_phi.find(key) : local_phi.end();
+      if (cacheable && cached != local_phi.end()) {
+        score = cached->second;
+      } else {
+        Result<double> phi_score = posterior->Phi(v, phi, options.tau_hat);
+        if (!phi_score.ok()) return phi_score.status();
+        score = *phi_score;
+        if (cacheable) local_phi.emplace(key, score);
+      }
+      if (!ctx.apply_gamma || score >= options.gamma) {
+        result->matches.push_back(SearchMatch{id, score, phi});
+        if (prune) {
+          // Fold the match into the local top-k and publish the k-th-best
+          // phi whenever the full heap's root improves — one shard's strong
+          // hits then prune the other shards' tails through the shared
+          // bound. (Only phi is shared: a two-field witness would need a
+          // 16-byte atomic to stay tear-free; the local heap keeps the full
+          // (phi, gbd) pair for the tie-break test.) The improved witness
+          // takes effect at the next block boundary.
+          const Witness candidate{score, phi};
+          if (local_topk.size() < bounds->k()) {
+            local_topk.push(candidate);
+            if (local_topk.size() == bounds->k()) {
+              bounds->Publish(local_topk.top().phi);
+            }
+          } else if (witness_rank_before(candidate, local_topk.top())) {
+            local_topk.pop();
+            local_topk.push(candidate);
             bounds->Publish(local_topk.top().phi);
           }
-        } else if (witness_rank_before(candidate, local_topk.top())) {
-          local_topk.pop();
-          local_topk.push(candidate);
-          bounds->Publish(local_topk.top().phi);
         }
       }
     }

@@ -28,6 +28,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/kernels.h"
 #include "common/result.h"
 #include "core/gbda_index.h"
 #include "core/posterior.h"
@@ -88,6 +89,15 @@ struct SearchOptions {
   /// the approximate ranking bit-identical to the exhaustive one. Clamped
   /// up to k at query time so the window can always hold a full result.
   size_t search_window_size = 64;
+  /// Which scan-kernel implementation (common/kernels.h) evaluates the
+  /// batched tier-1/tier-2 cuts and fingerprint intersections: kAuto picks
+  /// AVX2 when the CPU supports it, the force values pin one path (the
+  /// bench bit-identity gate sweeps both). Results are bit-identical either
+  /// way — the kernel contract, pinned by tests/kernels_test.cc. The
+  /// GBDA_FORCE_SCALAR_KERNELS environment override outranks this knob
+  /// (CI's scalar-forced leg). Process-local: NOT carried by the wire
+  /// protocol — a server scans with its own dispatch setting.
+  KernelDispatch kernel_dispatch = KernelDispatch::kAuto;
 };
 
 /// One accepted graph.
@@ -236,6 +246,23 @@ struct ScanContext {
   /// The flat view over the three arrays above (valid across moves, see
   /// the class comment).
   BranchSetRef query_ref;
+
+  /// The query's branch fingerprints, sorted ascending — the query side of
+  /// every kernel call: the tier-2 capped intersection cut, and (when
+  /// fp_exact below holds) the exact fingerprint-scoring path. Always
+  /// built; same content as query_profile.branch_keys when that profile
+  /// exists.
+  std::vector<uint64_t> query_fps;
+  /// True when fingerprint intersections against THIS index are provably
+  /// exact for this query: the index's columns carry the corpus-injectivity
+  /// directory (CandidateColumns::exactness_certified) AND the query-side
+  /// audit in PrepareScan found no collision among the query's own branches
+  /// or against the directory's representatives. The scan then scores
+  /// non-weighted variants as phi = max_size - |query_fps ∩ candidate fps|
+  /// — equal to GbdFromBranches by injectivity, at a fraction of the cost.
+  /// Never set for GbdaVariant::kWeightedGbd (Vgbd needs the branch
+  /// multisets themselves).
+  bool fp_exact = false;
 
   /// Built when the prefilter is on, and for every ranking scan
   /// (apply_gamma == false): the top-k early-termination bound reads the

@@ -28,6 +28,58 @@ class GbdPrior;
 class GedPriorTable;
 struct GbdaIndexOptions;
 
+/// The structure-of-arrays candidate columns the batched scan kernels
+/// (common/kernels.h) feed on — per-graph scalars and fingerprint keys laid
+/// out contiguously so a shard's candidates are evaluated as column sweeps
+/// instead of per-graph pointer chases (docs/ARCHITECTURE.md, "Scan kernels
+/// & column layout"). Two backings share this one view:
+///
+///   - a mapped v3 arena exposes its column sections in place (64-byte
+///     aligned by the format; storage/index_view.h);
+///   - a decoded GbdaIndex (and thus every dynamic snapshot) materialises
+///     the same columns on the fly from its branch multisets, lazily and
+///     once (core/candidate_columns.h).
+///
+/// All pointers are non-owning; they stay valid while the index lives and
+/// is not mutated (the same lifetime branch_set() refs have). A default
+/// (empty) value means the backing provides no columns — e.g. a pre-column
+/// v3 artifact — and consumers fall back to branch_set() pointer walks.
+struct CandidateColumns {
+  /// sizes[g] = |B_g| (= |V_g| for ordinary graphs), the branch count of
+  /// graph g; num_graphs() entries. The tier-1 size-bound column.
+  const uint32_t* sizes = nullptr;
+  /// fp_offsets[g] .. fp_offsets[g+1] bound graph g's keys in fp_keys;
+  /// num_graphs() + 1 entries, identical to the branch_start table (one
+  /// fingerprint per branch).
+  const uint64_t* fp_offsets = nullptr;
+  /// One packed blob of per-graph ASCENDING branch-fingerprint keys
+  /// (FilterProfile::branch_keys semantics: FNV-1a over root + ascending
+  /// edge-label multiset); total-branch entries.
+  const uint64_t* fp_keys = nullptr;
+  /// Optional collision directory certifying fingerprint EXACTNESS for this
+  /// corpus: fp_unique is the ascending set of distinct fingerprints over
+  /// every corpus branch, fp_rep[i] packs a representative branch holding
+  /// fp_unique[i] as (graph_id << 32 | branch_index). The directory is
+  /// emitted only when the fingerprint -> branch-content mapping is
+  /// INJECTIVE corpus-wide, so a query whose own branches also pass the
+  /// collision audit (PrepareScan) may compute exact branch intersections
+  /// as fingerprint intersections. nullptr when the corpus has a collision
+  /// (astronomically rare at 64 bits) or the backing predates the columns.
+  const uint64_t* fp_unique = nullptr;
+  const uint64_t* fp_rep = nullptr;
+  uint64_t num_distinct = 0;
+
+  /// The tier-1/tier-2 columns are usable (sizes + fingerprint blob).
+  bool present() const {
+    return sizes != nullptr && fp_offsets != nullptr && fp_keys != nullptr;
+  }
+  /// The corpus additionally certifies collision-free fingerprints, so
+  /// fingerprint intersections of audited queries are exact.
+  bool exactness_certified() const {
+    return present() && fp_unique != nullptr && fp_rep != nullptr;
+  }
+};
+
 class IndexReader {
  public:
   virtual ~IndexReader() = default;
@@ -44,6 +96,12 @@ class IndexReader {
   /// The branch multiset of graph `id` as a non-owning view; empty for a
   /// tombstoned slot. Valid while the index outlives the ref.
   virtual BranchSetRef branch_set(size_t id) const = 0;
+
+  /// The SoA candidate columns of this backing (see CandidateColumns), or
+  /// an empty value when it provides none — consumers must handle both.
+  /// Implementations must keep this safe for concurrent readers; returned
+  /// pointers follow branch_set()'s lifetime rules.
+  virtual CandidateColumns columns() const { return CandidateColumns(); }
 
   /// The offline-stage options this index was built with (persisted by both
   /// artifact formats so a converted or reloaded index refits Lambda2 with

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/kernels.h"
+
 namespace gbda {
 namespace {
 
@@ -74,49 +76,24 @@ FilterProfile BuildFilterProfile(const Graph& g) {
   return BuildFilterProfile(g, ExtractBranches(g));
 }
 
+// Both bounds delegate to the scalar kernel table (common/kernels.h), the
+// single reference implementation of the sorted-fingerprint merge; the
+// runtime-dispatched scan path calls the same entry points through
+// GetScanKernels, so there is exactly one source of truth for the semantics.
 int64_t CommonBranchUpperBound(const FilterProfile& a,
                                const FilterProfile& b) {
-  size_t i = 0, j = 0, common = 0;
   const std::vector<uint64_t>& ka = a.branch_keys;
   const std::vector<uint64_t>& kb = b.branch_keys;
-  while (i < ka.size() && j < kb.size()) {
-    if (ka[i] < kb[j]) {
-      ++i;
-    } else if (ka[i] > kb[j]) {
-      ++j;
-    } else {
-      ++common;
-      ++i;
-      ++j;
-    }
-  }
-  return static_cast<int64_t>(common);
+  return GetScanKernels(KernelImpl::kScalar)
+      .intersect_count(ka.data(), ka.size(), kb.data(), kb.size());
 }
 
 bool CommonBranchUpperBoundAtMost(const FilterProfile& a,
                                   const FilterProfile& b, int64_t cap) {
-  if (cap < 0) return false;
   const std::vector<uint64_t>& ka = a.branch_keys;
   const std::vector<uint64_t>& kb = b.branch_keys;
-  size_t i = 0, j = 0;
-  int64_t common = 0;
-  while (i < ka.size() && j < kb.size()) {
-    // The intersection can still grow by at most min(tails).
-    const int64_t possible =
-        common + static_cast<int64_t>(
-                     std::min(ka.size() - i, kb.size() - j));
-    if (possible <= cap) return true;
-    if (ka[i] < kb[j]) {
-      ++i;
-    } else if (ka[i] > kb[j]) {
-      ++j;
-    } else {
-      if (++common > cap) return false;
-      ++i;
-      ++j;
-    }
-  }
-  return common <= cap;
+  return GetScanKernels(KernelImpl::kScalar)
+      .intersect_at_most(ka.data(), ka.size(), kb.data(), kb.size(), cap);
 }
 
 int64_t FilterLowerBound(const FilterProfile& a, const FilterProfile& b) {

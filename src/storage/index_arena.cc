@@ -6,6 +6,7 @@
 
 #include "common/crc32.h"
 #include "common/serialize.h"
+#include "core/candidate_columns.h"
 
 namespace gbda {
 namespace {
@@ -43,6 +44,16 @@ const char* ArenaSectionName(uint32_t id) {
       return "ged_prior";
     case kSecAnnGraph:
       return "ann_graph";
+    case kSecGraphSizes:
+      return "graph_sizes";
+    case kSecFpOffsets:
+      return "fp_offsets";
+    case kSecFpKeys:
+      return "fp_keys";
+    case kSecFpUnique:
+      return "fp_unique";
+    case kSecFpRep:
+      return "fp_rep";
   }
   return "unknown";
 }
@@ -104,6 +115,19 @@ Result<std::string> BuildArena(const IndexReader& index,
     ann_blob = SerializeProximityGraph(*ann_graph);
   }
 
+  // Candidate columns: taken from the backing when it already exposes them
+  // (a mapped view re-persists its own sections byte-identically; an owned
+  // index hands over its lazy cache), built fresh otherwise — e.g. when
+  // converting a pre-column artifact. Either way the bytes equal what
+  // BuildCandidateColumns computes, because that function is deterministic
+  // in the branch data and every backing's columns come from it.
+  OwnedCandidateColumns built_columns;
+  CandidateColumns columns = index.columns();
+  if (!columns.present()) {
+    built_columns = BuildCandidateColumns(index);
+    columns = built_columns.View();
+  }
+
   struct SectionBytes {
     uint32_t id;
     const char* data;
@@ -123,6 +147,23 @@ Result<std::string> BuildArena(const IndexReader& index,
   };
   if (ann_graph != nullptr) {
     sections.push_back({kSecAnnGraph, ann_blob.data(), ann_blob.size()});
+  }
+  sections.push_back({kSecGraphSizes,
+                      reinterpret_cast<const char*>(columns.sizes),
+                      num_graphs * sizeof(uint32_t)});
+  sections.push_back({kSecFpOffsets,
+                      reinterpret_cast<const char*>(columns.fp_offsets),
+                      (num_graphs + 1) * sizeof(uint64_t)});
+  sections.push_back({kSecFpKeys,
+                      reinterpret_cast<const char*>(columns.fp_keys),
+                      total_branches * sizeof(uint64_t)});
+  if (columns.exactness_certified()) {
+    sections.push_back({kSecFpUnique,
+                        reinterpret_cast<const char*>(columns.fp_unique),
+                        columns.num_distinct * sizeof(uint64_t)});
+    sections.push_back({kSecFpRep,
+                        reinterpret_cast<const char*>(columns.fp_rep),
+                        columns.num_distinct * sizeof(uint64_t)});
   }
   const uint32_t section_count = static_cast<uint32_t>(sections.size());
   const size_t header_bytes = ArenaHeaderBytes(section_count);
@@ -329,8 +370,65 @@ Result<ArenaInfo> ParseArenaHeader(std::string_view data,
                                     ArenaSectionName(sec.id) +
                                     "' length disagrees with header counts");
     }
+    // Known trailing sections with count-determined lengths get the same
+    // exact check as the canonical arrays; unknown ids stay length-free.
+    uint64_t expected_trailing = 0;
+    bool check_trailing = true;
+    switch (sec.id) {
+      case kSecGraphSizes:
+        expected_trailing = info.num_graphs * sizeof(uint32_t);
+        break;
+      case kSecFpOffsets:
+        expected_trailing = (info.num_graphs + 1) * sizeof(uint64_t);
+        break;
+      case kSecFpKeys:
+        expected_trailing = info.total_branches * sizeof(uint64_t);
+        break;
+      default:
+        check_trailing = false;
+        break;
+    }
+    if (check_trailing && sec.length != expected_trailing) {
+      return ArenaError(source, std::string("section '") +
+                                    ArenaSectionName(sec.id) +
+                                    "' length disagrees with header counts");
+    }
+    // The directory holds whole u64 entries for (at most) one distinct
+    // fingerprint per branch.
+    if ((sec.id == kSecFpUnique || sec.id == kSecFpRep) &&
+        (sec.length % sizeof(uint64_t) != 0 ||
+         sec.length / sizeof(uint64_t) > info.total_branches)) {
+      return ArenaError(source, std::string("section '") +
+                                    ArenaSectionName(sec.id) +
+                                    "' length is not a plausible directory");
+    }
     previous_end = sec.offset + sec.length;
     info.sections.push_back(sec);
+  }
+
+  // Cross-section structure of the candidate columns: 8..10 travel as a
+  // group, and the exactness directory is a parallel pair requiring them.
+  const bool has_sizes = info.FindSection(kSecGraphSizes) != nullptr;
+  const bool has_fp_offsets = info.FindSection(kSecFpOffsets) != nullptr;
+  const bool has_fp_keys = info.FindSection(kSecFpKeys) != nullptr;
+  if (has_sizes != has_fp_offsets || has_sizes != has_fp_keys) {
+    return ArenaError(source, "partial candidate-column section group");
+  }
+  const ArenaSectionInfo* fp_unique = info.FindSection(kSecFpUnique);
+  const ArenaSectionInfo* fp_rep = info.FindSection(kSecFpRep);
+  if ((fp_unique != nullptr) != (fp_rep != nullptr)) {
+    return ArenaError(source, "partial exactness-directory section pair");
+  }
+  if (fp_unique != nullptr) {
+    if (!has_sizes) {
+      return ArenaError(source,
+                        "exactness directory without candidate columns");
+    }
+    if (fp_unique->length != fp_rep->length) {
+      return ArenaError(source,
+                        "fp_unique and fp_rep lengths disagree (the "
+                        "directory arrays are parallel)");
+    }
   }
   return info;
 }
@@ -371,6 +469,76 @@ Status ValidateArenaOffsets(std::string_view data, const ArenaInfo& info,
   }
   if (prev != info.total_labels) {
     return ArenaError(source, "label_start does not end at total_labels");
+  }
+  return Status::OK();
+}
+
+Status ValidateArenaColumns(std::string_view data, const ArenaInfo& info,
+                            const std::string& source) {
+  const ArenaSectionInfo* sizes = info.FindSection(kSecGraphSizes);
+  if (sizes == nullptr) return Status::OK();  // pre-column artifact
+  const ArenaSectionInfo* fp_offsets = info.FindSection(kSecFpOffsets);
+  const ArenaSectionInfo* branch_start = &info.sections[0];
+  // graph_sizes must be the branch_start deltas (which also proves each
+  // fits u32), and fp_offsets must BE branch_start: one fingerprint per
+  // branch is what lets the scan address fp_keys with the same ranges it
+  // uses for branches.
+  for (uint64_t g = 0; g < info.num_graphs; ++g) {
+    const uint64_t lo = ReadU64At(
+        data, static_cast<size_t>(branch_start->offset + g * sizeof(uint64_t)));
+    const uint64_t hi =
+        ReadU64At(data, static_cast<size_t>(branch_start->offset +
+                                            (g + 1) * sizeof(uint64_t)));
+    uint32_t size;
+    std::memcpy(&size,
+                data.data() + sizes->offset + g * sizeof(uint32_t),
+                sizeof(size));
+    if (static_cast<uint64_t>(size) != hi - lo) {
+      return ArenaError(source,
+                        "graph_sizes disagrees with branch_start deltas");
+    }
+  }
+  for (uint64_t g = 0; g <= info.num_graphs; ++g) {
+    const uint64_t off = ReadU64At(
+        data, static_cast<size_t>(fp_offsets->offset + g * sizeof(uint64_t)));
+    const uint64_t bs = ReadU64At(
+        data, static_cast<size_t>(branch_start->offset + g * sizeof(uint64_t)));
+    if (off != bs) {
+      return ArenaError(source, "fp_offsets disagrees with branch_start");
+    }
+  }
+
+  const ArenaSectionInfo* fp_unique = info.FindSection(kSecFpUnique);
+  if (fp_unique == nullptr) return Status::OK();
+  const ArenaSectionInfo* fp_rep = info.FindSection(kSecFpRep);
+  const uint64_t num_distinct = fp_unique->length / sizeof(uint64_t);
+  // fp_unique strictly ascending (a set, and binary-searchable); every
+  // fp_rep entry in-bounds — the check that makes the query-side audit's
+  // branch_set() dereferences safe on an untrusted artifact.
+  uint64_t prev_key = 0;
+  for (uint64_t i = 0; i < num_distinct; ++i) {
+    const uint64_t key = ReadU64At(
+        data, static_cast<size_t>(fp_unique->offset + i * sizeof(uint64_t)));
+    if (i > 0 && key <= prev_key) {
+      return ArenaError(source, "fp_unique is not strictly ascending");
+    }
+    prev_key = key;
+    const uint64_t rep = ReadU64At(
+        data, static_cast<size_t>(fp_rep->offset + i * sizeof(uint64_t)));
+    const uint64_t graph = rep >> 32;
+    const uint64_t branch = rep & 0xFFFFFFFFull;
+    if (graph >= info.num_graphs) {
+      return ArenaError(source, "fp_rep names an out-of-range graph");
+    }
+    const uint64_t lo = ReadU64At(
+        data,
+        static_cast<size_t>(branch_start->offset + graph * sizeof(uint64_t)));
+    const uint64_t hi =
+        ReadU64At(data, static_cast<size_t>(branch_start->offset +
+                                            (graph + 1) * sizeof(uint64_t)));
+    if (branch >= hi - lo) {
+      return ArenaError(source, "fp_rep names an out-of-range branch");
+    }
   }
   return Status::OK();
 }

@@ -23,6 +23,10 @@
 ///   | 6 ged_prior     serialized GedPriorTable blob (Lambda3)      |
 ///   | 7 ann_graph     optional proximity graph (ann/proximity_-    |
 ///   |                 graph.h payload), mmap'd by approximate mode |
+///   | 8..12 candidate columns (SoA, read in place by the batched   |
+///   |                 scan kernels): graph_sizes / fp_offsets /    |
+///   |                 fp_keys, plus the optional fp_unique+fp_rep  |
+///   |                 exactness directory (see ArenaSectionId)     |
 ///   +--------------------------------------------------------------+
 ///
 /// The first six sections are mandatory and canonical; trailing sections
@@ -92,6 +96,27 @@ enum ArenaSectionId : uint32_t {
   /// approximate candidate navigation; present only when the artifact was
   /// built with one (gbda_indexctl build --ann / graph).
   kSecAnnGraph = 7,
+  /// SoA candidate columns (core/index_reader.h, CandidateColumns): the
+  /// batched scan kernels read these in place. Written as a GROUP — 8..10
+  /// are either all present or all absent (column-aware writers always emit
+  /// them; pre-column artifacts have none and readers fall back to branch
+  /// walks):
+  ///   8  graph_sizes  u32[num_graphs]        per-graph branch counts
+  ///   9  fp_offsets   u64[num_graphs + 1]    == branch_start (one
+  ///                                          fingerprint per branch)
+  ///   10 fp_keys      u64[total_branches]    per-graph ASCENDING FNV
+  ///                                          branch-fingerprint keys
+  kSecGraphSizes = 8,
+  kSecFpOffsets = 9,
+  kSecFpKeys = 10,
+  /// The exactness directory (also a both-or-neither pair, requiring
+  /// 8..10): ascending distinct fingerprints over the whole corpus plus one
+  /// representative branch each, packed (graph_id << 32 | branch_index).
+  /// Emitted only when the fingerprint -> branch-content mapping is
+  /// injective corpus-wide, which lets audited queries score candidates on
+  /// fingerprints alone (core/candidate_columns.h).
+  kSecFpUnique = 11,
+  kSecFpRep = 12,
 };
 
 /// Human-readable section name ("branch_start", ...), for diagnostics.
@@ -183,6 +208,18 @@ Result<ArenaInfo> ParseArenaHeader(std::string_view data,
 /// through BranchSetRef in-bounds — so GbdaIndexView runs it at every open.
 /// O(total_branches) sequential reads of the two (small) offset sections.
 Status ValidateArenaOffsets(std::string_view data, const ArenaInfo& info,
+                            const std::string& source);
+
+/// Validates the candidate-column sections (8..12) when present — the
+/// serving-safety companion to ValidateArenaOffsets for the column scan
+/// path: graph_sizes must equal the branch_start deltas (and hence fit
+/// u32), fp_offsets must equal branch_start elementwise, fp_unique must be
+/// strictly ascending, and every fp_rep entry must name an in-bounds branch
+/// (graph_id < num_graphs, branch_index < that graph's size) — the check
+/// that makes the query-side collision audit's branch_set() dereferences
+/// in-bounds. A no-op for artifacts without columns. Runs at every view
+/// open and under `gbda_indexctl verify`.
+Status ValidateArenaColumns(std::string_view data, const ArenaInfo& info,
                             const std::string& source);
 
 /// Verifies every section's CRC32 against the table. Reads every byte —

@@ -20,6 +20,11 @@ Result<GbdaIndexView> GbdaIndexView::Open(const std::string& path,
   // the offset tables is in-bounds, so the scan can read unchecked.
   Status offsets_ok = ValidateArenaOffsets(data, *info, path);
   if (!offsets_ok.ok()) return offsets_ok;
+  // Same serving-safety standard for the candidate-column sections: after
+  // this, every column sweep and every fp_rep dereference the scan performs
+  // is in-bounds. No-op for pre-column artifacts.
+  Status columns_ok = ValidateArenaColumns(data, *info, path);
+  if (!columns_ok.ok()) return columns_ok;
   if (open_options.verify_checksums) {
     Status crc_ok = VerifyArenaChecksums(data, *info, path);
     if (!crc_ok.ok()) return crc_ok;
@@ -45,6 +50,26 @@ Result<GbdaIndexView> GbdaIndexView::Open(const std::string& path,
       base + info->sections[2].offset);
   view.labels_ =
       reinterpret_cast<const LabelId*>(base + info->sections[3].offset);
+
+  // Candidate columns, served in place like the branch arena. Absent on
+  // pre-column artifacts: columns() then returns an empty value and the
+  // scan falls back to branch walks (no on-the-fly build here — a view's
+  // cold-start stays O(header + offsets + priors)).
+  if (const ArenaSectionInfo* sec = info->FindSection(kSecGraphSizes)) {
+    view.columns_.sizes =
+        reinterpret_cast<const uint32_t*>(base + sec->offset);
+    view.columns_.fp_offsets = reinterpret_cast<const uint64_t*>(
+        base + info->FindSection(kSecFpOffsets)->offset);
+    view.columns_.fp_keys = reinterpret_cast<const uint64_t*>(
+        base + info->FindSection(kSecFpKeys)->offset);
+    if (const ArenaSectionInfo* uniq = info->FindSection(kSecFpUnique)) {
+      view.columns_.fp_unique =
+          reinterpret_cast<const uint64_t*>(base + uniq->offset);
+      view.columns_.fp_rep = reinterpret_cast<const uint64_t*>(
+          base + info->FindSection(kSecFpRep)->offset);
+      view.columns_.num_distinct = uniq->length / sizeof(uint64_t);
+    }
+  }
 
   // The prior blobs are the only decoded state: both are small (a GMM plus
   // probability tables, and the cached Lambda3 rows), and GedPriorTable is

@@ -78,6 +78,10 @@ class GbdaIndexView : public IndexReader {
   GedPriorTable* mutable_ged_prior() const override {
     return ged_prior_.get();
   }
+  /// The mapped candidate-column sections, zero-copy (empty for a
+  /// pre-column artifact — consumers then fall back to branch walks).
+  /// Validated at open by ValidateArenaColumns.
+  CandidateColumns columns() const override { return columns_; }
 
   // -- View-specific ---------------------------------------------------------
   const std::string& path() const { return file_.path(); }
@@ -119,6 +123,9 @@ class GbdaIndexView : public IndexReader {
   const uint32_t* roots_ = nullptr;
   const uint64_t* label_start_ = nullptr;
   const LabelId* labels_ = nullptr;
+  /// Typed pointers into the mapped column sections (all nullptr when the
+  /// artifact predates them).
+  CandidateColumns columns_;
   /// Parsed at open when the optional ann_graph section is present and
   /// readable; points into the mapping.
   ProximityGraphRef ann_graph_;

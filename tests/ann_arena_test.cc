@@ -118,7 +118,9 @@ TEST_F(AnnArenaTest, ArenaCarriesTheAnnSection) {
   const std::string data = ReadFile(*arena_path_);
   Result<ArenaInfo> info = ParseArenaHeader(data, *arena_path_);
   ASSERT_TRUE(info.ok()) << info.status().ToString();
-  ASSERT_EQ(info->sections.size(), kArenaSectionCount + 1);
+  // Canonical six + ann_graph + the candidate-column group (and, when the
+  // corpus certifies, the exactness directory pair).
+  ASSERT_GE(info->sections.size(), kArenaSectionCount + 4);
   const ArenaSectionInfo* sec = info->FindSection(kSecAnnGraph);
   ASSERT_NE(sec, nullptr);
   EXPECT_EQ(sec->offset % kArenaSectionAlign, 0u);
@@ -128,15 +130,17 @@ TEST_F(AnnArenaTest, ArenaCarriesTheAnnSection) {
 }
 
 TEST_F(AnnArenaTest, WithoutAGraphTheArenaStaysMinimal) {
-  // The six-section artifact a pre-ann writer produced is still what a
-  // null ann_graph yields — old readers keep working on new writers' files.
+  // A null ann_graph yields no ann section; the candidate-column group is
+  // unconditional, but readers that predate either feature skip both (the
+  // unknown-trailing-id contract), so old readers keep working on new
+  // writers' files.
   const std::string path = ::testing::TempDir() + "/ann_arena_plain.v3";
   ASSERT_TRUE(WriteArenaFile(*index_, path).ok());
   const std::string data = ReadFile(path);
   Result<ArenaInfo> info = ParseArenaHeader(data, path);
   ASSERT_TRUE(info.ok());
-  EXPECT_EQ(info->sections.size(), kArenaSectionCount);
   EXPECT_EQ(info->FindSection(kSecAnnGraph), nullptr);
+  EXPECT_NE(info->FindSection(kSecFpKeys), nullptr);
   Result<GbdaIndexView> view = GbdaIndexView::Open(path);
   ASSERT_TRUE(view.ok());
   EXPECT_FALSE(view->has_ann_graph());
@@ -173,7 +177,7 @@ TEST_F(AnnArenaTest, MaterializeDropsTheGraph) {
   ASSERT_TRUE(rebuilt.ok());
   Result<ArenaInfo> info = ParseArenaHeader(*rebuilt, "rebuilt");
   ASSERT_TRUE(info.ok());
-  EXPECT_EQ(info->sections.size(), kArenaSectionCount);
+  EXPECT_EQ(info->FindSection(kSecAnnGraph), nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -181,26 +185,39 @@ TEST_F(AnnArenaTest, MaterializeDropsTheGraph) {
 // ---------------------------------------------------------------------------
 
 TEST_F(AnnArenaTest, UnknownTrailingSectionIsValidatedButSkipped) {
-  // Simulate an artifact from a future build: relabel the trailing
-  // ann_graph entry with an id this reader does not know (42).
+  // Simulate an artifact from a future build: relabel every
+  // candidate-column entry with ids this reader does not know (43...).
+  // Trailing ids must stay strictly increasing, so the group after the
+  // ann_graph entry is the one that can take fresh ids. This doubles as
+  // the column-fallback regression: a view without columns serves through
+  // branch walks, bit-identically.
   std::string future = ReadFile(*arena_path_);
-  PatchU32(&future, SectionEntryOffset(kAnnEntry, 0), 42);
+  Result<ArenaInfo> original = ParseArenaHeader(future, *arena_path_);
+  ASSERT_TRUE(original.ok());
+  uint32_t next_id = 43;
+  for (size_t s = kArenaSectionCount; s < original->sections.size(); ++s) {
+    if (original->sections[s].id >= kSecGraphSizes) {
+      PatchU32(&future, SectionEntryOffset(s, 0), next_id++);
+    }
+  }
   FixMetaCrc(&future);
   const std::string path = ::testing::TempDir() + "/ann_arena_future.v3";
   WriteFile(path, future);
 
   Result<ArenaInfo> info = ParseArenaHeader(future, path);
   ASSERT_TRUE(info.ok()) << info.status().ToString();
-  EXPECT_NE(info->FindSection(42), nullptr);
-  EXPECT_EQ(info->FindSection(kSecAnnGraph), nullptr);
-  // Checksum verification still covers the unknown payload.
+  EXPECT_NE(info->FindSection(43), nullptr);
+  EXPECT_EQ(info->FindSection(kSecGraphSizes), nullptr);
+  EXPECT_EQ(info->FindSection(kSecFpKeys), nullptr);
+  // Checksum verification still covers the unknown payloads.
   EXPECT_TRUE(VerifyArenaChecksums(future, *info, path).ok());
 
   GbdaIndexView::OpenOptions verify;
   verify.verify_checksums = true;
   Result<GbdaIndexView> view = GbdaIndexView::Open(path, verify);
   ASSERT_TRUE(view.ok()) << view.status().ToString();
-  EXPECT_FALSE(view->has_ann_graph());
+  EXPECT_TRUE(view->has_ann_graph());
+  EXPECT_FALSE(view->columns().present());
 
   // Minus the skipped feature, the artifact serves bit-identically.
   Result<GbdaIndexView> reference = GbdaIndexView::Open(*arena_path_);

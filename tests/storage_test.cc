@@ -144,16 +144,28 @@ TEST_F(StorageTest, ArenaHeaderInspection) {
   EXPECT_EQ(info->version, kArenaVersion);
   EXPECT_EQ(info->file_bytes, data.size());
   EXPECT_EQ(info->num_graphs, index_->num_graphs());
-  ASSERT_EQ(info->sections.size(), kArenaSectionCount);
+  // The canonical sections lead in id order; the candidate-column group
+  // (graph_sizes / fp_offsets / fp_keys) always follows from this writer,
+  // with the exactness directory after it when the corpus certifies.
+  ASSERT_GE(info->sections.size(), kArenaSectionCount + 3);
   uint64_t previous_end = 0;
+  uint32_t previous_id = 0;
   for (size_t s = 0; s < info->sections.size(); ++s) {
     const ArenaSectionInfo& sec = info->sections[s];
-    EXPECT_EQ(sec.id, s + 1);
+    if (s < kArenaSectionCount) {
+      EXPECT_EQ(sec.id, s + 1);
+    } else {
+      EXPECT_GT(sec.id, previous_id);  // trailing ids strictly increase
+    }
+    previous_id = sec.id;
     EXPECT_EQ(sec.offset % kArenaSectionAlign, 0u);
     EXPECT_GE(sec.offset, previous_end);
     previous_end = sec.offset + sec.length;
   }
   EXPECT_LE(previous_end, data.size());
+  EXPECT_NE(info->FindSection(kSecGraphSizes), nullptr);
+  EXPECT_NE(info->FindSection(kSecFpOffsets), nullptr);
+  EXPECT_NE(info->FindSection(kSecFpKeys), nullptr);
 }
 
 TEST_F(StorageTest, MaterializeReproducesTheIndex) {

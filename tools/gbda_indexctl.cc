@@ -316,12 +316,24 @@ int RunInspect(const std::string& path) {
     const ArenaSectionInfo& sec = info->sections[s];
     std::printf(
         "    {\"name\": \"%s\", \"offset\": %llu, \"length\": %llu, "
-        "\"crc32\": \"%08x\"}%s\n",
+        "\"align\": %llu, \"crc32\": \"%08x\"}%s\n",
         ArenaSectionName(sec.id), static_cast<unsigned long long>(sec.offset),
-        static_cast<unsigned long long>(sec.length), sec.crc32,
-        s + 1 < info->sections.size() ? "," : "");
+        static_cast<unsigned long long>(sec.length),
+        static_cast<unsigned long long>(sec.offset % kArenaSectionAlign == 0
+                                            ? kArenaSectionAlign
+                                            : sec.offset & ~(sec.offset - 1)),
+        sec.crc32, s + 1 < info->sections.size() ? "," : "");
   }
   std::printf("  ]");
+  if (info->FindSection(kSecGraphSizes) != nullptr) {
+    const ArenaSectionInfo* uniq = info->FindSection(kSecFpUnique);
+    std::printf(
+        ",\n  \"columns\": {\"graph_sizes\": true, \"fp_keys\": true, "
+        "\"exactness_directory\": %s, \"num_distinct_fingerprints\": %llu}",
+        uniq != nullptr ? "true" : "false",
+        static_cast<unsigned long long>(uniq != nullptr ? uniq->length / 8
+                                                        : 0));
+  }
   if (const ArenaSectionInfo* sec = info->FindSection(kSecAnnGraph)) {
     Result<ProximityGraphRef> graph = ParseProximityGraphSection(
         mapped->data() + sec->offset, static_cast<size_t>(sec->length),
