@@ -18,10 +18,22 @@
 // (exit 1) on any divergence, so a reported latency can never come from a
 // result-changing serving path.
 //
+// With --target=HOST:PORT the sweep drives an EXTERNAL gbda_serverd instead
+// of an in-process server: the corpus/queries are still generated locally
+// (use the same --profile/--scale/--seed the daemon was started with), the
+// in-process bit-identity gate is skipped (there is no local service to
+// compare against — the gate belongs to the daemon's own CI), and the
+// before/after server counters come from the wire kStatsRequest message.
+//
+// Latency aggregation uses the log-bucketed obs::Histogram (p50/p99/p999
+// within one bucket — <= 6.25% relative — of the exact nearest-rank sample
+// quantiles the old sorted-array math produced; max stays exact).
+//
 // Typical runs:
 //   bench_loadgen                                  # default sweep
 //   bench_loadgen --duration=2 --rates=0           # CI smoke (closed loop)
 //   bench_loadgen --connections=8 --rates=200,500,1000,2000
+//   bench_loadgen --target=127.0.0.1:7070 --rates=0  # drive a live daemon
 
 #include <algorithm>
 #include <atomic>
@@ -40,6 +52,7 @@
 #include "datagen/dataset_profiles.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/histogram.h"
 #include "service/gbda_service.h"
 
 using namespace gbda;
@@ -65,6 +78,7 @@ struct Flags {
   uint64_t max_linger_micros = 200;
   size_t workers = 1;
   size_t threads = 0;  // service pool; 0 = hardware concurrency
+  std::string target;  // HOST:PORT of an external server; empty = in-process
 };
 
 std::vector<double> ParseRateList(const std::string& csv) {
@@ -116,13 +130,16 @@ Flags ParseFlags(int argc, char** argv) {
       flags.workers = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
     } else if (ParseFlagValue(argv[i], "--threads", &v)) {
       flags.threads = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (ParseFlagValue(argv[i], "--target", &v)) {
+      flags.target = v;
     } else {
       std::fprintf(
           stderr,
           "unknown flag %s\nflags: --profile=NAME --scale=F --connections=N "
           "--rates=CSV (0 = closed loop) --duration=SECONDS --top-k=N "
           "--tau=N --gamma=F --deadline-ms=N --pairs=N --seed=N "
-          "--max-batch=N --max-linger-micros=N --workers=N --threads=N\n",
+          "--max-batch=N --max-linger-micros=N --workers=N --threads=N "
+          "--target=HOST:PORT\n",
           argv[i]);
       std::exit(2);
     }
@@ -135,16 +152,12 @@ double ElapsedSeconds(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
-/// Percentile over a sorted sample (nearest-rank).
-double Percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const size_t rank = static_cast<size_t>(p * static_cast<double>(sorted.size()));
-  return sorted[std::min(rank, sorted.size() - 1)];
-}
-
-/// Outcome counters + latency samples of one connection at one rate point.
+/// Outcome counters + latency histogram of one connection at one rate point.
+/// Latencies are recorded in microseconds into the mergeable log-bucketed
+/// histogram; quantiles are therefore within one bucket of the old exact
+/// sorted-array math (count/sum/min/max stay exact).
 struct ConnResult {
-  std::vector<double> latencies_ms;  // kOk responses only
+  obs::Histogram latency_micros;  // kOk responses only
   uint64_t sent = 0;
   uint64_t ok = 0;
   uint64_t overloaded = 0;
@@ -152,6 +165,10 @@ struct ConnResult {
   uint64_t other = 0;
   bool io_failed = false;
 };
+
+double QuantileMs(const obs::Histogram& h, double q) {
+  return static_cast<double>(h.Quantile(q)) / 1000.0;
+}
 
 }  // namespace
 
@@ -175,48 +192,97 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  GbdaIndexOptions index_options;
-  index_options.tau_max = std::max<int64_t>(10, flags.tau_hat);
-  index_options.gbd_prior.num_sample_pairs = flags.sample_pairs;
-  index_options.model_vertex_labels =
-      static_cast<int64_t>(profile->num_vertex_labels);
-  index_options.model_edge_labels =
-      static_cast<int64_t>(profile->num_edge_labels);
-  Result<GbdaIndex> index = GbdaIndex::Build(dataset->db, index_options);
-  if (!index.ok()) {
-    std::fprintf(stderr, "index: %s\n", index.status().ToString().c_str());
-    return 1;
+  // In-process mode builds index + service + server; --target mode drives an
+  // external daemon and only needs the generated queries.
+  std::unique_ptr<GbdaIndex> index;
+  std::unique_ptr<GbdaService> service;
+  std::unique_ptr<net::GbdaServer> server;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  if (flags.target.empty()) {
+    GbdaIndexOptions index_options;
+    index_options.tau_max = std::max<int64_t>(10, flags.tau_hat);
+    index_options.gbd_prior.num_sample_pairs = flags.sample_pairs;
+    index_options.model_vertex_labels =
+        static_cast<int64_t>(profile->num_vertex_labels);
+    index_options.model_edge_labels =
+        static_cast<int64_t>(profile->num_edge_labels);
+    Result<GbdaIndex> built = GbdaIndex::Build(dataset->db, index_options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "index: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    index = std::make_unique<GbdaIndex>(std::move(*built));
+
+    ServiceOptions service_options;
+    service_options.num_threads = flags.threads;
+    Result<std::unique_ptr<GbdaService>> created =
+        GbdaService::Create(&dataset->db, index.get(), service_options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "service: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    service = std::move(*created);
+
+    net::ServerConfig server_config;
+    server_config.max_batch = flags.max_batch;
+    server_config.max_linger_micros = flags.max_linger_micros;
+    server_config.num_workers = flags.workers;
+    server_config.default_deadline_ms = flags.deadline_ms;
+    Result<std::unique_ptr<net::GbdaServer>> started =
+        net::GbdaServer::Serve(service.get(), server_config);
+    if (!started.ok()) {
+      std::fprintf(stderr, "server: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    server = std::move(*started);
+    port = server->port();
+  } else {
+    const size_t colon = flags.target.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= flags.target.size()) {
+      std::fprintf(stderr, "--target must be HOST:PORT, got %s\n",
+                   flags.target.c_str());
+      return 2;
+    }
+    host = flags.target.substr(0, colon);
+    port = static_cast<uint16_t>(
+        std::strtoul(flags.target.c_str() + colon + 1, nullptr, 10));
   }
 
-  ServiceOptions service_options;
-  service_options.num_threads = flags.threads;
-  Result<std::unique_ptr<GbdaService>> service =
-      GbdaService::Create(&dataset->db, &*index, service_options);
-  if (!service.ok()) {
-    std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());
-    return 1;
+  // Server counters: from the in-process object, or over the wire
+  // (kStatsRequest) when driving an external daemon.
+  net::GbdaClient stats_client;
+  if (server == nullptr) {
+    Result<net::GbdaClient> connected = net::GbdaClient::Connect(host, port);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "target connect: %s\n",
+                   connected.status().ToString().c_str());
+      return 1;
+    }
+    stats_client = std::move(*connected);
   }
-
-  net::ServerConfig server_config;
-  server_config.max_batch = flags.max_batch;
-  server_config.max_linger_micros = flags.max_linger_micros;
-  server_config.num_workers = flags.workers;
-  server_config.default_deadline_ms = flags.deadline_ms;
-  Result<std::unique_ptr<net::GbdaServer>> server =
-      net::GbdaServer::Serve(service->get(), server_config);
-  if (!server.ok()) {
-    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
-    return 1;
-  }
-  const uint16_t port = (*server)->port();
+  auto server_stats = [&]() -> net::WireServerStats {
+    if (server != nullptr) return server->stats();
+    Result<net::StatsResponse> resp = stats_client.Stats();
+    if (!resp.ok()) {
+      std::fprintf(stderr, "wire stats: %s\n",
+                   resp.status().ToString().c_str());
+      std::exit(1);
+    }
+    return resp->stats;
+  };
 
   SearchOptions search_options;
   search_options.tau_hat = flags.tau_hat;
   search_options.gamma = flags.gamma;
 
   // ---- Bit-identity gate: wire answers == in-process answers -------------
-  {
-    Result<net::GbdaClient> client = net::GbdaClient::Connect("127.0.0.1", port);
+  // (Skipped under --target: there is no local service to compare against.)
+  if (server != nullptr) {
+    Result<net::GbdaClient> client = net::GbdaClient::Connect(host, port);
     if (!client.ok()) {
       std::fprintf(stderr, "gate connect: %s\n",
                    client.status().ToString().c_str());
@@ -224,8 +290,8 @@ int main(int argc, char** argv) {
     }
     for (size_t qi = 0; qi < dataset->queries.size(); ++qi) {
       Result<SearchResult> local =
-          (*service)->QueryTopK(dataset->queries[qi], flags.top_k,
-                                search_options);
+          service->QueryTopK(dataset->queries[qi], flags.top_k,
+                             search_options);
       if (!local.ok()) {
         std::fprintf(stderr, "gate local query %zu: %s\n", qi,
                      local.status().ToString().c_str());
@@ -279,12 +345,17 @@ int main(int argc, char** argv) {
   std::printf("  \"workers\": %zu,\n", flags.workers);
   std::printf("  \"hardware_concurrency\": %u,\n",
               std::thread::hardware_concurrency());
-  std::printf("  \"bit_identity_ok\": true,\n");
+  if (flags.target.empty()) {
+    std::printf("  \"bit_identity_ok\": true,\n");
+  } else {
+    std::printf("  \"target\": \"%s\",\n", flags.target.c_str());
+    std::printf("  \"bit_identity_ok\": null,\n");
+  }
   std::printf("  \"sweep\": [\n");
 
   bool first_rate = true;
   for (double rate : flags.rates) {
-    const net::WireServerStats before = (*server)->stats();
+    const net::WireServerStats before = server_stats();
     std::vector<ConnResult> results(flags.connections);
     std::vector<std::thread> conn_threads;
     conn_threads.reserve(flags.connections);
@@ -294,7 +365,7 @@ int main(int argc, char** argv) {
       conn_threads.emplace_back([&, c] {
         ConnResult& out = results[c];
         Result<net::GbdaClient> client =
-            net::GbdaClient::Connect("127.0.0.1", port);
+            net::GbdaClient::Connect(host, port);
         if (!client.ok()) {
           out.io_failed = true;
           return;
@@ -314,7 +385,8 @@ int main(int argc, char** argv) {
           switch (resp.status) {
             case net::WireStatus::kOk:
               ++out.ok;
-              out.latencies_ms.push_back(latency_ms);
+              out.latency_micros.Record(
+                  static_cast<uint64_t>(latency_ms * 1000.0 + 0.5));
               break;
             case net::WireStatus::kOverloaded:
               ++out.overloaded;
@@ -418,15 +490,16 @@ int main(int argc, char** argv) {
     }
     for (std::thread& t : conn_threads) t.join();
     const double wall = ElapsedSeconds(t0);
-    const net::WireServerStats after = (*server)->stats();
+    const net::WireServerStats after = server_stats();
 
-    // Aggregate.
-    std::vector<double> latencies;
+    // Aggregate: histogram merge is associative, so the per-connection
+    // histograms combine into exactly the state one global recorder would
+    // have produced.
+    obs::Histogram latency;
     uint64_t sent = 0, ok = 0, overloaded = 0, deadline = 0, other = 0;
     bool io_failed = false;
     for (const ConnResult& r : results) {
-      latencies.insert(latencies.end(), r.latencies_ms.begin(),
-                       r.latencies_ms.end());
+      latency.Merge(r.latency_micros);
       sent += r.sent;
       ok += r.ok;
       overloaded += r.overloaded;
@@ -441,7 +514,6 @@ int main(int argc, char** argv) {
                    rate, static_cast<unsigned long long>(other));
       return 1;
     }
-    std::sort(latencies.begin(), latencies.end());
     const uint64_t batches =
         after.batches_executed - before.batches_executed;
     const uint64_t batched_requests =
@@ -459,16 +531,16 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(ok),
         static_cast<unsigned long long>(overloaded),
         static_cast<unsigned long long>(deadline),
-        Percentile(latencies, 0.50), Percentile(latencies, 0.99),
-        Percentile(latencies, 0.999),
-        latencies.empty() ? 0.0 : latencies.back(),
+        QuantileMs(latency, 0.50), QuantileMs(latency, 0.99),
+        QuantileMs(latency, 0.999),
+        static_cast<double>(latency.max()) / 1000.0,
         batches > 0 ? static_cast<double>(batched_requests) /
                           static_cast<double>(batches)
                     : 0.0);
     first_rate = false;
   }
 
-  const net::WireServerStats final_stats = (*server)->stats();
+  const net::WireServerStats final_stats = server_stats();
   std::printf("\n  ],\n");
   std::printf("  \"batch_size_histogram\": [");
   for (size_t i = 0; i < final_stats.batch_size_histogram.size(); ++i) {
@@ -477,6 +549,6 @@ int main(int argc, char** argv) {
                     final_stats.batch_size_histogram[i]));
   }
   std::printf("]\n}\n");
-  (*server)->Shutdown();
+  if (server != nullptr) server->Shutdown();
   return 0;
 }

@@ -33,6 +33,7 @@
 #include "core/gbda_index.h"
 #include "core/gbda_search.h"
 #include "datagen/dataset_profiles.h"
+#include "obs/trace.h"
 #include "service/gbda_service.h"
 
 using namespace gbda;
@@ -58,6 +59,11 @@ struct Flags {
   /// whole bench; several run a serial side-by-side sweep first (with a
   /// bit-identity gate across the modes) and then pin the first entry.
   std::vector<KernelDispatch> kernels = {KernelDispatch::kAuto};
+  /// --trace=0|1 arms obs tracing (sample_every=1) for the whole run. The
+  /// equivalence gates run either way, which is the acceptance check that
+  /// tracing cannot change results; comparing walls across --trace=0 and
+  /// --trace=1 runs measures the enabled-mode overhead (docs/BENCHMARKS.md).
+  bool trace = false;
 };
 
 const char* DispatchName(KernelDispatch d) {
@@ -141,12 +147,14 @@ Flags ParseFlags(int argc, char** argv) {
                      v.c_str());
         std::exit(2);
       }
+    } else if (ParseFlagValue(argv[i], "--trace", &v)) {
+      flags.trace = v != "0" && v != "false";
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nflags: --threads=CSV --batches=CSV "
                    "--queries=N --profile=fingerprint|aids|grec|aasd "
                    "--scale=F --shards=N --tau=N --gamma=F --prefilter=0|1 "
-                   "--pairs=N --seed=N --top-k=N --kernels=CSV\n",
+                   "--pairs=N --seed=N --top-k=N --kernels=CSV --trace=0|1\n",
                    argv[i]);
       std::exit(2);
     }
@@ -175,6 +183,13 @@ int main(int argc, char** argv) {
       flags.num_queries == 0) {
     std::fprintf(stderr, "empty sweep\n");
     return 2;
+  }
+
+  {
+    obs::TraceConfig trace_config = obs::GetTraceConfig();
+    trace_config.enabled = flags.trace;
+    trace_config.sample_every = 1;
+    obs::SetTraceConfig(trace_config);
   }
 
   Result<DatasetProfile> profile = ProfileByName(flags.profile, flags.scale);
@@ -316,6 +331,7 @@ int main(int argc, char** argv) {
     std::printf("  \"tau_hat\": %lld,\n",
                 static_cast<long long>(flags.tau_hat));
     std::printf("  \"prefilter\": %s,\n", flags.prefilter ? "true" : "false");
+    std::printf("  \"trace\": %s,\n", flags.trace ? "true" : "false");
     std::printf("  \"hardware_concurrency\": %u,\n",
                 std::thread::hardware_concurrency());
     std::printf("  \"kernels\": \"%s\",\n",
@@ -470,6 +486,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(flags.tau_hat));
   std::printf("  \"gamma\": %g,\n", flags.gamma);
   std::printf("  \"prefilter\": %s,\n", flags.prefilter ? "true" : "false");
+  std::printf("  \"trace\": %s,\n", flags.trace ? "true" : "false");
   std::printf("  \"hardware_concurrency\": %u,\n",
               std::thread::hardware_concurrency());
   std::printf("  \"kernels\": \"%s\",\n",

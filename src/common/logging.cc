@@ -1,12 +1,19 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
 
 namespace gbda {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::once_flag g_env_once;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,14 +29,78 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// GBDA_LOG_LEVEL accepts a level name (debug/info/warn[ing]/error, any case)
+// or the numeric enum value. Applied once, lazily; SetLogLevel overrides it.
+void ApplyEnvLevel() {
+  const char* v = std::getenv("GBDA_LOG_LEVEL");
+  if (v == nullptr || v[0] == '\0') return;
+  std::string s;
+  for (const char* p = v; *p != '\0'; ++p) s.push_back(static_cast<char>(std::tolower(*p)));
+  if (s == "debug" || s == "0") {
+    g_level.store(LogLevel::kDebug);
+  } else if (s == "info" || s == "1") {
+    g_level.store(LogLevel::kInfo);
+  } else if (s == "warn" || s == "warning" || s == "2") {
+    g_level.store(LogLevel::kWarning);
+  } else if (s == "error" || s == "3") {
+    g_level.store(LogLevel::kError);
+  } else {
+    std::fprintf(stderr, "[gbda WARN] unrecognized GBDA_LOG_LEVEL '%s' ignored\n", v);
+  }
+}
+
+void EnsureEnvLevel() { std::call_once(g_env_once, ApplyEnvLevel); }
+
+// Small sequential per-thread id: stable within a run, readable in logs
+// (unlike the opaque pthread handle).
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) {
+  EnsureEnvLevel();  // settle the env default so this call wins the race
+  g_level.store(level);
+}
+
+LogLevel GetLogLevel() {
+  EnsureEnvLevel();
+  return g_level.load();
+}
+
+std::string FormatLogLine(LogLevel level, const std::string& msg) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  char stamp[64];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(millis));
+  std::string out = "[";
+  out += stamp;
+  out += " t";
+  out += std::to_string(ThisThreadId());
+  out += " gbda ";
+  out += LevelName(level);
+  out += "] ";
+  out += msg;
+  return out;
+}
 
 void Log(LogLevel level, const std::string& msg) {
+  EnsureEnvLevel();
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[gbda %s] %s\n", LevelName(level), msg.c_str());
+  const std::string line = FormatLogLine(level, msg);
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 void LogDebug(const std::string& msg) { Log(LogLevel::kDebug, msg); }

@@ -6,10 +6,17 @@ namespace gbda {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Minimal leveled logger writing to stderr. The default threshold is kInfo;
-/// benchmarks lower it to kWarning to keep table output clean.
+/// Minimal leveled logger writing to stderr. The default threshold is kInfo,
+/// overridable via the GBDA_LOG_LEVEL environment variable (a level name or
+/// its numeric value, applied lazily on first use); benchmarks lower it to
+/// kWarning to keep table output clean. SetLogLevel always wins over the env.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// The exact line Log() writes (sans trailing newline):
+/// `[<ISO-8601 UTC ms> t<thread id> gbda <LEVEL>] <msg>`. Exposed so tests
+/// can pin the format without capturing stderr.
+std::string FormatLogLine(LogLevel level, const std::string& msg);
 
 /// Emits `msg` when `level` passes the threshold. Prefer the convenience
 /// functions below.

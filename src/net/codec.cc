@@ -310,6 +310,9 @@ std::string EncodeTopKResponse(const TopKResponse& msg) {
   w.PutU64(msg.verified_count);
   w.PutU64(msg.queue_micros);
   w.PutU64(msg.batch_size);
+  w.PutU64(msg.admission_micros);
+  w.PutU64(msg.batch_micros);
+  w.PutU64(msg.scan_micros);
   EncodeMatches(msg.matches, &w);
   return EncodeFrame(MessageType::kTopKResponse, w.buffer());
 }
@@ -328,6 +331,9 @@ Result<TopKResponse> DecodeTopKResponse(std::string_view payload) {
   GBDA_ASSIGN_OR_RETURN(msg.verified_count, r.GetU64());
   GBDA_ASSIGN_OR_RETURN(msg.queue_micros, r.GetU64());
   GBDA_ASSIGN_OR_RETURN(msg.batch_size, r.GetU64());
+  GBDA_ASSIGN_OR_RETURN(msg.admission_micros, r.GetU64());
+  GBDA_ASSIGN_OR_RETURN(msg.batch_micros, r.GetU64());
+  GBDA_ASSIGN_OR_RETURN(msg.scan_micros, r.GetU64());
   GBDA_ASSIGN_OR_RETURN(msg.matches, DecodeMatches(&r));
   GBDA_RETURN_IF_ERROR(RejectTrailing(r));
   return msg;
@@ -433,6 +439,16 @@ std::string EncodeStatsResponse(const StatsResponse& msg) {
   w.PutU64(s.batches_executed);
   w.PutU64(s.queue_depth_peak);
   w.PutPodVector(s.batch_size_histogram);
+  w.PutU64(s.stage_latency.size());
+  for (const WireStageStats& stage : s.stage_latency) {
+    w.PutU64(stage.count);
+    w.PutU64(stage.sum_micros);
+    w.PutU64(stage.min_micros);
+    w.PutU64(stage.max_micros);
+    w.PutU64(stage.p50_micros);
+    w.PutU64(stage.p99_micros);
+    w.PutU64(stage.p999_micros);
+  }
   return EncodeFrame(MessageType::kStatsResponse, w.buffer());
 }
 
@@ -454,6 +470,24 @@ Result<StatsResponse> DecodeStatsResponse(std::string_view payload) {
   GBDA_ASSIGN_OR_RETURN(s.batches_executed, r.GetU64());
   GBDA_ASSIGN_OR_RETURN(s.queue_depth_peak, r.GetU64());
   GBDA_ASSIGN_OR_RETURN(s.batch_size_histogram, DecodeIdVector(&r));
+  const size_t stages_at = r.position();
+  Result<uint64_t> stage_count = r.GetU64();
+  if (!stage_count.ok()) return stage_count.status();
+  // Seven u64 fields per entry bound the plausible count, so a hostile
+  // length cannot drive a huge reserve (BinaryReader idiom).
+  if (*stage_count > r.remaining() / (7 * sizeof(uint64_t))) {
+    return Status::OutOfRange(r.Describe("truncated stage stats", stages_at));
+  }
+  s.stage_latency.resize(static_cast<size_t>(*stage_count));
+  for (WireStageStats& stage : s.stage_latency) {
+    GBDA_ASSIGN_OR_RETURN(stage.count, r.GetU64());
+    GBDA_ASSIGN_OR_RETURN(stage.sum_micros, r.GetU64());
+    GBDA_ASSIGN_OR_RETURN(stage.min_micros, r.GetU64());
+    GBDA_ASSIGN_OR_RETURN(stage.max_micros, r.GetU64());
+    GBDA_ASSIGN_OR_RETURN(stage.p50_micros, r.GetU64());
+    GBDA_ASSIGN_OR_RETURN(stage.p99_micros, r.GetU64());
+    GBDA_ASSIGN_OR_RETURN(stage.p999_micros, r.GetU64());
+  }
   GBDA_RETURN_IF_ERROR(RejectTrailing(r));
   return msg;
 }

@@ -38,7 +38,10 @@ namespace gbda::net {
 inline constexpr uint32_t kWireMagic = 0x41444247;  // "GBDA"
 /// v2: SearchOptions carries the approximate flag + search_window_size, and
 /// TopKResponse the candidates_visited / verified_count cost counters.
-inline constexpr uint32_t kWireVersion = 2;
+/// v3: TopKResponse carries the per-stage trace spans (admission / batch /
+/// scan micros alongside the v2 queue_micros), and StatsResponse the
+/// per-stage latency summaries (WireStageStats).
+inline constexpr uint32_t kWireVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 24;
 /// Upper bound on a single payload; a declared length above this is treated
 /// as hostile (the bound exists so a corrupt length can never drive a huge
@@ -151,6 +154,15 @@ struct TopKResponse {
   /// query was coalesced into (observability for the adaptive batcher).
   uint64_t queue_micros = 0;
   uint64_t batch_size = 0;
+  /// Per-stage trace spans (v3): time on the I/O thread from frame dispatch
+  /// to admission, time the worker spent coalescing this query's micro-batch
+  /// (shared by every co-batched query), and the query's own scan latency.
+  /// With queue_micros these give the full where-did-the-time-go breakdown.
+  /// Observational like pruned_by_bound: excluded from determinism
+  /// comparisons.
+  uint64_t admission_micros = 0;
+  uint64_t batch_micros = 0;
+  uint64_t scan_micros = 0;
   std::vector<SearchMatch> matches;
 };
 
@@ -196,6 +208,21 @@ struct StatsRequest {
 /// prints them at shutdown). batch_size_histogram[i] counts executed query
 /// micro-batches of size i+1 — the acceptance signal that the adaptive
 /// batcher actually coalesces under load.
+/// Compact latency summary of one pipeline stage (microseconds), derived
+/// from the server's log-bucketed stage histograms (src/obs/histogram.h):
+/// count/sum/min/max are exact, the quantiles are within one histogram
+/// bucket of exact. The full bucket state is exposed on the HTTP metrics
+/// endpoint; the wire carries this summary.
+struct WireStageStats {
+  uint64_t count = 0;
+  uint64_t sum_micros = 0;
+  uint64_t min_micros = 0;
+  uint64_t max_micros = 0;
+  uint64_t p50_micros = 0;
+  uint64_t p99_micros = 0;
+  uint64_t p999_micros = 0;
+};
+
 struct WireServerStats {
   uint64_t connections_opened = 0;
   uint64_t connections_closed = 0;
@@ -209,6 +236,9 @@ struct WireServerStats {
   uint64_t batches_executed = 0;
   uint64_t queue_depth_peak = 0;
   std::vector<uint64_t> batch_size_histogram;
+  /// Per-stage latency summaries (v3), indexed in obs::QueryStage order:
+  /// admission, queue, batch, scan.
+  std::vector<WireStageStats> stage_latency;
 };
 
 struct StatsResponse {

@@ -44,6 +44,27 @@ uint64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
           .count());
 }
 
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (cur < value && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AppendCounterFamily(const std::string& name, const std::string& help,
+                         const std::string& labels, uint64_t value,
+                         std::vector<obs::MetricFamily>* out) {
+  obs::MetricFamily family;
+  family.name = name;
+  family.help = help;
+  family.type = obs::MetricType::kCounter;
+  obs::MetricPoint point;
+  point.labels = labels;
+  point.value = static_cast<double>(value);
+  family.points.push_back(std::move(point));
+  out->push_back(std::move(family));
+}
+
 }  // namespace
 
 Result<std::unique_ptr<GbdaServer>> GbdaServer::Serve(
@@ -83,10 +104,9 @@ Result<std::unique_ptr<GbdaServer>> GbdaServer::StartInternal(
 }
 
 GbdaServer::GbdaServer(Backend backend, const ServerConfig& config)
-    : backend_(backend), config_(config) {
-  stats_.batch_size_histogram.assign(std::max<size_t>(1, config.max_batch),
-                                     0);
-}
+    : backend_(backend),
+      config_(config),
+      batch_size_histogram_(std::max<size_t>(1, config.max_batch)) {}
 
 GbdaServer::~GbdaServer() { Shutdown(); }
 
@@ -156,8 +176,112 @@ void GbdaServer::Shutdown() {
 }
 
 WireServerStats GbdaServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  WireServerStats s;
+  s.connections_opened = connections_opened_.Value();
+  s.connections_closed = connections_closed_.Value();
+  s.frames_received = frames_received_.Value();
+  s.decode_errors = decode_errors_.Value();
+  s.requests_accepted = requests_accepted_.Value();
+  s.rejected_overloaded = rejected_overloaded_.Value();
+  s.rejected_deadline = rejected_deadline_.Value();
+  s.rejected_invalid = rejected_invalid_.Value();
+  s.responses_sent = responses_sent_.Value();
+  s.batches_executed = batches_executed_.Value();
+  s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  s.batch_size_histogram.reserve(batch_size_histogram_.size());
+  for (const std::atomic<uint64_t>& slot : batch_size_histogram_) {
+    s.batch_size_histogram.push_back(slot.load(std::memory_order_relaxed));
+  }
+  s.stage_latency.resize(obs::kNumQueryStages);
+  for (int i = 0; i < obs::kNumQueryStages; ++i) {
+    const obs::Histogram h = stage_latency_[i].Snapshot();
+    WireStageStats& st = s.stage_latency[i];
+    st.count = h.count();
+    st.sum_micros = h.sum();
+    st.min_micros = h.min();
+    st.max_micros = h.max();
+    st.p50_micros = h.Quantile(0.5);
+    st.p99_micros = h.Quantile(0.99);
+    st.p999_micros = h.Quantile(0.999);
+  }
+  return s;
+}
+
+void GbdaServer::CollectMetrics(const std::string& labels,
+                                std::vector<obs::MetricFamily>* out) const {
+  AppendCounterFamily("gbda_server_connections_opened_total",
+                      "TCP connections accepted", labels,
+                      connections_opened_.Value(), out);
+  AppendCounterFamily("gbda_server_connections_closed_total",
+                      "TCP connections closed", labels,
+                      connections_closed_.Value(), out);
+  AppendCounterFamily("gbda_server_frames_received_total",
+                      "Well-framed protocol frames received", labels,
+                      frames_received_.Value(), out);
+  AppendCounterFamily("gbda_server_decode_errors_total",
+                      "Framing violations (connection closed)", labels,
+                      decode_errors_.Value(), out);
+  AppendCounterFamily("gbda_server_requests_accepted_total",
+                      "Requests admitted to the execution queue", labels,
+                      requests_accepted_.Value(), out);
+  AppendCounterFamily("gbda_server_rejected_overloaded_total",
+                      "Requests rejected at the admission bound", labels,
+                      rejected_overloaded_.Value(), out);
+  AppendCounterFamily("gbda_server_rejected_deadline_total",
+                      "Requests expired in queue (kDeadlineExceeded)", labels,
+                      rejected_deadline_.Value(), out);
+  AppendCounterFamily("gbda_server_rejected_invalid_total",
+                      "Malformed request payloads answered kInvalidRequest",
+                      labels, rejected_invalid_.Value(), out);
+  AppendCounterFamily("gbda_server_responses_sent_total",
+                      "Response frames queued for send", labels,
+                      responses_sent_.Value(), out);
+  AppendCounterFamily("gbda_server_batches_executed_total",
+                      "Query micro-batches executed", labels,
+                      batches_executed_.Value(), out);
+  {
+    obs::MetricFamily family;
+    family.name = "gbda_server_queue_depth_peak";
+    family.help = "High-water mark of the admission queue";
+    family.type = obs::MetricType::kGauge;
+    obs::MetricPoint point;
+    point.labels = labels;
+    point.value = static_cast<double>(
+        queue_depth_peak_.load(std::memory_order_relaxed));
+    family.points.push_back(std::move(point));
+    out->push_back(std::move(family));
+  }
+  {
+    obs::MetricFamily sizes;
+    sizes.name = "gbda_server_batch_size_total";
+    sizes.help = "Executed micro-batches by coalesced size";
+    sizes.type = obs::MetricType::kCounter;
+    for (size_t i = 0; i < batch_size_histogram_.size(); ++i) {
+      const uint64_t n =
+          batch_size_histogram_[i].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      obs::MetricPoint point;
+      point.labels = "size=\"" + std::to_string(i + 1) + "\"";
+      if (!labels.empty()) point.labels = labels + "," + point.labels;
+      point.value = static_cast<double>(n);
+      sizes.points.push_back(std::move(point));
+    }
+    if (!sizes.points.empty()) out->push_back(std::move(sizes));
+  }
+  obs::MetricFamily stages;
+  stages.name = "gbda_stage_latency_micros";
+  stages.help =
+      "Per-stage serving latency in microseconds (admission/queue/batch/scan)";
+  stages.type = obs::MetricType::kHistogram;
+  for (int i = 0; i < obs::kNumQueryStages; ++i) {
+    obs::MetricPoint point;
+    point.labels = std::string("stage=\"") +
+                   obs::QueryStageName(static_cast<obs::QueryStage>(i)) + "\"";
+    if (!labels.empty()) point.labels = labels + "," + point.labels;
+    point.histogram = stage_latency_[i].Snapshot();
+    stages.points.push_back(std::move(point));
+  }
+  out->push_back(std::move(stages));
 }
 
 void GbdaServer::PauseDraining() {
@@ -292,8 +416,7 @@ void GbdaServer::AcceptPending() {
     conn.fd = fd;
     conns_.emplace(next_conn_id_, std::move(conn));
     ++next_conn_id_;
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.connections_opened;
+    connections_opened_.Increment();
   }
 }
 
@@ -319,18 +442,12 @@ void GbdaServer::HandleReadable(uint64_t conn_id) {
     Result<std::optional<Frame>> next = it->second.decoder.Next();
     if (!next.ok()) {
       // Framing violation: the stream cannot be resynchronized.
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.decode_errors;
-      }
+      decode_errors_.Increment();
       CloseConnection(conn_id);
       return;
     }
     if (!next->has_value()) return;  // need more bytes
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.frames_received;
-    }
+    frames_received_.Increment();
     if (!DispatchFrame(conn_id, std::move(**next))) {
       CloseConnection(conn_id);
       return;
@@ -369,7 +486,11 @@ bool GbdaServer::DispatchFrame(uint64_t conn_id, Frame frame) {
                                                   : config_.default_deadline_ms;
       pending.topk = std::move(*req);
       const uint64_t request_id = pending.topk.request_id;
+      // Admission span: decode + queueing work on the I/O thread, measured
+      // just before the request becomes visible to workers.
+      pending.admission_micros = ElapsedMicros(now);
       WireStatus admitted = WireStatus::kOk;
+      size_t depth = 0;
       {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         if (stopping_.load(std::memory_order_relaxed)) {
@@ -378,13 +499,12 @@ bool GbdaServer::DispatchFrame(uint64_t conn_id, Frame frame) {
           admitted = WireStatus::kOverloaded;
         } else {
           queue_.push_back(std::move(pending));
-          std::lock_guard<std::mutex> slock(stats_mutex_);
-          ++stats_.requests_accepted;
-          stats_.queue_depth_peak =
-              std::max<uint64_t>(stats_.queue_depth_peak, queue_.size());
+          depth = queue_.size();
         }
       }
       if (admitted == WireStatus::kOk) {
+        requests_accepted_.Increment();
+        AtomicMax(&queue_depth_peak_, depth);
         queue_cv_.notify_one();
       } else {
         TopKResponse resp;
@@ -393,9 +513,8 @@ bool GbdaServer::DispatchFrame(uint64_t conn_id, Frame frame) {
         resp.message = admitted == WireStatus::kOverloaded
                            ? "request queue at capacity"
                            : "server shutting down";
-        {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
-          if (admitted == WireStatus::kOverloaded) ++stats_.rejected_overloaded;
+        if (admitted == WireStatus::kOverloaded) {
+          rejected_overloaded_.Increment();
         }
         QueueResponse(conn_id, EncodeTopKResponse(resp));
       }
@@ -412,7 +531,9 @@ bool GbdaServer::DispatchFrame(uint64_t conn_id, Frame frame) {
                                                   : config_.default_deadline_ms;
       pending.mutate = std::move(*req);
       const uint64_t request_id = pending.mutate.request_id;
+      pending.admission_micros = ElapsedMicros(now);
       WireStatus admitted = WireStatus::kOk;
+      size_t depth = 0;
       {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         if (stopping_.load(std::memory_order_relaxed)) {
@@ -421,13 +542,12 @@ bool GbdaServer::DispatchFrame(uint64_t conn_id, Frame frame) {
           admitted = WireStatus::kOverloaded;
         } else {
           queue_.push_back(std::move(pending));
-          std::lock_guard<std::mutex> slock(stats_mutex_);
-          ++stats_.requests_accepted;
-          stats_.queue_depth_peak =
-              std::max<uint64_t>(stats_.queue_depth_peak, queue_.size());
+          depth = queue_.size();
         }
       }
       if (admitted == WireStatus::kOk) {
+        requests_accepted_.Increment();
+        AtomicMax(&queue_depth_peak_, depth);
         queue_cv_.notify_one();
       } else {
         MutateResponse resp;
@@ -436,9 +556,8 @@ bool GbdaServer::DispatchFrame(uint64_t conn_id, Frame frame) {
         resp.message = admitted == WireStatus::kOverloaded
                            ? "request queue at capacity"
                            : "server shutting down";
-        {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
-          if (admitted == WireStatus::kOverloaded) ++stats_.rejected_overloaded;
+        if (admitted == WireStatus::kOverloaded) {
+          rejected_overloaded_.Increment();
         }
         QueueResponse(conn_id, EncodeMutateResponse(resp));
       }
@@ -451,10 +570,7 @@ bool GbdaServer::DispatchFrame(uint64_t conn_id, Frame frame) {
   // Payload decode failure (or a response-typed frame): the framing is
   // intact, so answer kInvalidRequest and keep the connection. The
   // request_id is unknown — the body did not parse — so 0 is reported.
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.rejected_invalid;
-  }
+  rejected_invalid_.Increment();
   TopKResponse resp;
   resp.status = WireStatus::kInvalidRequest;
   resp.message = "malformed request payload";
@@ -471,10 +587,7 @@ void GbdaServer::QueueResponse(uint64_t conn_id, std::string frame_bytes) {
     conn.outbox_sent = 0;
   }
   conn.outbox.append(frame_bytes);
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.responses_sent;
-  }
+  responses_sent_.Increment();
   HandleWritable(conn_id);  // opportunistic immediate send
 }
 
@@ -504,8 +617,7 @@ void GbdaServer::CloseConnection(uint64_t conn_id) {
   if (it == conns_.end()) return;
   ::close(it->second.fd);
   conns_.erase(it);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.connections_closed;
+  connections_closed_.Increment();
 }
 
 // ---------------------------------------------------------------------------
@@ -513,8 +625,9 @@ void GbdaServer::CloseConnection(uint64_t conn_id) {
 // ---------------------------------------------------------------------------
 
 std::vector<GbdaServer::Pending> GbdaServer::NextBatch(
-    uint64_t* linger_micros) {
+    uint64_t* linger_micros, uint64_t* coalesce_micros) {
   std::vector<Pending> batch;
+  *coalesce_micros = 0;
   std::unique_lock<std::mutex> lock(queue_mutex_);
   queue_cv_.wait(lock, [this] {
     return stopping_.load(std::memory_order_relaxed) ||
@@ -524,6 +637,9 @@ std::vector<GbdaServer::Pending> GbdaServer::NextBatch(
   // Shutdown drains without pausing: remaining admitted requests are still
   // answered below.
 
+  // Batch-stage span: starts at the first pop (idle cv-wait above is queue
+  // time, not coalescing) and ends when the batch is final.
+  const auto coalesce_start = std::chrono::steady_clock::now();
   batch.push_back(std::move(queue_.front()));
   queue_.pop_front();
   if (batch.front().type != MessageType::kTopKRequest) {
@@ -572,30 +688,35 @@ std::vector<GbdaServer::Pending> GbdaServer::NextBatch(
   } else if (batch.size() == 1) {
     *linger_micros /= 2;
   }
+  *coalesce_micros = ElapsedMicros(coalesce_start);
   return batch;
 }
 
 void GbdaServer::WorkerLoop() {
   uint64_t linger_micros = 0;
   for (;;) {
-    std::vector<Pending> batch = NextBatch(&linger_micros);
+    uint64_t coalesce_micros = 0;
+    std::vector<Pending> batch = NextBatch(&linger_micros, &coalesce_micros);
     if (batch.empty()) return;  // shutdown, queue drained
     if (batch.front().type == MessageType::kMutateRequest) {
       ExecuteMutation(std::move(batch.front()));
     } else {
-      ExecuteTopKBatch(std::move(batch));
+      ExecuteTopKBatch(std::move(batch), coalesce_micros);
     }
   }
 }
 
-void GbdaServer::ExecuteTopKBatch(std::vector<Pending> batch) {
+void GbdaServer::ExecuteTopKBatch(std::vector<Pending> batch,
+                                  uint64_t coalesce_micros) {
   // Deadline accounting happens at execution time: a request that spent its
   // whole budget queued is answered kDeadlineExceeded, never executed.
   std::vector<Pending> live;
+  std::vector<uint64_t> queued_micros;  // parallel to live, arrival -> here
   live.reserve(batch.size());
+  queued_micros.reserve(batch.size());
   for (Pending& p : batch) {
-    const uint64_t queued_ms =
-        ElapsedMicros(p.arrival) / 1000;
+    const uint64_t qm = ElapsedMicros(p.arrival);
+    const uint64_t queued_ms = qm / 1000;
     if (queued_ms > p.deadline_ms) {
       TopKResponse resp;
       resp.request_id = p.topk.request_id;
@@ -603,13 +724,12 @@ void GbdaServer::ExecuteTopKBatch(std::vector<Pending> batch) {
       resp.message = "deadline of " + std::to_string(p.deadline_ms) +
                      " ms exceeded after " + std::to_string(queued_ms) +
                      " ms in queue";
-      resp.queue_micros = ElapsedMicros(p.arrival);
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.rejected_deadline;
-      }
+      resp.queue_micros = qm;
+      resp.admission_micros = p.admission_micros;
+      rejected_deadline_.Increment();
       PostResponse(p.conn_id, EncodeTopKResponse(resp));
     } else {
+      queued_micros.push_back(qm);
       live.push_back(std::move(p));
     }
   }
@@ -628,20 +748,20 @@ void GbdaServer::ExecuteTopKBatch(std::vector<Pending> batch) {
                                              k, options, &served)
           : backend_.frozen->QueryTopKBatch(Span<Graph>(queries), k, options);
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.batches_executed;
-    const size_t slot =
-        std::min(live.size(), stats_.batch_size_histogram.size()) - 1;
-    ++stats_.batch_size_histogram[slot];
-  }
+  batches_executed_.Increment();
+  const size_t slot = std::min(live.size(), batch_size_histogram_.size()) - 1;
+  batch_size_histogram_[slot].fetch_add(1, std::memory_order_relaxed);
+  stage_latency_[static_cast<int>(obs::QueryStage::kBatch)].Record(
+      coalesce_micros);
 
   for (size_t i = 0; i < live.size(); ++i) {
     TopKResponse resp;
     resp.request_id = live[i].topk.request_id;
     resp.generation = served.generation;
-    resp.queue_micros = ElapsedMicros(live[i].arrival);
+    resp.queue_micros = queued_micros[i];
     resp.batch_size = live.size();
+    resp.admission_micros = live[i].admission_micros;
+    resp.batch_micros = coalesce_micros;
     if (results.ok()) {
       SearchResult& r = (*results)[i];
       resp.candidates_evaluated = r.candidates_evaluated;
@@ -649,6 +769,8 @@ void GbdaServer::ExecuteTopKBatch(std::vector<Pending> batch) {
       resp.pruned_by_bound = r.pruned_by_bound;
       resp.candidates_visited = r.candidates_visited;
       resp.verified_count = r.verified_count;
+      resp.scan_micros =
+          r.seconds > 0 ? static_cast<uint64_t>(r.seconds * 1e6 + 0.5) : 0;
       resp.matches = std::move(r.matches);
     } else {
       // The only batch-global failure modes are option validation and
@@ -656,6 +778,21 @@ void GbdaServer::ExecuteTopKBatch(std::vector<Pending> batch) {
       // (they share (k, options) by construction of the batch key).
       resp.status = WireStatus::kInvalidRequest;
       resp.message = results.status().ToString();
+    }
+    stage_latency_[static_cast<int>(obs::QueryStage::kAdmission)].Record(
+        resp.admission_micros);
+    stage_latency_[static_cast<int>(obs::QueryStage::kQueue)].Record(
+        resp.queue_micros);
+    stage_latency_[static_cast<int>(obs::QueryStage::kScan)].Record(
+        resp.scan_micros);
+    if (obs::SlowQueryLogEnabled()) {
+      obs::TraceSpans spans;
+      spans.Set(obs::QueryStage::kAdmission, resp.admission_micros);
+      spans.Set(obs::QueryStage::kQueue, resp.queue_micros);
+      spans.Set(obs::QueryStage::kBatch, resp.batch_micros);
+      spans.Set(obs::QueryStage::kScan, resp.scan_micros);
+      obs::MaybeLogSlowQuery(spans.TotalMicros(), spans, resp.pruned_by_bound,
+                             resp.candidates_visited, live.size());
     }
     PostResponse(live[i].conn_id, EncodeTopKResponse(resp));
   }
@@ -672,10 +809,7 @@ void GbdaServer::ExecuteMutation(Pending request) {
     resp.message = "deadline of " + std::to_string(request.deadline_ms) +
                    " ms exceeded after " + std::to_string(queued_ms) +
                    " ms in queue";
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.rejected_deadline;
-    }
+    rejected_deadline_.Increment();
     PostResponse(request.conn_id, EncodeMutateResponse(resp));
     return;
   }

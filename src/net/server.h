@@ -47,6 +47,9 @@
 
 #include "common/result.h"
 #include "net/codec.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "service/dynamic_service.h"
 #include "service/gbda_service.h"
 
@@ -109,8 +112,19 @@ class GbdaServer {
   /// The bound TCP port (the ephemeral pick when config.port was 0).
   uint16_t port() const { return port_; }
 
-  /// Snapshot of the server counters (see WireServerStats).
+  /// Snapshot of the server counters (see WireServerStats), assembled from
+  /// sharded lock-free counters: no mutex is taken anywhere on the request
+  /// path, and the snapshot is exact once traffic quiesces (a consistent
+  /// lower bound while it runs). stage_latency is filled in obs::QueryStage
+  /// order from the server's per-stage histograms.
   WireServerStats stats() const;
+
+  /// Appends the server's gbda_server_* counter families and the
+  /// gbda_stage_latency_micros{stage=...} histograms for a registry
+  /// collector (tools/gbda_serverd registers this with the global registry
+  /// behind --metrics-port).
+  void CollectMetrics(const std::string& labels,
+                      std::vector<obs::MetricFamily>* out) const;
 
   /// Admin drain gate: while paused, admission keeps accepting (and keeps
   /// rejecting past the queue bound) but workers do not pop, so queued
@@ -133,6 +147,9 @@ class GbdaServer {
     MutateRequest mutate;
     std::chrono::steady_clock::time_point arrival;
     uint64_t deadline_ms = 0;
+    /// I/O-thread time from frame dispatch to admission (trace span,
+    /// stamped into the response).
+    uint64_t admission_micros = 0;
   };
 
   /// Per-connection state; owned and touched exclusively by the I/O
@@ -166,9 +183,12 @@ class GbdaServer {
 
   void WorkerLoop();
   /// Pops one adaptive micro-batch (see the class comment). Empty result
-  /// means "shutting down and the queue is drained".
-  std::vector<Pending> NextBatch(uint64_t* linger_micros);
-  void ExecuteTopKBatch(std::vector<Pending> batch);
+  /// means "shutting down and the queue is drained". `coalesce_micros`
+  /// reports the time from the first pop to the batch being finalized — the
+  /// batch-stage trace span shared by every request in the batch.
+  std::vector<Pending> NextBatch(uint64_t* linger_micros,
+                                 uint64_t* coalesce_micros);
+  void ExecuteTopKBatch(std::vector<Pending> batch, uint64_t coalesce_micros);
   void ExecuteMutation(Pending request);
   /// Hands a finished response frame from a worker to the I/O thread.
   void PostResponse(uint64_t conn_id, std::string frame_bytes);
@@ -203,8 +223,28 @@ class GbdaServer {
   std::unordered_map<uint64_t, Connection> conns_;
   uint64_t next_conn_id_ = 1;
 
-  mutable std::mutex stats_mutex_;
-  WireServerStats stats_;
+  // Server counters: sharded relaxed-atomic (obs::Counter), so neither the
+  // I/O thread nor the workers ever take a lock to count — the per-request
+  // stats mutex this replaced was the serving path's only remaining
+  // cross-thread lock outside the queue itself.
+  obs::Counter connections_opened_;
+  obs::Counter connections_closed_;
+  obs::Counter frames_received_;
+  obs::Counter decode_errors_;
+  obs::Counter requests_accepted_;
+  obs::Counter rejected_overloaded_;
+  obs::Counter rejected_deadline_;
+  obs::Counter rejected_invalid_;
+  obs::Counter responses_sent_;
+  obs::Counter batches_executed_;
+  std::atomic<uint64_t> queue_depth_peak_{0};  // CAS-max
+  /// batch_size_histogram[i] counts executed micro-batches of size i+1
+  /// (sized once in the constructor; relaxed adds thereafter).
+  std::vector<std::atomic<uint64_t>> batch_size_histogram_;
+  /// Per-stage latency histograms (microseconds), indexed by
+  /// obs::QueryStage: the scrape surface's admission/queue/batch/scan
+  /// families and the source of WireServerStats::stage_latency.
+  obs::ConcurrentHistogram stage_latency_[obs::kNumQueryStages];
 
   std::once_flag shutdown_once_;
 };

@@ -1,0 +1,167 @@
+#include "obs/exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gbda::obs {
+
+namespace {
+
+// Reads one request's header block (terminated by a blank line) with a short
+// poll-based deadline so a stalled client cannot wedge the accept loop.
+bool ReadRequest(int fd, std::string* request) {
+  char buf[1024];
+  for (int rounds = 0; rounds < 50; ++rounds) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    request->append(buf, static_cast<size_t>(n));
+    if (request->find("\r\n\r\n") != std::string::npos ||
+        request->find("\n\n") != std::string::npos) {
+      return true;
+    }
+    if (request->size() > 8192) return false;
+  }
+  return false;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(int code, const char* reason, const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MetricsExporter>> MetricsExporter::Start(
+    const MetricsRegistry* registry, const ExporterOptions& options) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd);
+    return Status::InvalidArgument("bad metrics host: " + options.host);
+  }
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status =
+        Status::IOError(std::string("bind metrics port: ") + std::strerror(errno));
+    ::close(listen_fd);
+    return status;
+  }
+  if (::listen(listen_fd, 16) < 0) {
+    const Status status = Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr), &addr_len) < 0) {
+    const Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(listen_fd);
+    return status;
+  }
+  int wake[2];
+  if (::pipe(wake) < 0) {
+    const Status status = Status::IOError(std::string("pipe: ") + std::strerror(errno));
+    ::close(listen_fd);
+    return status;
+  }
+  return std::unique_ptr<MetricsExporter>(new MetricsExporter(
+      registry, listen_fd, wake[0], wake[1], ntohs(addr.sin_port)));
+}
+
+MetricsExporter::MetricsExporter(const MetricsRegistry* registry, int listen_fd,
+                                 int wake_read_fd, int wake_write_fd, uint16_t port)
+    : registry_(registry),
+      listen_fd_(listen_fd),
+      wake_read_fd_(wake_read_fd),
+      wake_write_fd_(wake_write_fd),
+      port_(port) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+void MetricsExporter::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+}
+
+void MetricsExporter::Loop() {
+  for (;;) {
+    struct pollfd fds[2] = {{wake_read_fd_, POLLIN, 0}, {listen_fd_, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      LogError(std::string("metrics exporter poll: ") + std::strerror(errno));
+      return;
+    }
+    if (fds[0].revents != 0) return;  // Stop() woke us
+    if ((fds[1].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void MetricsExporter::ServeConnection(int fd) {
+  std::string request;
+  if (!ReadRequest(fd, &request)) return;
+  const size_t line_end = request.find('\n');
+  const std::string line = request.substr(0, line_end);
+  std::string response;
+  if (line.rfind("GET /metrics.json", 0) == 0) {
+    response = HttpResponse(200, "OK", "application/json", registry_->RenderJson());
+  } else if (line.rfind("GET /metrics", 0) == 0) {
+    response = HttpResponse(200, "OK", "text/plain; version=0.0.4",
+                            registry_->RenderPrometheus());
+  } else if (line.rfind("GET /healthz", 0) == 0) {
+    response = HttpResponse(200, "OK", "text/plain", "ok\n");
+  } else {
+    response = HttpResponse(404, "Not Found", "text/plain", "not found\n");
+  }
+  WriteAll(fd, response);
+}
+
+}  // namespace gbda::obs

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "obs/metrics_registry.h"
+
+namespace gbda::obs {
+
+struct ExporterOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read back via port()
+};
+
+/// Minimal HTTP/1.0 scrape endpoint over a MetricsRegistry:
+///   GET /metrics       -> Prometheus text exposition
+///   GET /metrics.json  -> JSON snapshot
+///   GET /healthz       -> "ok"
+/// One background thread accepts, serves and closes each connection inline —
+/// scrapes are rare and small, so there is no connection state to manage.
+/// The registry must outlive the exporter.
+class MetricsExporter {
+ public:
+  static Result<std::unique_ptr<MetricsExporter>> Start(const MetricsRegistry* registry,
+                                                        const ExporterOptions& options);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Stops the accept loop and joins the thread. Idempotent; the destructor
+  /// calls it.
+  void Stop();
+
+ private:
+  MetricsExporter(const MetricsRegistry* registry, int listen_fd, int wake_read_fd,
+                  int wake_write_fd, uint16_t port);
+
+  void Loop();
+  void ServeConnection(int fd);
+
+  const MetricsRegistry* registry_;
+  int listen_fd_;
+  int wake_read_fd_;
+  int wake_write_fd_;
+  uint16_t port_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace gbda::obs

@@ -1,0 +1,129 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbda::obs {
+
+namespace internal {
+
+size_t ThreadSlot(size_t mod) {
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot & (mod - 1);
+}
+
+}  // namespace internal
+
+namespace {
+
+// Position of the highest set bit (value must be nonzero).
+int HighestBit(uint64_t value) { return 63 - __builtin_clzll(value); }
+
+}  // namespace
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  value = std::min(value, kMaxTrackable);
+  const int octave = HighestBit(value);  // in [kSubBucketBits, kMaxOctave]
+  const uint64_t sub = (value >> (octave - kSubBucketBits)) & (kSubBuckets - 1);
+  return kSubBuckets + static_cast<size_t>(octave - kSubBucketBits) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  const size_t rel = index - kSubBuckets;
+  const int octave = kSubBucketBits + static_cast<int>(rel / kSubBuckets);
+  const uint64_t sub = rel % kSubBuckets;
+  return (kSubBuckets + sub) << (octave - kSubBucketBits);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  const size_t rel = index - kSubBuckets;
+  const int octave = kSubBucketBits + static_cast<int>(rel / kSubBuckets);
+  const uint64_t width = 1ull << (octave - kSubBucketBits);
+  return BucketLowerBound(index) + width - 1;
+}
+
+void Histogram::RecordMultiple(uint64_t value, uint64_t n) {
+  if (n == 0) return;
+  buckets_[BucketIndex(value)] += n;
+  count_ += n;
+  sum_ += value * n;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() { *this = Histogram(); }
+
+uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  rank = std::clamp<uint64_t>(rank, 1, count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      const uint64_t mid = BucketLowerBound(i) + (BucketUpperBound(i) - BucketLowerBound(i)) / 2;
+      return std::clamp(mid, min(), max());
+    }
+  }
+  return max();
+}
+
+void ConcurrentHistogram::Record(uint64_t value) {
+  Slot& slot = slots_[internal::ThreadSlot(kSlots)];
+  slot.buckets[Histogram::BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.sum.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram ConcurrentHistogram::Snapshot() const {
+  Histogram out;
+  for (const Slot& slot : slots_) {
+    const uint64_t count = slot.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    out.count_ += count;
+    out.sum_ += slot.sum.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      out.buckets_[i] += slot.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  if (out.count_ > 0) {
+    out.min_ = min_.load(std::memory_order_relaxed);
+    out.max_ = max_.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void ConcurrentHistogram::Reset() {
+  for (Slot& slot : slots_) {
+    for (auto& bucket : slot.buckets) bucket.store(0, std::memory_order_relaxed);
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.sum.store(0, std::memory_order_relaxed);
+  }
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gbda::obs

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace gbda::obs {
+
+namespace internal {
+/// Stable per-thread shard index in [0, mod). Assigned round-robin on first
+/// use per thread, so writer threads spread across shards instead of hashing
+/// onto the same slot. `mod` must be a power of two.
+size_t ThreadSlot(size_t mod);
+}  // namespace internal
+
+/// Log-bucketed latency histogram (HdrHistogram-style layout). Values in
+/// [0, 16) get exact unit-width buckets; above that every power-of-two
+/// octave splits into 16 linear sub-buckets, so each value lands in a bucket
+/// whose width is at most 1/16 (6.25%) of its lower bound. Quantile()
+/// therefore answers within one bucket of the exact nearest-rank quantile.
+/// Exact count/sum/min/max ride alongside the buckets, keeping means and
+/// extremes exact regardless of bucketing.
+///
+/// This is the plain value type: single-writer, mergeable (bucket-wise adds,
+/// associative and commutative), cheap to copy. Use ConcurrentHistogram for
+/// multi-threaded recording.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 4;
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBucketBits;  // 16
+  /// Largest octave tracked with full resolution: values up to 2^40 - 1
+  /// (about 12.7 days in microseconds). Larger values clamp into the last
+  /// bucket; count/sum/min/max still record them exactly.
+  static constexpr int kMaxOctave = 39;
+  static constexpr size_t kNumBuckets =
+      kSubBuckets + static_cast<size_t>(kMaxOctave - kSubBucketBits + 1) * kSubBuckets;
+  static constexpr uint64_t kMaxTrackable = (1ull << (kMaxOctave + 1)) - 1;
+
+  /// Bucket containing `value` (values above kMaxTrackable land in the last
+  /// bucket). BucketLowerBound(i) <= value <= BucketUpperBound(i) holds for
+  /// every tracked value.
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketLowerBound(size_t index);
+  static uint64_t BucketUpperBound(size_t index);
+
+  void Record(uint64_t value) { RecordMultiple(value, 1); }
+  void RecordMultiple(uint64_t value, uint64_t n);
+
+  /// Bucket-wise addition of `other`'s state. (a ⊕ b) ⊕ c and a ⊕ (b ⊕ c)
+  /// produce identical state.
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  /// Smallest/largest recorded value; 0 when empty.
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_); }
+
+  /// Nearest-rank quantile estimate for q in [0, 1]: finds the bucket holding
+  /// rank ceil(q * count) and returns its midpoint clamped to [min, max].
+  /// The exact nearest-rank value lies in the same bucket, so the estimate is
+  /// off by at most one bucket width (<= 6.25% relative above 16, <= 1 below).
+  /// Returns 0 when empty.
+  uint64_t Quantile(double q) const;
+
+  const std::array<uint64_t, kNumBuckets>& buckets() const { return buckets_; }
+
+  bool operator==(const Histogram& other) const {
+    return count_ == other.count_ && sum_ == other.sum_ && min_ == other.min_ &&
+           max_ == other.max_ && buckets_ == other.buckets_;
+  }
+
+ private:
+  friend class ConcurrentHistogram;  // Snapshot() assembles merged state directly.
+
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+/// Thread-safe histogram recorder: per-thread-slot shards of relaxed-atomic
+/// buckets, merged into a plain Histogram on Snapshot(). Record() is two
+/// relaxed fetch_adds on the caller's shard plus a CAS only when the global
+/// min/max actually move — no locks anywhere on the write path.
+class ConcurrentHistogram {
+ public:
+  ConcurrentHistogram() = default;
+  ConcurrentHistogram(const ConcurrentHistogram&) = delete;
+  ConcurrentHistogram& operator=(const ConcurrentHistogram&) = delete;
+
+  void Record(uint64_t value);
+
+  /// Merged view of all shards. Exact when writers are quiescent; during
+  /// concurrent recording each shard is read atomically but shards are read
+  /// in sequence, so the snapshot is a consistent lower bound per shard.
+  Histogram Snapshot() const;
+
+  /// Zeroes all shards. Callers must quiesce writers first; increments racing
+  /// a Reset may survive it.
+  void Reset();
+
+ private:
+  static constexpr size_t kSlots = 8;
+  struct alignas(64) Slot {
+    std::array<std::atomic<uint64_t>, Histogram::kNumBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<Slot, kSlots> slots_{};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace gbda::obs

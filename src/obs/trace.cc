@@ -1,0 +1,111 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace gbda::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<uint32_t> g_sample_every{1};
+std::atomic<uint64_t> g_slow_query_micros{0};
+std::atomic<uint64_t> g_sample_clock{0};
+std::once_flag g_env_once;
+
+void LoadFromEnv() {
+  if (const char* v = std::getenv("GBDA_TRACE"); v != nullptr && v[0] != '\0') {
+    g_enabled.store(v[0] != '0', std::memory_order_relaxed);
+  }
+  if (const char* v = std::getenv("GBDA_TRACE_SAMPLE"); v != nullptr) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) g_sample_every.store(static_cast<uint32_t>(n), std::memory_order_relaxed);
+  }
+  if (const char* v = std::getenv("GBDA_SLOW_QUERY_MS"); v != nullptr) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) {
+      g_slow_query_micros.store(static_cast<uint64_t>(n) * 1000, std::memory_order_relaxed);
+    }
+  }
+}
+
+void EnsureEnvLoaded() { std::call_once(g_env_once, LoadFromEnv); }
+
+}  // namespace
+
+const char* QueryStageName(QueryStage stage) {
+  switch (stage) {
+    case QueryStage::kAdmission:
+      return "admission";
+    case QueryStage::kQueue:
+      return "queue";
+    case QueryStage::kBatch:
+      return "batch";
+    case QueryStage::kScan:
+      return "scan";
+  }
+  return "?";
+}
+
+void SetTraceConfig(const TraceConfig& config) {
+  EnsureEnvLoaded();  // settle env defaults first so this call wins the race
+  g_enabled.store(config.enabled, std::memory_order_relaxed);
+  g_sample_every.store(config.sample_every == 0 ? 1 : config.sample_every,
+                       std::memory_order_relaxed);
+  g_slow_query_micros.store(config.slow_query_micros, std::memory_order_relaxed);
+}
+
+TraceConfig GetTraceConfig() {
+  EnsureEnvLoaded();
+  TraceConfig config;
+  config.enabled = g_enabled.load(std::memory_order_relaxed);
+  config.sample_every = g_sample_every.load(std::memory_order_relaxed);
+  config.slow_query_micros = g_slow_query_micros.load(std::memory_order_relaxed);
+  return config;
+}
+
+bool TraceSampled() {
+  EnsureEnvLoaded();
+  if (!g_enabled.load(std::memory_order_relaxed)) return false;
+  const uint32_t every = g_sample_every.load(std::memory_order_relaxed);
+  if (every <= 1) return true;
+  return g_sample_clock.fetch_add(1, std::memory_order_relaxed) % every == 0;
+}
+
+bool SlowQueryLogEnabled() {
+  EnsureEnvLoaded();
+  return g_slow_query_micros.load(std::memory_order_relaxed) > 0;
+}
+
+std::string FormatSlowQuery(uint64_t total_micros, const TraceSpans& spans,
+                            uint64_t pruned_by_bound, uint64_t candidates_visited,
+                            uint64_t batch_size) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "slow query: total=%" PRIu64 "us admission=%" PRIu64 "us queue=%" PRIu64
+                "us batch=%" PRIu64 "us scan=%" PRIu64 "us pruned_by_bound=%" PRIu64
+                " candidates_visited=%" PRIu64 " batch_size=%" PRIu64,
+                total_micros, spans.Get(QueryStage::kAdmission),
+                spans.Get(QueryStage::kQueue), spans.Get(QueryStage::kBatch),
+                spans.Get(QueryStage::kScan), pruned_by_bound, candidates_visited,
+                batch_size);
+  return std::string(buf);
+}
+
+bool MaybeLogSlowQuery(uint64_t total_micros, const TraceSpans& spans,
+                       uint64_t pruned_by_bound, uint64_t candidates_visited,
+                       uint64_t batch_size) {
+  EnsureEnvLoaded();
+  const uint64_t threshold = g_slow_query_micros.load(std::memory_order_relaxed);
+  if (threshold == 0 || total_micros < threshold) return false;
+  LogWarning(FormatSlowQuery(total_micros, spans, pruned_by_bound, candidates_visited,
+                             batch_size));
+  return true;
+}
+
+}  // namespace gbda::obs

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace gbda::obs {
+
+/// Stages a query passes through on the serving path, in pipeline order.
+/// Used both as trace-span slots and as `stage="..."` histogram labels.
+enum class QueryStage : int {
+  kAdmission = 0,  // frame decode + admission control on the I/O thread
+  kQueue = 1,      // waiting in the bounded request queue
+  kBatch = 2,      // micro-batch coalesce (linger window)
+  kScan = 3,       // index scan: prefilter + posterior + rank
+};
+inline constexpr int kNumQueryStages = 4;
+const char* QueryStageName(QueryStage stage);
+
+/// Per-query trace record: one duration slot per stage. Plain POD — filling
+/// it never allocates, so it can ride through the hot path and the wire
+/// response unconditionally. Stage durations are observational (clocks,
+/// scheduling) and are therefore excluded from determinism comparisons,
+/// exactly like `SearchResult::pruned_by_bound`.
+struct TraceSpans {
+  std::array<uint64_t, kNumQueryStages> micros{};
+
+  void Set(QueryStage stage, uint64_t value) { micros[static_cast<int>(stage)] = value; }
+  uint64_t Get(QueryStage stage) const { return micros[static_cast<int>(stage)]; }
+  uint64_t TotalMicros() const {
+    uint64_t total = 0;
+    for (uint64_t m : micros) total += m;
+    return total;
+  }
+};
+
+/// Process-wide tracing knobs, stored in relaxed atomics so the hot path
+/// reads them with plain loads. Defaults come from the environment on first
+/// access (`GBDA_TRACE=1`, `GBDA_TRACE_SAMPLE=<n>`, `GBDA_SLOW_QUERY_MS=<n>`);
+/// SetTraceConfig overrides the environment.
+struct TraceConfig {
+  bool enabled = false;           // sample per-query scan latencies into histograms
+  uint32_t sample_every = 1;      // when enabled, record every Nth query
+  uint64_t slow_query_micros = 0; // >0: log queries whose total exceeds this
+};
+
+void SetTraceConfig(const TraceConfig& config);
+TraceConfig GetTraceConfig();
+
+/// True when tracing is enabled and this call lands on the sampling stride.
+/// One relaxed load plus (when enabled) one relaxed fetch_add; never
+/// allocates, so disabled-mode cost is a single branch.
+bool TraceSampled();
+
+bool SlowQueryLogEnabled();
+
+/// "slow query: total=1234us admission=... queue=... batch=... scan=...
+///  pruned_by_bound=... candidates_visited=... batch_size=..."
+std::string FormatSlowQuery(uint64_t total_micros, const TraceSpans& spans,
+                            uint64_t pruned_by_bound, uint64_t candidates_visited,
+                            uint64_t batch_size);
+
+/// Emits FormatSlowQuery via LogWarning when slow-query logging is enabled
+/// and `total_micros` exceeds the threshold. Returns whether it logged.
+bool MaybeLogSlowQuery(uint64_t total_micros, const TraceSpans& spans,
+                       uint64_t pruned_by_bound, uint64_t candidates_visited,
+                       uint64_t batch_size);
+
+}  // namespace gbda::obs

@@ -303,11 +303,7 @@ Result<std::vector<SearchResult>> DynamicGbdaService::RunBatchOn(
       m.graph_id = snap->stable_ids[m.graph_id];
     }
   }
-  const double wall = timer.Seconds();
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    AccumulateServiceStats(*results, wall, &stats_);
-  }
+  AccumulateServiceStats(*results, timer.Seconds(), &counters_);
   return results;
 }
 
@@ -328,8 +324,7 @@ Result<SearchResult> DynamicGbdaService::QueryTopK(const Graph& query,
   // snapshot scan runs (the query still counts as served).
   if (k == 0) {
     std::vector<SearchResult> empty(1);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    AccumulateServiceStats(empty, 0.0, &stats_);
+    AccumulateServiceStats(empty, 0.0, &counters_);
     return SearchResult{};
   }
   std::shared_ptr<const Snapshot> snap = LoadSnapshot();
@@ -353,18 +348,14 @@ Result<std::vector<SearchResult>> DynamicGbdaService::QueryTopKBatch(
   }
   if (k == 0) {
     std::vector<SearchResult> empty(queries.size());
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    AccumulateServiceStats(empty, 0.0, &stats_);
-    ++stats_.batches_served;
+    AccumulateServiceStats(empty, 0.0, &counters_);
+    counters_.batches_served.Add(1);
     return empty;
   }
   k = std::min(k, snap->index->num_graphs());
   Result<std::vector<SearchResult>> batch =
       RunBatchOn(snap, queries, options, /*apply_gamma=*/false, k);
-  if (batch.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.batches_served;
-  }
+  if (batch.ok()) counters_.batches_served.Add(1);
   return batch;
 }
 
@@ -373,10 +364,7 @@ Result<std::vector<SearchResult>> DynamicGbdaService::QueryBatch(
   std::shared_ptr<const Snapshot> snap = LoadSnapshot();
   Result<std::vector<SearchResult>> batch = RunBatchOn(
       snap, queries, options, /*apply_gamma=*/true, kScanAllMatches);
-  if (batch.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.batches_served;
-  }
+  if (batch.ok()) counters_.batches_served.Add(1);
   return batch;
 }
 
@@ -391,10 +379,7 @@ SnapshotInfo DynamicGbdaService::snapshot_info() const {
   return info;
 }
 
-ServiceStats DynamicGbdaService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
-}
+ServiceStats DynamicGbdaService::stats() const { return counters_.Snapshot(); }
 
 DynamicServiceStats DynamicGbdaService::dynamic_stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -402,8 +387,8 @@ DynamicServiceStats DynamicGbdaService::dynamic_stats() const {
 }
 
 void DynamicGbdaService::ResetStats() {
+  counters_.Reset();
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_ = ServiceStats();
   dynamic_stats_ = DynamicServiceStats();
 }
 

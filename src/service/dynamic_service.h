@@ -169,11 +169,19 @@ class DynamicGbdaService {
   /// against it pays the build unless re-warmed.
   Status WarmAnnGraph();
 
-  /// Query-side counters, as in GbdaService.
+  /// Query-side counters, as in GbdaService (sharded, lock-free on the
+  /// query path; exact once in-flight queries return).
   ServiceStats stats() const;
   /// Mutation-side counters.
   DynamicServiceStats dynamic_stats() const;
+  /// Zeroes both counter sets. Quiesce queries first (obs::Counter::Reset).
   void ResetStats();
+
+  /// Appends this service's metric families for a registry collector.
+  void CollectMetrics(const std::string& labels,
+                      std::vector<obs::MetricFamily>* out) const {
+    counters_.Collect(labels, out);
+  }
 
   /// The underlying database (stable-id space, including tombstoned slots).
   /// Reading it concurrently with mutations requires external
@@ -243,8 +251,11 @@ class DynamicGbdaService {
   ThreadPool pool_;
   std::shared_ptr<const Snapshot> snapshot_;  // std::atomic_load/store
 
+  /// Query-side counters: sharded and lock-free (see ServiceCounters); the
+  /// mutex below now guards only the mutation-side aggregates, which are
+  /// written under the serialized commit path anyway.
+  ServiceCounters counters_;
   mutable std::mutex stats_mutex_;
-  ServiceStats stats_;
   DynamicServiceStats dynamic_stats_;
 };
 

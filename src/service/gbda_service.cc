@@ -1,26 +1,116 @@
 #include "service/gbda_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "service/parallel_scan.h"
 
 namespace gbda {
 
+namespace {
+
+uint64_t SecondsToNanos(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(seconds * 1e9));
+}
+
+void AppendCounterFamily(std::vector<obs::MetricFamily>* out, const std::string& name,
+                         const std::string& help, const std::string& labels,
+                         double value) {
+  obs::MetricPoint point;
+  point.labels = labels;
+  point.value = value;
+  out->push_back(obs::MetricFamily{name, help, obs::MetricType::kCounter, {std::move(point)}});
+}
+
+}  // namespace
+
 void AccumulateServiceStats(const std::vector<SearchResult>& results,
-                            double wall_seconds, ServiceStats* stats) {
-  stats->queries_served += results.size();
+                            double wall_seconds, ServiceCounters* counters) {
+  counters->queries_served.Add(results.size());
   for (const SearchResult& r : results) {
-    stats->candidates_evaluated += r.candidates_evaluated;
-    stats->prefiltered_out += r.prefiltered_out;
-    stats->pruned_by_bound += r.pruned_by_bound;
-    stats->candidates_visited += r.candidates_visited;
-    stats->verified_count += r.verified_count;
-    stats->matches_returned += r.matches.size();
-    stats->total_latency_seconds += r.seconds;
+    counters->candidates_evaluated.Add(r.candidates_evaluated);
+    counters->prefiltered_out.Add(r.prefiltered_out);
+    counters->pruned_by_bound.Add(r.pruned_by_bound);
+    counters->candidates_visited.Add(r.candidates_visited);
+    counters->verified_count.Add(r.verified_count);
+    counters->matches_returned.Add(r.matches.size());
+    counters->latency_nanos.Add(SecondsToNanos(r.seconds));
+    if (obs::TraceSampled()) {
+      counters->scan_latency_micros.Record(SecondsToNanos(r.seconds) / 1000);
+    }
   }
-  stats->total_wall_seconds += wall_seconds;
+  counters->wall_nanos.Add(SecondsToNanos(wall_seconds));
+}
+
+ServiceStats ServiceCounters::Snapshot() const {
+  ServiceStats stats;
+  stats.queries_served = queries_served.Value();
+  stats.batches_served = batches_served.Value();
+  stats.candidates_evaluated = candidates_evaluated.Value();
+  stats.prefiltered_out = prefiltered_out.Value();
+  stats.pruned_by_bound = pruned_by_bound.Value();
+  stats.candidates_visited = candidates_visited.Value();
+  stats.verified_count = verified_count.Value();
+  stats.matches_returned = matches_returned.Value();
+  stats.total_latency_seconds = static_cast<double>(latency_nanos.Value()) * 1e-9;
+  stats.total_wall_seconds = static_cast<double>(wall_nanos.Value()) * 1e-9;
+  return stats;
+}
+
+void ServiceCounters::Reset() {
+  queries_served.Reset();
+  batches_served.Reset();
+  candidates_evaluated.Reset();
+  prefiltered_out.Reset();
+  pruned_by_bound.Reset();
+  candidates_visited.Reset();
+  verified_count.Reset();
+  matches_returned.Reset();
+  latency_nanos.Reset();
+  wall_nanos.Reset();
+  scan_latency_micros.Reset();
+}
+
+void ServiceCounters::Collect(const std::string& labels,
+                              std::vector<obs::MetricFamily>* out) const {
+  AppendCounterFamily(out, "gbda_service_queries_total", "Queries served", labels,
+                      static_cast<double>(queries_served.Value()));
+  AppendCounterFamily(out, "gbda_service_batches_total", "Batch calls served", labels,
+                      static_cast<double>(batches_served.Value()));
+  AppendCounterFamily(out, "gbda_service_candidates_evaluated_total",
+                      "Candidates scored by the posterior", labels,
+                      static_cast<double>(candidates_evaluated.Value()));
+  AppendCounterFamily(out, "gbda_service_prefiltered_out_total",
+                      "Candidates rejected by the layered prefilter", labels,
+                      static_cast<double>(prefiltered_out.Value()));
+  AppendCounterFamily(out, "gbda_service_pruned_by_bound_total",
+                      "Posterior evaluations skipped by top-k early termination",
+                      labels, static_cast<double>(pruned_by_bound.Value()));
+  AppendCounterFamily(out, "gbda_service_candidates_visited_total",
+                      "Nodes visited by the approximate navigator", labels,
+                      static_cast<double>(candidates_visited.Value()));
+  AppendCounterFamily(out, "gbda_service_verified_total",
+                      "Approximate candidates paying full verification", labels,
+                      static_cast<double>(verified_count.Value()));
+  AppendCounterFamily(out, "gbda_service_matches_returned_total", "Matches returned",
+                      labels, static_cast<double>(matches_returned.Value()));
+  AppendCounterFamily(out, "gbda_service_latency_seconds_total",
+                      "Sum of per-query latencies", labels,
+                      static_cast<double>(latency_nanos.Value()) * 1e-9);
+  AppendCounterFamily(out, "gbda_service_wall_seconds_total",
+                      "Sum of top-level call wall times", labels,
+                      static_cast<double>(wall_nanos.Value()) * 1e-9);
+  obs::MetricPoint scan_point;
+  scan_point.labels = labels;
+  scan_point.histogram = scan_latency_micros.Snapshot();
+  out->push_back(obs::MetricFamily{
+      "gbda_service_scan_latency_micros",
+      "Per-query scan latency (microseconds), trace-sampled",
+      obs::MetricType::kHistogram,
+      {std::move(scan_point)}});
 }
 
 Result<std::unique_ptr<GbdaService>> GbdaService::Create(
@@ -134,11 +224,7 @@ Result<std::vector<SearchResult>> GbdaService::RunBatch(
           : ParallelScanBatch(env, queries, options, apply_gamma, top_k);
   if (!results.ok()) return results;
 
-  const double wall = timer.Seconds();
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    AccumulateServiceStats(*results, wall, &stats_);
-  }
+  AccumulateServiceStats(*results, timer.Seconds(), &counters_);
   return results;
 }
 
@@ -157,8 +243,7 @@ Result<SearchResult> GbdaService::QueryTopK(const Graph& query, size_t k,
   // core/gbda_search.h on the kScanAllMatches sentinel vs k == 0.
   if (k == 0) {
     std::vector<SearchResult> empty(1);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    AccumulateServiceStats(empty, 0.0, &stats_);
+    AccumulateServiceStats(empty, 0.0, &counters_);
     return SearchResult{};
   }
   // Clamp so an oversized k (notably SIZE_MAX) cannot collide with the
@@ -175,10 +260,7 @@ Result<std::vector<SearchResult>> GbdaService::QueryBatch(
     Span<Graph> queries, const SearchOptions& options) {
   Result<std::vector<SearchResult>> batch =
       RunBatch(queries, options, /*apply_gamma=*/true, kScanAllMatches);
-  if (batch.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.batches_served;
-  }
+  if (batch.ok()) counters_.batches_served.Add(1);
   return batch;
 }
 
@@ -187,29 +269,19 @@ Result<std::vector<SearchResult>> GbdaService::QueryTopKBatch(
   if (k == 0) {
     // Defined-empty rankings for the whole batch, no scan (see QueryTopK).
     std::vector<SearchResult> empty(queries.size());
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    AccumulateServiceStats(empty, 0.0, &stats_);
-    ++stats_.batches_served;
+    AccumulateServiceStats(empty, 0.0, &counters_);
+    counters_.batches_served.Add(1);
     return empty;
   }
   k = std::min(k, shards_.num_graphs());
   Result<std::vector<SearchResult>> batch =
       RunBatch(queries, options, /*apply_gamma=*/false, k);
-  if (batch.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.batches_served;
-  }
+  if (batch.ok()) counters_.batches_served.Add(1);
   return batch;
 }
 
-ServiceStats GbdaService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
-}
+ServiceStats GbdaService::stats() const { return counters_.Snapshot(); }
 
-void GbdaService::ResetStats() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_ = ServiceStats();
-}
+void GbdaService::ResetStats() { counters_.Reset(); }
 
 }  // namespace gbda

@@ -27,6 +27,7 @@
 #include "common/thread_pool.h"
 #include "core/gbda_search.h"
 #include "core/prefilter.h"
+#include "obs/metrics_registry.h"
 #include "service/index_shards.h"
 
 namespace gbda {
@@ -45,9 +46,10 @@ struct ServiceOptions {
   AnnBuildParams ann_build;
 };
 
-/// Aggregate serving statistics since construction (or ResetStats).
-/// All fields are guarded by the owning service's stats mutex — concurrent
-/// client threads may call Query/QueryBatch/stats() freely.
+/// Aggregate serving statistics since construction (or ResetStats). A plain
+/// value snapshot assembled from the owning service's sharded counters
+/// (ServiceCounters) — concurrent client threads may call Query/QueryBatch/
+/// stats() freely; no lock is taken anywhere on the query path.
 struct ServiceStats {
   size_t queries_served = 0;
   size_t batches_served = 0;  // QueryBatch / QueryTopKBatch calls
@@ -90,11 +92,40 @@ struct ServiceStats {
   static constexpr double kMinWallSeconds = 1e-9;
 };
 
-/// Folds one batch's results into the aggregate counters (shared by
-/// GbdaService and DynamicGbdaService; the caller holds its stats lock).
-/// `wall_seconds` is the top-level call's wall time.
+/// Lock-free backing store for ServiceStats: one sharded relaxed-atomic
+/// counter per field (durations in integer nanoseconds — exact to the
+/// steady_clock tick), so accumulation on the query path never contends and
+/// never takes a mutex. Snapshot() is exact once writers quiesce and a
+/// consistent lower bound while they run; Reset() requires quiesced writers
+/// (same caveat as obs::Counter::Reset).
+struct ServiceCounters {
+  obs::Counter queries_served;
+  obs::Counter batches_served;
+  obs::Counter candidates_evaluated;
+  obs::Counter prefiltered_out;
+  obs::Counter pruned_by_bound;
+  obs::Counter candidates_visited;
+  obs::Counter verified_count;
+  obs::Counter matches_returned;
+  obs::Counter latency_nanos;  // sum of per-query latencies
+  obs::Counter wall_nanos;     // sum of top-level call wall times
+  /// Per-query scan-stage latency distribution (microseconds), recorded only
+  /// when tracing samples the query (obs::TraceSampled) so the untraced hot
+  /// path pays nothing for it.
+  obs::ConcurrentHistogram scan_latency_micros;
+
+  ServiceStats Snapshot() const;
+  void Reset();
+  /// Appends this service's gbda_service_* metric families, every point
+  /// tagged with `labels` (may be empty). Feeds MetricsRegistry collectors.
+  void Collect(const std::string& labels, std::vector<obs::MetricFamily>* out) const;
+};
+
+/// Folds one batch's results into the sharded counters (shared by
+/// GbdaService and DynamicGbdaService; safe to call from any thread, no
+/// locking). `wall_seconds` is the top-level call's wall time.
 void AccumulateServiceStats(const std::vector<SearchResult>& results,
-                            double wall_seconds, ServiceStats* stats);
+                            double wall_seconds, ServiceCounters* counters);
 
 /// Concurrent sharded query engine over a prebuilt index. The index is
 /// consumed through the IndexReader contract (core/index_reader.h), so the
@@ -175,9 +206,18 @@ class GbdaService {
   /// so adopt before the first approximate query or WarmAnnGraph call.
   Status AdoptAnnGraph(const ProximityGraphRef& graph);
 
-  /// Snapshot of the aggregate counters.
+  /// Snapshot of the aggregate counters (exact once in-flight queries have
+  /// returned; a consistent lower bound while they run).
   ServiceStats stats() const;
+  /// Zeroes the counters. Quiesce concurrent queries first: an accumulation
+  /// racing the reset may survive it partially.
   void ResetStats();
+
+  /// Appends this service's metric families for a registry collector.
+  void CollectMetrics(const std::string& labels,
+                      std::vector<obs::MetricFamily>* out) const {
+    counters_.Collect(labels, out);
+  }
 
  private:
   /// Shared fan-out/merge (service/parallel_scan.h). top_k ==
@@ -210,8 +250,7 @@ class GbdaService {
   std::unique_ptr<const AnnContext> ann_;
   Status ann_status_;
 
-  mutable std::mutex stats_mutex_;
-  ServiceStats stats_;
+  ServiceCounters counters_;
 };
 
 }  // namespace gbda

@@ -68,6 +68,9 @@ TopKResponse SampleTopKResponse() {
   msg.verified_count = 75;
   msg.queue_micros = 314;
   msg.batch_size = 4;
+  msg.admission_micros = 7;
+  msg.batch_micros = 42;
+  msg.scan_micros = 2718;
   msg.matches.push_back({3, 0.875, 2});
   msg.matches.push_back({17, 0.25, 5});
   return msg;
@@ -105,6 +108,18 @@ StatsResponse SampleStatsResponse() {
   msg.stats.rejected_overloaded = 7;
   msg.stats.batches_executed = 30;
   msg.stats.batch_size_histogram = {20, 8, 2};
+  // Four per-stage summaries in obs::QueryStage order (v3).
+  for (uint64_t s = 0; s < 4; ++s) {
+    WireStageStats stage;
+    stage.count = 100 + s;
+    stage.sum_micros = 5000 * (s + 1);
+    stage.min_micros = s;
+    stage.max_micros = 900 + s;
+    stage.p50_micros = 40 + s;
+    stage.p99_micros = 400 + s;
+    stage.p999_micros = 800 + s;
+    msg.stats.stage_latency.push_back(stage);
+  }
   return msg;
 }
 
@@ -211,6 +226,9 @@ TEST(NetCodecTest, TopKResponseRoundTripPreservesMatchesBitExactly) {
   EXPECT_EQ(decoded->verified_count, original.verified_count);
   EXPECT_EQ(decoded->queue_micros, original.queue_micros);
   EXPECT_EQ(decoded->batch_size, original.batch_size);
+  EXPECT_EQ(decoded->admission_micros, original.admission_micros);
+  EXPECT_EQ(decoded->batch_micros, original.batch_micros);
+  EXPECT_EQ(decoded->scan_micros, original.scan_micros);
   ASSERT_EQ(decoded->matches.size(), original.matches.size());
   for (size_t i = 0; i < original.matches.size(); ++i) {
     EXPECT_EQ(decoded->matches[i].graph_id, original.matches[i].graph_id);
@@ -457,6 +475,44 @@ TEST(NetCodecTest, HostileMutateGraphCountIsRejectedWithoutAllocation) {
   const uint64_t hostile = uint64_t{1} << 60;
   std::memcpy(&payload[count_at], &hostile, 8);
   EXPECT_FALSE(DecodeMutateRequest(payload).ok());
+}
+
+TEST(NetCodecTest, StatsResponseRoundTripPreservesStageLatency) {
+  const StatsResponse original = SampleStatsResponse();
+  Result<std::optional<Frame>> frame = FeedOnce(EncodeStatsResponse(original));
+  ASSERT_TRUE(frame.ok() && frame->has_value());
+  Result<StatsResponse> decoded = DecodeStatsResponse((*frame)->payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->stats.requests_accepted,
+            original.stats.requests_accepted);
+  EXPECT_EQ(decoded->stats.batch_size_histogram,
+            original.stats.batch_size_histogram);
+  ASSERT_EQ(decoded->stats.stage_latency.size(),
+            original.stats.stage_latency.size());
+  for (size_t i = 0; i < original.stats.stage_latency.size(); ++i) {
+    const WireStageStats& a = original.stats.stage_latency[i];
+    const WireStageStats& b = decoded->stats.stage_latency[i];
+    EXPECT_EQ(b.count, a.count);
+    EXPECT_EQ(b.sum_micros, a.sum_micros);
+    EXPECT_EQ(b.min_micros, a.min_micros);
+    EXPECT_EQ(b.max_micros, a.max_micros);
+    EXPECT_EQ(b.p50_micros, a.p50_micros);
+    EXPECT_EQ(b.p99_micros, a.p99_micros);
+    EXPECT_EQ(b.p999_micros, a.p999_micros);
+  }
+}
+
+TEST(NetCodecTest, HostileStageStatsCountIsRejectedWithoutAllocation) {
+  StatsResponse msg = SampleStatsResponse();
+  msg.stats.stage_latency.clear();
+  Result<std::optional<Frame>> frame = FeedOnce(EncodeStatsResponse(msg));
+  ASSERT_TRUE(frame.ok() && frame->has_value());
+  std::string payload = (*frame)->payload;
+  // The stage count is the final u64 of the payload (empty stage list).
+  ASSERT_GE(payload.size(), 8u);
+  const uint64_t hostile = ~uint64_t{0};
+  std::memcpy(&payload[payload.size() - 8], &hostile, 8);
+  EXPECT_FALSE(DecodeStatsResponse(payload).ok());
 }
 
 TEST(NetCodecTest, UnknownWireStatusAndMutationOpAreRejected) {

@@ -1,0 +1,212 @@
+// Tests of the log-bucketed latency histogram (src/obs/histogram.h): bucket
+// boundary invariants, merge associativity as exact state equality, the
+// one-bucket quantile error bound against an exact sorted-sample oracle, and
+// exact count/sum under concurrent recording.
+
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace gbda::obs {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, SmallValuesGetExactUnitBuckets) {
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), v);
+    EXPECT_EQ(Histogram::BucketLowerBound(v), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(v), v);
+  }
+}
+
+TEST(HistogramTest, EveryBucketContainsItsValue) {
+  // lower <= v <= upper must hold for every tracked value; sweep exact
+  // values, powers of two, off-by-ones and pseudo-random probes.
+  std::mt19937_64 rng(42);
+  std::vector<uint64_t> probes;
+  for (uint64_t v = 0; v < 4096; ++v) probes.push_back(v);
+  for (int p = 4; p <= Histogram::kMaxOctave; ++p) {
+    probes.push_back((1ull << p) - 1);
+    probes.push_back(1ull << p);
+    probes.push_back((1ull << p) + 1);
+  }
+  for (int i = 0; i < 10000; ++i) {
+    probes.push_back(rng() % Histogram::kMaxTrackable);
+  }
+  probes.push_back(Histogram::kMaxTrackable);
+  for (uint64_t v : probes) {
+    const size_t idx = Histogram::BucketIndex(v);
+    ASSERT_LT(idx, Histogram::kNumBuckets) << "value " << v;
+    EXPECT_LE(Histogram::BucketLowerBound(idx), v) << "value " << v;
+    EXPECT_GE(Histogram::BucketUpperBound(idx), v) << "value " << v;
+  }
+}
+
+TEST(HistogramTest, BucketBoundsTile) {
+  // Bucket i+1 starts exactly one past bucket i's upper bound: no gaps, no
+  // overlaps across the whole range.
+  for (size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketUpperBound(i) + 1,
+              Histogram::BucketLowerBound(i + 1))
+        << "bucket " << i;
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            Histogram::kMaxTrackable);
+}
+
+TEST(HistogramTest, ValuesAboveTrackableClampIntoLastBucketButStayExact) {
+  Histogram h;
+  const uint64_t huge = Histogram::kMaxTrackable + 12345;
+  h.Record(huge);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), huge);
+  EXPECT_EQ(h.min(), huge);
+  EXPECT_EQ(h.max(), huge);
+  EXPECT_EQ(h.buckets()[Histogram::kNumBuckets - 1], 1u);
+}
+
+TEST(HistogramTest, CountSumMinMaxAreExact) {
+  Histogram h;
+  std::mt19937_64 rng(7);
+  uint64_t sum = 0, mn = UINT64_MAX, mx = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng() % 1000000;
+    h.Record(v);
+    sum += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_EQ(h.count(), 5000u);
+  EXPECT_EQ(h.sum(), sum);
+  EXPECT_EQ(h.min(), mn);
+  EXPECT_EQ(h.max(), mx);
+}
+
+TEST(HistogramTest, MergeIsAssociativeAsStateEquality) {
+  std::mt19937_64 rng(11);
+  Histogram a, b, c;
+  for (int i = 0; i < 1000; ++i) a.Record(rng() % 100);
+  for (int i = 0; i < 1000; ++i) b.Record(rng() % 100000);
+  for (int i = 0; i < 1000; ++i) c.Record(rng() % (1ull << 30));
+
+  Histogram left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  Histogram bc = b;     // a + (b + c)
+  bc.Merge(c);
+  Histogram right = a;
+  right.Merge(bc);
+  EXPECT_TRUE(left == right);
+
+  // Commutes too.
+  Histogram swapped = c;
+  swapped.Merge(b);
+  swapped.Merge(a);
+  EXPECT_TRUE(left == swapped);
+}
+
+TEST(HistogramTest, QuantileWithinOneBucketOfExactOracle) {
+  // Heavy-tailed sample: mostly small values with a long tail, the shape
+  // latency distributions take.
+  std::mt19937_64 rng(23);
+  std::exponential_distribution<double> exp_dist(1.0 / 500.0);
+  Histogram h;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = static_cast<uint64_t>(exp_dist(rng));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    // Exact nearest-rank oracle, mirroring Histogram::Quantile's rank rule.
+    const size_t rank = std::min<size_t>(
+        values.size() - 1,
+        q <= 0.0 ? 0
+                 : static_cast<size_t>(
+                       std::ceil(q * static_cast<double>(values.size()))) - 1);
+    const uint64_t exact = values[rank];
+    const uint64_t est = h.Quantile(q);
+    // The estimate must land in (or adjacent to rounding of) the exact
+    // value's bucket: within one bucket width.
+    const size_t bucket = Histogram::BucketIndex(exact);
+    const uint64_t width = Histogram::BucketUpperBound(bucket) -
+                           Histogram::BucketLowerBound(bucket) + 1;
+    EXPECT_LE(est >= exact ? est - exact : exact - est, width)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(HistogramTest, QuantileClampedToMinMax) {
+  Histogram h;
+  h.Record(100);
+  h.Record(101);
+  h.Record(102);
+  EXPECT_GE(h.Quantile(0.0), 100u);
+  EXPECT_LE(h.Quantile(1.0), 102u);
+}
+
+TEST(ConcurrentHistogramTest, ConcurrentRecordingKeepsExactCountAndSum) {
+  ConcurrentHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const Histogram merged = h.Snapshot();
+  const uint64_t n = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(merged.count(), n);
+  EXPECT_EQ(merged.sum(), n * (n - 1) / 2);  // sum of 0..n-1
+  EXPECT_EQ(merged.min(), 0u);
+  EXPECT_EQ(merged.max(), n - 1);
+}
+
+TEST(ConcurrentHistogramTest, SnapshotMatchesSerialHistogram) {
+  ConcurrentHistogram concurrent;
+  Histogram serial;
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng() % (1ull << 22);
+    concurrent.Record(v);
+    serial.Record(v);
+  }
+  EXPECT_TRUE(concurrent.Snapshot() == serial);
+}
+
+TEST(ConcurrentHistogramTest, ResetZeroesState) {
+  ConcurrentHistogram h;
+  h.Record(5);
+  h.Record(500);
+  h.Reset();
+  const Histogram empty = h.Snapshot();
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.sum(), 0u);
+  EXPECT_EQ(empty.min(), 0u);
+  EXPECT_EQ(empty.max(), 0u);
+}
+
+}  // namespace
+}  // namespace gbda::obs

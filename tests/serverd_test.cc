@@ -212,6 +212,88 @@ TEST_F(ServerdTest, ConcurrentClientsAllServeBitIdenticalResults) {
   }
 }
 
+TEST_F(ServerdTest, ShardedStatsReconcileExactlyUnderConcurrentClients) {
+  // Regression for the stats path moving from a mutex-guarded struct to
+  // sharded lock-free counters: once the burst quiesces, every delta must
+  // reconcile exactly with what the clients actually sent — a sharded
+  // counter that dropped or double-counted an increment shows up here.
+  const WireServerStats before = server_->stats();
+  const SearchOptions options = BaseOptions();
+  constexpr size_t kClients = 8;
+  constexpr size_t kQueriesPerClient = 16;
+
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Result<GbdaClient> client =
+          GbdaClient::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        failures[c] = client.status().ToString();
+        return;
+      }
+      for (size_t qi = 0; qi < kQueriesPerClient; ++qi) {
+        Result<TopKResponse> wire =
+            client->QueryTopK(MakeRequest(qi, 5, options));
+        if (!wire.ok()) {
+          failures[c] = wire.status().ToString();
+          return;
+        }
+        if (wire->status != WireStatus::kOk) {
+          failures[c] = "client " + std::to_string(c) + " query " +
+                        std::to_string(qi) + ": " + wire->message;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (size_t c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(failures[c].empty()) << failures[c];
+  }
+
+  const WireServerStats after = server_->stats();
+  const uint64_t sent = kClients * kQueriesPerClient;
+  EXPECT_EQ(after.connections_opened - before.connections_opened, kClients);
+  EXPECT_EQ(after.frames_received - before.frames_received, sent);
+  EXPECT_EQ(after.requests_accepted - before.requests_accepted, sent);
+  EXPECT_EQ(after.responses_sent - before.responses_sent, sent);
+  EXPECT_EQ(after.rejected_overloaded, before.rejected_overloaded);
+  EXPECT_EQ(after.rejected_deadline, before.rejected_deadline);
+  EXPECT_EQ(after.rejected_invalid, before.rejected_invalid);
+  EXPECT_EQ(after.decode_errors, before.decode_errors);
+
+  // Per-stage latency histograms: admission, queue and scan record once per
+  // executed request; the batch (coalesce) stage records once per batch.
+  ASSERT_EQ(after.stage_latency.size(), 4u);
+  ASSERT_EQ(before.stage_latency.size(), 4u);
+  EXPECT_EQ(after.stage_latency[0].count - before.stage_latency[0].count,
+            sent);  // admission
+  EXPECT_EQ(after.stage_latency[1].count - before.stage_latency[1].count,
+            sent);  // queue
+  EXPECT_EQ(after.stage_latency[3].count - before.stage_latency[3].count,
+            sent);  // scan
+  const uint64_t batches = after.batches_executed - before.batches_executed;
+  EXPECT_GE(batches, 1u);
+  EXPECT_LE(batches, sent);
+  EXPECT_EQ(after.stage_latency[2].count - before.stage_latency[2].count,
+            batches);  // one coalesce record per batch
+
+  // The batch-size histogram tiles the executed batches exactly.
+  ASSERT_EQ(after.batch_size_histogram.size(),
+            before.batch_size_histogram.size());
+  uint64_t batches_from_histogram = 0;
+  uint64_t requests_from_histogram = 0;
+  for (size_t i = 0; i < after.batch_size_histogram.size(); ++i) {
+    const uint64_t d =
+        after.batch_size_histogram[i] - before.batch_size_histogram[i];
+    batches_from_histogram += d;
+    requests_from_histogram += d * (i + 1);
+  }
+  EXPECT_EQ(batches_from_histogram, batches);
+  EXPECT_EQ(requests_from_histogram, sent);
+}
+
 TEST_F(ServerdTest, EdgeCaseKZeroIsDefinedEmpty) {
   GbdaClient client = MustConnect();
   Result<TopKResponse> wire = client.QueryTopK(MakeRequest(0, 0, BaseOptions()));

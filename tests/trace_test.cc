@@ -1,0 +1,139 @@
+// Tests of per-query trace plumbing (src/obs/trace.h): span slots and
+// totals, the process-wide config knobs, the sampling stride, and the
+// slow-query threshold/format. Trace state is process-global, so every test
+// restores the config it found.
+
+#include "obs/trace.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace gbda::obs {
+namespace {
+
+// Saves the global trace config on construction and restores it on
+// destruction, so tests can flip knobs without leaking state.
+class ScopedTraceConfig {
+ public:
+  ScopedTraceConfig() : saved_(GetTraceConfig()) {}
+  ~ScopedTraceConfig() { SetTraceConfig(saved_); }
+
+ private:
+  TraceConfig saved_;
+};
+
+TEST(TraceTest, StageNamesMatchPipelineOrder) {
+  EXPECT_STREQ(QueryStageName(QueryStage::kAdmission), "admission");
+  EXPECT_STREQ(QueryStageName(QueryStage::kQueue), "queue");
+  EXPECT_STREQ(QueryStageName(QueryStage::kBatch), "batch");
+  EXPECT_STREQ(QueryStageName(QueryStage::kScan), "scan");
+}
+
+TEST(TraceTest, SpansDefaultToZeroAndSumExactly) {
+  TraceSpans spans;
+  EXPECT_EQ(spans.TotalMicros(), 0u);
+  for (int s = 0; s < kNumQueryStages; ++s) {
+    EXPECT_EQ(spans.Get(static_cast<QueryStage>(s)), 0u);
+  }
+  spans.Set(QueryStage::kAdmission, 3);
+  spans.Set(QueryStage::kQueue, 40);
+  spans.Set(QueryStage::kBatch, 500);
+  spans.Set(QueryStage::kScan, 6000);
+  EXPECT_EQ(spans.Get(QueryStage::kQueue), 40u);
+  EXPECT_EQ(spans.TotalMicros(), 6543u);
+  // Overwriting a slot replaces, not accumulates.
+  spans.Set(QueryStage::kQueue, 1);
+  EXPECT_EQ(spans.TotalMicros(), 6504u);
+}
+
+TEST(TraceTest, ConfigRoundTripsAndNormalizesZeroStride) {
+  ScopedTraceConfig restore;
+  TraceConfig config;
+  config.enabled = true;
+  config.sample_every = 7;
+  config.slow_query_micros = 2500;
+  SetTraceConfig(config);
+  const TraceConfig got = GetTraceConfig();
+  EXPECT_TRUE(got.enabled);
+  EXPECT_EQ(got.sample_every, 7u);
+  EXPECT_EQ(got.slow_query_micros, 2500u);
+
+  config.sample_every = 0;  // invalid stride snaps to 1 (sample everything)
+  SetTraceConfig(config);
+  EXPECT_EQ(GetTraceConfig().sample_every, 1u);
+}
+
+TEST(TraceTest, DisabledTracingNeverSamples) {
+  ScopedTraceConfig restore;
+  TraceConfig config;
+  config.enabled = false;
+  SetTraceConfig(config);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(TraceSampled());
+}
+
+TEST(TraceTest, EnabledUnitStrideAlwaysSamples) {
+  ScopedTraceConfig restore;
+  TraceConfig config;
+  config.enabled = true;
+  config.sample_every = 1;
+  SetTraceConfig(config);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(TraceSampled());
+}
+
+TEST(TraceTest, StrideSamplesExactlyOneInN) {
+  ScopedTraceConfig restore;
+  TraceConfig config;
+  config.enabled = true;
+  config.sample_every = 3;
+  SetTraceConfig(config);
+  // The sampling clock is global and keeps its phase, but over any window of
+  // k*N consecutive calls exactly k land on the stride.
+  int sampled = 0;
+  for (int i = 0; i < 300; ++i) sampled += TraceSampled() ? 1 : 0;
+  EXPECT_EQ(sampled, 100);
+}
+
+TEST(TraceTest, SlowQueryLogFollowsThresholdKnob) {
+  ScopedTraceConfig restore;
+  TraceConfig config = GetTraceConfig();
+  config.slow_query_micros = 0;
+  SetTraceConfig(config);
+  EXPECT_FALSE(SlowQueryLogEnabled());
+
+  config.slow_query_micros = 1000;
+  SetTraceConfig(config);
+  EXPECT_TRUE(SlowQueryLogEnabled());
+
+  TraceSpans spans;
+  spans.Set(QueryStage::kScan, 999);
+  EXPECT_FALSE(MaybeLogSlowQuery(999, spans, 0, 0, 1));   // under threshold
+  spans.Set(QueryStage::kScan, 1000);
+  EXPECT_TRUE(MaybeLogSlowQuery(1000, spans, 0, 0, 1));   // at threshold
+  EXPECT_TRUE(MaybeLogSlowQuery(50000, spans, 12, 34, 8));
+
+  config.slow_query_micros = 0;
+  SetTraceConfig(config);
+  EXPECT_FALSE(MaybeLogSlowQuery(50000, spans, 0, 0, 1));  // disabled again
+}
+
+TEST(TraceTest, FormatSlowQueryNamesEveryStageAndCounter) {
+  TraceSpans spans;
+  spans.Set(QueryStage::kAdmission, 1);
+  spans.Set(QueryStage::kQueue, 22);
+  spans.Set(QueryStage::kBatch, 333);
+  spans.Set(QueryStage::kScan, 4444);
+  const std::string line = FormatSlowQuery(4800, spans, 17, 256, 4);
+  EXPECT_NE(line.find("slow query:"), std::string::npos);
+  EXPECT_NE(line.find("total=4800us"), std::string::npos);
+  EXPECT_NE(line.find("admission=1us"), std::string::npos);
+  EXPECT_NE(line.find("queue=22us"), std::string::npos);
+  EXPECT_NE(line.find("batch=333us"), std::string::npos);
+  EXPECT_NE(line.find("scan=4444us"), std::string::npos);
+  EXPECT_NE(line.find("pruned_by_bound=17"), std::string::npos);
+  EXPECT_NE(line.find("candidates_visited=256"), std::string::npos);
+  EXPECT_NE(line.find("batch_size=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gbda::obs

@@ -11,6 +11,8 @@
 //                [--threads=N] [--shards=N] [--workers=N]
 //                [--max-batch=N] [--max-linger-micros=N] [--max-queue=N]
 //                [--approximate=0|1] [--ann-degree=N]
+//                [--metrics-port=N] [--metrics-port-file=<path>]
+//                [--trace=0|1] [--trace-sample=N] [--slow-query-ms=N]
 //                [--duration=SECONDS]            # 0 = run until signalled
 //
 // --approximate=1 warms the backend's proximity graph at startup so the
@@ -20,7 +22,16 @@
 // With --port=0 (the default) the kernel picks an ephemeral port; scripts
 // read it from --port-file (written atomically after the listener is bound —
 // the handshake the CI smoke uses). On shutdown the server counters are
-// printed as one JSON object on stdout, batch-size histogram included.
+// printed as one JSON object on stdout, batch-size histogram and per-stage
+// latency summaries included.
+//
+// --metrics-port=N starts the HTTP scrape endpoint of src/obs/exporter.h on
+// that port (0 = ephemeral, read back via --metrics-port-file): GET /metrics
+// answers Prometheus text exposition, /metrics.json the same snapshot as
+// JSON. The server's and backend's counters are published into the global
+// registry only here — library users stay unregistered. --trace/--trace-
+// sample/--slow-query-ms override the GBDA_TRACE / GBDA_TRACE_SAMPLE /
+// GBDA_SLOW_QUERY_MS environment knobs (see src/obs/trace.h).
 
 #include <csignal>
 #include <cstdio>
@@ -36,6 +47,9 @@
 #include "datagen/dataset_profiles.h"
 #include "graph/graph_io.h"
 #include "net/server.h"
+#include "obs/exporter.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "service/dynamic_service.h"
 #include "service/gbda_service.h"
 
@@ -70,6 +84,11 @@ struct Flags {
   uint32_t ann_degree = 0;  // 0 keeps the AnnBuildParams default
   net::ServerConfig server;
   double duration = 0.0;
+  int32_t metrics_port = -1;  // -1 = no scrape endpoint; 0 = ephemeral
+  std::string metrics_port_file;
+  int32_t trace = -1;         // -1 = keep env/default
+  int64_t trace_sample = -1;  // -1 = keep env/default
+  int64_t slow_query_ms = -1;  // -1 = keep env/default
 };
 
 int Usage() {
@@ -83,7 +102,10 @@ int Usage() {
       "                    [--threads=N] [--shards=N] [--workers=N]\n"
       "                    [--max-batch=N] [--max-linger-micros=N]\n"
       "                    [--max-queue=N] [--approximate=0|1]\n"
-      "                    [--ann-degree=N] [--duration=SECONDS]\n");
+      "                    [--ann-degree=N] [--metrics-port=N]\n"
+      "                    [--metrics-port-file=<path>] [--trace=0|1]\n"
+      "                    [--trace-sample=N] [--slow-query-ms=N]\n"
+      "                    [--duration=SECONDS]\n");
   return 2;
 }
 
@@ -130,7 +152,40 @@ void PrintStats(const net::WireServerStats& s) {
     std::printf("%s%llu", i == 0 ? "" : ", ",
                 static_cast<unsigned long long>(s.batch_size_histogram[i]));
   }
-  std::printf("]\n}\n");
+  std::printf("],\n");
+  std::printf("  \"stage_latency_micros\": {");
+  for (size_t i = 0; i < s.stage_latency.size(); ++i) {
+    const net::WireStageStats& st = s.stage_latency[i];
+    std::printf(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+        "\"max\": %llu, \"p50\": %llu, \"p99\": %llu, \"p999\": %llu}",
+        i == 0 ? "" : ",",
+        obs::QueryStageName(static_cast<obs::QueryStage>(i)),
+        static_cast<unsigned long long>(st.count),
+        static_cast<unsigned long long>(st.sum_micros),
+        static_cast<unsigned long long>(st.min_micros),
+        static_cast<unsigned long long>(st.max_micros),
+        static_cast<unsigned long long>(st.p50_micros),
+        static_cast<unsigned long long>(st.p99_micros),
+        static_cast<unsigned long long>(st.p999_micros));
+  }
+  std::printf("\n  }\n}\n");
+}
+
+// Atomic (tmp + rename) write of "<port>\n", so a poller never reads a
+// partial number. Shared by --port-file and --metrics-port-file.
+Status WritePortFile(const std::string& path, uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot write port file: " + tmp);
+  }
+  std::fprintf(f, "%u\n", port);
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename port file into place: " + path);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -180,11 +235,37 @@ int main(int argc, char** argv) {
     } else if (FlagValue(argv[i], "--ann-degree", &v)) {
       flags.ann_degree =
           static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (FlagValue(argv[i], "--metrics-port", &v)) {
+      flags.metrics_port =
+          static_cast<int32_t>(std::strtol(v.c_str(), nullptr, 10));
+    } else if (FlagValue(argv[i], "--metrics-port-file", &v)) {
+      flags.metrics_port_file = v;
+    } else if (FlagValue(argv[i], "--trace", &v)) {
+      flags.trace = (v != "0" && v != "false") ? 1 : 0;
+    } else if (FlagValue(argv[i], "--trace-sample", &v)) {
+      flags.trace_sample = std::strtoll(v.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--slow-query-ms", &v)) {
+      flags.slow_query_ms = std::strtoll(v.c_str(), nullptr, 10);
     } else if (FlagValue(argv[i], "--duration", &v)) {
       flags.duration = std::strtod(v.c_str(), nullptr);
     } else {
       return Usage();
     }
+  }
+
+  // Tracing knobs: flags override the GBDA_TRACE / GBDA_TRACE_SAMPLE /
+  // GBDA_SLOW_QUERY_MS environment (read by GetTraceConfig on first use).
+  if (flags.trace >= 0 || flags.trace_sample >= 0 || flags.slow_query_ms >= 0) {
+    obs::TraceConfig trace_config = obs::GetTraceConfig();
+    if (flags.trace >= 0) trace_config.enabled = flags.trace != 0;
+    if (flags.trace_sample > 0) {
+      trace_config.sample_every = static_cast<uint32_t>(flags.trace_sample);
+    }
+    if (flags.slow_query_ms >= 0) {
+      trace_config.slow_query_micros =
+          static_cast<uint64_t>(flags.slow_query_ms) * 1000;
+    }
+    obs::SetTraceConfig(trace_config);
   }
 
   // ---- The corpus: a transaction file or a generated Table III profile ----
@@ -265,17 +346,44 @@ int main(int argc, char** argv) {
                flags.bind.c_str(), server->port(),
                flags.dynamic ? "dynamic" : "frozen");
   if (!flags.port_file.empty()) {
-    // Written atomically (tmp + rename) so a poller never reads a partial
-    // port number.
-    const std::string tmp = flags.port_file + ".tmp";
-    std::FILE* f = std::fopen(tmp.c_str(), "w");
-    if (f == nullptr) {
-      return Fail(Status::IOError("cannot write port file: " + tmp));
-    }
-    std::fprintf(f, "%u\n", server->port());
-    std::fclose(f);
-    if (std::rename(tmp.c_str(), flags.port_file.c_str()) != 0) {
-      return Fail(Status::IOError("cannot rename port file into place"));
+    Status wrote = WritePortFile(flags.port_file, server->port());
+    if (!wrote.ok()) return Fail(wrote);
+  }
+
+  // ---- Metrics exposition -------------------------------------------------
+  // Collectors publish the server's and backend's own counters into the
+  // global registry for exactly this process's lifetime; the exporter then
+  // serves /metrics (Prometheus text) and /metrics.json over HTTP.
+  obs::CollectorHandle server_collector(
+      &obs::MetricsRegistry::Global(),
+      [srv = server.get()](std::vector<obs::MetricFamily>* out) {
+        srv->CollectMetrics("", out);
+      });
+  obs::CollectorHandle service_collector(
+      &obs::MetricsRegistry::Global(),
+      [frozen_ptr = frozen.get(),
+       dynamic_ptr = dynamic.get()](std::vector<obs::MetricFamily>* out) {
+        if (dynamic_ptr != nullptr) {
+          dynamic_ptr->CollectMetrics("backend=\"dynamic\"", out);
+        } else {
+          frozen_ptr->CollectMetrics("backend=\"frozen\"", out);
+        }
+      });
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (flags.metrics_port >= 0) {
+    obs::ExporterOptions exporter_options;
+    exporter_options.host = flags.bind;
+    exporter_options.port = static_cast<uint16_t>(flags.metrics_port);
+    Result<std::unique_ptr<obs::MetricsExporter>> started =
+        obs::MetricsExporter::Start(&obs::MetricsRegistry::Global(),
+                                    exporter_options);
+    if (!started.ok()) return Fail(started.status());
+    exporter = std::move(*started);
+    std::fprintf(stderr, "gbda_serverd: metrics on http://%s:%u/metrics\n",
+                 flags.bind.c_str(), exporter->port());
+    if (!flags.metrics_port_file.empty()) {
+      Status wrote = WritePortFile(flags.metrics_port_file, exporter->port());
+      if (!wrote.ok()) return Fail(wrote);
     }
   }
 
