@@ -1,0 +1,96 @@
+/// \file mutex.h
+/// Annotated mutex / condition-variable wrappers (docs/ARCHITECTURE.md,
+/// "Correctness tooling"). gbda::Mutex is a std::mutex carrying the Clang
+/// thread-safety `capability` attribute, so members declared
+/// GBDA_GUARDED_BY(mu) are compile-time checked under -Wthread-safety;
+/// gbda::MutexLock is the scoped acquisition the analysis tracks; and
+/// gbda::CondVar wraps std::condition_variable with GBDA_REQUIRES-annotated
+/// waits, so a wait on a mutex the caller does not hold is a build error
+/// instead of UB. Zero overhead: every method is an inline forward to the
+/// underlying std type, and off-Clang the annotations vanish entirely
+/// (common/thread_annotations.h).
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace gbda {
+
+/// std::mutex as a Clang thread-safety capability. Prefer MutexLock over
+/// calling Lock()/Unlock() directly; the raw pair exists for the rare
+/// split-scope acquisition and stays visible to the analysis.
+class GBDA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GBDA_ACQUIRE() { mu_.lock(); }
+  void Unlock() GBDA_RELEASE() { mu_.unlock(); }
+  bool TryLock() GBDA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // waits need the raw handle to re-lock atomically
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over gbda::Mutex — the annotated analogue of
+/// std::lock_guard. Takes a pointer so the acquisition reads as
+/// `MutexLock lock(&mu_);` and cannot silently copy a mutex.
+class GBDA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) GBDA_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() GBDA_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to gbda::Mutex. Every wait requires the mutex
+/// to be held (compile-time checked); the wait releases it while blocked
+/// and re-acquires it before returning, exactly like the std type —
+/// annotated GBDA_REQUIRES because from the analysis's point of view the
+/// capability is held on entry and on exit.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Blocks until notified; spurious wakeups happen. There is deliberately
+  /// no predicate overload: a lambda predicate is opaque to the
+  /// thread-safety analysis, so waits are written as explicit
+  /// `while (!cond) cv.Wait(mu);` loops whose guarded reads stay checked.
+  void Wait(Mutex& mu) GBDA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope (MutexLock) still owns the mutex
+  }
+
+  /// Timed wait; returns std::cv_status::timeout when `deadline` passed
+  /// without a notification.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(Mutex& mu,
+                           const std::chrono::time_point<Clock, Duration>&
+                               deadline) GBDA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gbda

@@ -27,10 +27,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -43,8 +43,10 @@ void ThreadPool::WorkerLoop(size_t index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      // Explicit predicate loop (not a lambda) so the guarded accesses stay
+      // visible to the thread-safety analysis.
+      while (!stop_ && queue_.empty()) cv_.Wait(mutex_);
       // Exit only once the queue is drained, so destruction never drops
       // already-submitted tasks.
       if (queue_.empty()) return;

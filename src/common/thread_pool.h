@@ -10,17 +10,18 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace gbda {
 
@@ -63,21 +64,21 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       queue_.push([task]() { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return future;
   }
 
  private:
   void WorkerLoop(size_t index);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ GBDA_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  bool stop_ = false;
+  bool stop_ GBDA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gbda

@@ -158,7 +158,7 @@ Result<GbdaIndex> GbdaIndex::FromParts(const GbdaIndexOptions& options,
 
 CandidateColumns GbdaIndex::columns() const {
   ColumnCache* cache = column_cache_.get();
-  std::lock_guard<std::mutex> lock(cache->mu);
+  MutexLock lock(&cache->mu);
   if (!cache->built) {
     cache->columns = BuildCandidateColumns(*this);
     cache->built = true;

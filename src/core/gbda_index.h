@@ -22,11 +22,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/branch.h"
 #include "core/candidate_columns.h"
 #include "core/gbd_prior.h"
@@ -210,9 +211,12 @@ class GbdaIndex : public IndexReader {
   /// internally consistent because its branches_ snapshot is the one the
   /// cached columns were (or will be) built from.
   struct ColumnCache {
-    std::mutex mu;
-    bool built = false;
-    OwnedCandidateColumns columns;
+    Mutex mu;
+    bool built GBDA_GUARDED_BY(mu) = false;
+    /// Guarded only during the build: columns() hands out views after
+    /// setting `built` under `mu`, and from then on the object is immutable
+    /// (mutations swap in a whole new ColumnCache instead).
+    OwnedCandidateColumns columns GBDA_GUARDED_BY(mu);
   };
 
   GbdaIndexOptions options_;

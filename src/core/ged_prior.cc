@@ -76,12 +76,12 @@ double GedPriorTable::Probability(int64_t tau, int64_t v) {
 
 const std::vector<double>& GedPriorTable::Row(int64_t v) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = rows_.find(v);
     if (it != rows_.end()) return it->second;
   }
   std::vector<double> row = BuildRow(v);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return rows_.emplace(v, std::move(row)).first->second;
 }
 
@@ -90,12 +90,12 @@ void GedPriorTable::EagerBuild(const std::vector<int64_t>& sizes) {
 }
 
 size_t GedPriorTable::num_cached_rows() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return rows_.size();
 }
 
 size_t GedPriorTable::MemoryBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   size_t bytes = sizeof(GedPriorTable);
   for (const auto& [v, row] : rows_) {
     (void)v;
@@ -105,7 +105,7 @@ size_t GedPriorTable::MemoryBytes() const {
 }
 
 void GedPriorTable::Serialize(BinaryWriter* writer) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   writer->PutI64(num_vertex_labels_);
   writer->PutI64(num_edge_labels_);
   writer->PutI64(tau_max_);

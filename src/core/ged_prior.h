@@ -1,12 +1,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/serialize.h"
+#include "common/thread_annotations.h"
 
 namespace gbda {
 
@@ -38,8 +39,10 @@ class GedPriorTable {
   GedPriorTable(int64_t num_vertex_labels, int64_t num_edge_labels,
                 int64_t tau_max);
 
-  /// Movable (the mutex is not moved; the source must be quiescent).
-  GedPriorTable(GedPriorTable&& other) noexcept
+  /// Movable (the mutex is not moved; the source must be quiescent — the
+  /// analysis opt-out below is exactly that documented contract: no other
+  /// thread may touch `other` during the move, so its guard is moot).
+  GedPriorTable(GedPriorTable&& other) noexcept GBDA_NO_THREAD_SAFETY_ANALYSIS
       : num_vertex_labels_(other.num_vertex_labels_),
         num_edge_labels_(other.num_edge_labels_),
         tau_max_(other.tau_max_),
@@ -69,8 +72,12 @@ class GedPriorTable {
   int64_t num_vertex_labels_;
   int64_t num_edge_labels_;
   int64_t tau_max_;
-  mutable std::mutex mutex_;
-  std::unordered_map<int64_t, std::vector<double>> rows_;
+  mutable Mutex mutex_;
+  /// Built rows are append-only and never mutated in place, so the
+  /// references Row() hands out stay valid outside the lock (unordered_map
+  /// never invalidates value references on rehash).
+  std::unordered_map<int64_t, std::vector<double>> rows_
+      GBDA_GUARDED_BY(mutex_);
 };
 
 }  // namespace gbda

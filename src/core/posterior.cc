@@ -71,7 +71,7 @@ Status ValidatePhiArgs(int64_t v, int64_t tau_hat, int64_t tau_max) {
 Result<double> PosteriorEngine::Phi(int64_t v, int64_t phi, int64_t tau_hat) {
   Status valid = ValidatePhiArgs(v, tau_hat, tau_max_);
   if (!valid.ok()) return valid;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return PhiLocked(v, phi, tau_hat);
 }
 
@@ -79,7 +79,7 @@ Result<std::vector<double>> PosteriorEngine::PhiSuffixMax(int64_t v,
                                                           int64_t tau_hat) {
   Status valid = ValidatePhiArgs(v, tau_hat, tau_max_);
   if (!valid.ok()) return valid;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto key = std::make_pair(v, tau_hat);
   auto it = suffix_max_memo_.find(key);
   if (it == suffix_max_memo_.end()) {

@@ -13,10 +13,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/gbd_prior.h"
 #include "core/ged_prior.h"
 #include "core/lambda1.h"
@@ -65,13 +66,20 @@ class PosteriorEngine {
   Result<double> PhiUpperBound(int64_t v, int64_t phi_lower, int64_t tau_hat);
 
   int64_t tau_max() const { return tau_max_; }
-  size_t memo_hits() const { return memo_hits_; }
-  size_t memo_misses() const { return memo_misses_; }
+  size_t memo_hits() const GBDA_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return memo_hits_;
+  }
+  size_t memo_misses() const GBDA_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return memo_misses_;
+  }
 
  private:
-  const Lambda1Calculator& CalculatorFor(int64_t v);
+  const Lambda1Calculator& CalculatorFor(int64_t v) GBDA_REQUIRES(mutex_);
   /// Phi compute + memo; caller holds mutex_ and has validated (v, tau_hat).
-  double PhiLocked(int64_t v, int64_t phi, int64_t tau_hat);
+  double PhiLocked(int64_t v, int64_t phi, int64_t tau_hat)
+      GBDA_REQUIRES(mutex_);
 
   int64_t num_vertex_labels_;
   int64_t num_edge_labels_;
@@ -79,14 +87,17 @@ class PosteriorEngine {
   GedPriorTable* ged_prior_;
   const GbdPrior* gbd_prior_;
 
-  std::mutex mutex_;
-  std::map<int64_t, std::unique_ptr<Lambda1Calculator>> calculators_;
+  mutable Mutex mutex_;
+  std::map<int64_t, std::unique_ptr<Lambda1Calculator>> calculators_
+      GBDA_GUARDED_BY(mutex_);
   // Key: (v, phi, tau_hat) packed.
-  std::map<std::tuple<int64_t, int64_t, int64_t>, double> phi_memo_;
+  std::map<std::tuple<int64_t, int64_t, int64_t>, double> phi_memo_
+      GBDA_GUARDED_BY(mutex_);
   // (v, tau_hat) -> suffix-max table over phi in [0, min(v, 2*tau_hat)].
-  std::map<std::pair<int64_t, int64_t>, std::vector<double>> suffix_max_memo_;
-  size_t memo_hits_ = 0;
-  size_t memo_misses_ = 0;
+  std::map<std::pair<int64_t, int64_t>, std::vector<double>> suffix_max_memo_
+      GBDA_GUARDED_BY(mutex_);
+  size_t memo_hits_ GBDA_GUARDED_BY(mutex_) = 0;
+  size_t memo_misses_ GBDA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace gbda

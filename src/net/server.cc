@@ -152,11 +152,11 @@ Status GbdaServer::Listen() {
 void GbdaServer::Shutdown() {
   std::call_once(shutdown_once_, [this] {
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      MutexLock lock(&queue_mutex_);
       stopping_.store(true, std::memory_order_release);
       draining_paused_ = false;  // shutdown overrides an admin pause
     }
-    queue_cv_.notify_all();
+    queue_cv_.NotifyAll();
     WakeIo();
     for (std::thread& w : workers_) {
       if (w.joinable()) w.join();
@@ -286,18 +286,18 @@ void GbdaServer::CollectMetrics(const std::string& labels,
 
 void GbdaServer::PauseDraining() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     draining_paused_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 void GbdaServer::ResumeDraining() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     draining_paused_ = false;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 void GbdaServer::WakeIo() {
@@ -332,7 +332,7 @@ void GbdaServer::IoLoop() {
     {
       std::vector<std::pair<uint64_t, std::string>> posted;
       {
-        std::lock_guard<std::mutex> lock(responses_mutex_);
+        MutexLock lock(&responses_mutex_);
         posted.swap(posted_responses_);
       }
       for (auto& [conn_id, bytes] : posted) {
@@ -492,7 +492,7 @@ bool GbdaServer::DispatchFrame(uint64_t conn_id, Frame frame) {
       WireStatus admitted = WireStatus::kOk;
       size_t depth = 0;
       {
-        std::lock_guard<std::mutex> lock(queue_mutex_);
+        MutexLock lock(&queue_mutex_);
         if (stopping_.load(std::memory_order_relaxed)) {
           admitted = WireStatus::kShuttingDown;
         } else if (queue_.size() >= config_.max_queue) {
@@ -505,7 +505,7 @@ bool GbdaServer::DispatchFrame(uint64_t conn_id, Frame frame) {
       if (admitted == WireStatus::kOk) {
         requests_accepted_.Increment();
         AtomicMax(&queue_depth_peak_, depth);
-        queue_cv_.notify_one();
+        queue_cv_.NotifyOne();
       } else {
         TopKResponse resp;
         resp.request_id = request_id;
@@ -535,7 +535,7 @@ bool GbdaServer::DispatchFrame(uint64_t conn_id, Frame frame) {
       WireStatus admitted = WireStatus::kOk;
       size_t depth = 0;
       {
-        std::lock_guard<std::mutex> lock(queue_mutex_);
+        MutexLock lock(&queue_mutex_);
         if (stopping_.load(std::memory_order_relaxed)) {
           admitted = WireStatus::kShuttingDown;
         } else if (queue_.size() >= config_.max_queue) {
@@ -548,7 +548,7 @@ bool GbdaServer::DispatchFrame(uint64_t conn_id, Frame frame) {
       if (admitted == WireStatus::kOk) {
         requests_accepted_.Increment();
         AtomicMax(&queue_depth_peak_, depth);
-        queue_cv_.notify_one();
+        queue_cv_.NotifyOne();
       } else {
         MutateResponse resp;
         resp.request_id = request_id;
@@ -624,15 +624,31 @@ void GbdaServer::CloseConnection(uint64_t conn_id) {
 // Worker threads: the adaptive micro-batcher
 // ---------------------------------------------------------------------------
 
+void GbdaServer::TakeCompatible(const std::string& key,
+                                std::vector<Pending>* batch) {
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch->size() < config_.max_batch;) {
+    if (it->type == MessageType::kTopKRequest &&
+        TopKBatchKey(it->topk) == key) {
+      batch->push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 std::vector<GbdaServer::Pending> GbdaServer::NextBatch(
     uint64_t* linger_micros, uint64_t* coalesce_micros) {
   std::vector<Pending> batch;
   *coalesce_micros = 0;
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  queue_cv_.wait(lock, [this] {
-    return stopping_.load(std::memory_order_relaxed) ||
-           (!queue_.empty() && !draining_paused_);
-  });
+  MutexLock lock(&queue_mutex_);
+  // Explicit predicate loop (not a lambda) so the guarded accesses stay
+  // visible to the thread-safety analysis.
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         (queue_.empty() || draining_paused_)) {
+    queue_cv_.Wait(queue_mutex_);
+  }
   if (queue_.empty()) return batch;  // stopping && drained
   // Shutdown drains without pausing: remaining admitted requests are still
   // answered below.
@@ -647,19 +663,7 @@ std::vector<GbdaServer::Pending> GbdaServer::NextBatch(
   }
 
   const std::string key = TopKBatchKey(batch.front().topk);
-  auto take_compatible = [&] {
-    for (auto it = queue_.begin();
-         it != queue_.end() && batch.size() < config_.max_batch;) {
-      if (it->type == MessageType::kTopKRequest &&
-          TopKBatchKey(it->topk) == key) {
-        batch.push_back(std::move(*it));
-        it = queue_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-  take_compatible();
+  TakeCompatible(key, &batch);
 
   // Adaptive linger: when the previous batches filled up (high offered
   // load), waiting a bounded moment collects late arrivals into the same
@@ -670,13 +674,13 @@ std::vector<GbdaServer::Pending> GbdaServer::NextBatch(
     const auto linger_until = std::chrono::steady_clock::now() +
                               std::chrono::microseconds(*linger_micros);
     while (batch.size() < config_.max_batch) {
-      if (queue_cv_.wait_until(lock, linger_until) ==
+      if (queue_cv_.WaitUntil(queue_mutex_, linger_until) ==
           std::cv_status::timeout) {
-        take_compatible();
+        TakeCompatible(key, &batch);
         break;
       }
       if (stopping_.load(std::memory_order_relaxed)) break;
-      if (!draining_paused_) take_compatible();
+      if (!draining_paused_) TakeCompatible(key, &batch);
     }
   }
 
@@ -872,7 +876,7 @@ void GbdaServer::ExecuteMutation(Pending request) {
 
 void GbdaServer::PostResponse(uint64_t conn_id, std::string frame_bytes) {
   {
-    std::lock_guard<std::mutex> lock(responses_mutex_);
+    MutexLock lock(&responses_mutex_);
     posted_responses_.emplace_back(conn_id, std::move(frame_bytes));
   }
   WakeIo();

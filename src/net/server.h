@@ -35,7 +35,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -45,7 +44,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "net/codec.h"
 #include "obs/histogram.h"
 #include "obs/metrics_registry.h"
@@ -187,7 +188,12 @@ class GbdaServer {
   /// reports the time from the first pop to the batch being finalized — the
   /// batch-stage trace span shared by every request in the batch.
   std::vector<Pending> NextBatch(uint64_t* linger_micros,
-                                 uint64_t* coalesce_micros);
+                                 uint64_t* coalesce_micros)
+      GBDA_EXCLUDES(queue_mutex_);
+  /// Moves every queued top-k request whose batch key equals `key` into
+  /// `batch` (up to config_.max_batch), preserving queue order.
+  void TakeCompatible(const std::string& key, std::vector<Pending>* batch)
+      GBDA_REQUIRES(queue_mutex_);
   void ExecuteTopKBatch(std::vector<Pending> batch, uint64_t coalesce_micros);
   void ExecuteMutation(Pending request);
   /// Hands a finished response frame from a worker to the I/O thread.
@@ -204,10 +210,10 @@ class GbdaServer {
   std::vector<std::thread> workers_;
 
   // Request queue + drain gate (workers and the I/O thread's admission).
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
-  bool draining_paused_ = false;
+  Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<Pending> queue_ GBDA_GUARDED_BY(queue_mutex_);
+  bool draining_paused_ GBDA_GUARDED_BY(queue_mutex_) = false;
   std::atomic<bool> stopping_{false};
   /// Set by Shutdown() once every worker has joined: the signal that no
   /// further responses will be posted, so the I/O thread may switch to its
@@ -216,8 +222,9 @@ class GbdaServer {
   std::atomic<bool> workers_done_{false};
 
   // Worker -> I/O thread response handoff.
-  std::mutex responses_mutex_;
-  std::vector<std::pair<uint64_t, std::string>> posted_responses_;
+  Mutex responses_mutex_;
+  std::vector<std::pair<uint64_t, std::string>> posted_responses_
+      GBDA_GUARDED_BY(responses_mutex_);
 
   // I/O-thread-only connection table.
   std::unordered_map<uint64_t, Connection> conns_;

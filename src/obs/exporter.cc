@@ -117,8 +117,7 @@ MetricsExporter::MetricsExporter(const MetricsRegistry* registry, int listen_fd,
 MetricsExporter::~MetricsExporter() { Stop(); }
 
 void MetricsExporter::Stop() {
-  if (stopped_) return;
-  stopped_ = true;
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
   const char byte = 1;
   [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
   if (thread_.joinable()) thread_.join();

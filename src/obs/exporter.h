@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -49,7 +50,10 @@ class MetricsExporter {
   int wake_read_fd_;
   int wake_write_fd_;
   uint16_t port_;
-  bool stopped_ = false;
+  /// Atomic so concurrent Stop() calls (destructor racing an explicit Stop
+  /// from another thread) agree on who joins and closes the fds; the serve
+  /// loop itself never reads it — it watches the wake pipe instead.
+  std::atomic<bool> stopped_{false};
   std::thread thread_;
 };
 

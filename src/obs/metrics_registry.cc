@@ -124,7 +124,7 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
                                                       const std::string& labels,
                                                       MetricType type) {
   const std::string key = name + "\x1f" + labels;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = by_key_.find(key);
   if (it != by_key_.end()) {
     return it->second->type == type ? it->second : nullptr;
@@ -171,14 +171,14 @@ ConcurrentHistogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 uint64_t MetricsRegistry::AddCollector(Collector collector) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const uint64_t id = next_collector_id_++;
   collectors_[id] = std::move(collector);
   return id;
 }
 
 void MetricsRegistry::RemoveCollector(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   collectors_.erase(id);
 }
 
@@ -186,7 +186,7 @@ std::vector<MetricFamily> MetricsRegistry::Snapshot() const {
   std::vector<MetricFamily> families;
   std::vector<Collector> collectors;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (const auto& [id, collector] : collectors_) {
       (void)id;
       collectors.push_back(collector);

@@ -6,10 +6,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/histogram.h"
 
 namespace gbda::obs {
@@ -137,13 +138,18 @@ class MetricsRegistry {
   };
 
   Entry* FindOrCreate(const std::string& name, const std::string& help,
-                      const std::string& labels, MetricType type);
+                      const std::string& labels, MetricType type)
+      GBDA_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> entries_;
-  std::map<std::string, Entry*> by_key_;  // key = name + "\x1f" + labels
-  std::map<uint64_t, Collector> collectors_;
-  uint64_t next_collector_id_ = 1;
+  mutable Mutex mutex_;
+  /// Entries are append-only; the instrument pointers handed out by Get*()
+  /// stay valid (and are internally synchronized) outside the lock — the
+  /// guard covers only the container structure.
+  std::vector<std::unique_ptr<Entry>> entries_ GBDA_GUARDED_BY(mutex_);
+  // key = name + "\x1f" + labels
+  std::map<std::string, Entry*> by_key_ GBDA_GUARDED_BY(mutex_);
+  std::map<uint64_t, Collector> collectors_ GBDA_GUARDED_BY(mutex_);
+  uint64_t next_collector_id_ GBDA_GUARDED_BY(mutex_) = 1;
 };
 
 /// RAII registration of a collector into a registry (commonly Global()).

@@ -37,7 +37,7 @@ DynamicGbdaService::DynamicGbdaService(GraphDatabase db, GbdaIndex master,
     profiles_.push_back(
         std::make_shared<const FilterProfile>(BuildFilterProfile(db_.graph(id))));
   }
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(&write_mutex_);
   Republish();
 }
 
@@ -142,7 +142,7 @@ void DynamicGbdaService::Republish(bool force_refit) {
                     std::shared_ptr<const Snapshot>(std::move(snap)));
   const double swap_seconds = swap_timer.Seconds();
 
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(&stats_mutex_);
   ++dynamic_stats_.snapshots_published;
   if (refit_done) ++dynamic_stats_.gbd_refits;
   if (refit_failed) ++dynamic_stats_.gbd_refit_failures;
@@ -184,7 +184,7 @@ Result<std::vector<size_t>> DynamicGbdaService::AddGraphs(
     ReportPublished(snapshot_info(), published);  // no commit, current gen
     return std::vector<size_t>{};
   }
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(&write_mutex_);
   for (const Graph& g : graphs) {
     Status labels = ValidateLabels(g);
     if (!labels.ok()) return labels;
@@ -200,7 +200,7 @@ Result<std::vector<size_t>> DynamicGbdaService::AddGraphs(
     ids.push_back(id);
   }
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    MutexLock stats_lock(&stats_mutex_);
     dynamic_stats_.graphs_added += ids.size();
   }
   Republish();
@@ -214,13 +214,13 @@ Status DynamicGbdaService::RemoveGraphs(const std::vector<size_t>& ids,
     ReportPublished(snapshot_info(), published);
     return Status::OK();
   }
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(&write_mutex_);
   Status removed = db_.RemoveGraphs(ids);
   if (!removed.ok()) return removed;  // validated up front: no-op on failure
   Status index_removed = master_.RemoveGraphs(ids);
   if (!index_removed.ok()) return index_removed;  // unreachable: db agreed
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    MutexLock stats_lock(&stats_mutex_);
     dynamic_stats_.graphs_removed += ids.size();
   }
   Republish();
@@ -229,17 +229,17 @@ Status DynamicGbdaService::RemoveGraphs(const std::vector<size_t>& ids,
 }
 
 LabelId DynamicGbdaService::InternVertexLabel(const std::string& name) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(&write_mutex_);
   return db_.vertex_labels().Intern(name);
 }
 
 LabelId DynamicGbdaService::InternEdgeLabel(const std::string& name) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(&write_mutex_);
   return db_.edge_labels().Intern(name);
 }
 
 Status DynamicGbdaService::Flush(SnapshotInfo* published) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(&write_mutex_);
   Republish(/*force_refit=*/true);
   ReportPublished(snapshot_info(), published);
   // The snapshot is published either way (availability), but a caller
@@ -382,13 +382,13 @@ SnapshotInfo DynamicGbdaService::snapshot_info() const {
 ServiceStats DynamicGbdaService::stats() const { return counters_.Snapshot(); }
 
 DynamicServiceStats DynamicGbdaService::dynamic_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(&stats_mutex_);
   return dynamic_stats_;
 }
 
 void DynamicGbdaService::ResetStats() {
   counters_.Reset();
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(&stats_mutex_);
   dynamic_stats_ = DynamicServiceStats();
 }
 

@@ -31,11 +31,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/span.h"
 #include "common/thread_pool.h"
 #include "core/gbda_index.h"
@@ -185,8 +186,12 @@ class DynamicGbdaService {
 
   /// The underlying database (stable-id space, including tombstoned slots).
   /// Reading it concurrently with mutations requires external
-  /// synchronization; prefer the query API on the serving path.
-  const GraphDatabase& db() const { return db_; }
+  /// synchronization; prefer the query API on the serving path. The
+  /// analysis opt-out is that documented contract made visible: this
+  /// accessor deliberately hands out write_mutex_-guarded state unlocked.
+  const GraphDatabase& db() const GBDA_NO_THREAD_SAFETY_ANALYSIS {
+    return db_;
+  }
 
  private:
   /// Lazily-built approximate-navigation context of one snapshot. Shared
@@ -223,11 +228,10 @@ class DynamicGbdaService {
                      const DynamicServiceOptions& options);
 
   /// Validates that `g`'s label ids exist in the corpus dictionaries.
-  Status ValidateLabels(const Graph& g) const;
+  Status ValidateLabels(const Graph& g) const GBDA_REQUIRES(write_mutex_);
   /// Derives and publishes the next snapshot. `force_refit` bypasses the
   /// Lambda2 staleness threshold (any accumulated drift is fit away).
-  /// Caller holds write_mutex_.
-  void Republish(bool force_refit = false);
+  void Republish(bool force_refit = false) GBDA_REQUIRES(write_mutex_);
   /// Shared query path over one pinned snapshot; remaps dense match ids to
   /// stable ids.
   Result<std::vector<SearchResult>> RunBatchOn(
@@ -240,23 +244,30 @@ class DynamicGbdaService {
   const GbdaIndexOptions index_options_;
   const DynamicServiceOptions options_;
 
-  std::mutex write_mutex_;  // serializes mutations + publication
-  GraphDatabase db_;        // stable-id space; deque storage keeps refs valid
-  GbdaIndex master_;        // stable-id space, incrementally maintained
+  mutable Mutex write_mutex_;  // serializes mutations + publication
+  /// Stable-id space; deque storage keeps refs valid. Queries never touch
+  /// these — they pin a published Snapshot instead — so write_mutex_ is a
+  /// writer-writer lock only.
+  GraphDatabase db_ GBDA_GUARDED_BY(write_mutex_);
+  GbdaIndex master_ GBDA_GUARDED_BY(write_mutex_);
   /// Per-stable-id filter profiles (built once per graph, shared by every
   /// snapshot that includes the graph).
-  std::vector<std::shared_ptr<const FilterProfile>> profiles_;
-  uint64_t generation_ = 0;
+  std::vector<std::shared_ptr<const FilterProfile>> profiles_
+      GBDA_GUARDED_BY(write_mutex_);
+  uint64_t generation_ GBDA_GUARDED_BY(write_mutex_) = 0;
 
   ThreadPool pool_;
-  std::shared_ptr<const Snapshot> snapshot_;  // std::atomic_load/store
+  /// Deliberately unguarded: accessed exclusively through the free
+  /// std::atomic_load/atomic_store shared_ptr overloads (LoadSnapshot /
+  /// Republish), the readers-never-block-writers handoff.
+  std::shared_ptr<const Snapshot> snapshot_;
 
   /// Query-side counters: sharded and lock-free (see ServiceCounters); the
   /// mutex below now guards only the mutation-side aggregates, which are
   /// written under the serialized commit path anyway.
   ServiceCounters counters_;
-  mutable std::mutex stats_mutex_;
-  DynamicServiceStats dynamic_stats_;
+  mutable Mutex stats_mutex_;
+  DynamicServiceStats dynamic_stats_ GBDA_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace gbda

@@ -80,6 +80,11 @@ Result<std::vector<SearchResult>> ParallelScanBatch(const ParallelScanEnv& env,
           }
           job->statuses[s] = std::move(status);
           job->partials[s] = std::move(partial);
+          // acq_rel countdown: the release half publishes this shard's
+          // statuses/partials writes above, the acquire half makes every
+          // earlier shard's writes visible to whichever worker hits zero and
+          // stamps the job latency. (The merge itself additionally
+          // synchronizes through the futures' get().)
           if (job->shards_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             job->latency_seconds = timer.Seconds();
           }

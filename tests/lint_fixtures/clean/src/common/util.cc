@@ -1,0 +1,1 @@
+int CommonHelper() { return 7; }

@@ -1,0 +1,3 @@
+#include <gtest/gtest.h>
+
+TEST(Util, Registered) { EXPECT_TRUE(true); }

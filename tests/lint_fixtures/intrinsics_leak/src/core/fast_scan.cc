@@ -1,0 +1,12 @@
+// Violation under test: AVX2 intrinsics outside the cpuid-gated
+// src/common/kernels_avx2.cc translation unit.
+#include <immintrin.h>
+
+float SumEight(const float* p) {
+  __m256 v = _mm256_loadu_ps(p);
+  float out[8];
+  _mm256_storeu_ps(out, v);
+  float total = 0.0f;
+  for (float x : out) total += x;
+  return total;
+}

@@ -1,0 +1,5 @@
+// Violation under test: common is the bottom layer and must not reach up
+// into core (gbda_common does not link gbda_core).
+#include "core/engine.h"
+
+int CommonHelper() { return CoreEngineValue(); }

@@ -1,0 +1,3 @@
+#include "core/engine.h"
+
+int CoreEngineValue() { return 42; }

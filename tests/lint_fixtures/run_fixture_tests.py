@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Regression tests for tools/gbda_lint.py.
+
+Each fixture directory is a miniature repo tree that violates exactly one
+invariant; the linter must exit nonzero and name the violation in an
+actionable message. The `clean` fixture must pass. Run directly or via
+ctest (gbda_lint_fixtures).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+LINTER = HERE.parent.parent / "tools" / "gbda_lint.py"
+
+# (fixture dir, expected exit code, substrings that must appear in stderr)
+CASES = [
+    (
+        "layering_violation",
+        1,
+        ['layering: module "common" includes "core/engine.h"', "module DAG"],
+    ),
+    (
+        "unregistered_test",
+        1,
+        ["tests: scan_checks.cc defines gtest cases", "_test.cc"],
+    ),
+    (
+        "intrinsics_leak",
+        1,
+        ["intrinsics:", "src/common/kernels_avx2.cc", "fast_scan.cc"],
+    ),
+    ("clean", 0, []),
+]
+
+
+def main():
+    failures = []
+    for fixture, want_exit, want_substrings in CASES:
+        proc = subprocess.run(
+            [sys.executable, str(LINTER), "--root", str(HERE / fixture)],
+            capture_output=True,
+            text=True,
+        )
+        label = f"fixture {fixture!r}"
+        if proc.returncode != want_exit:
+            failures.append(
+                f"{label}: expected exit {want_exit}, got {proc.returncode}\n"
+                f"stdout: {proc.stdout}\nstderr: {proc.stderr}"
+            )
+            continue
+        for substring in want_substrings:
+            if substring not in proc.stderr:
+                failures.append(
+                    f"{label}: stderr missing {substring!r}\nstderr: {proc.stderr}"
+                )
+        # The intrinsics fixture's message must point at the offending file,
+        # not merely restate the rule.
+        print(f"PASS {label}")
+
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"{len(failures)} fixture check(s) failed", file=sys.stderr)
+        return 1
+    print("all lint fixtures behave as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+// Violation under test: defines gtest cases but is not named *_test.cc, so
+// the glob in tests/CMakeLists.txt never builds or runs it.
+#include <gtest/gtest.h>
+
+TEST(ScanChecks, NeverRuns) { EXPECT_TRUE(true); }

@@ -1,0 +1,343 @@
+#!/usr/bin/env python3
+"""gbda_lint: machine-checked repository invariants.
+
+Checks (each with an actionable message and a nonzero exit on violation):
+
+  layering     The module DAG declared in src/CMakeLists.txt's comment and
+               each module's target_link_libraries must agree with the
+               actual #include edges: a file in src/<m>/ may include only
+               headers of <m> itself or of modules in the transitive
+               closure of gbda_<m>'s declared gbda_* link deps. The
+               declared graph must also be acyclic.
+
+  intrinsics   AVX2 must stay containable: <immintrin.h> and _mm256*/
+               _mm_* intrinsics may appear only in the cpuid-gated
+               src/common/kernels_avx2.cc, and no CMakeLists may apply
+               -mavx2 to any other source.
+
+  determinism  Scan-path code in src/core must stay deterministic and
+               replayable: rand(, std::random_device and wall-clock reads
+               (std::chrono::system_clock, time(nullptr), gettimeofday)
+               are banned there. Seeded gbda RNGs and the monotonic timer
+               in common/ are the sanctioned alternatives.
+
+  tests        tests/CMakeLists.txt registers test binaries by globbing
+               *_test.cc, so a TEST()-containing file that does not match
+               the glob silently never runs. Every file under tests/ that
+               defines a gtest case must be named *_test.cc.
+
+Usage: tools/gbda_lint.py [--root DIR] [--check NAME ...]
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = (".h", ".cc")
+
+# tests/lint_fixtures/ holds miniature repo trees that deliberately violate
+# these invariants (the linter's own regression tests); linting the real
+# tree must not descend into them.
+FIXTURE_DIR = "lint_fixtures"
+
+# The one translation unit allowed to contain AVX2 intrinsics (relative to
+# the repo root). kernels.cc dispatches into it behind a cpuid check.
+AVX2_TU = "src/common/kernels_avx2.cc"
+
+INTRINSIC_RE = re.compile(r"\bimmintrin\.h\b|\b_mm256_\w+|\b_mm_\w+")
+
+NONDETERMINISM_PATTERNS = [
+    (re.compile(r"(?<![\w:])rand\s*\("), "rand()"),
+    (re.compile(r"std::random_device"), "std::random_device"),
+    (re.compile(r"std::chrono::system_clock"), "std::chrono::system_clock"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(nullptr|NULL|0)\s*\)"), "time(nullptr)"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+]
+
+GTEST_CASE_RE = re.compile(r"^\s*(TEST|TEST_F|TEST_P|TYPED_TEST)\s*\(", re.MULTILINE)
+
+LINK_RE = re.compile(
+    r"target_link_libraries\s*\(\s*(gbda_\w+)\s+(?:PUBLIC|PRIVATE|INTERFACE)?\s*([^)]*)\)",
+    re.MULTILINE,
+)
+
+
+def strip_comments_and_strings(text):
+    """Removes //, /* */ comments and string/char literals so a pattern in a
+    comment or a log message never trips a check."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            # Preserve line numbers through the stripped block.
+            block = text[i : n if j < 0 else j + 2]
+            out.append("\n" * block.count("\n"))
+            i = n if j < 0 else j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            out.append(quote + quote)
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_sources(root, subdir):
+    base = root / subdir
+    if not base.is_dir():
+        return
+    for path in sorted(base.rglob("*")):
+        # Relative to the lint root: a fixture tree being linted AS the root
+        # must still have its own files visited.
+        if FIXTURE_DIR in path.relative_to(root).parts:
+            continue
+        if path.suffix in SOURCE_SUFFIXES and path.is_file():
+            yield path
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = Path(root)
+        self.errors = []
+
+    def error(self, path, line, message):
+        rel = path.relative_to(self.root) if path is not None else "<repo>"
+        loc = f"{rel}:{line}" if line else f"{rel}"
+        self.errors.append(f"{loc}: {message}")
+
+    # -- layering -----------------------------------------------------------
+
+    def declared_deps(self):
+        """Module -> set of gbda modules it declares via
+        target_link_libraries in src/<module>/CMakeLists.txt."""
+        deps = {}
+        src = self.root / "src"
+        if not src.is_dir():
+            return deps
+        for cmake in sorted(src.glob("*/CMakeLists.txt")):
+            module = cmake.parent.name
+            deps.setdefault(module, set())
+            for match in LINK_RE.finditer(cmake.read_text()):
+                target, libs = match.groups()
+                if target != f"gbda_{module}":
+                    continue
+                for lib in libs.split():
+                    if lib.startswith("gbda_") and lib != "gbda_build_flags":
+                        dep = lib[len("gbda_") :]
+                        if dep != module:
+                            deps[module].add(dep)
+        return deps
+
+    def check_layering(self):
+        deps = self.declared_deps()
+        if not deps:
+            self.error(self.root / "src", 0, "layering: no module CMakeLists found")
+            return
+
+        # Acyclicity of the declared graph (DFS three-color).
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {m: WHITE for m in deps}
+
+        def visit(m, stack):
+            color[m] = GRAY
+            for d in sorted(deps.get(m, ())):
+                if d not in deps:
+                    continue
+                if color[d] == GRAY:
+                    cycle = " -> ".join(stack + [m, d])
+                    self.error(
+                        self.root / "src" / m / "CMakeLists.txt",
+                        0,
+                        f"layering: dependency cycle among modules: {cycle}",
+                    )
+                elif color[d] == WHITE:
+                    visit(d, stack + [m])
+            color[m] = BLACK
+
+        for m in sorted(deps):
+            if color[m] == WHITE:
+                visit(m, [])
+
+        # Transitive closure: PUBLIC link deps propagate.
+        closure = {}
+
+        def close(m, seen):
+            if m in closure:
+                return closure[m]
+            if m in seen:
+                return set()  # cycle already reported above
+            seen.add(m)
+            result = set()
+            for d in deps.get(m, ()):
+                result.add(d)
+                result |= close(d, seen)
+            closure[m] = result
+            return result
+
+        for m in deps:
+            close(m, set())
+
+        include_re = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+        for module in sorted(deps):
+            allowed = {module} | closure[module]
+            for path in iter_sources(self.root, f"src/{module}"):
+                text = path.read_text(errors="replace")
+                for match in include_re.finditer(text):
+                    header = match.group(1)
+                    top = header.split("/", 1)[0]
+                    if top not in deps:
+                        continue  # not a module-qualified include
+                    if top not in allowed:
+                        line = text.count("\n", 0, match.start()) + 1
+                        self.error(
+                            path,
+                            line,
+                            f'layering: module "{module}" includes "{header}" but '
+                            f"gbda_{module} does not link gbda_{top} (directly or "
+                            f"transitively). Either this include violates the module "
+                            f"DAG in src/CMakeLists.txt, or the dependency must be "
+                            f"declared in src/{module}/CMakeLists.txt.",
+                        )
+
+    # -- intrinsics containment --------------------------------------------
+
+    def check_intrinsics(self):
+        allowed = self.root / AVX2_TU
+        for subdir in ("src", "tools", "bench", "examples"):
+            for path in iter_sources(self.root, subdir):
+                if path == allowed:
+                    continue
+                text = strip_comments_and_strings(path.read_text(errors="replace"))
+                match = INTRINSIC_RE.search(text)
+                if match:
+                    line = text.count("\n", 0, match.start()) + 1
+                    self.error(
+                        path,
+                        line,
+                        f'intrinsics: "{match.group(0)}" outside {AVX2_TU}. AVX2 '
+                        f"code must live in that cpuid-gated TU (the only one "
+                        f"compiled with -mavx2) and be reached via the dispatch "
+                        f"table in common/kernels.h.",
+                    )
+        # -mavx2 may be applied only inside src/common/CMakeLists.txt.
+        for cmake in sorted(self.root.glob("**/CMakeLists.txt")):
+            rel_parts = cmake.relative_to(self.root).parts
+            # Skip build trees (any build* dir: FetchContent'd third-party
+            # sources live there), VCS metadata and the lint fixtures.
+            if any(
+                p.startswith("build") or p in (".git", FIXTURE_DIR)
+                for p in rel_parts
+            ):
+                continue
+            text = cmake.read_text(errors="replace")
+            if "-mavx2" not in text:
+                continue
+            if cmake != self.root / "src/common/CMakeLists.txt":
+                self.error(
+                    cmake,
+                    0,
+                    "intrinsics: -mavx2 applied outside src/common/CMakeLists.txt; "
+                    "only kernels_avx2.cc may be built with it.",
+                )
+
+    # -- determinism in src/core -------------------------------------------
+
+    def check_determinism(self):
+        for path in iter_sources(self.root, "src/core"):
+            text = strip_comments_and_strings(path.read_text(errors="replace"))
+            for pattern, label in NONDETERMINISM_PATTERNS:
+                for match in pattern.finditer(text):
+                    line = text.count("\n", 0, match.start()) + 1
+                    self.error(
+                        path,
+                        line,
+                        f"determinism: {label} in src/core. Scan results must be "
+                        f"bit-identical across runs and serial/sharded execution; "
+                        f"use the seeded RNG (common/rng.h) for sampling and the "
+                        f"monotonic timer for latency measurements.",
+                    )
+
+    # -- test registration --------------------------------------------------
+
+    def check_tests(self):
+        tests = self.root / "tests"
+        if not tests.is_dir():
+            return
+        for path in sorted(tests.rglob("*.cc")):
+            if FIXTURE_DIR in path.relative_to(self.root).parts:
+                continue
+            if path.name.endswith("_test.cc"):
+                continue
+            text = strip_comments_and_strings(path.read_text(errors="replace"))
+            match = GTEST_CASE_RE.search(text)
+            if match:
+                line = text.count("\n", 0, match.start()) + 1
+                self.error(
+                    path,
+                    line,
+                    f"tests: {path.name} defines gtest cases but does not match "
+                    f'the "*_test.cc" glob in tests/CMakeLists.txt, so it is '
+                    f"never built or run. Rename it to end in _test.cc.",
+                )
+
+
+CHECKS = {
+    "layering": Linter.check_layering,
+    "intrinsics": Linter.check_intrinsics,
+    "determinism": Linter.check_determinism,
+    "tests": Linter.check_tests,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="repository root to lint (default: this script's repo)",
+    )
+    parser.add_argument(
+        "--check",
+        action="append",
+        choices=sorted(CHECKS),
+        help="run only the named check (repeatable; default: all)",
+    )
+    args = parser.parse_args()
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"gbda_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    linter = Linter(root)
+    for name in args.check or sorted(CHECKS):
+        CHECKS[name](linter)
+
+    if linter.errors:
+        for err in linter.errors:
+            print(err, file=sys.stderr)
+        print(
+            f"gbda_lint: {len(linter.errors)} violation(s) found", file=sys.stderr
+        )
+        return 1
+    print("gbda_lint: all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
